@@ -1,0 +1,262 @@
+// Benchmarks regenerating the paper's tables and figures (reduced
+// scale; cmd/benchtables produces the full-size versions) plus
+// micro-benchmarks of the recovery machinery. Reported custom metrics
+// carry the reproduced headline numbers:
+//
+//	go test -bench=. -benchmem
+package osiris
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/faultinject"
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/seep"
+	"repro/internal/unixbench"
+)
+
+// BenchmarkTable1RecoveryCoverage reproduces Table I: per-server
+// recovery coverage under the pessimistic and enhanced policies.
+func BenchmarkTable1RecoveryCoverage(b *testing.B) {
+	var t eval.Table1
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = eval.RunTable1(eval.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(t.WeightedPessimistic, "pess-coverage-%")
+	b.ReportMetric(t.WeightedEnhanced, "enh-coverage-%")
+}
+
+// BenchmarkTable2SurvivabilityFailStop reproduces Table II: outcome
+// distribution of fail-stop fault injection under all four policies.
+func BenchmarkTable2SurvivabilityFailStop(b *testing.B) {
+	benchmarkSurvivability(b, faultinject.FailStop)
+}
+
+// BenchmarkTable3SurvivabilityEDFI reproduces Table III with the full
+// EDFI fault mix (including fail-silent faults).
+func BenchmarkTable3SurvivabilityEDFI(b *testing.B) {
+	benchmarkSurvivability(b, faultinject.FullEDFI)
+}
+
+func benchmarkSurvivability(b *testing.B, model faultinject.Model) {
+	var t eval.SurvivabilityTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = eval.RunSurvivability(model, eval.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range t.Rows {
+		prefix := row.Policy.String()
+		b.ReportMetric(row.Percent(faultinject.OutcomeCrash), prefix+"-crash-%")
+	}
+}
+
+// BenchmarkTable4BaselineVsMonolithic reproduces Table IV: Unixbench on
+// the recovery-free compartmentalized system vs the monolithic cost
+// model.
+func BenchmarkTable4BaselineVsMonolithic(b *testing.B) {
+	var t eval.Table4
+	for i := 0; i < b.N; i++ {
+		t = eval.RunTable4(eval.QuickScale())
+	}
+	b.ReportMetric(t.GeomeanSlowdown, "geomean-slowdown-x")
+}
+
+// BenchmarkTable5Slowdown reproduces Table V: recovery-instrumentation
+// slowdown in the unoptimized, pessimistic and enhanced builds.
+func BenchmarkTable5Slowdown(b *testing.B) {
+	var t eval.Table5
+	for i := 0; i < b.N; i++ {
+		t = eval.RunTable5(eval.QuickScale())
+	}
+	b.ReportMetric(t.GeoUnoptimized, "unopt-slowdown-x")
+	b.ReportMetric(t.GeoPessimistic, "pess-slowdown-x")
+	b.ReportMetric(t.GeoEnhanced, "enh-slowdown-x")
+}
+
+// BenchmarkTable6Memory reproduces Table VI: per-component memory
+// overhead of clones and undo logs.
+func BenchmarkTable6Memory(b *testing.B) {
+	var t eval.Table6
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = eval.RunTable6(eval.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(t.Total)/1024, "total-overhead-KiB")
+}
+
+// BenchmarkFigure3ServiceDisruption reproduces Figure 3: Unixbench
+// scores under periodic fault inflow into PM (two-interval sweep at
+// bench scale).
+func BenchmarkFigure3ServiceDisruption(b *testing.B) {
+	var fig eval.Figure3
+	for i := 0; i < b.N; i++ {
+		fig = eval.RunFigure3(eval.QuickScale(), []uint64{60_000, 3_200_000})
+	}
+	spawn := fig.Series["spawn"]
+	if len(spawn) == 3 && spawn[0].Score > 0 {
+		b.ReportMetric(100*spawn[1].Score/spawn[0].Score, "spawn-score-under-inflow-%")
+	}
+}
+
+// --- Micro-benchmarks of the recovery machinery ---
+
+// BenchmarkUndoLogAppend measures the instrumented-store fast path
+// while the recovery window is open.
+func BenchmarkUndoLogAppend(b *testing.B) {
+	st := memlog.NewStore("bench", memlog.Optimized)
+	st.SetLogging(true)
+	cell := memlog.NewCell(st, "x", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell.Set(i)
+		if i%1024 == 0 {
+			st.Checkpoint()
+		}
+	}
+}
+
+// BenchmarkUndoLogAppendClosed measures the same store with the window
+// closed (the optimized out-of-window path).
+func BenchmarkUndoLogAppendClosed(b *testing.B) {
+	st := memlog.NewStore("bench", memlog.Optimized)
+	st.SetLogging(false)
+	cell := memlog.NewCell(st, "x", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell.Set(i)
+	}
+}
+
+// BenchmarkRollback measures restoring a 256-entry window.
+func BenchmarkRollback(b *testing.B) {
+	st := memlog.NewStore("bench", memlog.Optimized)
+	st.SetLogging(true)
+	cell := memlog.NewCell(st, "x", 0)
+	m := memlog.NewMap[int, int](st, "m")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Checkpoint()
+		for j := 0; j < 128; j++ {
+			cell.Set(j)
+			m.Set(j&15, j)
+		}
+		st.Rollback()
+	}
+}
+
+// BenchmarkCloneStore measures the restart phase's data-section copy.
+func BenchmarkCloneStore(b *testing.B) {
+	st := memlog.NewStore("bench", memlog.Baseline)
+	m := memlog.NewMap[int, int](st, "m")
+	for i := 0; i < 4096; i++ {
+		m.Set(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.Clone()
+	}
+}
+
+// BenchmarkSyscallRoundTrip measures one getpid through the full boot,
+// IPC and server stack (amortized over a batch per boot).
+func BenchmarkSyscallRoundTrip(b *testing.B) {
+	const batch = 2000
+	boots := b.N/batch + 1
+	b.ResetTimer()
+	for i := 0; i < boots; i++ {
+		sys := Boot(Options{Seed: uint64(i + 1)}, func(p *Proc) int {
+			for j := 0; j < batch; j++ {
+				p.GetPID()
+			}
+			return 0
+		})
+		if res := sys.Run(DefaultRunLimit); res.Outcome != OutcomeCompleted {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+	}
+}
+
+// BenchmarkForkWait measures process creation and reaping through PM,
+// VM, VFS and the system task.
+func BenchmarkForkWait(b *testing.B) {
+	const batch = 100
+	boots := b.N/batch + 1
+	b.ResetTimer()
+	for i := 0; i < boots; i++ {
+		sys := Boot(Options{Seed: uint64(i + 1)}, func(p *Proc) int {
+			for j := 0; j < batch; j++ {
+				if _, errno := p.Fork(func(*Proc) int { return 0 }); errno != OK {
+					return 1
+				}
+				p.Wait()
+			}
+			return 0
+		})
+		if res := sys.Run(DefaultRunLimit); res.Outcome != OutcomeCompleted {
+			b.Fatalf("outcome %v (%s)", res.Outcome, res.Reason)
+		}
+	}
+}
+
+// BenchmarkCrashRecovery measures one full crash-recovery cycle:
+// fail-stop, clone, state transfer, rollback, error virtualization.
+func BenchmarkCrashRecovery(b *testing.B) {
+	const batch = 20
+	boots := b.N/batch + 1
+	b.ResetTimer()
+	for i := 0; i < boots; i++ {
+		sys := Boot(Options{Seed: uint64(i + 1)}, func(p *Proc) int {
+			for j := 0; j < batch; j++ {
+				p.DsPut("k", "v")
+			}
+			return 0
+		})
+		sys.Kernel().SetPointHook(func(_ kernel.Endpoint, _, site string) {
+			if site == "ds.put.applied" {
+				panic("bench: injected fault")
+			}
+		})
+		if res := sys.Run(DefaultRunLimit); res.Outcome != OutcomeCompleted {
+			b.Fatalf("outcome %v (%s)", res.Outcome, res.Reason)
+		}
+		if sys.Recoveries == 0 {
+			b.Fatal("no recoveries performed")
+		}
+	}
+}
+
+// BenchmarkUnixbenchPipe runs the pipe workload end to end.
+func BenchmarkUnixbenchPipe(b *testing.B) {
+	bench, _ := unixbench.ByName("pipe")
+	for i := 0; i < b.N; i++ {
+		r := unixbench.RunOne(bench, unixbench.Config{
+			Policy: seep.PolicyEnhanced, Seed: 11, IterScale: 0.25,
+		})
+		if r.Score <= 0 {
+			b.Fatalf("pipe failed: %v", r.Outcome)
+		}
+	}
+}
+
+// BenchmarkAblationCheckpointing compares the undo-log checkpointing
+// the paper chose against full-state copies (§IV-C design rationale).
+func BenchmarkAblationCheckpointing(b *testing.B) {
+	var a eval.Ablation
+	for i := 0; i < b.N; i++ {
+		a = eval.RunAblationCheckpointing(eval.QuickScale())
+	}
+	b.ReportMetric(a.GeoUndoLog, "undolog-slowdown-x")
+	b.ReportMetric(a.GeoFullCopy, "fullcopy-slowdown-x")
+}

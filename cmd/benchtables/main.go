@@ -1,0 +1,97 @@
+// Command benchtables regenerates the paper's evaluation tables and
+// figures on the simulated OSIRIS system.
+//
+// Usage:
+//
+//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/faultinject"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "quick", "evaluation scale: quick or full")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		only      = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,ablation (default all)")
+	)
+	flag.Parse()
+	if err := run(*scaleName, *seed, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName string, seed uint64, only string) error {
+	var sc eval.Scale
+	switch scaleName {
+	case "quick":
+		sc = eval.QuickScale()
+	case "full":
+		sc = eval.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	sc.Seed = seed
+
+	want := func(key string) bool {
+		if only == "" {
+			return true
+		}
+		for _, k := range strings.Split(only, ",") {
+			if strings.TrimSpace(k) == key {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("1") {
+		t, err := eval.RunTable1(sc)
+		if err != nil {
+			return fmt.Errorf("table 1: %w", err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("2") {
+		t, err := eval.RunSurvivability(faultinject.FailStop, sc)
+		if err != nil {
+			return fmt.Errorf("table 2: %w", err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("3") {
+		t, err := eval.RunSurvivability(faultinject.FullEDFI, sc)
+		if err != nil {
+			return fmt.Errorf("table 3: %w", err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("4") {
+		fmt.Println(eval.RunTable4(sc).Render())
+	}
+	if want("5") {
+		fmt.Println(eval.RunTable5(sc).Render())
+	}
+	if want("6") {
+		t, err := eval.RunTable6(sc)
+		if err != nil {
+			return fmt.Errorf("table 6: %w", err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("f3") {
+		fmt.Println(eval.RunFigure3(sc, nil).Render())
+	}
+	if want("ablation") {
+		fmt.Println(eval.RunAblationCheckpointing(sc).Render())
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command faultcampaign runs the paper's survivability experiment: a
+// large-scale one-fault-per-boot injection campaign over the prototype
+// test suite, classified as pass / fail / shutdown / crash (§VI-B).
+//
+// Usage:
+//
+//	faultcampaign [-policy all|enhanced|...] [-model failstop|edfi]
+//	              [-samples N] [-maxruns N] [-seed N] [-profile]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/faultinject"
+	"repro/internal/seep"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "all", "policy: all, enhanced, extended, pessimistic, stateless or naive")
+		modelName  = flag.String("model", "failstop", "fault model: failstop or edfi")
+		samples    = flag.Int("samples", 4, "injection occurrences sampled per candidate site")
+		maxRuns    = flag.Int("maxruns", 0, "cap on total runs per policy (0 = no cap)")
+		seed       = flag.Uint64("seed", 42, "simulation seed")
+		profile    = flag.Bool("profile", false, "print the fault-site profile and exit")
+	)
+	flag.Parse()
+	if err := run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile); err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(policyName, modelName string, samples, maxRuns int, seed uint64, profileOnly bool) error {
+	prof, err := faultinject.Profile(seed)
+	if err != nil {
+		return err
+	}
+	if profileOnly {
+		fmt.Printf("%-8s %-28s %8s %8s %9s\n", "server", "site", "total", "boot", "candidate")
+		for _, sp := range prof {
+			fmt.Printf("%-8s %-28s %8d %8d %9v\n", sp.Server, sp.Site, sp.Total, sp.Boot, sp.Candidate())
+		}
+		return nil
+	}
+
+	var model faultinject.Model
+	switch modelName {
+	case "failstop":
+		model = faultinject.FailStop
+	case "edfi":
+		model = faultinject.FullEDFI
+	default:
+		return fmt.Errorf("unknown model %q", modelName)
+	}
+
+	var policies []seep.Policy
+	switch policyName {
+	case "all":
+		policies = []seep.Policy{seep.PolicyStateless, seep.PolicyNaive, seep.PolicyPessimistic, seep.PolicyEnhanced}
+	case "enhanced":
+		policies = []seep.Policy{seep.PolicyEnhanced}
+	case "pessimistic":
+		policies = []seep.Policy{seep.PolicyPessimistic}
+	case "stateless":
+		policies = []seep.Policy{seep.PolicyStateless}
+	case "naive":
+		policies = []seep.Policy{seep.PolicyNaive}
+	case "extended":
+		policies = []seep.Policy{seep.PolicyExtended}
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+
+	fmt.Printf("model: %v, %d candidate sites\n\n", model, countCandidates(prof))
+	fmt.Printf("%-12s %8s %8s %10s %8s %8s %12s\n",
+		"Recovery", "Pass", "Fail", "Shutdown", "Crash", "Runs", "Untriggered")
+	for _, policy := range policies {
+		res := faultinject.RunCampaign(faultinject.CampaignConfig{
+			Policy:         policy,
+			Model:          model,
+			Seed:           seed,
+			SamplesPerSite: samples,
+			MaxRuns:        maxRuns,
+		}, prof)
+		fmt.Printf("%-12s %7.1f%% %7.1f%% %9.1f%% %7.1f%% %8d %12d\n",
+			res.Policy,
+			res.Percent(faultinject.OutcomePass),
+			res.Percent(faultinject.OutcomeFail),
+			res.Percent(faultinject.OutcomeShutdown),
+			res.Percent(faultinject.OutcomeCrash),
+			res.Runs, res.Untriggered)
+	}
+	return nil
+}
+
+func countCandidates(prof []faultinject.SiteProfile) int {
+	n := 0
+	for _, sp := range prof {
+		if sp.Candidate() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,147 @@
+// Command osiris boots the simulated compartmentalized OS and runs the
+// prototype test suite (default) or an inline shell script, reporting
+// the outcome and per-component recovery statistics.
+//
+// Usage:
+//
+//	osiris [-policy enhanced|pessimistic|stateless|naive] [-seed N]
+//	       [-heartbeats] [-stats] [-inject server.site[:occurrence]]
+//	       [command args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/sim"
+	"repro/internal/testsuite"
+	"repro/internal/usr"
+)
+
+const runLimit sim.Cycles = 8_000_000_000
+
+func main() {
+	var (
+		policyName = flag.String("policy", "enhanced", "recovery policy: enhanced, extended, pessimistic, stateless or naive")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		heartbeats = flag.Bool("heartbeats", true, "enable Recovery Server heartbeats")
+		stats      = flag.Bool("stats", false, "print per-component recovery statistics")
+		inject     = flag.String("inject", "", "inject a fail-stop fault: site[:occurrence], e.g. pm.fork.entry:2")
+		trace      = flag.Bool("trace", false, "print kernel IPC/crash events to stderr")
+	)
+	flag.Parse()
+	if err := run(*policyName, *seed, *heartbeats, *stats, *trace, *inject, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "osiris:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(name string) (seep.Policy, error) {
+	switch name {
+	case "enhanced":
+		return seep.PolicyEnhanced, nil
+	case "pessimistic":
+		return seep.PolicyPessimistic, nil
+	case "stateless":
+		return seep.PolicyStateless, nil
+	case "naive":
+		return seep.PolicyNaive, nil
+	case "extended":
+		return seep.PolicyExtended, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func run(policyName string, seed uint64, heartbeats, stats, trace bool, inject string, args []string) error {
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+
+	var report testsuite.Report
+	var initProg usr.Program
+	if len(args) == 0 {
+		initProg = testsuite.RunnerInit(&report)
+	} else {
+		command := strings.Join(args, " ")
+		initProg = func(p *usr.Proc) int {
+			if errno := usr.InstallPrograms(p); errno != kernel.OK {
+				return 1
+			}
+			p.Mkdir("/tmp")
+			return usr.Shell(p, []string{command})
+		}
+	}
+
+	sys := boot.Boot(boot.Options{
+		Config:     core.Config{Policy: policy, Seed: seed},
+		Registry:   reg,
+		Heartbeats: heartbeats,
+	}, initProg)
+
+	if trace {
+		sys.Kernel().SetTracer(func(format string, fmtArgs ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", fmtArgs...)
+		})
+	}
+
+	if inject != "" {
+		site, occurrence := inject, 1
+		if i := strings.LastIndex(inject, ":"); i >= 0 {
+			site = inject[:i]
+			if n, err := strconv.Atoi(inject[i+1:]); err == nil {
+				occurrence = n
+			}
+		}
+		remaining := occurrence
+		sys.Kernel().SetPointHook(func(_ kernel.Endpoint, _, s string) {
+			if s != site {
+				return
+			}
+			remaining--
+			if remaining == 0 {
+				panic("cli: injected fail-stop fault at " + site)
+			}
+		})
+	}
+
+	res := sys.Run(runLimit)
+
+	fmt.Printf("outcome: %v", res.Outcome)
+	if res.Reason != "" {
+		fmt.Printf(" (%s)", res.Reason)
+	}
+	fmt.Printf("\nvirtual time: %d cycles\nrecoveries: %d\n", res.Cycles, sys.Recoveries)
+	if res.Outcome == kernel.OutcomeShutdown && sys.ShutdownDump != "" {
+		fmt.Println("\npost-mortem dump:")
+		fmt.Print(sys.ShutdownDump)
+	}
+	if len(args) == 0 {
+		fmt.Printf("suite: %d ran, %d passed, %d failed\n", report.Ran, report.Passed, report.Failed)
+		if report.Failed > 0 {
+			fmt.Printf("failed tests: %s\n", strings.Join(report.FailedNames, " "))
+		}
+	}
+	if stats {
+		fmt.Println("\nper-component statistics:")
+		fmt.Printf("%-8s %12s %12s %12s %12s %11s\n",
+			"server", "coverage", "base-bytes", "clone-bytes", "undo-max", "recoveries")
+		for _, cs := range sys.Stats() {
+			fmt.Printf("%-8s %11.1f%% %12d %12d %12d %11d\n",
+				cs.Name, 100*cs.Coverage.BlockCoverage(),
+				cs.BaseBytes, cs.CloneBytes, cs.MaxUndoLogBytes, cs.Recoveries)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Extendedpolicy demonstrates the paper's §VII "Extensibility" proposal,
+// implemented in this reproduction: a new SEEP class for requester-local
+// interactions plus a kill-requester reconciliation action.
+//
+// PM's exec replaces only the requester's own process image, so its
+// SysReplace passage is classified requester-local. When PM crashes
+// right after it, the enhanced policy must shut the system down (the
+// window closed on a state-modifying passage), but the extended policy
+// recovers: it rolls PM back and kills the requester, whose
+// half-replaced image is cleaned out of every compartment through the
+// ordinary process-teardown path.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	osiris "repro"
+	"repro/internal/kernel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "extendedpolicy:", err)
+		os.Exit(1)
+	}
+}
+
+type outcome struct {
+	run        string
+	waitStatus int64
+	waitErr    osiris.Errno
+	afterwards osiris.Errno
+	recoveries int
+}
+
+func execCrashRun(policy osiris.Policy) outcome {
+	var o outcome
+	reg := osiris.NewRegistry()
+	reg.Register("replacement", func(p *osiris.Proc) int { return 0 })
+
+	sys := osiris.Boot(osiris.Options{Policy: policy, Registry: reg}, func(p *osiris.Proc) int {
+		osiris.InstallPrograms(p)
+		p.Fork(func(c *osiris.Proc) int {
+			c.Exec("replacement")
+			return 42 // reached only if exec fails
+		})
+		_, o.waitStatus, o.waitErr = p.Wait()
+		o.afterwards = p.DsPut("still-alive", "yes")
+		return 0
+	})
+
+	// Fail-stop PM right after the requester-local image replacement.
+	armed := true
+	sys.Kernel().SetPointHook(func(_ kernel.Endpoint, _, site string) {
+		if armed && site == "pm.exec.done" {
+			armed = false
+			panic("extendedpolicy: fault after SysReplace")
+		}
+	})
+
+	res := sys.Run(osiris.DefaultRunLimit)
+	o.run = res.Outcome.String()
+	o.recoveries = sys.Recoveries
+	return o
+}
+
+func run() error {
+	fmt.Println("PM crash immediately after exec's requester-local SysReplace passage")
+	fmt.Printf("%-10s %-10s %-12s %-12s %-11s %s\n",
+		"policy", "outcome", "wait status", "wait errno", "recoveries", "system usable after")
+
+	enh := execCrashRun(osiris.PolicyEnhanced)
+	fmt.Printf("%-10s %-10s %-12s %-12s %-11d %s\n",
+		"enhanced", enh.run, "n/a", "n/a", enh.recoveries, "no (controlled shutdown)")
+
+	ext := execCrashRun(osiris.PolicyExtended)
+	fmt.Printf("%-10s %-10s %-12d %-12v %-11d %v\n",
+		"extended", ext.run, ext.waitStatus, ext.waitErr, ext.recoveries,
+		ext.afterwards == osiris.OK)
+
+	fmt.Println(`
+The enhanced policy treats the image replacement as any other
+state-modifying passage: the window is closed at the crash, so the only
+safe action is a controlled shutdown. The extended policy knows the
+passage's side effects are keyed to the requester alone; it rolls PM
+back and kills the requester (the parent's wait sees status -1, like
+any crashed child), and the system keeps running.`)
+
+	if enh.run != "shutdown" {
+		return fmt.Errorf("enhanced run = %s, want shutdown", enh.run)
+	}
+	if ext.run != "completed" || ext.waitStatus != -1 || ext.afterwards != osiris.OK {
+		return fmt.Errorf("extended run = %+v, want recovered", ext)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Faultstorm is the paper's service-disruption experiment (§VI-E,
+// Figure 3) in miniature: a process-heavy workload runs to completion
+// while fail-stop faults are injected into the Process Manager's open
+// recovery window at a fixed interval; the interval is swept and the
+// throughput printed, showing graceful degradation instead of failure.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	osiris "repro"
+	"repro/internal/kernel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultstorm:", err)
+		os.Exit(1)
+	}
+}
+
+// workload spawns and reaps children, retrying operations a recovery
+// aborted — the continuity-of-execution discipline of §VI-E.
+func workload(ops *int, cycles *osiris.Cycles) osiris.Program {
+	return func(p *osiris.Proc) int {
+		start := p.Context().Now()
+		for i := 0; i < 80; i++ {
+			var errno osiris.Errno
+			for attempt := 0; attempt < 64; attempt++ {
+				_, errno = p.Fork(func(*osiris.Proc) int { return 0 })
+				if errno != osiris.ECRASH {
+					break
+				}
+			}
+			if errno != osiris.OK {
+				continue
+			}
+			p.Wait()
+			*ops++
+		}
+		*cycles = p.Context().Now() - start
+		return 0
+	}
+}
+
+func run() error {
+	intervals := []uint64{0, 60_000, 120_000, 240_000, 480_000, 960_000, 1_920_000}
+
+	fmt.Println("Fault storm: fork/wait throughput vs PM fault-inflow interval")
+	fmt.Printf("%-12s %10s %12s %12s\n", "interval", "ops", "recoveries", "ops/Mcycle")
+	for _, interval := range intervals {
+		var (
+			ops    int
+			cycles osiris.Cycles
+		)
+		sys := osiris.Boot(osiris.Options{Policy: osiris.PolicyEnhanced, MaxRecoveries: 1 << 20}, workload(&ops, &cycles))
+		if interval > 0 {
+			installInflow(sys, interval)
+		}
+		res := sys.Run(osiris.DefaultRunLimit)
+		if res.Outcome != osiris.OutcomeCompleted {
+			return fmt.Errorf("interval %d: %v (%s)", interval, res.Outcome, res.Reason)
+		}
+		label := "none"
+		if interval > 0 {
+			label = fmt.Sprintf("%d", interval)
+		}
+		throughput := 0.0
+		if cycles > 0 {
+			throughput = float64(ops) * 1e6 / float64(cycles)
+		}
+		fmt.Printf("%-12s %10d %12d %12.2f\n", label, ops, sys.Recoveries, throughput)
+	}
+	fmt.Println("\nEvery run completed: the system degrades, it does not die.")
+	return nil
+}
+
+// installInflow arms periodic fail-stop faults inside PM's recovery
+// window, as the paper's experiment does.
+func installInflow(sys *osiris.System, interval uint64) {
+	k := sys.Kernel()
+	next := uint64(k.Now()) + interval
+	k.SetPointHook(func(_ kernel.Endpoint, name, _ string) {
+		if name != "pm" || k.InRecovery() {
+			return
+		}
+		win := sys.ComponentWindow(kernel.EpPM)
+		if win == nil || !win.Open() || !win.Replyable() {
+			return
+		}
+		if uint64(k.Now()) < next {
+			return
+		}
+		next = uint64(k.Now()) + interval
+		panic("faultstorm: periodic fail-stop fault in PM")
+	})
+}

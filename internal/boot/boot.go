@@ -1,0 +1,100 @@
+// Package boot assembles a complete OSIRIS machine: the microkernel,
+// the substrate tasks (system task, disk driver), the five recoverable
+// servers (RS, PM, VM, VFS, DS), and the init workload process. It is
+// the composition root used by examples, tests, benchmarks and the
+// fault-injection campaigns.
+package boot
+
+import (
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/proto"
+	"repro/internal/servers/driver"
+	"repro/internal/servers/ds"
+	"repro/internal/servers/pm"
+	"repro/internal/servers/rs"
+	"repro/internal/servers/systask"
+	"repro/internal/servers/vfs"
+	"repro/internal/servers/vm"
+	"repro/internal/usr"
+)
+
+// heartbeatTargets are the components the Recovery Server probes.
+var heartbeatTargets = []kernel.Endpoint{
+	kernel.EpPM, kernel.EpVM, kernel.EpVFS, kernel.EpDS, kernel.EpDriver, proto.EpSys,
+}
+
+// Options parameterizes a boot.
+type Options struct {
+	core.Config
+	// Registry holds the user programs available to exec/spawn. Nil
+	// creates an empty registry.
+	Registry *usr.Registry
+	// Heartbeats enables RS's periodic heartbeat rounds. Off by default
+	// so performance runs measure only the workload; survivability runs
+	// enable it.
+	Heartbeats bool
+}
+
+// System is a booted machine.
+type System struct {
+	*core.OS
+	// Registry is the program registry backing exec.
+	Registry *usr.Registry
+	// Driver is the disk driver (its contents survive recoveries).
+	Driver *driver.Driver
+}
+
+// Boot builds the machine and installs initProg as the init process
+// (pid 1). Run it with System.Run.
+func Boot(opts Options, initProg usr.Program, initArgs ...string) *System {
+	reg := opts.Registry
+	if reg == nil {
+		reg = usr.NewRegistry()
+	}
+	o := core.NewOS(opts.Config)
+
+	drv := driver.New(vfs.DiskBlocks)
+	o.AddTask(kernel.EpDriver, "driver", drv.Run)
+	o.AddTask(proto.EpSys, "sys", systask.Run)
+
+	initEP := o.SpawnInit("init", reg.Body(initProg, initArgs))
+
+	heartbeats := opts.Heartbeats
+	o.AddComponent(kernel.EpRS, func(st *memlog.Store) core.Component {
+		return newRS(st, heartbeats)
+	})
+	o.AddComponent(kernel.EpPM, func(st *memlog.Store) core.Component {
+		return pm.New(st, initEP, reg.MakeBody)
+	})
+	o.AddComponent(kernel.EpVM, func(st *memlog.Store) core.Component {
+		return vm.New(st, int64(initEP))
+	})
+	o.AddComponent(kernel.EpVFS, func(st *memlog.Store) core.Component {
+		return vfs.New(st)
+	})
+	o.AddComponent(kernel.EpDS, func(st *memlog.Store) core.Component {
+		return ds.New(st)
+	})
+
+	return &System{OS: o, Registry: reg, Driver: drv}
+}
+
+// rsComponent adapts rs.RS to optionally disable heartbeats.
+type rsComponent struct {
+	*rs.RS
+
+	heartbeats bool
+}
+
+func newRS(st *memlog.Store, heartbeats bool) core.Component {
+	return &rsComponent{RS: rs.New(st, heartbeatTargets), heartbeats: heartbeats}
+}
+
+// Init schedules heartbeats only when enabled.
+func (r *rsComponent) Init(ctx *kernel.Context) {
+	if r.heartbeats {
+		r.RS.Init(ctx)
+	}
+}

@@ -1,0 +1,391 @@
+package boot
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/seep"
+	"repro/internal/sim"
+	"repro/internal/usr"
+)
+
+const testLimit sim.Cycles = 500_000_000
+
+func defaultOpts() Options {
+	return Options{Config: core.Config{Policy: seep.PolicyEnhanced, Seed: 1}}
+}
+
+// runWorkload boots with the enhanced policy and runs prog as init.
+func runWorkload(t *testing.T, opts Options, prog usr.Program) kernel.Result {
+	t.Helper()
+	sys := Boot(opts, prog)
+	return sys.Run(testLimit)
+}
+
+func mustComplete(t *testing.T, res kernel.Result) {
+	t.Helper()
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s), want completed", res.Outcome, res.Reason)
+	}
+}
+
+func TestBootTrivialInit(t *testing.T) {
+	ran := false
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		ran = true
+		return 0
+	})
+	mustComplete(t, res)
+	if !ran {
+		t.Fatal("init did not run")
+	}
+}
+
+func TestGetPID(t *testing.T) {
+	var pid, ppid int64
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		var errno kernel.Errno
+		pid, ppid, errno = p.GetPID()
+		if errno != kernel.OK {
+			t.Errorf("GetPID errno = %v", errno)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+	if pid != 1 || ppid != 0 {
+		t.Fatalf("init pid/ppid = %d/%d, want 1/0", pid, ppid)
+	}
+}
+
+func TestForkWaitExit(t *testing.T) {
+	var childPid, waitedPid, status int64
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		var errno kernel.Errno
+		childPid, errno = p.Fork(func(c *usr.Proc) int {
+			c.Compute(1000)
+			return 42
+		})
+		if errno != kernel.OK {
+			t.Errorf("Fork errno = %v", errno)
+			return 1
+		}
+		waitedPid, status, errno = p.Wait()
+		if errno != kernel.OK {
+			t.Errorf("Wait errno = %v", errno)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+	if childPid == 0 || waitedPid != childPid {
+		t.Fatalf("fork pid %d, wait pid %d", childPid, waitedPid)
+	}
+	if status != 42 {
+		t.Fatalf("child status = %d, want 42", status)
+	}
+}
+
+func TestNestedForks(t *testing.T) {
+	var total int64
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		for i := 0; i < 3; i++ {
+			p.Fork(func(c *usr.Proc) int {
+				c.Fork(func(g *usr.Proc) int { return 1 })
+				c.Wait()
+				return 2
+			})
+		}
+		for i := 0; i < 3; i++ {
+			_, st, errno := p.Wait()
+			if errno != kernel.OK {
+				t.Errorf("Wait %d errno = %v", i, errno)
+			}
+			total += st
+		}
+		return 0
+	})
+	mustComplete(t, res)
+	if total != 6 {
+		t.Fatalf("sum of child statuses = %d, want 6", total)
+	}
+}
+
+func TestWaitNoChildren(t *testing.T) {
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		if _, _, errno := p.Wait(); errno != kernel.ECHILD {
+			t.Errorf("Wait with no children = %v, want ECHILD", errno)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestSpawnAndExec(t *testing.T) {
+	reg := usr.NewRegistry()
+	reg.Register("worker", func(p *usr.Proc) int {
+		if len(p.Args) != 1 || p.Args[0] != "hello" {
+			return 1
+		}
+		return 7
+	})
+	opts := defaultOpts()
+	opts.Registry = reg
+	res := runWorkload(t, opts, func(p *usr.Proc) int {
+		if errno := usr.InstallPrograms(p); errno != kernel.OK {
+			t.Errorf("InstallPrograms = %v", errno)
+			return 1
+		}
+		pid, errno := p.Spawn("worker", "hello")
+		if errno != kernel.OK {
+			t.Errorf("Spawn = %v", errno)
+			return 1
+		}
+		wpid, status, errno := p.Wait()
+		if errno != kernel.OK || wpid != pid || status != 7 {
+			t.Errorf("Wait = %d/%d/%v, want %d/7/OK", wpid, status, errno, pid)
+		}
+		// Spawning a program that is not installed fails cleanly.
+		if _, errno := p.Spawn("missing"); errno != kernel.ENOENT {
+			t.Errorf("Spawn(missing) = %v, want ENOENT", errno)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestExecReplacesImage(t *testing.T) {
+	reg := usr.NewRegistry()
+	reg.Register("second", func(p *usr.Proc) int { return 9 })
+	opts := defaultOpts()
+	opts.Registry = reg
+	res := runWorkload(t, opts, func(p *usr.Proc) int {
+		usr.InstallPrograms(p)
+		p.Fork(func(c *usr.Proc) int {
+			c.Exec("second")
+			// Only reached on exec failure.
+			return 1
+		})
+		_, status, errno := p.Wait()
+		if errno != kernel.OK || status != 9 {
+			t.Errorf("exec'd child status = %d (%v), want 9", status, errno)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestKill(t *testing.T) {
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		pid, _ := p.Fork(func(c *usr.Proc) int {
+			c.Sleep(100_000_000) // sleeps past the kill
+			return 0
+		})
+		p.Compute(10_000) // let the child get to its sleep
+		if errno := p.Kill(pid); errno != kernel.OK {
+			t.Errorf("Kill = %v", errno)
+		}
+		wpid, status, errno := p.Wait()
+		if errno != kernel.OK || wpid != pid || status != -9 {
+			t.Errorf("Wait after kill = %d/%d/%v", wpid, status, errno)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestFileIO(t *testing.T) {
+	payload := bytes.Repeat([]byte("data"), 3000) // 12 KiB, crosses blocks
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		fd, errno := p.Create("/f")
+		if errno != kernel.OK {
+			t.Errorf("Create = %v", errno)
+			return 1
+		}
+		if n, errno := p.Write(fd, payload); errno != kernel.OK || n != len(payload) {
+			t.Errorf("Write = %d, %v", n, errno)
+		}
+		p.Close(fd)
+
+		fd, errno = p.Open("/f", 0)
+		if errno != kernel.OK {
+			t.Errorf("Open = %v", errno)
+			return 1
+		}
+		var got []byte
+		for {
+			chunk, errno := p.Read(fd, 4096)
+			if errno != kernel.OK {
+				t.Errorf("Read = %v", errno)
+				return 1
+			}
+			if len(chunk) == 0 {
+				break
+			}
+			got = append(got, chunk...)
+		}
+		p.Close(fd)
+		if !bytes.Equal(got, payload) {
+			t.Errorf("read back %d bytes, want %d", len(got), len(payload))
+		}
+
+		size, isDir, errno := p.Stat("/f")
+		if errno != kernel.OK || isDir || size != int64(len(payload)) {
+			t.Errorf("Stat = %d/%v/%v", size, isDir, errno)
+		}
+		if errno := p.Unlink("/f"); errno != kernel.OK {
+			t.Errorf("Unlink = %v", errno)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestPipeBetweenProcesses(t *testing.T) {
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		rfd, wfd, errno := p.Pipe()
+		if errno != kernel.OK {
+			t.Errorf("Pipe = %v", errno)
+			return 1
+		}
+		p.Fork(func(c *usr.Proc) int {
+			// Child writes; parent blocks reading until this arrives.
+			c.Compute(50_000)
+			if _, errno := c.Write(wfd, []byte("through the pipe")); errno != kernel.OK {
+				return 1
+			}
+			c.Close(wfd)
+			c.Close(rfd)
+			return 0
+		})
+		p.Close(wfd)
+		data, errno := p.Read(rfd, 64)
+		if errno != kernel.OK || string(data) != "through the pipe" {
+			t.Errorf("pipe read = %q, %v", data, errno)
+		}
+		// Writer closed: next read is EOF.
+		data, errno = p.Read(rfd, 64)
+		if errno != kernel.OK || len(data) != 0 {
+			t.Errorf("pipe EOF read = %q, %v", data, errno)
+		}
+		p.Close(rfd)
+		p.Wait()
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestDataStore(t *testing.T) {
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		if errno := p.DsPut("name", "osiris"); errno != kernel.OK {
+			t.Errorf("DsPut = %v", errno)
+		}
+		v, errno := p.DsGet("name")
+		if errno != kernel.OK || v != "osiris" {
+			t.Errorf("DsGet = %q, %v", v, errno)
+		}
+		if n, _ := p.DsKeys(); n != 1 {
+			t.Errorf("DsKeys = %d, want 1", n)
+		}
+		if errno := p.DsDelete("name"); errno != kernel.OK {
+			t.Errorf("DsDelete = %v", errno)
+		}
+		if _, errno := p.DsGet("name"); errno != kernel.ENOENT {
+			t.Errorf("DsGet after delete = %v, want ENOENT", errno)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestBrk(t *testing.T) {
+	res := runWorkload(t, defaultOpts(), func(p *usr.Proc) int {
+		pages0, _, errno := p.MemInfo()
+		if errno != kernel.OK {
+			t.Errorf("MemInfo = %v", errno)
+		}
+		np, errno := p.Brk(8)
+		if errno != kernel.OK || np != pages0+8 {
+			t.Errorf("Brk(+8) = %d, %v; want %d", np, errno, pages0+8)
+		}
+		np, errno = p.Brk(-8)
+		if errno != kernel.OK || np != pages0 {
+			t.Errorf("Brk(-8) = %d, %v; want %d", np, errno, pages0)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestShellRunsScript(t *testing.T) {
+	reg := usr.NewRegistry()
+	reg.Register("true", func(p *usr.Proc) int { return 0 })
+	reg.Register("false", func(p *usr.Proc) int { return 1 })
+	reg.Register("touch", func(p *usr.Proc) int {
+		if len(p.Args) != 1 {
+			return 1
+		}
+		fd, errno := p.Open(p.Args[0], proto.OCreate)
+		if errno != kernel.OK {
+			return 1
+		}
+		p.Close(fd)
+		return 0
+	})
+	opts := defaultOpts()
+	opts.Registry = reg
+	res := runWorkload(t, opts, func(p *usr.Proc) int {
+		usr.InstallPrograms(p)
+		failures := usr.Shell(p, []string{
+			"true",
+			"touch /made-by-shell",
+			"false",
+			"nosuchprogram",
+		})
+		if failures != 2 {
+			t.Errorf("shell failures = %d, want 2", failures)
+		}
+		if _, _, errno := p.Stat("/made-by-shell"); errno != kernel.OK {
+			t.Errorf("touch did not create the file: %v", errno)
+		}
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestHeartbeatsKeepRunning(t *testing.T) {
+	opts := defaultOpts()
+	opts.Heartbeats = true
+	res := runWorkload(t, opts, func(p *usr.Proc) int {
+		// Sleep long enough for several heartbeat rounds.
+		p.Sleep(2_000_000)
+		return 0
+	})
+	mustComplete(t, res)
+}
+
+func TestDeterministicBoot(t *testing.T) {
+	run := func() sim.Cycles {
+		sys := Boot(defaultOpts(), func(p *usr.Proc) int {
+			for i := 0; i < 5; i++ {
+				p.Fork(func(c *usr.Proc) int { return 0 })
+				p.Wait()
+				fd, _ := p.Create("/t")
+				p.Write(fd, []byte("x"))
+				p.Close(fd)
+				p.Unlink("/t")
+				p.DsPut("k", "v")
+			}
+			return 0
+		})
+		res := sys.Run(testLimit)
+		if res.Outcome != kernel.OutcomeCompleted {
+			t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+		}
+		return res.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic boot: %d != %d cycles", a, b)
+	}
+}

@@ -1,0 +1,176 @@
+package boot
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/usr"
+)
+
+// TestExtendedPolicyKillsRequester exercises the §VII extension: a PM
+// crash after exec's requester-local SysReplace passage. The enhanced
+// policy must shut down (window closed by a state-modifying passage);
+// the extended policy recovers by rolling PM back and killing the
+// requester, whose half-replaced image is thereby cleaned up
+// everywhere.
+func TestExtendedPolicyKillsRequester(t *testing.T) {
+	makeWorkload := func(waitStatus *int64, waitErr *kernel.Errno, after *kernel.Errno) usr.Program {
+		return func(p *usr.Proc) int {
+			usr.InstallPrograms(p)
+			p.Fork(func(c *usr.Proc) int {
+				c.Exec("victim")
+				return 42 // exec must not return on this path
+			})
+			_, *waitStatus, *waitErr = p.Wait()
+			// The system keeps working after reconciliation.
+			*after = p.DsPut("alive", "yes")
+			return 0
+		}
+	}
+	boot := func(policy seep.Policy, waitStatus *int64, waitErr *kernel.Errno, after *kernel.Errno) *System {
+		reg := usr.NewRegistry()
+		reg.Register("victim", func(p *usr.Proc) int { return 0 })
+		sys := Boot(Options{
+			Config:   core.Config{Policy: policy, Seed: 1},
+			Registry: reg,
+		}, makeWorkload(waitStatus, waitErr, after))
+		armInjection(sys, "pm.exec.done")
+		return sys
+	}
+
+	// Enhanced: the requester-local class is still state-modifying, so
+	// the window is closed at the crash — controlled shutdown.
+	var ws int64
+	var we, after kernel.Errno
+	sysE := boot(seep.PolicyEnhanced, &ws, &we, &after)
+	if res := sysE.Run(testLimit); res.Outcome != kernel.OutcomeShutdown {
+		t.Fatalf("enhanced outcome = %v (%s), want shutdown", res.Outcome, res.Reason)
+	}
+
+	// Extended: recovery proceeds; the requester is killed and reaped.
+	sysX := boot(seep.PolicyExtended, &ws, &we, &after)
+	res := sysX.Run(testLimit)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("extended outcome = %v (%s), want completed", res.Outcome, res.Reason)
+	}
+	if we != kernel.OK || ws != -1 {
+		t.Fatalf("wait after requester kill = %d/%v, want -1/OK", ws, we)
+	}
+	if after != kernel.OK {
+		t.Fatalf("system not functional after reconciliation: %v", after)
+	}
+	if sysX.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", sysX.Recoveries)
+	}
+	if got := sysX.Kernel().Counters().Get("core.requesters_killed"); got != 1 {
+		t.Fatalf("requesters_killed = %d, want 1", got)
+	}
+}
+
+// TestExtendedBehavesLikeEnhancedElsewhere: outside requester-local
+// windows, the extended policy is the enhanced policy.
+func TestExtendedBehavesLikeEnhancedElsewhere(t *testing.T) {
+	var first, second kernel.Errno
+	sys, run := bootWithPolicy(seep.PolicyExtended, func(p *usr.Proc) int {
+		first = p.DsPut("k", "v")
+		second = p.DsPut("k", "v")
+		return 0
+	})
+	armInjection(sys, "ds.put.applied")
+	res := run()
+	mustComplete(t, res)
+	if first != kernel.ECRASH || second != kernel.OK {
+		t.Fatalf("errnos = %v/%v, want ECRASH/OK", first, second)
+	}
+}
+
+// TestComposablePolicies: per-component policy overrides (§VII) — DS
+// runs stateless while the rest of the system is enhanced. A DS crash
+// restarts it fresh (state loss, no shutdown); a PM crash is recovered
+// with rollback.
+func TestComposablePolicies(t *testing.T) {
+	var dsGet, forkErr kernel.Errno
+	sys := Boot(Options{
+		Config: core.Config{
+			Policy: seep.PolicyEnhanced,
+			Seed:   1,
+			ComponentPolicies: map[kernel.Endpoint]seep.Policy{
+				kernel.EpDS: seep.PolicyStateless,
+			},
+		},
+	}, func(p *usr.Proc) int {
+		p.DsPut("k", "v")
+		p.DsGet("k")            // DS crash injected here: stateless restart
+		_, dsGet = p.DsGet("k") // restarted DS lost the key
+		_, forkErr = p.Fork(func(c *usr.Proc) int { return 0 })
+		if forkErr == kernel.OK {
+			p.Wait()
+		}
+		return 0
+	})
+	hits := 0
+	sys.Kernel().SetPointHook(func(_ kernel.Endpoint, _, site string) {
+		if site == "ds.get" {
+			hits++
+			if hits == 1 {
+				panic("composable: DS fault")
+			}
+		}
+		if site == "pm.fork.entry" && hits > 0 {
+			hits = -1000 // one-shot PM fault after the DS episode
+			panic("composable: PM fault")
+		}
+	})
+	res := sys.Run(testLimit)
+	mustComplete(t, res)
+	if dsGet != kernel.ENOENT {
+		t.Fatalf("DS get after stateless restart = %v, want ENOENT", dsGet)
+	}
+	// PM's enhanced recovery error-virtualizes the fork.
+	if forkErr != kernel.ECRASH {
+		t.Fatalf("fork during PM fault = %v, want ECRASH", forkErr)
+	}
+	if sys.Recoveries != 2 {
+		t.Fatalf("recoveries = %d, want 2", sys.Recoveries)
+	}
+}
+
+// TestExtendedCoverageSuperset: the extended policy's recovery windows
+// contain the enhanced policy's (surface is monotonically widened).
+func TestExtendedCoverageSuperset(t *testing.T) {
+	coverage := func(policy seep.Policy) float64 {
+		reg := usr.NewRegistry()
+		reg.Register("w", func(p *usr.Proc) int { return 0 })
+		sys := Boot(Options{Config: core.Config{Policy: policy, Seed: 3}, Registry: reg},
+			func(p *usr.Proc) int {
+				usr.InstallPrograms(p)
+				for i := 0; i < 5; i++ {
+					p.Fork(func(c *usr.Proc) int {
+						c.Exec("w")
+						return 9
+					})
+					p.Wait()
+				}
+				return 0
+			})
+		res := sys.Run(testLimit)
+		mustComplete(t, res)
+		for _, cs := range sys.Stats() {
+			if cs.Name == "pm" {
+				return cs.Coverage.BlockCoverage()
+			}
+		}
+		t.Fatal("no pm stats")
+		return 0
+	}
+	enh := coverage(seep.PolicyEnhanced)
+	ext := coverage(seep.PolicyExtended)
+	if ext < enh {
+		t.Fatalf("extended PM coverage %.3f below enhanced %.3f", ext, enh)
+	}
+	if ext == enh {
+		t.Fatalf("extended PM coverage %.3f did not widen over enhanced (exec path not exercised?)", ext)
+	}
+}

@@ -1,0 +1,512 @@
+// Package core is the OSIRIS recovery framework — the paper's primary
+// contribution. It wires the checkpointing store (memlog), the SEEP
+// recovery-window machinery (seep) and the microkernel substrate
+// (kernel) into a bootable compartmentalized operating system, and
+// implements the three-phase crash recovery engine: restart (clone +
+// state transfer), rollback (undo log), and reconciliation (error
+// virtualization or controlled shutdown) — paper §IV-C.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/proto"
+	"repro/internal/seep"
+	"repro/internal/sim"
+)
+
+// Component is one recoverable OS server. It must additionally
+// implement either Handler (generic event loop, paper Fig. 1) or
+// Looper (custom loop, e.g. the multithreaded VFS).
+type Component interface {
+	Name() string
+}
+
+// Handler processes one request at a time from the generic event loop.
+type Handler interface {
+	Handle(ctx *kernel.Context, m kernel.Message)
+}
+
+// Initializer is implemented by components with pre-loop initialization
+// (the paper's RCB element 4).
+type Initializer interface {
+	Init(ctx *kernel.Context)
+}
+
+// Looper is implemented by components that own their request loop (the
+// multithreaded VFS).
+type Looper interface {
+	RunLoop(ctx *kernel.Context, win *seep.Window)
+}
+
+// Factory builds a component over a store — fresh at boot, or a
+// recovered clone during the restart phase. Factories must be
+// idempotent over existing container contents.
+type Factory func(store *memlog.Store) Component
+
+// Config parameterizes a boot.
+type Config struct {
+	// Policy is the system-wide recovery policy.
+	Policy seep.Policy
+	// Seed drives all randomness in the machine.
+	Seed uint64
+	// Cost is the kernel cost model; zero value selects the default.
+	Cost kernel.CostModel
+	// Instrumentation overrides the store instrumentation mode derived
+	// from Policy (zero = derive). Used to measure the unoptimized
+	// write-logging build of Table V.
+	Instrumentation memlog.Instrumentation
+	// MaxRecoveries bounds per-component recoveries before the engine
+	// declares a crash storm (uncontrolled crash). Zero = default (25).
+	MaxRecoveries int
+	// ComponentPolicies overrides Policy per component — the composable
+	// recovery policies of the paper's §VII: different components may
+	// run different strategies in the same system.
+	ComponentPolicies map[kernel.Endpoint]seep.Policy
+}
+
+// slot tracks one recoverable component across recoveries.
+type slot struct {
+	ep      kernel.Endpoint
+	name    string
+	factory Factory
+	policy  seep.Policy
+
+	comp   Component
+	store  *memlog.Store
+	window *seep.Window
+
+	recoveries int
+	// accum collects window stats of replaced instances so coverage
+	// reporting spans recoveries.
+	accum seep.Stats
+	// cloneResident is the memory held by the spare copy kept for the
+	// restart phase (Table VI's "+clone").
+	cloneResident int
+}
+
+// OS is one booted machine.
+type OS struct {
+	cfg   Config
+	k     *kernel.Kernel
+	slots map[kernel.Endpoint]*slot
+	order []kernel.Endpoint
+
+	initEP kernel.Endpoint
+
+	// Recoveries counts successful component recoveries.
+	Recoveries int
+	// ShutdownDump is the post-mortem report produced when the engine
+	// performs a controlled shutdown — the §VII "controlled shutdown"
+	// improvement: the system stops consistently AND leaves a record of
+	// what it knew (per-component window and state summary, plus the
+	// triggering crash).
+	ShutdownDump string
+}
+
+// policyFor resolves the effective policy of a component.
+func (c Config) policyFor(ep kernel.Endpoint) seep.Policy {
+	if p, ok := c.ComponentPolicies[ep]; ok {
+		return p
+	}
+	return c.Policy
+}
+
+// instrumentation resolves the effective store mode for a policy.
+func (c Config) instrumentation(policy seep.Policy) memlog.Instrumentation {
+	if c.Instrumentation != 0 {
+		return c.Instrumentation
+	}
+	return policy.Instrumentation()
+}
+
+func (c Config) maxRecoveries() int {
+	if c.MaxRecoveries > 0 {
+		return c.MaxRecoveries
+	}
+	return 25
+}
+
+// NewOS creates a machine with no components yet. Most callers should
+// use boot.Boot (internal/boot) which assembles the full server set.
+func NewOS(cfg Config) *OS {
+	if cfg.Cost == (kernel.CostModel{}) {
+		cfg.Cost = kernel.DefaultCostModel()
+	}
+	o := &OS{
+		cfg:   cfg,
+		k:     kernel.New(cfg.Cost, cfg.Seed),
+		slots: make(map[kernel.Endpoint]*slot),
+	}
+	o.k.SetCrashHandler(o.handleCrash)
+	return o
+}
+
+// Kernel exposes the underlying machine.
+func (o *OS) Kernel() *kernel.Kernel { return o.k }
+
+// Policy reports the active recovery policy.
+func (o *OS) Policy() seep.Policy { return o.cfg.Policy }
+
+// AddComponent registers a recoverable server built by factory at ep.
+func (o *OS) AddComponent(ep kernel.Endpoint, factory Factory) {
+	policy := o.cfg.policyFor(ep)
+	store := o.newStore(ep, policy)
+	comp := factory(store)
+	win := seep.NewWindow(policy, store)
+	o.bindCostSink(store, win)
+	s := &slot{
+		ep:            ep,
+		name:          comp.Name(),
+		factory:       factory,
+		policy:        policy,
+		comp:          comp,
+		store:         store,
+		window:        win,
+		cloneResident: store.CloneBytes(),
+	}
+	o.slots[ep] = s
+	o.order = append(o.order, ep)
+	o.k.AddServer(ep, s.name, o.serverBody(s), kernel.ServerConfig{Window: win, Store: store})
+}
+
+// newStore creates a component store wired to the machine.
+func (o *OS) newStore(ep kernel.Endpoint, policy seep.Policy) *memlog.Store {
+	st := memlog.NewStore(fmt.Sprintf("comp-%d", ep), o.cfg.instrumentation(policy))
+	st.SetCounters(o.k.Counters())
+	return st
+}
+
+// bindCostSink routes instrumentation costs to the clock and the
+// component's recovery-window accounting.
+func (o *OS) bindCostSink(store *memlog.Store, win *seep.Window) {
+	clock := o.k.Clock()
+	store.SetCostSink(func(n sim.Cycles) {
+		clock.Advance(n)
+		win.AccountCycles(n)
+	})
+}
+
+// AddTask registers a substrate process (driver, system task) with no
+// recovery attachments.
+func (o *OS) AddTask(ep kernel.Endpoint, name string, body kernel.Body) {
+	o.k.AddServer(ep, name, body, kernel.ServerConfig{})
+}
+
+// SpawnInit creates the root workload process; its exit completes the
+// run. Call before AddComponent(PM) so the endpoint is known: the first
+// user endpoint is always kernel.EpUserBase.
+func (o *OS) SpawnInit(name string, body kernel.Body) kernel.Endpoint {
+	p := o.k.SpawnUser(name, body)
+	o.initEP = p.Endpoint()
+	o.k.SetRootProcess(o.initEP)
+	return o.initEP
+}
+
+// InitEP returns the root workload endpoint.
+func (o *OS) InitEP() kernel.Endpoint { return o.initEP }
+
+// Run drives the machine to completion.
+func (o *OS) Run(limit sim.Cycles) kernel.Result {
+	return o.k.Run(limit)
+}
+
+// serverBody wraps a component in the OSIRIS event-driven request loop
+// (paper Fig. 1): checkpoint at the top of the loop, window management
+// around every request.
+func (o *OS) serverBody(s *slot) kernel.Body {
+	return func(ctx *kernel.Context) {
+		if init, ok := s.comp.(Initializer); ok {
+			init.Init(ctx)
+		}
+		if looper, ok := s.comp.(Looper); ok {
+			looper.RunLoop(ctx, s.window)
+			return
+		}
+		h, ok := s.comp.(Handler)
+		if !ok {
+			panic(fmt.Sprintf("core: component %s implements neither Handler nor Looper", s.name))
+		}
+		for {
+			m := ctx.Receive()
+			s.window.BeginRequest(m.NeedsReply)
+			ctx.Point(s.name + ".loop.top")
+			h.Handle(ctx, m)
+			// Bottom-of-loop bookkeeping runs after the reply passage
+			// closed the window.
+			ctx.Point(s.name + ".loop.bottom")
+			ctx.Tick(10)
+			s.window.EndRequest()
+		}
+	}
+}
+
+// handleCrash is the recovery engine, invoked in kernel context with
+// userland stalled (paper §II-E, §IV-C).
+func (o *OS) handleCrash(info kernel.CrashInfo) error {
+	s := o.slots[info.Victim]
+	if s == nil {
+		return o.handleUserCrash(info)
+	}
+	if info.DuringRecovery {
+		return fmt.Errorf("component %s crashed during recovery of another component", info.Name)
+	}
+	s.recoveries++
+	if s.recoveries > o.cfg.maxRecoveries() {
+		return fmt.Errorf("crash storm: component %s crashed %d times", s.name, s.recoveries)
+	}
+
+	switch s.policy {
+	case seep.PolicyStateless:
+		return o.restart(s, info, restartFresh, reconcileVirtualize)
+	case seep.PolicyNaive:
+		return o.restart(s, info, restartKeepState, reconcileVirtualize)
+	case seep.PolicyPessimistic, seep.PolicyEnhanced, seep.PolicyExtended:
+		// Reconciliation decision (paper §IV-C): rollback recovery is
+		// safe only when the window is open; error virtualization
+		// additionally needs a replyable in-flight request.
+		if !s.window.Open() {
+			break
+		}
+		if s.window.RequesterLocalTaint() {
+			// §VII extension: the window absorbed requester-local side
+			// effects; rollback is consistent only if the requester is
+			// killed, cleaning its state in the other compartments.
+			if info.CurSender >= kernel.EpUserBase {
+				return o.restart(s, info, restartRollback, reconcileKillRequester)
+			}
+			break // requester is a server: too entangled, shut down
+		}
+		if info.CurNeedsReply {
+			return o.restart(s, info, restartRollback, reconcileVirtualize)
+		}
+	default:
+		return fmt.Errorf("component %s crashed under policy with no recovery", s.name)
+	}
+	o.ShutdownDump = o.dump(info)
+	o.k.ControlledShutdown(fmt.Sprintf(
+		"component %s crashed outside its recovery window (window open=%v, replyable=%v)",
+		s.name, s.window.Open(), info.CurNeedsReply))
+	return nil
+}
+
+// dump renders the post-mortem state summary attached to a controlled
+// shutdown.
+func (o *OS) dump(info kernel.CrashInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "controlled shutdown at t=%d\n", o.k.Now())
+	fmt.Fprintf(&b, "trigger: %s crashed (panic: %v) while serving endpoint %d (replyable=%v)\n",
+		info.Name, info.PanicValue, info.CurSender, info.CurNeedsReply)
+	fmt.Fprintf(&b, "%-8s %-8s %-10s %-12s %-10s %s\n",
+		"server", "policy", "window", "base-bytes", "log-len", "crashes")
+	for _, ep := range o.order {
+		s := o.slots[ep]
+		state := "closed"
+		if s.window.Open() {
+			state = "open"
+		}
+		fmt.Fprintf(&b, "%-8s %-8s %-10s %-12d %-10d %d\n",
+			s.name, s.policy, state, s.store.BaseBytes(), s.store.LogLen(), s.recoveries)
+	}
+	return b.String()
+}
+
+// reconcileMode selects the reconciliation action of the third recovery
+// phase.
+type reconcileMode int
+
+const (
+	// reconcileVirtualize sends an E_CRASH error reply to the in-flight
+	// requester (error virtualization).
+	reconcileVirtualize reconcileMode = iota + 1
+	// reconcileKillRequester terminates the in-flight requester so its
+	// requester-local state in other compartments is cleaned up through
+	// the normal process-teardown path (§VII extension).
+	reconcileKillRequester
+)
+
+// restartMode selects the state carried into the replacement component.
+type restartMode int
+
+const (
+	// restartFresh discards all state (stateless microreboot baseline).
+	restartFresh restartMode = iota + 1
+	// restartKeepState reuses the crashed state verbatim, without
+	// rollback (naive baseline).
+	restartKeepState
+	// restartRollback clones the crashed state, transfers the undo log
+	// and rolls back to the window checkpoint (OSIRIS recovery).
+	restartRollback
+)
+
+// Recovery time costs: replacing the dead process with the spare and
+// activating it (fixed), copying the data section (per byte), and
+// rolling back the undo log (per record). Recovery stalls userland, so
+// these cycles are visible as service disruption (§VI-E).
+const (
+	restartFixedCost     sim.Cycles = 30_000
+	cloneCostPerByte     sim.Cycles = 1 // amortized: one cycle per 16 bytes
+	cloneCostByteShift              = 4
+	rollbackCostPerEntry sim.Cycles = 20
+)
+
+// restart performs the three recovery phases: restart (replacement
+// component over the selected state), rollback (mode-dependent), and
+// reconciliation (error virtualization or requester kill).
+func (o *OS) restart(s *slot, info kernel.CrashInfo, mode restartMode, reconcile reconcileMode) error {
+	recoveryCost := restartFixedCost
+	// Phase 1: restart — build the replacement state.
+	var store *memlog.Store
+	switch mode {
+	case restartFresh:
+		store = o.newStore(s.ep, s.policy)
+		store.SetGeneration(s.recoveries)
+	case restartKeepState:
+		store = s.store
+	case restartRollback:
+		recoveryCost += sim.Cycles(s.store.BaseBytes()) >> cloneCostByteShift * cloneCostPerByte
+		if s.store.Mode() == memlog.FullCopy {
+			// Snapshot checkpointing: restore in place from the
+			// snapshot, then copy the restored data section.
+			s.store.Rollback()
+			store = s.store.Clone()
+		} else {
+			// Data-section copy into the spare, then log transfer.
+			store = s.store.Clone()
+			s.store.TransferLog(store)
+			// Phase 2: rollback to the top-of-loop checkpoint.
+			recoveryCost += rollbackCostPerEntry * sim.Cycles(store.LogLen())
+			store.Rollback()
+		}
+	}
+	o.k.Clock().Advance(recoveryCost)
+
+	win := seep.NewWindow(s.policy, store)
+	o.bindCostSink(store, win)
+	// Building the component over recovered state executes component
+	// initialization code; a fault there crashes recovery itself (the
+	// kernel traps the panic and aborts the run — paper §VI-B's
+	// residual crashes).
+	comp := s.factory(store)
+
+	s.accum = addStats(s.accum, s.window.Stats())
+	s.comp = comp
+	s.store = store
+	s.window = win
+	if _, err := o.k.ReplaceProcess(s.ep, s.name, o.serverBody(s), kernel.ServerConfig{Window: win, Store: store}); err != nil {
+		return fmt.Errorf("restart %s: %w", s.name, err)
+	}
+
+	// Phase 3: reconciliation.
+	switch reconcile {
+	case reconcileVirtualize:
+		if info.CurNeedsReply && info.CurSender != kernel.EpNone {
+			if err := o.k.DeliverReply(s.ep, info.CurSender, kernel.Message{Errno: kernel.ECRASH}); err != nil {
+				o.k.Counters().Add("core.reconcile_reply_dropped", 1)
+			}
+		}
+	case reconcileKillRequester:
+		if o.k.ProcessAlive(info.CurSender) {
+			o.k.TerminateProcess(info.CurSender)
+		}
+		// PM cleans the requester out of every compartment, exactly as
+		// for a crashed user process (the freshly restarted PM handles
+		// this even when PM itself was the victim).
+		_ = o.k.PostMessage(kernel.EpKernel, kernel.EpPM,
+			kernel.Message{Type: proto.PMUserCrashed, A: int64(info.CurSender)})
+		o.k.Counters().Add("core.requesters_killed", 1)
+	}
+
+	o.Recoveries++
+	o.k.Counters().Add("core.recoveries", 1)
+	if s.ep != kernel.EpRS {
+		// Tell RS so it accounts the event (ignore if RS is down).
+		_ = o.k.PostMessage(kernel.EpKernel, kernel.EpRS,
+			kernel.Message{Type: kernel.MsgCrashNotify, A: int64(s.ep)})
+	}
+	return nil
+}
+
+// handleUserCrash reacts to a fail-stopped user process: the process is
+// gone (fail-stop); PM is told so it can clean up and release a waiting
+// parent.
+func (o *OS) handleUserCrash(info kernel.CrashInfo) error {
+	if info.Victim == o.initEP {
+		return fmt.Errorf("root workload process crashed: %v", info.PanicValue)
+	}
+	o.k.Counters().Add("core.user_crashes", 1)
+	// PM may itself be dead; that will surface elsewhere.
+	_ = o.k.PostMessage(kernel.EpKernel, kernel.EpPM,
+		kernel.Message{Type: proto.PMUserCrashed, A: int64(info.Victim)})
+	return nil
+}
+
+func addStats(a, b seep.Stats) seep.Stats {
+	return seep.Stats{
+		BlocksIn:      a.BlocksIn + b.BlocksIn,
+		BlocksOut:     a.BlocksOut + b.BlocksOut,
+		CyclesIn:      a.CyclesIn + b.CyclesIn,
+		CyclesOut:     a.CyclesOut + b.CyclesOut,
+		WindowsOpened: a.WindowsOpened + b.WindowsOpened,
+		WindowsClosed: a.WindowsClosed + b.WindowsClosed,
+	}
+}
+
+// ComponentStats is the per-component measurement surface used by the
+// evaluation harness.
+type ComponentStats struct {
+	Name string
+	// Coverage is the cumulative recovery-window statistics (Table I).
+	Coverage seep.Stats
+	// BaseBytes, CloneBytes and MaxUndoLogBytes feed Table VI.
+	BaseBytes, CloneBytes, MaxUndoLogBytes int
+	// Recoveries is the number of times the component was recovered.
+	Recoveries int
+}
+
+// Stats returns per-component statistics in endpoint order.
+func (o *OS) Stats() []ComponentStats {
+	out := make([]ComponentStats, 0, len(o.order))
+	for _, ep := range o.order {
+		s := o.slots[ep]
+		out = append(out, ComponentStats{
+			Name:            s.name,
+			Coverage:        addStats(s.accum, s.window.Stats()),
+			BaseBytes:       s.store.BaseBytes(),
+			CloneBytes:      s.cloneResident,
+			MaxUndoLogBytes: s.store.MaxLogBytes(),
+			Recoveries:      s.recoveries,
+		})
+	}
+	return out
+}
+
+// ComponentWindow exposes a component's live recovery window (fault
+// injection needs to see window state).
+func (o *OS) ComponentWindow(ep kernel.Endpoint) *seep.Window {
+	if s := o.slots[ep]; s != nil {
+		return s.window
+	}
+	return nil
+}
+
+// ComponentStore exposes a component's live store (fault injection
+// corrupts state through it).
+func (o *OS) ComponentStore(ep kernel.Endpoint) *memlog.Store {
+	if s := o.slots[ep]; s != nil {
+		return s.store
+	}
+	return nil
+}
+
+// ComponentNames maps endpoints to component names in endpoint order.
+func (o *OS) ComponentNames() map[kernel.Endpoint]string {
+	out := make(map[kernel.Endpoint]string, len(o.order))
+	for _, ep := range o.order {
+		out[ep] = o.slots[ep].name
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/seep"
+)
+
+// echoComp is a minimal recoverable component for engine-level tests.
+type echoComp struct {
+	calls *memlog.Cell[int64]
+	// crashOn makes Handle panic on the nth request seen across the
+	// component's lifetime (0 = never). The counter deliberately lives
+	// outside the store so a rolled-back call does not re-trigger: the
+	// planned fault is transient, like a one-shot injection.
+	crashOn int64
+	seen    *int64
+}
+
+func newEchoComp(st *memlog.Store, crashOn int64, seen *int64) *echoComp {
+	return &echoComp{
+		calls:   memlog.NewCell(st, "echo.calls", int64(0)),
+		crashOn: crashOn,
+		seen:    seen,
+	}
+}
+
+func (e *echoComp) Name() string { return "echo" }
+
+func (e *echoComp) Handle(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("echo.handle")
+	e.calls.Set(e.calls.Get() + 1)
+	*e.seen++
+	if e.crashOn > 0 && *e.seen == e.crashOn {
+		ctx.Crash("echo: planned crash on call %d", e.crashOn)
+	}
+	ctx.Reply(m.From, kernel.Message{A: e.calls.Get()})
+}
+
+const echoEP = kernel.EpDS // reuse a well-known endpoint slot
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.maxRecoveries() != 25 {
+		t.Fatalf("default maxRecoveries = %d", c.maxRecoveries())
+	}
+	c.MaxRecoveries = 3
+	if c.maxRecoveries() != 3 {
+		t.Fatalf("maxRecoveries = %d", c.maxRecoveries())
+	}
+	c.Policy = seep.PolicyEnhanced
+	if got := c.instrumentation(c.policyFor(echoEP)); got != memlog.Optimized {
+		t.Fatalf("instrumentation = %v", got)
+	}
+	c.Instrumentation = memlog.Unoptimized
+	if got := c.instrumentation(c.policyFor(echoEP)); got != memlog.Unoptimized {
+		t.Fatalf("override instrumentation = %v", got)
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	c := Config{
+		Policy:            seep.PolicyEnhanced,
+		ComponentPolicies: map[kernel.Endpoint]seep.Policy{echoEP: seep.PolicyStateless},
+	}
+	if got := c.policyFor(echoEP); got != seep.PolicyStateless {
+		t.Fatalf("override = %v", got)
+	}
+	if got := c.policyFor(kernel.EpPM); got != seep.PolicyEnhanced {
+		t.Fatalf("default = %v", got)
+	}
+}
+
+// runEngine boots a one-component machine and drives n requests.
+func runEngine(t *testing.T, cfg Config, crashOn int64, requests int) (*OS, []kernel.Errno, kernel.Result) {
+	t.Helper()
+	cfg.Seed = 1
+	o := NewOS(cfg)
+	var seen int64
+	o.AddComponent(echoEP, func(st *memlog.Store) Component {
+		return newEchoComp(st, crashOn, &seen)
+	})
+	var errnos []kernel.Errno
+	o.SpawnInit("client", func(ctx *kernel.Context) {
+		for i := 0; i < requests; i++ {
+			r := ctx.SendRec(echoEP, kernel.Message{Type: 300})
+			errnos = append(errnos, r.Errno)
+		}
+	})
+	res := o.Run(1_000_000_000)
+	return o, errnos, res
+}
+
+func TestEngineRollbackRecovery(t *testing.T) {
+	o, errnos, res := runEngine(t, Config{Policy: seep.PolicyEnhanced}, 2, 4)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	want := []kernel.Errno{kernel.OK, kernel.ECRASH, kernel.OK, kernel.OK}
+	for i, w := range want {
+		if errnos[i] != w {
+			t.Fatalf("request %d errno = %v, want %v (all: %v)", i, errnos[i], w, errnos)
+		}
+	}
+	if o.Recoveries != 1 {
+		t.Fatalf("recoveries = %d", o.Recoveries)
+	}
+	// The crashing call was rolled back: the counter shows 3 completed
+	// calls, not 4.
+	stats := o.Stats()
+	if len(stats) != 1 || stats[0].Name != "echo" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Recoveries != 1 {
+		t.Fatalf("component recoveries = %d", stats[0].Recoveries)
+	}
+}
+
+func TestEngineCrashStorm(t *testing.T) {
+	// A component that crashes on every call exhausts the budget.
+	cfg := Config{Policy: seep.PolicyEnhanced, MaxRecoveries: 2}
+	o := NewOS(cfg)
+	var seen int64
+	o.AddComponent(echoEP, func(st *memlog.Store) Component {
+		return &alwaysCrash{echoComp: newEchoComp(st, 0, &seen)}
+	})
+	o.SpawnInit("client", func(ctx *kernel.Context) {
+		for i := 0; i < 5; i++ {
+			ctx.SendRec(echoEP, kernel.Message{Type: 300})
+		}
+	})
+	res := o.Run(1_000_000_000)
+	if res.Outcome != kernel.OutcomeCrashed || !strings.Contains(res.Reason, "crash storm") {
+		t.Fatalf("outcome = %v (%s), want crash storm", res.Outcome, res.Reason)
+	}
+}
+
+type alwaysCrash struct{ *echoComp }
+
+func (a *alwaysCrash) Handle(ctx *kernel.Context, m kernel.Message) {
+	ctx.Crash("always")
+}
+
+func TestEngineComponentWithoutHandlerPanics(t *testing.T) {
+	o := NewOS(Config{Policy: seep.PolicyEnhanced, Seed: 1})
+	o.AddComponent(echoEP, func(st *memlog.Store) Component {
+		return nameOnly{}
+	})
+	o.SpawnInit("client", func(ctx *kernel.Context) {
+		ctx.SendRec(echoEP, kernel.Message{Type: 300})
+	})
+	// The misconfigured component panics the moment it is dispatched,
+	// before any request is in flight: no window, nothing to reply to —
+	// the engine performs a controlled shutdown. Never a hang.
+	res := o.Run(1_000_000_000)
+	if res.Outcome != kernel.OutcomeShutdown {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+}
+
+type nameOnly struct{}
+
+func (nameOnly) Name() string { return "misconfigured" }
+
+func TestEngineAccumulatesStatsAcrossRecovery(t *testing.T) {
+	o, _, res := runEngine(t, Config{Policy: seep.PolicyEnhanced}, 3, 6)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	st := o.Stats()[0]
+	// Six requests handled (one aborted): at least six loop.top blocks.
+	if st.Coverage.BlocksIn+st.Coverage.BlocksOut < 6 {
+		t.Fatalf("blocks = %d, stats lost across recovery",
+			st.Coverage.BlocksIn+st.Coverage.BlocksOut)
+	}
+}
+
+func TestComponentAccessors(t *testing.T) {
+	o := NewOS(Config{Policy: seep.PolicyEnhanced, Seed: 1})
+	var seen int64
+	o.AddComponent(echoEP, func(st *memlog.Store) Component {
+		return newEchoComp(st, 0, &seen)
+	})
+	if o.ComponentWindow(echoEP) == nil || o.ComponentStore(echoEP) == nil {
+		t.Fatal("accessors returned nil for a registered component")
+	}
+	if o.ComponentWindow(kernel.EpVM) != nil || o.ComponentStore(kernel.EpVM) != nil {
+		t.Fatal("accessors returned non-nil for an unregistered endpoint")
+	}
+	names := o.ComponentNames()
+	if names[echoEP] != "echo" {
+		t.Fatalf("names = %v", names)
+	}
+	o.SpawnInit("client", func(ctx *kernel.Context) {})
+	o.Run(1_000_000)
+}
+
+func TestAddStats(t *testing.T) {
+	a := seep.Stats{BlocksIn: 1, BlocksOut: 2, CyclesIn: 3, CyclesOut: 4, WindowsOpened: 5, WindowsClosed: 6}
+	b := seep.Stats{BlocksIn: 10, BlocksOut: 20, CyclesIn: 30, CyclesOut: 40, WindowsOpened: 50, WindowsClosed: 60}
+	got := addStats(a, b)
+	if got.BlocksIn != 11 || got.BlocksOut != 22 || got.CyclesIn != 33 ||
+		got.CyclesOut != 44 || got.WindowsOpened != 55 || got.WindowsClosed != 66 {
+		t.Fatalf("addStats = %+v", got)
+	}
+}
+
+func TestShutdownDumpPopulated(t *testing.T) {
+	o := NewOS(Config{Policy: seep.PolicyPessimistic, Seed: 1})
+	var seen int64
+	o.AddComponent(echoEP, func(st *memlog.Store) Component {
+		return &crashAfterReply{newEchoComp(st, 0, &seen)}
+	})
+	o.SpawnInit("client", func(ctx *kernel.Context) {
+		ctx.SendRec(echoEP, kernel.Message{Type: 300})
+	})
+	res := o.Run(1_000_000_000)
+	if res.Outcome != kernel.OutcomeShutdown {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	if !strings.Contains(o.ShutdownDump, "controlled shutdown") ||
+		!strings.Contains(o.ShutdownDump, "echo") {
+		t.Fatalf("dump missing content:\n%s", o.ShutdownDump)
+	}
+}
+
+// crashAfterReply crashes after its window has closed (the reply).
+type crashAfterReply struct{ *echoComp }
+
+func (c *crashAfterReply) Handle(ctx *kernel.Context, m kernel.Message) {
+	c.echoComp.Handle(ctx, m)
+	ctx.Crash("after reply")
+}
+
+func TestOSAccessorsAndTasks(t *testing.T) {
+	o := NewOS(Config{Policy: seep.PolicyEnhanced, Seed: 1})
+	if o.Kernel() == nil {
+		t.Fatal("Kernel() nil")
+	}
+	if o.Policy() != seep.PolicyEnhanced {
+		t.Fatalf("Policy() = %v", o.Policy())
+	}
+	taskRan := false
+	o.AddTask(kernel.EpDriver, "task", func(ctx *kernel.Context) {
+		taskRan = true
+		ctx.Receive()
+	})
+	ep := o.SpawnInit("client", func(ctx *kernel.Context) { ctx.Yield() })
+	if o.InitEP() != ep {
+		t.Fatalf("InitEP() = %v, want %v", o.InitEP(), ep)
+	}
+	o.Run(1_000_000)
+	if !taskRan {
+		t.Fatal("substrate task never ran")
+	}
+}
+
+func TestUserCrashNotifiesPM(t *testing.T) {
+	o := NewOS(Config{Policy: seep.PolicyEnhanced, Seed: 1})
+	var notified []int64
+	// A stand-in PM records user-crash notifications.
+	o.AddComponent(kernel.EpPM, func(st *memlog.Store) Component {
+		return &pmStub{notified: &notified}
+	})
+	var crasherEP kernel.Endpoint
+	o.SpawnInit("client", func(ctx *kernel.Context) {
+		crasher := ctx.Kernel().SpawnUser("crasher", func(c *kernel.Context) {
+			c.Tick(10)
+			panic("user fault")
+		})
+		crasherEP = crasher.Endpoint()
+		for i := 0; i < 5; i++ {
+			ctx.Tick(1_000)
+			ctx.Yield()
+		}
+	})
+	res := o.Run(1_000_000_000)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	if len(notified) != 1 || notified[0] != int64(crasherEP) {
+		t.Fatalf("PM notifications = %v, want [%d]", notified, crasherEP)
+	}
+}
+
+type pmStub struct{ notified *[]int64 }
+
+func (p *pmStub) Name() string { return "pm" }
+func (p *pmStub) Handle(ctx *kernel.Context, m kernel.Message) {
+	if m.Type == 107 { // proto.PMUserCrashed
+		*p.notified = append(*p.notified, m.A)
+	}
+	if m.NeedsReply {
+		ctx.ReplyErr(m.From, kernel.OK)
+	}
+}
+
+func TestRootCrashAbortsRun(t *testing.T) {
+	o := NewOS(Config{Policy: seep.PolicyEnhanced, Seed: 1})
+	o.SpawnInit("client", func(ctx *kernel.Context) {
+		ctx.Tick(10)
+		panic("init died")
+	})
+	res := o.Run(1_000_000_000)
+	if res.Outcome != kernel.OutcomeCrashed || !strings.Contains(res.Reason, "root workload") {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+}
+
+func TestCrashDuringRecoveryOfAnotherComponent(t *testing.T) {
+	// Two components; the first crash's recovery path provokes a crash
+	// in the second (via the factory), violating single-fault.
+	o := NewOS(Config{Policy: seep.PolicyEnhanced, Seed: 1})
+	var seen int64
+	o.AddComponent(echoEP, func(st *memlog.Store) Component {
+		if seen > 0 {
+			// Recovery-time factory fault: the restart phase panics.
+			panic("fault in component init during recovery")
+		}
+		return newEchoComp(st, 1, &seen)
+	})
+	o.SpawnInit("client", func(ctx *kernel.Context) {
+		ctx.SendRec(echoEP, kernel.Message{Type: 300})
+	})
+	res := o.Run(1_000_000_000)
+	if res.Outcome != kernel.OutcomeCrashed {
+		t.Fatalf("outcome = %v (%s), want crashed", res.Outcome, res.Reason)
+	}
+}

@@ -1,0 +1,195 @@
+// Package cothread provides the cooperative thread library used by
+// multithreaded OSIRIS servers (the VFS in the prototype, paper §IV-E).
+//
+// A Pool owns a fixed set of worker threads inside one server process.
+// Threads run strictly one at a time, interleaved with the server's
+// main request loop: the main loop starts a thread on a request, the
+// thread may Block awaiting an asynchronous reply (e.g. from the disk
+// driver), and the main loop later resumes it when the reply arrives.
+// Because execution is a strict baton handoff within the server's own
+// kernel dispatch, the simulation stays deterministic.
+//
+// A panic inside a thread propagates to the server main loop when the
+// thread yields back — fail-stopping the entire component, as a crash
+// in any thread of a real server process would.
+package cothread
+
+import "repro/internal/kernel"
+
+// yieldKind says why a thread returned control to the main loop.
+type yieldKind int
+
+const (
+	yieldBlocked yieldKind = iota + 1
+	yieldDone
+	yieldPanicked
+)
+
+type yield struct {
+	kind     yieldKind
+	panicVal any
+}
+
+// resume carries control (and optionally a reply) into a thread.
+type resume struct {
+	kill  bool
+	reply kernel.Message
+}
+
+type killedThread struct{}
+
+// Thread is one cooperative worker.
+type Thread struct {
+	id   int
+	busy bool
+
+	in   chan resume
+	out  chan yield
+	gone chan struct{}
+
+	// Tag lets the server associate the thread with the request it is
+	// serving (e.g. the requester endpoint awaiting the reply).
+	Tag any
+}
+
+// ID returns the thread's index within its pool.
+func (t *Thread) ID() int { return t.id }
+
+// Busy reports whether the thread is between Start and completion.
+func (t *Thread) Busy() bool { return t.busy }
+
+// Pool is a fixed-size set of cooperative threads.
+type Pool struct {
+	threads []*Thread
+}
+
+// NewPool creates a pool of n idle threads.
+func NewPool(n int) *Pool {
+	p := &Pool{threads: make([]*Thread, n)}
+	for i := range p.threads {
+		p.threads[i] = &Thread{id: i}
+	}
+	return p
+}
+
+// Size returns the number of threads in the pool.
+func (p *Pool) Size() int { return len(p.threads) }
+
+// Thread returns worker i.
+func (p *Pool) Thread(i int) *Thread { return p.threads[i] }
+
+// Idle returns the lowest-numbered idle thread, or nil if all are busy.
+func (p *Pool) Idle() *Thread {
+	for _, t := range p.threads {
+		if !t.busy {
+			return t
+		}
+	}
+	return nil
+}
+
+// BusyCount reports how many threads are currently busy.
+func (p *Pool) BusyCount() int {
+	n := 0
+	for _, t := range p.threads {
+		if t.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// Start runs job on thread t until it blocks or completes. It reports
+// whether the thread is still busy (blocked awaiting Resume). A panic
+// inside the job re-panics here, in the server's goroutine.
+func (t *Thread) Start(job func(t *Thread)) (blocked bool) {
+	if t.busy {
+		panic("cothread: Start on busy thread")
+	}
+	t.busy = true
+	t.in = make(chan resume)
+	t.out = make(chan yield)
+	t.gone = make(chan struct{})
+	go func() {
+		defer close(t.gone)
+		killed := t.runJob(job)
+		_ = killed
+	}()
+	return t.wait()
+}
+
+// runJob executes the job with panic trapping. Returns true if the job
+// was unwound by a kill.
+func (t *Thread) runJob(job func(*Thread)) (killed bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, isKill := r.(killedThread); isKill {
+			killed = true
+			return
+		}
+		t.out <- yield{kind: yieldPanicked, panicVal: r}
+	}()
+	job(t)
+	t.out <- yield{kind: yieldDone}
+	return false
+}
+
+// Resume delivers reply to a blocked thread and runs it until it blocks
+// again or completes. It reports whether the thread is still busy.
+func (t *Thread) Resume(reply kernel.Message) (blocked bool) {
+	if !t.busy {
+		panic("cothread: Resume on idle thread")
+	}
+	t.in <- resume{reply: reply}
+	return t.wait()
+}
+
+// wait receives the thread's next yield and updates bookkeeping. A
+// thread panic re-panics in the caller (the server main loop).
+func (t *Thread) wait() (blocked bool) {
+	y := <-t.out
+	switch y.kind {
+	case yieldBlocked:
+		return true
+	case yieldDone:
+		t.busy = false
+		t.Tag = nil
+		return false
+	case yieldPanicked:
+		t.busy = false
+		t.Tag = nil
+		// Propagate the crash into the server: the whole component
+		// fail-stops (a thread crash is a component crash).
+		panic(y.panicVal)
+	default:
+		panic("cothread: invalid yield")
+	}
+}
+
+// Block yields from inside a job until the main loop resumes the thread
+// with a reply message. It must only be called from within the job.
+func (t *Thread) Block() kernel.Message {
+	t.out <- yield{kind: yieldBlocked}
+	r := <-t.in
+	if r.kill {
+		panic(killedThread{})
+	}
+	return r.reply
+}
+
+// KillAll tears down all blocked threads. Call from the owning
+// process's kill hook so no goroutine outlives the component.
+func (p *Pool) KillAll() {
+	for _, t := range p.threads {
+		if !t.busy {
+			continue
+		}
+		t.busy = false
+		t.Tag = nil
+		t.in <- resume{kill: true}
+		<-t.gone
+	}
+}

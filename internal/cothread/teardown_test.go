@@ -1,0 +1,142 @@
+package cothread
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// TestTeardownWithWorkerParkedOnBaton reproduces a teardown deadlock:
+// a cooperative worker thread exceeds its scheduling quantum inside its
+// job and yields to the kernel, so at end-of-run the goroutine parked
+// on the process baton is the WORKER, not the server main loop. The
+// kill token must flow through the baton first (unwinding worker →
+// main loop) before the pool reaps remaining workers; reaping first
+// deadlocks, because the baton-parked worker never reads its kill
+// channel.
+func TestTeardownWithWorkerParkedOnBaton(t *testing.T) {
+	cost := kernel.DefaultCostModel()
+	cost.Quantum = 500 // tiny: the worker job always crosses it
+	k := kernel.New(cost, 1)
+
+	workerStarted := false // single-threaded by the baton discipline
+	k.AddServer(kernel.EpVFS, "threaded", func(ctx *kernel.Context) {
+		pool := NewPool(2)
+		ctx.Process().SetOnKill(pool.KillAll)
+		for {
+			ctx.Receive()
+			pool.Thread(0).Start(func(th *Thread) {
+				workerStarted = true
+				// Crosses the quantum repeatedly: the worker yields to
+				// the kernel from inside the job.
+				for i := 0; i < 100; i++ {
+					ctx.Tick(400)
+				}
+			})
+		}
+	}, kernel.ServerConfig{})
+
+	root := k.SpawnUser("root", func(ctx *kernel.Context) {
+		ctx.Send(kernel.EpVFS, kernel.Message{Type: 300})
+		// Wait until the worker is running, then exit promptly: the
+		// run ends while the worker is quantum-parked on the baton.
+		for !workerStarted {
+			ctx.Yield()
+		}
+		ctx.Tick(100)
+	})
+	k.SetRootProcess(root.Endpoint())
+
+	// Before the ordering fix this deadlocked in killAll; the Go
+	// runtime would abort the whole test process.
+	res := k.Run(100_000_000)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+}
+
+// TestTeardownWithWorkerBlockedOnChannel covers the complementary
+// state: the worker is parked on its own resume channel (awaiting a
+// completion) and the server main loop is baton-parked in Receive. The
+// baton kill unwinds the main loop and the pool reaps the worker.
+func TestTeardownWithWorkerBlockedOnChannel(t *testing.T) {
+	k := kernel.New(kernel.DefaultCostModel(), 1)
+	k.AddServer(kernel.EpVFS, "threaded", func(ctx *kernel.Context) {
+		pool := NewPool(1)
+		ctx.Process().SetOnKill(pool.KillAll)
+		for {
+			ctx.Receive()
+			pool.Thread(0).Start(func(th *Thread) {
+				th.Block() // never resumed
+			})
+		}
+	}, kernel.ServerConfig{})
+	root := k.SpawnUser("root", func(ctx *kernel.Context) {
+		ctx.Send(kernel.EpVFS, kernel.Message{Type: 300})
+		ctx.Yield() // let the server park its worker
+	})
+	k.SetRootProcess(root.Endpoint())
+	res := k.Run(100_000_000)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+}
+
+// TestReplaceWithWorkerParkedOnBaton covers the same ordering during a
+// crash-time replacement instead of end-of-run teardown: a second
+// worker crashes the component while the first is quantum-parked.
+func TestReplaceWithWorkerParkedOnBaton(t *testing.T) {
+	cost := kernel.DefaultCostModel()
+	cost.Quantum = 500
+	k := kernel.New(cost, 1)
+
+	k.SetCrashHandler(func(ci kernel.CrashInfo) error {
+		_, err := k.ReplaceProcess(ci.Victim, "threaded", func(ctx *kernel.Context) {
+			for {
+				m := ctx.Receive()
+				if m.NeedsReply {
+					ctx.ReplyErr(m.From, kernel.OK)
+				}
+			}
+		}, kernel.ServerConfig{})
+		if err != nil {
+			return err
+		}
+		if ci.CurNeedsReply {
+			return k.DeliverReply(ci.Victim, ci.CurSender, kernel.Message{Errno: kernel.ECRASH})
+		}
+		return nil
+	})
+
+	k.AddServer(kernel.EpVFS, "threaded", func(ctx *kernel.Context) {
+		pool := NewPool(2)
+		ctx.Process().SetOnKill(pool.KillAll)
+		// First request: park a worker mid-quantum by burning ticks in
+		// the job after an initial yield point.
+		ctx.Receive()
+		pool.Thread(0).Start(func(th *Thread) {
+			th.Block() // parked awaiting resume; never comes
+		})
+		// Second request crashes the server while thread 0 is parked.
+		m := ctx.Receive()
+		_ = m
+		panic("component fault with a parked worker")
+	}, kernel.ServerConfig{})
+
+	root := k.SpawnUser("root", func(ctx *kernel.Context) {
+		ctx.Send(kernel.EpVFS, kernel.Message{Type: 300})
+		r := ctx.SendRec(kernel.EpVFS, kernel.Message{Type: 301})
+		if r.Errno != kernel.ECRASH {
+			t.Errorf("crashing request = %v, want ECRASH", r.Errno)
+		}
+		// The replacement serves requests.
+		if r := ctx.SendRec(kernel.EpVFS, kernel.Message{Type: 302}); r.Errno != kernel.OK {
+			t.Errorf("replacement request = %v", r.Errno)
+		}
+	})
+	k.SetRootProcess(root.Endpoint())
+	res := k.Run(100_000_000)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+}

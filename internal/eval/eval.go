@@ -1,0 +1,579 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (§VI): recovery coverage (Table I), survivability under
+// fault injection (Tables II and III), baseline performance vs a
+// monolithic kernel (Table IV), instrumentation slowdowns (Table V),
+// memory overhead (Table VI) and service disruption (Figure 3).
+// cmd/benchtables and the repository's bench_test.go are thin wrappers
+// over this package.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/seep"
+	"repro/internal/testsuite"
+	"repro/internal/unixbench"
+	"repro/internal/usr"
+)
+
+// Scale trades evaluation fidelity for runtime.
+type Scale struct {
+	// IterScale scales Unixbench iteration counts.
+	IterScale float64
+	// SamplesPerSite and MaxRuns bound the fault campaigns.
+	SamplesPerSite int
+	MaxRuns        int
+	// Seed drives everything.
+	Seed uint64
+}
+
+// QuickScale is suitable for tests and testing.B benchmarks.
+func QuickScale() Scale {
+	return Scale{IterScale: 0.25, SamplesPerSite: 1, MaxRuns: 60, Seed: 42}
+}
+
+// FullScale reproduces the tables at full size (cmd/benchtables).
+func FullScale() Scale {
+	return Scale{IterScale: 1, SamplesPerSite: 4, MaxRuns: 0, Seed: 42}
+}
+
+// --- Table I: recovery coverage ---
+
+// CoverageRow is one server's recovery coverage under both policies.
+// Pessimistic/Enhanced are the basic-block proxies; CyclesPess/
+// CyclesEnh weight by execution time, the paper's caption metric.
+type CoverageRow struct {
+	Server                string
+	Pessimistic, Enhanced float64 // percent of basic blocks
+	CyclesPess, CyclesEnh float64 // percent of execution cycles
+	BlocksPess, BlocksEnh uint64
+}
+
+// Table1 measures per-server recovery coverage by running the
+// prototype test suite under the pessimistic and enhanced policies.
+type Table1 struct {
+	Rows []CoverageRow
+	// WeightedPessimistic/Enhanced are the block-weighted means (the
+	// paper's 57.7% / 68.4%).
+	WeightedPessimistic, WeightedEnhanced float64
+	// CycleWeightedPessimistic/Enhanced weight by execution time, the
+	// metric named in the paper's Table I caption.
+	CycleWeightedPessimistic, CycleWeightedEnhanced float64
+}
+
+// RunTable1 regenerates Table I.
+func RunTable1(sc Scale) (Table1, error) {
+	pess, err := coverageRun(seep.PolicyPessimistic, sc.Seed)
+	if err != nil {
+		return Table1{}, fmt.Errorf("pessimistic run: %w", err)
+	}
+	enh, err := coverageRun(seep.PolicyEnhanced, sc.Seed)
+	if err != nil {
+		return Table1{}, fmt.Errorf("enhanced run: %w", err)
+	}
+
+	var t Table1
+	var sumBlocksP, sumInP, sumBlocksE, sumInE uint64
+	var sumCycP, sumCycInP, sumCycE, sumCycInE float64
+	names := make([]string, 0, len(pess))
+	for name := range pess {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Present rows in the paper's order where possible.
+	order := []string{"pm", "vfs", "vm", "ds", "rs"}
+	ordered := make([]string, 0, len(names))
+	for _, n := range order {
+		for _, have := range names {
+			if have == n {
+				ordered = append(ordered, n)
+			}
+		}
+	}
+	for _, n := range names {
+		if !contains(ordered, n) {
+			ordered = append(ordered, n)
+		}
+	}
+
+	for _, name := range ordered {
+		p, e := pess[name], enh[name]
+		row := CoverageRow{
+			Server:      name,
+			Pessimistic: 100 * p.BlockCoverage(),
+			Enhanced:    100 * e.BlockCoverage(),
+			CyclesPess:  100 * p.CycleCoverage(),
+			CyclesEnh:   100 * e.CycleCoverage(),
+			BlocksPess:  p.BlocksIn + p.BlocksOut,
+			BlocksEnh:   e.BlocksIn + e.BlocksOut,
+		}
+		t.Rows = append(t.Rows, row)
+		sumBlocksP += row.BlocksPess
+		sumInP += p.BlocksIn
+		sumBlocksE += row.BlocksEnh
+		sumInE += e.BlocksIn
+		sumCycP += float64(p.CyclesIn + p.CyclesOut)
+		sumCycInP += float64(p.CyclesIn)
+		sumCycE += float64(e.CyclesIn + e.CyclesOut)
+		sumCycInE += float64(e.CyclesIn)
+	}
+	if sumBlocksP > 0 {
+		t.WeightedPessimistic = 100 * float64(sumInP) / float64(sumBlocksP)
+	}
+	if sumBlocksE > 0 {
+		t.WeightedEnhanced = 100 * float64(sumInE) / float64(sumBlocksE)
+	}
+	if sumCycP > 0 {
+		t.CycleWeightedPessimistic = 100 * sumCycInP / sumCycP
+	}
+	if sumCycE > 0 {
+		t.CycleWeightedEnhanced = 100 * sumCycInE / sumCycE
+	}
+	return t, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// coverageRun executes the suite under policy and returns per-server
+// window statistics.
+func coverageRun(policy seep.Policy, seed uint64) (map[string]seep.Stats, error) {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	var report testsuite.Report
+	sys := boot.Boot(boot.Options{
+		Config:     core.Config{Policy: policy, Seed: seed},
+		Registry:   reg,
+		Heartbeats: true,
+	}, testsuite.RunnerInit(&report))
+	res := sys.Run(faultinject.RunLimit)
+	if res.Outcome != kernel.OutcomeCompleted {
+		return nil, fmt.Errorf("coverage run: %v (%s)", res.Outcome, res.Reason)
+	}
+	out := make(map[string]seep.Stats)
+	for _, cs := range sys.Stats() {
+		out[cs.Name] = cs.Coverage
+	}
+	return out, nil
+}
+
+// Render formats Table I like the paper: basic-block coverage (the
+// measurement proxy) alongside time-weighted coverage (the caption's
+// metric).
+func (t Table1) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — Recovery coverage inside recovery windows\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s %16s %16s\n",
+		"Server", "Pess(blocks)", "Enh(blocks)", "Pess(cycles)", "Enh(cycles)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-8s %13.1f%% %13.1f%% %15.1f%% %15.1f%%\n",
+			r.Server, r.Pessimistic, r.Enhanced, r.CyclesPess, r.CyclesEnh)
+	}
+	fmt.Fprintf(&b, "%-8s %13.1f%% %13.1f%% %15.1f%% %15.1f%%\n", "weighted",
+		t.WeightedPessimistic, t.WeightedEnhanced,
+		t.CycleWeightedPessimistic, t.CycleWeightedEnhanced)
+	return b.String()
+}
+
+// --- Tables II and III: survivability ---
+
+// SurvivabilityTable is Table II (fail-stop) or III (full EDFI).
+type SurvivabilityTable struct {
+	Model faultinject.Model
+	Rows  []faultinject.CampaignResult
+}
+
+// policiesInTableOrder matches the paper's row order.
+var policiesInTableOrder = []seep.Policy{
+	seep.PolicyStateless, seep.PolicyNaive, seep.PolicyPessimistic, seep.PolicyEnhanced,
+}
+
+// RunSurvivability regenerates Table II (FailStop) or III (FullEDFI).
+func RunSurvivability(model faultinject.Model, sc Scale) (SurvivabilityTable, error) {
+	profile, err := faultinject.Profile(sc.Seed)
+	if err != nil {
+		return SurvivabilityTable{}, err
+	}
+	t := SurvivabilityTable{Model: model}
+	for _, policy := range policiesInTableOrder {
+		res := faultinject.RunCampaign(faultinject.CampaignConfig{
+			Policy:         policy,
+			Model:          model,
+			Seed:           sc.Seed,
+			SamplesPerSite: sc.SamplesPerSite,
+			MaxRuns:        sc.MaxRuns,
+		}, profile)
+		t.Rows = append(t.Rows, res)
+	}
+	return t, nil
+}
+
+// Render formats the survivability table like the paper.
+func (t SurvivabilityTable) Render() string {
+	var b strings.Builder
+	table := "II"
+	if t.Model == faultinject.FullEDFI {
+		table = "III"
+	}
+	fmt.Fprintf(&b, "Table %s — Survivability under random injection of %s faults\n", table, t.Model)
+	fmt.Fprintf(&b, "%-12s %8s %8s %10s %8s %8s\n", "Recovery", "Pass", "Fail", "Shutdown", "Crash", "Runs")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %7.1f%% %7.1f%% %9.1f%% %7.1f%% %8d\n",
+			r.Policy,
+			r.Percent(faultinject.OutcomePass),
+			r.Percent(faultinject.OutcomeFail),
+			r.Percent(faultinject.OutcomeShutdown),
+			r.Percent(faultinject.OutcomeCrash),
+			r.Runs)
+	}
+	return b.String()
+}
+
+// --- Table IV: baseline vs monolithic ---
+
+// PerfRow pairs scores of one benchmark under two configurations.
+type PerfRow struct {
+	Name               string
+	Monolithic, OSIRIS float64
+	Slowdown           float64 // monolithic/OSIRIS score ratio
+}
+
+// Table4 is the baseline performance comparison.
+type Table4 struct {
+	Rows            []PerfRow
+	GeomeanSlowdown float64
+}
+
+// RunTable4 regenerates Table IV: the recovery-free microkernel system
+// against the monolithic cost model standing in for Linux.
+func RunTable4(sc Scale) Table4 {
+	mono := unixbench.RunAll(unixbench.Config{
+		Monolithic:      true,
+		Instrumentation: memlog.Baseline,
+		Seed:            sc.Seed,
+		IterScale:       sc.IterScale,
+	})
+	micro := unixbench.RunAll(unixbench.Config{
+		Policy:          seep.PolicyEnhanced,
+		Instrumentation: memlog.Baseline, // baseline build: no recovery
+		Seed:            sc.Seed,
+		IterScale:       sc.IterScale,
+	})
+	var t Table4
+	logSum, n := 0.0, 0
+	for i := range mono {
+		row := PerfRow{Name: mono[i].Name, Monolithic: mono[i].Score, OSIRIS: micro[i].Score}
+		if row.OSIRIS > 0 {
+			row.Slowdown = row.Monolithic / row.OSIRIS
+			logSum += ln(row.Slowdown)
+			n++
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if n > 0 {
+		t.GeomeanSlowdown = exp(logSum / float64(n))
+	}
+	return t
+}
+
+// Render formats Table IV.
+func (t Table4) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IV — Baseline performance vs monolithic kernel (scores, higher is better)\n")
+	fmt.Fprintf(&b, "%-18s %14s %14s %10s\n", "Benchmark", "Monolithic", "OSIRIS-base", "Slowdown")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s %14.1f %14.1f %9.2fx\n", r.Name, r.Monolithic, r.OSIRIS, r.Slowdown)
+	}
+	fmt.Fprintf(&b, "%-18s %14s %14s %9.2fx\n", "geomean", "", "", t.GeomeanSlowdown)
+	return b.String()
+}
+
+// --- Table V: instrumentation slowdowns ---
+
+// SlowdownRow is one benchmark's slowdown ratios against the baseline
+// build (lower is better; 1.0 = no overhead).
+type SlowdownRow struct {
+	Name                               string
+	Unoptimized, Pessimistic, Enhanced float64
+}
+
+// Table5 is the recovery-instrumentation overhead table.
+type Table5 struct {
+	Rows                                        []SlowdownRow
+	GeoUnoptimized, GeoPessimistic, GeoEnhanced float64
+}
+
+// RunTable5 regenerates Table V: slowdown of the unoptimized build and
+// of the optimized pessimistic/enhanced builds relative to the
+// uninstrumented baseline.
+func RunTable5(sc Scale) Table5 {
+	base := unixbench.RunAll(unixbench.Config{
+		Policy: seep.PolicyEnhanced, Instrumentation: memlog.Baseline,
+		Seed: sc.Seed, IterScale: sc.IterScale,
+	})
+	unopt := unixbench.RunAll(unixbench.Config{
+		Policy: seep.PolicyEnhanced, Instrumentation: memlog.Unoptimized,
+		Seed: sc.Seed, IterScale: sc.IterScale,
+	})
+	pess := unixbench.RunAll(unixbench.Config{
+		Policy: seep.PolicyPessimistic, Instrumentation: memlog.Optimized,
+		Seed: sc.Seed, IterScale: sc.IterScale,
+	})
+	enh := unixbench.RunAll(unixbench.Config{
+		Policy: seep.PolicyEnhanced, Instrumentation: memlog.Optimized,
+		Seed: sc.Seed, IterScale: sc.IterScale,
+	})
+
+	var t Table5
+	var lu, lp, le float64
+	n := 0
+	for i := range base {
+		row := SlowdownRow{Name: base[i].Name}
+		if base[i].Score > 0 {
+			row.Unoptimized = base[i].Score / unopt[i].Score
+			row.Pessimistic = base[i].Score / pess[i].Score
+			row.Enhanced = base[i].Score / enh[i].Score
+			lu += ln(row.Unoptimized)
+			lp += ln(row.Pessimistic)
+			le += ln(row.Enhanced)
+			n++
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if n > 0 {
+		t.GeoUnoptimized = exp(lu / float64(n))
+		t.GeoPessimistic = exp(lp / float64(n))
+		t.GeoEnhanced = exp(le / float64(n))
+	}
+	return t
+}
+
+// Render formats Table V.
+func (t Table5) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table V — Slowdown ratio vs baseline (lower is better)\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s\n", "Benchmark", "Without opt.", "Pessimistic", "Enhanced")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s %12.3f %12.3f %12.3f\n", r.Name, r.Unoptimized, r.Pessimistic, r.Enhanced)
+	}
+	fmt.Fprintf(&b, "%-18s %12.3f %12.3f %12.3f\n", "geomean", t.GeoUnoptimized, t.GeoPessimistic, t.GeoEnhanced)
+	return b.String()
+}
+
+// --- Table VI: memory overhead ---
+
+// MemoryRow is one component's memory accounting in bytes.
+type MemoryRow struct {
+	Server                    string
+	Base, Clone, UndoLog, Sum int
+}
+
+// Table6 is the per-component memory overhead table.
+type Table6 struct {
+	Rows                                    []MemoryRow
+	TotalBase, TotalClone, TotalUndo, Total int
+}
+
+// RunTable6 regenerates Table VI by running a write-heavy Unixbench
+// workload mix and sampling per-component memory statistics.
+func RunTable6(sc Scale) (Table6, error) {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	var report testsuite.Report
+	sys := boot.Boot(boot.Options{
+		Config:   core.Config{Policy: seep.PolicyEnhanced, Seed: sc.Seed},
+		Registry: reg,
+	}, testsuite.RunnerInit(&report))
+	res := sys.Run(faultinject.RunLimit)
+	if res.Outcome != kernel.OutcomeCompleted {
+		return Table6{}, fmt.Errorf("memory run: %v (%s)", res.Outcome, res.Reason)
+	}
+	var t Table6
+	for _, cs := range sys.Stats() {
+		row := MemoryRow{
+			Server:  cs.Name,
+			Base:    cs.BaseBytes,
+			Clone:   cs.CloneBytes,
+			UndoLog: cs.MaxUndoLogBytes,
+		}
+		row.Sum = row.Clone + row.UndoLog
+		t.Rows = append(t.Rows, row)
+		t.TotalBase += row.Base
+		t.TotalClone += row.Clone
+		t.TotalUndo += row.UndoLog
+		t.Total += row.Sum
+	}
+	return t, nil
+}
+
+// Render formats Table VI.
+func (t Table6) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI — Per-component memory overhead (KiB)\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %14s\n", "Server", "Base", "+clone", "+undo log", "Total overhead")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-8s %12d %12d %12d %14d\n",
+			r.Server, kib(r.Base), kib(r.Clone), kib(r.UndoLog), kib(r.Sum))
+	}
+	fmt.Fprintf(&b, "%-8s %12d %12d %12d %14d\n",
+		"total", kib(t.TotalBase), kib(t.TotalClone), kib(t.TotalUndo), kib(t.Total))
+	return b.String()
+}
+
+func kib(bytes int) int { return (bytes + 1023) / 1024 }
+
+// --- Figure 3: service disruption ---
+
+// DisruptionPoint is one (interval, score) sample for one benchmark.
+type DisruptionPoint struct {
+	Interval uint64 // fault inflow interval in cycles; 0 = no faults
+	Score    float64
+}
+
+// Figure3 holds the per-benchmark disruption series.
+type Figure3 struct {
+	// Intervals is the sweep, smallest first (excluding the fault-free
+	// reference which is recorded as interval 0).
+	Intervals []uint64
+	Series    map[string][]DisruptionPoint
+}
+
+// RunFigure3 regenerates Figure 3: Unixbench scores as a function of
+// the interval between fail-stop faults injected into PM inside its
+// recovery window.
+func RunFigure3(sc Scale, intervals []uint64) Figure3 {
+	if len(intervals) == 0 {
+		intervals = []uint64{50_000, 100_000, 200_000, 400_000, 800_000, 1_600_000, 3_200_000, 6_400_000}
+	}
+	fig := Figure3{Intervals: intervals, Series: make(map[string][]DisruptionPoint)}
+	for _, name := range unixbench.Names() {
+		b, _ := unixbench.ByName(name)
+		// Fault-free reference.
+		ref := unixbench.RunOne(b, unixbench.Config{
+			Policy: seep.PolicyEnhanced, Seed: sc.Seed, IterScale: sc.IterScale,
+		})
+		fig.Series[name] = append(fig.Series[name], DisruptionPoint{Interval: 0, Score: ref.Score})
+		for _, interval := range intervals {
+			cfg := unixbench.Config{
+				Policy:    seep.PolicyEnhanced,
+				Seed:      sc.Seed,
+				IterScale: sc.IterScale,
+				Hook:      pmFaultInflow(interval),
+			}
+			r := unixbench.RunOne(b, cfg)
+			fig.Series[name] = append(fig.Series[name], DisruptionPoint{Interval: interval, Score: r.Score})
+		}
+	}
+	return fig
+}
+
+// pmFaultInflow installs a hook that fail-stops PM whenever its
+// recovery window is open and at least interval cycles have passed
+// since the previous injected fault (§VI-E: faults are injected only
+// within the recovery window so the benchmark always completes).
+func pmFaultInflow(interval uint64) func(sys *boot.System) {
+	return func(sys *boot.System) {
+		k := sys.Kernel()
+		var next uint64 = uint64(k.Now()) + interval
+		k.SetPointHook(func(ep kernel.Endpoint, name, site string) {
+			if name != "pm" || k.InRecovery() {
+				return
+			}
+			win := sys.ComponentWindow(kernel.EpPM)
+			if win == nil || !win.Open() || !win.Replyable() {
+				return
+			}
+			if uint64(k.Now()) < next {
+				return
+			}
+			next = uint64(k.Now()) + interval
+			panic("figure3: periodic fail-stop fault in PM")
+		})
+	}
+}
+
+// Render formats Figure 3 as a data table (series per benchmark)
+// followed by an ASCII rendering of the figure itself: score relative
+// to the fault-free run, per interval.
+func (f Figure3) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — Unixbench score vs fault-inflow interval into PM (cycles)\n")
+	fmt.Fprintf(&b, "%-18s %12s", "Benchmark", "no-fault")
+	for _, iv := range f.Intervals {
+		fmt.Fprintf(&b, " %11d", iv)
+	}
+	b.WriteString("\n")
+	names := make([]string, 0, len(f.Series))
+	for n := range f.Series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-18s", n)
+		for _, pt := range f.Series[n] {
+			fmt.Fprintf(&b, " %11.1f", pt.Score)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	b.WriteString(f.Chart())
+	return b.String()
+}
+
+// Chart renders the figure as ASCII art: one row per benchmark, one
+// column per interval, each cell the score as a percentage of the
+// fault-free score, bucketed into glyphs. Reading left (frequent
+// faults) to right (rare faults) shows the paper's curves: PM-dependent
+// benchmarks climb back to full speed, independent ones stay flat.
+func (f Figure3) Chart() string {
+	var b strings.Builder
+	b.WriteString("Relative score (% of fault-free), left = most frequent faults\n")
+	b.WriteString("    . <25%   - <50%   = <75%   + <95%   * >=95%\n\n")
+	names := make([]string, 0, len(f.Series))
+	for n := range f.Series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pts := f.Series[n]
+		if len(pts) == 0 || pts[0].Score <= 0 {
+			continue
+		}
+		ref := pts[0].Score
+		fmt.Fprintf(&b, "%-18s |", n)
+		for _, pt := range pts[1:] {
+			rel := pt.Score / ref
+			switch {
+			case rel >= 0.95:
+				b.WriteString(" *")
+			case rel >= 0.75:
+				b.WriteString(" +")
+			case rel >= 0.50:
+				b.WriteString(" =")
+			case rel >= 0.25:
+				b.WriteString(" -")
+			default:
+				b.WriteString(" .")
+			}
+		}
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+func ln(x float64) float64  { return math.Log(x) }
+func exp(x float64) float64 { return math.Exp(x) }

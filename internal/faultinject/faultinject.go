@@ -1,0 +1,394 @@
+// Package faultinject is the reproduction's EDFI analogue (Giuffrida et
+// al., PRDC 2013): it enumerates fault-injection candidates in the OS
+// servers via their instrumentation points, profiles which candidates
+// the prototype test suite actually reaches after boot, and runs
+// one-fault-per-boot campaigns whose outcomes are classified exactly as
+// in the paper's survivability experiments (pass / fail / shutdown /
+// crash, §VI-B).
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/servers/rs"
+	"repro/internal/sim"
+	"repro/internal/testsuite"
+	"repro/internal/usr"
+)
+
+// RunLimit bounds one fault-injection run in virtual cycles.
+const RunLimit sim.Cycles = 4_000_000_000
+
+// Model selects the injected fault mix.
+type Model int
+
+const (
+	// FailStop injects only immediately-crashing faults (NULL-pointer
+	// dereference analogues) — the fault model OSIRIS is designed for.
+	FailStop Model = iota + 1
+	// FullEDFI injects the full realistic software fault mix, including
+	// fail-silent corruption, hangs, wrong error returns and faults
+	// that do not manifest.
+	FullEDFI
+)
+
+// String names the model.
+func (m Model) String() string {
+	if m == FailStop {
+		return "fail-stop"
+	}
+	return "full-EDFI"
+}
+
+// FaultType is one injectable fault behaviour.
+type FaultType int
+
+const (
+	// FaultCrash fail-stops the component at the site.
+	FaultCrash FaultType = iota + 1
+	// FaultHang spins the component; the Recovery Server's heartbeat
+	// mechanism detects it and converts it into a fail-stop (§II-E).
+	FaultHang
+	// FaultCorrupt silently corrupts one value in the component state,
+	// bypassing the undo log (fail-silent data corruption).
+	FaultCorrupt
+	// FaultWrongErrno makes the component's next reply carry a wrong
+	// error code.
+	FaultWrongErrno
+	// FaultNoop models injected faults that never manifest (dead value
+	// corrupted, unreachable branch flipped).
+	FaultNoop
+)
+
+// String names the fault type.
+func (t FaultType) String() string {
+	switch t {
+	case FaultCrash:
+		return "crash"
+	case FaultHang:
+		return "hang"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultWrongErrno:
+		return "wrong-errno"
+	case FaultNoop:
+		return "noop"
+	default:
+		return fmt.Sprintf("FaultType(%d)", int(t))
+	}
+}
+
+// edfiMix is the fault-type distribution of the full model, loosely
+// following the realistic software fault mix EDFI draws from.
+var edfiMix = []struct {
+	t      FaultType
+	weight int
+}{
+	{FaultCrash, 35},
+	{FaultHang, 10},
+	{FaultCorrupt, 25},
+	{FaultWrongErrno, 15},
+	{FaultNoop, 15},
+}
+
+// pickType draws a fault type for the model.
+func pickType(m Model, r *sim.RNG) FaultType {
+	if m == FailStop {
+		return FaultCrash
+	}
+	total := 0
+	for _, e := range edfiMix {
+		total += e.weight
+	}
+	roll := r.Intn(total)
+	for _, e := range edfiMix {
+		if roll < e.weight {
+			return e.t
+		}
+		roll -= e.weight
+	}
+	return FaultCrash
+}
+
+// SiteProfile records how often one instrumentation point executed in
+// the profiling run.
+type SiteProfile struct {
+	Server string
+	Site   string
+	// Total is the number of executions over the whole run; Boot of
+	// those happened before program installation completed (boot-time
+	// executions, excluded from injection per §VI-B).
+	Total, Boot int
+}
+
+// Candidates reports whether the site is a valid injection target: it
+// must execute at least once after boot.
+func (s SiteProfile) Candidate() bool { return s.Total > s.Boot }
+
+// Profile runs the prototype test suite once with no faults and
+// returns the per-site execution profile, sorted by (server, site).
+func Profile(seed uint64) ([]SiteProfile, error) {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	var report testsuite.Report
+
+	counts := make(map[[2]string]*SiteProfile)
+	sys := boot.Boot(boot.Options{
+		Config:     core.Config{Policy: seep.PolicyEnhanced, Seed: seed},
+		Registry:   reg,
+		Heartbeats: true,
+	}, testsuite.RunnerInit(&report))
+
+	names := sys.ComponentNames()
+	sys.Kernel().SetPointHook(func(ep kernel.Endpoint, name, site string) {
+		if _, recoverable := names[ep]; !recoverable {
+			return
+		}
+		key := [2]string{name, site}
+		sp := counts[key]
+		if sp == nil {
+			sp = &SiteProfile{Server: name, Site: site}
+			counts[key] = sp
+		}
+		sp.Total++
+		if !report.InstallOK {
+			sp.Boot++
+		}
+	})
+
+	res := sys.Run(RunLimit)
+	if res.Outcome != kernel.OutcomeCompleted {
+		return nil, fmt.Errorf("profiling run did not complete: %v (%s)", res.Outcome, res.Reason)
+	}
+	out := make([]SiteProfile, 0, len(counts))
+	for _, sp := range counts {
+		out = append(out, *sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Server != out[j].Server {
+			return out[i].Server < out[j].Server
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out, nil
+}
+
+// Outcome classifies one fault-injection run (paper §VI-B).
+type Outcome int
+
+const (
+	// OutcomePass: the suite completed and every test passed.
+	OutcomePass Outcome = iota + 1
+	// OutcomeFail: the suite completed but at least one test failed —
+	// degraded service on a surviving system.
+	OutcomeFail
+	// OutcomeShutdown: the recovery engine performed a controlled
+	// shutdown.
+	OutcomeShutdown
+	// OutcomeCrash: uncontrolled crash, hang or deadlock.
+	OutcomeCrash
+)
+
+// String names the outcome as in Tables II/III.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePass:
+		return "pass"
+	case OutcomeFail:
+		return "fail"
+	case OutcomeShutdown:
+		return "shutdown"
+	case OutcomeCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Injection is one planned fault: at the occurrence-th execution of the
+// site (counted from run start), trigger the fault.
+type Injection struct {
+	Server     string
+	Site       string
+	Occurrence int
+	Type       FaultType
+}
+
+// RunResult is the outcome of one injection run.
+type RunResult struct {
+	Injection Injection
+	Outcome   Outcome
+	Triggered bool
+	// TestsFailed is the number of failing suite tests (Fail runs).
+	TestsFailed int
+	Reason      string
+}
+
+// RunOne boots a fresh machine under policy, arms the injection, runs
+// the suite and classifies the outcome.
+func RunOne(policy seep.Policy, seed uint64, inj Injection) RunResult {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	var report testsuite.Report
+
+	sys := boot.Boot(boot.Options{
+		Config:     core.Config{Policy: policy, Seed: seed},
+		Registry:   reg,
+		Heartbeats: true,
+	}, testsuite.RunnerInit(&report))
+
+	k := sys.Kernel()
+	rng := sim.NewRNG(seed ^ 0xFA0175EED)
+	triggered := false
+	remaining := inj.Occurrence
+	k.SetPointHook(func(ep kernel.Endpoint, name, site string) {
+		if triggered || name != inj.Server || site != inj.Site {
+			return
+		}
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		triggered = true
+		switch inj.Type {
+		case FaultCrash:
+			panic("edfi: injected fail-stop fault")
+		case FaultHang:
+			// The component spins until the heartbeat deadline passes;
+			// detection converts the hang into a fail-stop kill.
+			k.Clock().Advance(2 * rs.HeartbeatPeriod)
+			panic("edfi: hung component killed by heartbeat detector")
+		case FaultCorrupt:
+			if st := sys.ComponentStore(ep); st != nil {
+				st.CorruptRandom(rng)
+			}
+		case FaultWrongErrno:
+			k.OverrideNextReplyErrno(ep, kernel.EIO)
+		case FaultNoop:
+			// Fault present but never manifests.
+		}
+	})
+
+	res := sys.Run(RunLimit)
+	return RunResult{
+		Injection:   inj,
+		Outcome:     classify(res, &report),
+		Triggered:   triggered,
+		TestsFailed: report.Failed,
+		Reason:      res.Reason,
+	}
+}
+
+// classify maps a run result and suite report to the paper's four
+// outcome classes.
+func classify(res kernel.Result, report *testsuite.Report) Outcome {
+	switch res.Outcome {
+	case kernel.OutcomeCompleted:
+		if report.Complete() && report.Failed == 0 {
+			return OutcomePass
+		}
+		return OutcomeFail
+	case kernel.OutcomeShutdown:
+		return OutcomeShutdown
+	default:
+		return OutcomeCrash
+	}
+}
+
+// CampaignConfig parameterizes a survivability campaign.
+type CampaignConfig struct {
+	Policy seep.Policy
+	Model  Model
+	Seed   uint64
+	// SamplesPerSite is how many distinct occurrences are injected per
+	// candidate site (the paper injects each EDFI candidate once; sites
+	// here are coarser, so several occurrences approximate the same
+	// breadth). Zero means 3.
+	SamplesPerSite int
+	// MaxRuns optionally caps the total number of runs (0 = no cap).
+	MaxRuns int
+}
+
+// CampaignResult aggregates a survivability campaign (one row of
+// Table II or III).
+type CampaignResult struct {
+	Policy seep.Policy
+	Model  Model
+	Runs   int
+	Counts map[Outcome]int
+	// Untriggered counts runs whose planned fault never fired; they are
+	// excluded from Runs and Counts (paper: untriggered faults would
+	// inflate the statistics).
+	Untriggered int
+}
+
+// Percent reports the share of runs with the given outcome.
+func (c CampaignResult) Percent(o Outcome) float64 {
+	if c.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(c.Counts[o]) / float64(c.Runs)
+}
+
+// PlanCampaign derives the injection list from a profile.
+func PlanCampaign(cfg CampaignConfig, profile []SiteProfile) []Injection {
+	samples := cfg.SamplesPerSite
+	if samples <= 0 {
+		samples = 3
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xCA4FA160)
+	var plan []Injection
+	for _, sp := range profile {
+		if !sp.Candidate() {
+			continue
+		}
+		reach := sp.Total - sp.Boot
+		n := samples
+		if n > reach {
+			n = reach
+		}
+		for i := 0; i < n; i++ {
+			plan = append(plan, Injection{
+				Server:     sp.Server,
+				Site:       sp.Site,
+				Occurrence: sp.Boot + 1 + rng.Intn(reach),
+				Type:       pickType(cfg.Model, rng),
+			})
+		}
+	}
+	if cfg.MaxRuns > 0 && len(plan) > cfg.MaxRuns {
+		// Deterministic thinning: keep an evenly spaced subset.
+		thinned := make([]Injection, 0, cfg.MaxRuns)
+		step := float64(len(plan)) / float64(cfg.MaxRuns)
+		for i := 0; i < cfg.MaxRuns; i++ {
+			thinned = append(thinned, plan[int(float64(i)*step)])
+		}
+		plan = thinned
+	}
+	return plan
+}
+
+// RunCampaign executes the whole campaign.
+func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
+	plan := PlanCampaign(cfg, profile)
+	result := CampaignResult{
+		Policy: cfg.Policy,
+		Model:  cfg.Model,
+		Counts: make(map[Outcome]int),
+	}
+	for i, inj := range plan {
+		rr := RunOne(cfg.Policy, cfg.Seed+uint64(i)*7919, inj)
+		if !rr.Triggered {
+			result.Untriggered++
+			continue
+		}
+		result.Runs++
+		result.Counts[rr.Outcome]++
+	}
+	return result
+}

@@ -1,0 +1,506 @@
+// Package fs implements the in-memory filesystem substrate used by the
+// simulated VFS server: an inode table, hierarchical directories and a
+// free-block allocator, all held in memlog containers so that VFS crash
+// recovery rolls metadata back consistently.
+//
+// File data lives on a block device behind the BlockDevice interface.
+// In the running OS that interface is implemented by SEEP-wrapped calls
+// to the driver server — device writes are external side effects that
+// close the recovery window, exactly as in the paper's model.
+package fs
+
+import (
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+)
+
+// Geometry of the simulated filesystem.
+const (
+	// BlockSize is the data block size in bytes.
+	BlockSize = 4096
+	// NDirect is the number of direct block slots per inode; the
+	// maximum file size is NDirect*BlockSize (256 KiB).
+	NDirect = 64
+	// RootIno is the inode number of the root directory.
+	RootIno int64 = 1
+)
+
+// FileType distinguishes inode kinds.
+type FileType int32
+
+const (
+	// TypeFile is a regular file.
+	TypeFile FileType = iota + 1
+	// TypeDir is a directory.
+	TypeDir
+)
+
+// Inode is the on-"disk" metadata of one file system object. Values are
+// treated as immutable: mutations replace the whole struct in the inode
+// map so the undo log captures exact old versions.
+type Inode struct {
+	Ino    int64
+	Type   FileType
+	Size   int64
+	Nlink  int32
+	Blocks [NDirect]int32 // 0 = unallocated
+}
+
+// BlockDevice is the data-block backend. Implementations may have side
+// effects outside the owning server's recoverable state (a real device).
+type BlockDevice interface {
+	// ReadBlock returns the contents of block b (BlockSize bytes).
+	ReadBlock(b int32) ([]byte, kernel.Errno)
+	// WriteBlock overwrites block b.
+	WriteBlock(b int32, data []byte) kernel.Errno
+	// Blocks reports the device capacity in blocks.
+	Blocks() int32
+}
+
+// FS is a mounted filesystem with all metadata in the given memlog
+// store. Data-block I/O goes through the BlockDevice passed to each
+// ReadAt/WriteAt call: the multithreaded VFS routes I/O per worker
+// thread, so the device handle is per-operation, not per-mount.
+type FS struct {
+	blocks int32
+
+	inodes  *memlog.Map[int64, Inode]
+	dirents *memlog.Map[string, int64]
+	nextIno *memlog.Cell[int64]
+	// freeBlocks is a stack of free block numbers; freeTop is the
+	// number of valid entries (the stack is never shrunk so rollback
+	// stays cheap).
+	freeBlocks *memlog.Slice[int32]
+	freeTop    *memlog.Cell[int]
+}
+
+// New mounts a filesystem whose metadata lives in store, over a device
+// with the given number of blocks. On a fresh store it formats: all
+// blocks free, an empty root directory. On a cloned store (recovery)
+// the existing metadata is reused untouched.
+func New(store *memlog.Store, blocks int32) *FS {
+	f := &FS{
+		blocks:     blocks,
+		inodes:     memlog.NewMap[int64, Inode](store, "fs.inodes"),
+		dirents:    memlog.NewMap[string, int64](store, "fs.dirents"),
+		nextIno:    memlog.NewCell(store, "fs.next_ino", RootIno+1),
+		freeBlocks: memlog.NewSlice[int32](store, "fs.free_blocks"),
+		freeTop:    memlog.NewCell(store, "fs.free_top", 0),
+	}
+	if _, ok := f.inodes.Get(RootIno); !ok {
+		f.format()
+	}
+	return f
+}
+
+// format initializes an empty filesystem.
+func (f *FS) format() {
+	// Block 0 is reserved so that a zero block slot means "unallocated".
+	for b := f.blocks - 1; b >= 1; b-- {
+		f.freeBlocks.Append(b)
+		f.freeTop.Set(f.freeTop.Get() + 1)
+	}
+	f.inodes.Set(RootIno, Inode{Ino: RootIno, Type: TypeDir, Nlink: 2})
+}
+
+// direntKey builds the directory-entry map key for name within dir.
+func direntKey(dir int64, name string) string {
+	return itoa(dir) + "/" + name
+}
+
+// itoa is a minimal allocation-light integer formatter.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// splitPath normalizes an absolute path into components.
+func splitPath(path string) ([]string, kernel.Errno) {
+	if len(path) == 0 || path[0] != '/' {
+		return nil, kernel.EINVAL
+	}
+	raw := strings.Split(path, "/")
+	comps := make([]string, 0, len(raw))
+	for _, c := range raw {
+		switch c {
+		case "", ".":
+			continue
+		case "..":
+			if len(comps) > 0 {
+				comps = comps[:len(comps)-1]
+			}
+		default:
+			comps = append(comps, c)
+		}
+	}
+	return comps, kernel.OK
+}
+
+// Lookup resolves an absolute path to an inode number.
+func (f *FS) Lookup(path string) (int64, kernel.Errno) {
+	comps, errno := splitPath(path)
+	if errno != kernel.OK {
+		return 0, errno
+	}
+	cur := RootIno
+	for _, c := range comps {
+		ino, ok := f.inodes.Get(cur)
+		if !ok {
+			return 0, kernel.EIO
+		}
+		if ino.Type != TypeDir {
+			return 0, kernel.ENOTDIR
+		}
+		next, ok := f.dirents.Get(direntKey(cur, c))
+		if !ok {
+			return 0, kernel.ENOENT
+		}
+		cur = next
+	}
+	return cur, kernel.OK
+}
+
+// lookupParent resolves the directory containing path's last component.
+func (f *FS) lookupParent(path string) (dir int64, name string, errno kernel.Errno) {
+	comps, errno := splitPath(path)
+	if errno != kernel.OK {
+		return 0, "", errno
+	}
+	if len(comps) == 0 {
+		return 0, "", kernel.EINVAL // the root itself has no parent entry
+	}
+	cur := RootIno
+	for _, c := range comps[:len(comps)-1] {
+		next, ok := f.dirents.Get(direntKey(cur, c))
+		if !ok {
+			return 0, "", kernel.ENOENT
+		}
+		ino, _ := f.inodes.Get(next)
+		if ino.Type != TypeDir {
+			return 0, "", kernel.ENOTDIR
+		}
+		cur = next
+	}
+	return cur, comps[len(comps)-1], kernel.OK
+}
+
+// Stat returns the inode metadata for ino.
+func (f *FS) Stat(ino int64) (Inode, kernel.Errno) {
+	n, ok := f.inodes.Get(ino)
+	if !ok {
+		return Inode{}, kernel.ENOENT
+	}
+	return n, kernel.OK
+}
+
+// Create makes a new regular file at path. It fails with EEXIST if the
+// name is taken and ENOENT if the parent directory is missing.
+func (f *FS) Create(path string) (int64, kernel.Errno) {
+	return f.createNode(path, TypeFile)
+}
+
+// Mkdir makes a new directory at path.
+func (f *FS) Mkdir(path string) (int64, kernel.Errno) {
+	return f.createNode(path, TypeDir)
+}
+
+func (f *FS) createNode(path string, typ FileType) (int64, kernel.Errno) {
+	dir, name, errno := f.lookupParent(path)
+	if errno != kernel.OK {
+		return 0, errno
+	}
+	key := direntKey(dir, name)
+	if _, exists := f.dirents.Get(key); exists {
+		return 0, kernel.EEXIST
+	}
+	ino := f.nextIno.Get()
+	f.nextIno.Set(ino + 1)
+	nlink := int32(1)
+	if typ == TypeDir {
+		nlink = 2
+	}
+	f.inodes.Set(ino, Inode{Ino: ino, Type: typ, Nlink: nlink})
+	f.dirents.Set(key, ino)
+	if typ == TypeDir {
+		parent, _ := f.inodes.Get(dir)
+		parent.Nlink++
+		f.inodes.Set(dir, parent)
+	}
+	return ino, kernel.OK
+}
+
+// Unlink removes the file at path. Directories must be empty.
+func (f *FS) Unlink(path string) kernel.Errno {
+	dir, name, errno := f.lookupParent(path)
+	if errno != kernel.OK {
+		return errno
+	}
+	key := direntKey(dir, name)
+	ino, ok := f.dirents.Get(key)
+	if !ok {
+		return kernel.ENOENT
+	}
+	node, _ := f.inodes.Get(ino)
+	if node.Type == TypeDir {
+		if f.dirEntryCount(ino) > 0 {
+			return kernel.EINVAL
+		}
+		parent, _ := f.inodes.Get(dir)
+		parent.Nlink--
+		f.inodes.Set(dir, parent)
+	}
+	f.dirents.Delete(key)
+	node.Nlink--
+	if node.Nlink <= 0 || (node.Type == TypeDir && node.Nlink <= 1) {
+		f.freeInodeBlocks(&node)
+		f.inodes.Delete(ino)
+	} else {
+		f.inodes.Set(ino, node)
+	}
+	return kernel.OK
+}
+
+// dirEntryCount counts entries in directory ino.
+func (f *FS) dirEntryCount(ino int64) int {
+	prefix := itoa(ino) + "/"
+	count := 0
+	f.dirents.ForEach(func(k string, _ int64) bool {
+		if strings.HasPrefix(k, prefix) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// ReadDir lists the entry names of the directory at path.
+func (f *FS) ReadDir(path string) ([]string, kernel.Errno) {
+	ino, errno := f.Lookup(path)
+	if errno != kernel.OK {
+		return nil, errno
+	}
+	node, _ := f.inodes.Get(ino)
+	if node.Type != TypeDir {
+		return nil, kernel.ENOTDIR
+	}
+	prefix := itoa(ino) + "/"
+	var names []string
+	f.dirents.ForEach(func(k string, _ int64) bool {
+		if strings.HasPrefix(k, prefix) {
+			names = append(names, k[len(prefix):])
+		}
+		return true
+	})
+	return names, kernel.OK
+}
+
+// Rename moves the entry at oldPath to newPath, replacing any existing
+// regular file there (POSIX rename semantics, directories must not be
+// replaced).
+func (f *FS) Rename(oldPath, newPath string) kernel.Errno {
+	oldDir, oldName, errno := f.lookupParent(oldPath)
+	if errno != kernel.OK {
+		return errno
+	}
+	oldKey := direntKey(oldDir, oldName)
+	ino, ok := f.dirents.Get(oldKey)
+	if !ok {
+		return kernel.ENOENT
+	}
+	newDir, newName, errno := f.lookupParent(newPath)
+	if errno != kernel.OK {
+		return errno
+	}
+	newKey := direntKey(newDir, newName)
+	if newKey == oldKey {
+		return kernel.OK
+	}
+	if existing, taken := f.dirents.Get(newKey); taken {
+		node, _ := f.inodes.Get(existing)
+		if node.Type == TypeDir {
+			return kernel.EISDIR
+		}
+		if errno := f.Unlink(newPath); errno != kernel.OK {
+			return errno
+		}
+	}
+	moved, _ := f.inodes.Get(ino)
+	f.dirents.Delete(oldKey)
+	f.dirents.Set(newKey, ino)
+	if moved.Type == TypeDir && oldDir != newDir {
+		// Directory moved between parents: fix the parents' link counts.
+		op, _ := f.inodes.Get(oldDir)
+		op.Nlink--
+		f.inodes.Set(oldDir, op)
+		np, _ := f.inodes.Get(newDir)
+		np.Nlink++
+		f.inodes.Set(newDir, np)
+	}
+	return kernel.OK
+}
+
+// allocBlock pops a free block, or 0 with ENOSPC.
+func (f *FS) allocBlock() (int32, kernel.Errno) {
+	top := f.freeTop.Get()
+	if top == 0 {
+		return 0, kernel.ENOSPC
+	}
+	b := f.freeBlocks.Get(top - 1)
+	f.freeTop.Set(top - 1)
+	return b, kernel.OK
+}
+
+// freeBlock pushes a block back on the free stack.
+func (f *FS) freeBlock(b int32) {
+	top := f.freeTop.Get()
+	if top < f.freeBlocks.Len() {
+		f.freeBlocks.Set(top, b)
+	} else {
+		f.freeBlocks.Append(b)
+	}
+	f.freeTop.Set(top + 1)
+}
+
+// freeInodeBlocks releases every data block of node.
+func (f *FS) freeInodeBlocks(node *Inode) {
+	for i, b := range node.Blocks {
+		if b != 0 {
+			f.freeBlock(b)
+			node.Blocks[i] = 0
+		}
+	}
+	node.Size = 0
+}
+
+// FreeBlockCount reports how many blocks are free (accounting checks).
+func (f *FS) FreeBlockCount() int { return f.freeTop.Get() }
+
+// Truncate discards the contents of the file at ino.
+func (f *FS) Truncate(ino int64) kernel.Errno {
+	node, ok := f.inodes.Get(ino)
+	if !ok {
+		return kernel.ENOENT
+	}
+	if node.Type != TypeFile {
+		return kernel.EISDIR
+	}
+	f.freeInodeBlocks(&node)
+	f.inodes.Set(ino, node)
+	return kernel.OK
+}
+
+// ReadAt reads up to n bytes at offset off from the file at ino,
+// fetching data blocks through dev.
+func (f *FS) ReadAt(dev BlockDevice, ino int64, off int64, n int) ([]byte, kernel.Errno) {
+	node, ok := f.inodes.Get(ino)
+	if !ok {
+		return nil, kernel.ENOENT
+	}
+	if node.Type != TypeFile {
+		return nil, kernel.EISDIR
+	}
+	if off >= node.Size || n <= 0 {
+		return nil, kernel.OK // EOF
+	}
+	if int64(n) > node.Size-off {
+		n = int(node.Size - off)
+	}
+	out := make([]byte, 0, n)
+	for n > 0 {
+		bi := int(off / BlockSize)
+		bo := int(off % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > n {
+			chunk = n
+		}
+		if node.Blocks[bi] == 0 {
+			// Sparse hole: zeros.
+			out = append(out, make([]byte, chunk)...)
+		} else {
+			data, errno := dev.ReadBlock(node.Blocks[bi])
+			if errno != kernel.OK {
+				return nil, errno
+			}
+			out = append(out, data[bo:bo+chunk]...)
+		}
+		off += int64(chunk)
+		n -= chunk
+	}
+	return out, kernel.OK
+}
+
+// WriteAt writes data at offset off in the file at ino through dev,
+// growing the file as needed. It returns the number of bytes written.
+func (f *FS) WriteAt(dev BlockDevice, ino int64, off int64, data []byte) (int, kernel.Errno) {
+	node, ok := f.inodes.Get(ino)
+	if !ok {
+		return 0, kernel.ENOENT
+	}
+	if node.Type != TypeFile {
+		return 0, kernel.EISDIR
+	}
+	if off < 0 {
+		return 0, kernel.EINVAL
+	}
+	if off+int64(len(data)) > int64(NDirect*BlockSize) {
+		return 0, kernel.ENOSPC
+	}
+	written := 0
+	for written < len(data) {
+		bi := int(off / BlockSize)
+		bo := int(off % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > len(data)-written {
+			chunk = len(data) - written
+		}
+		if node.Blocks[bi] == 0 {
+			b, errno := f.allocBlock()
+			if errno != kernel.OK {
+				f.inodes.Set(ino, node) // keep partial growth consistent
+				return written, errno
+			}
+			node.Blocks[bi] = b
+		}
+		var block []byte
+		if bo != 0 || chunk != BlockSize {
+			// Read-modify-write of a partial block.
+			existing, errno := dev.ReadBlock(node.Blocks[bi])
+			if errno != kernel.OK {
+				return written, errno
+			}
+			block = existing
+		} else {
+			block = make([]byte, BlockSize)
+		}
+		copy(block[bo:], data[written:written+chunk])
+		if errno := dev.WriteBlock(node.Blocks[bi], block); errno != kernel.OK {
+			return written, errno
+		}
+		off += int64(chunk)
+		written += chunk
+	}
+	if off > node.Size {
+		node.Size = off
+	}
+	f.inodes.Set(ino, node)
+	return written, kernel.OK
+}

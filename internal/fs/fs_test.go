@@ -1,0 +1,421 @@
+package fs
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/sim"
+)
+
+func newTestFS() (*FS, *memlog.Store, *MemDevice) {
+	store := memlog.NewStore("vfs", memlog.Optimized)
+	return New(store, 256), store, NewMemDevice(256)
+}
+
+func TestFormatCreatesRoot(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	ino, errno := f.Lookup("/")
+	if errno != kernel.OK || ino != RootIno {
+		t.Fatalf("Lookup(/) = %d, %v", ino, errno)
+	}
+	node, errno := f.Stat(RootIno)
+	if errno != kernel.OK || node.Type != TypeDir {
+		t.Fatalf("Stat(root) = %+v, %v", node, errno)
+	}
+}
+
+func TestCreateLookupUnlink(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	ino, errno := f.Create("/hello")
+	if errno != kernel.OK {
+		t.Fatalf("Create = %v", errno)
+	}
+	got, errno := f.Lookup("/hello")
+	if errno != kernel.OK || got != ino {
+		t.Fatalf("Lookup = %d, %v; want %d", got, errno, ino)
+	}
+	if _, errno := f.Create("/hello"); errno != kernel.EEXIST {
+		t.Fatalf("duplicate Create = %v, want EEXIST", errno)
+	}
+	if errno := f.Unlink("/hello"); errno != kernel.OK {
+		t.Fatalf("Unlink = %v", errno)
+	}
+	if _, errno := f.Lookup("/hello"); errno != kernel.ENOENT {
+		t.Fatalf("Lookup after unlink = %v, want ENOENT", errno)
+	}
+}
+
+func TestMkdirHierarchy(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	if _, errno := f.Mkdir("/a"); errno != kernel.OK {
+		t.Fatalf("Mkdir(/a) = %v", errno)
+	}
+	if _, errno := f.Mkdir("/a/b"); errno != kernel.OK {
+		t.Fatalf("Mkdir(/a/b) = %v", errno)
+	}
+	if _, errno := f.Create("/a/b/f"); errno != kernel.OK {
+		t.Fatalf("Create(/a/b/f) = %v", errno)
+	}
+	if _, errno := f.Lookup("/a/b/f"); errno != kernel.OK {
+		t.Fatalf("Lookup(/a/b/f) = %v", errno)
+	}
+	if _, errno := f.Create("/missing/f"); errno != kernel.ENOENT {
+		t.Fatalf("Create under missing dir = %v, want ENOENT", errno)
+	}
+	if _, errno := f.Lookup("/a/b/f/x"); errno != kernel.ENOTDIR {
+		t.Fatalf("Lookup through file = %v, want ENOTDIR", errno)
+	}
+}
+
+func TestUnlinkNonEmptyDirRefused(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	f.Mkdir("/d")
+	f.Create("/d/f")
+	if errno := f.Unlink("/d"); errno != kernel.EINVAL {
+		t.Fatalf("Unlink(non-empty dir) = %v, want EINVAL", errno)
+	}
+	f.Unlink("/d/f")
+	if errno := f.Unlink("/d"); errno != kernel.OK {
+		t.Fatalf("Unlink(empty dir) = %v", errno)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	f.Create("/x")
+	f.Mkdir("/sub")
+	f.Create("/sub/y")
+	names, errno := f.ReadDir("/")
+	if errno != kernel.OK {
+		t.Fatalf("ReadDir = %v", errno)
+	}
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "sub" || names[1] != "x" {
+		t.Fatalf("ReadDir(/) = %v", names)
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	ino, _ := f.Create("/data")
+	payload := bytes.Repeat([]byte("osiris"), 1000) // 6000 bytes, crosses blocks
+	n, errno := f.WriteAt(dev, ino, 0, payload)
+	if errno != kernel.OK || n != len(payload) {
+		t.Fatalf("WriteAt = %d, %v", n, errno)
+	}
+	got, errno := f.ReadAt(dev, ino, 0, len(payload))
+	if errno != kernel.OK || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAt returned %d bytes, errno %v", len(got), errno)
+	}
+	node, _ := f.Stat(ino)
+	if node.Size != int64(len(payload)) {
+		t.Fatalf("Size = %d, want %d", node.Size, len(payload))
+	}
+}
+
+func TestPartialAndOffsetIO(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	ino, _ := f.Create("/data")
+	f.WriteAt(dev, ino, 0, []byte("hello world"))
+	f.WriteAt(dev, ino, 6, []byte("osiris"))
+	got, _ := f.ReadAt(dev, ino, 0, 100)
+	if string(got) != "hello osiris" {
+		t.Fatalf("content = %q", got)
+	}
+	mid, _ := f.ReadAt(dev, ino, 6, 3)
+	if string(mid) != "osi" {
+		t.Fatalf("offset read = %q", mid)
+	}
+}
+
+func TestSparseFileReadsZeros(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	ino, _ := f.Create("/sparse")
+	f.WriteAt(dev, ino, 2*BlockSize, []byte("tail"))
+	got, errno := f.ReadAt(dev, ino, 0, BlockSize)
+	if errno != kernel.OK {
+		t.Fatalf("ReadAt = %v", errno)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("sparse hole not zero-filled")
+		}
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	ino, _ := f.Create("/f")
+	f.WriteAt(dev, ino, 0, []byte("ab"))
+	got, errno := f.ReadAt(dev, ino, 2, 10)
+	if errno != kernel.OK || len(got) != 0 {
+		t.Fatalf("read at EOF = %d bytes, %v", len(got), errno)
+	}
+}
+
+func TestFileSizeLimit(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	ino, _ := f.Create("/big")
+	_, errno := f.WriteAt(dev, ino, int64(NDirect*BlockSize)-1, []byte("xy"))
+	if errno != kernel.ENOSPC {
+		t.Fatalf("write past max size = %v, want ENOSPC", errno)
+	}
+}
+
+func TestTruncateFreesBlocks(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	free0 := f.FreeBlockCount()
+	ino, _ := f.Create("/f")
+	f.WriteAt(dev, ino, 0, make([]byte, 3*BlockSize))
+	if f.FreeBlockCount() != free0-3 {
+		t.Fatalf("free blocks = %d, want %d", f.FreeBlockCount(), free0-3)
+	}
+	if errno := f.Truncate(ino); errno != kernel.OK {
+		t.Fatalf("Truncate = %v", errno)
+	}
+	if f.FreeBlockCount() != free0 {
+		t.Fatalf("free blocks after truncate = %d, want %d", f.FreeBlockCount(), free0)
+	}
+	node, _ := f.Stat(ino)
+	if node.Size != 0 {
+		t.Fatalf("Size after truncate = %d", node.Size)
+	}
+}
+
+func TestUnlinkFreesBlocks(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	free0 := f.FreeBlockCount()
+	ino, _ := f.Create("/f")
+	f.WriteAt(dev, ino, 0, make([]byte, 2*BlockSize))
+	f.Unlink("/f")
+	if f.FreeBlockCount() != free0 {
+		t.Fatalf("free blocks after unlink = %d, want %d", f.FreeBlockCount(), free0)
+	}
+	if _, errno := f.ReadAt(dev, ino, 0, 1); errno != kernel.ENOENT {
+		t.Fatalf("read of unlinked inode = %v, want ENOENT", errno)
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	store := memlog.NewStore("vfs", memlog.Baseline)
+	f := New(store, 4) // blocks 1..3 usable
+	dev := NewMemDevice(4)
+	ino, _ := f.Create("/f")
+	n, errno := f.WriteAt(dev, ino, 0, make([]byte, 10*BlockSize))
+	if errno != kernel.ENOSPC {
+		t.Fatalf("errno = %v, want ENOSPC", errno)
+	}
+	if n != 3*BlockSize {
+		t.Fatalf("wrote %d, want %d", n, 3*BlockSize)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	f, _, dev := newTestFS()
+	_ = dev
+	if _, errno := f.Lookup("relative"); errno != kernel.EINVAL {
+		t.Fatalf("relative path = %v, want EINVAL", errno)
+	}
+	if _, errno := f.Lookup(""); errno != kernel.EINVAL {
+		t.Fatalf("empty path = %v, want EINVAL", errno)
+	}
+	// Dot and dot-dot are normalized.
+	f.Mkdir("/a")
+	f.Create("/a/f")
+	if _, errno := f.Lookup("/a/./f"); errno != kernel.OK {
+		t.Fatalf("dot path = %v", errno)
+	}
+	if _, errno := f.Lookup("/a/../a/f"); errno != kernel.OK {
+		t.Fatalf("dotdot path = %v", errno)
+	}
+	if _, errno := f.Lookup("/../a/f"); errno != kernel.OK {
+		t.Fatalf("dotdot above root = %v", errno)
+	}
+}
+
+func TestMetadataRollback(t *testing.T) {
+	// A VFS crash inside a recovery window must roll metadata back: the
+	// half-created file disappears and its blocks are free again.
+	store := memlog.NewStore("vfs", memlog.Optimized)
+	f := New(store, 64)
+	dev := NewMemDevice(64)
+	f.Create("/stable")
+	free0 := f.FreeBlockCount()
+
+	store.SetLogging(true)
+	store.Checkpoint()
+	ino, _ := f.Create("/doomed")
+	f.WriteAt(dev, ino, 0, make([]byte, 2*BlockSize))
+	store.Rollback()
+
+	if _, errno := f.Lookup("/doomed"); errno != kernel.ENOENT {
+		t.Fatalf("rolled-back file still present: %v", errno)
+	}
+	if _, errno := f.Lookup("/stable"); errno != kernel.OK {
+		t.Fatalf("pre-checkpoint file lost: %v", errno)
+	}
+	if f.FreeBlockCount() != free0 {
+		t.Fatalf("free blocks = %d, want %d after rollback", f.FreeBlockCount(), free0)
+	}
+}
+
+func TestRemountOnClonedStoreKeepsData(t *testing.T) {
+	store := memlog.NewStore("vfs", memlog.Optimized)
+	dev := NewMemDevice(64)
+	f := New(store, 64)
+	ino, _ := f.Create("/persist")
+	f.WriteAt(dev, ino, 0, []byte("survives recovery"))
+
+	clone := store.Clone()
+	f2 := New(clone, 64) // must NOT re-format
+	got, errno := f2.ReadAt(dev, ino, 0, 64)
+	if errno != kernel.OK || string(got) != "survives recovery" {
+		t.Fatalf("after remount: %q, %v", got, errno)
+	}
+}
+
+// TestPropertyBlockAccounting: for any sequence of create/write/unlink
+// operations, allocated + free block counts always equal the initial
+// free count, and all live file contents stay readable.
+func TestPropertyBlockAccounting(t *testing.T) {
+	fn := func(seed uint64, opsRaw uint8) bool {
+		r := sim.NewRNG(seed)
+		store := memlog.NewStore("vfs", memlog.Baseline)
+		f := New(store, 128)
+		dev := NewMemDevice(128)
+		initial := f.FreeBlockCount()
+		live := make(map[string]int64)
+		names := []string{"/f0", "/f1", "/f2", "/f3"}
+
+		ops := int(opsRaw)%60 + 10
+		for i := 0; i < ops; i++ {
+			name := names[r.Intn(len(names))]
+			switch r.Intn(3) {
+			case 0:
+				if ino, errno := f.Create(name); errno == kernel.OK {
+					live[name] = ino
+				}
+			case 1:
+				if ino, ok := live[name]; ok {
+					f.WriteAt(dev, ino, int64(r.Intn(3*BlockSize)), make([]byte, r.Intn(2*BlockSize)))
+				}
+			case 2:
+				if errno := f.Unlink(name); errno == kernel.OK {
+					delete(live, name)
+				}
+			}
+		}
+		allocated := 0
+		for _, ino := range live {
+			node, errno := f.Stat(ino)
+			if errno != kernel.OK {
+				return false
+			}
+			for _, b := range node.Blocks {
+				if b != 0 {
+					allocated++
+				}
+			}
+		}
+		return allocated+f.FreeBlockCount() == initial
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameBasic(t *testing.T) {
+	f, _, dev := newTestFS()
+	ino, _ := f.Create("/old")
+	f.WriteAt(dev, ino, 0, []byte("payload"))
+	if errno := f.Rename("/old", "/new"); errno != kernel.OK {
+		t.Fatalf("Rename = %v", errno)
+	}
+	if _, errno := f.Lookup("/old"); errno != kernel.ENOENT {
+		t.Fatalf("old path survives: %v", errno)
+	}
+	got, errno := f.ReadAt(dev, ino, 0, 16)
+	if errno != kernel.OK || string(got) != "payload" {
+		t.Fatalf("content after rename: %q %v", got, errno)
+	}
+	if newIno, _ := f.Lookup("/new"); newIno != ino {
+		t.Fatalf("inode changed across rename")
+	}
+}
+
+func TestRenameReplacesFile(t *testing.T) {
+	f, _, dev := newTestFS()
+	free0 := f.FreeBlockCount()
+	src, _ := f.Create("/src")
+	f.WriteAt(dev, src, 0, []byte("s"))
+	dst, _ := f.Create("/dst")
+	f.WriteAt(dev, dst, 0, make([]byte, 2*BlockSize))
+	if errno := f.Rename("/src", "/dst"); errno != kernel.OK {
+		t.Fatalf("Rename = %v", errno)
+	}
+	// The replaced file's blocks are freed; only /dst's one block lives.
+	if f.FreeBlockCount() != free0-1 {
+		t.Fatalf("free blocks = %d, want %d", f.FreeBlockCount(), free0-1)
+	}
+	if ino, _ := f.Lookup("/dst"); ino != src {
+		t.Fatal("destination not replaced by source inode")
+	}
+}
+
+func TestRenameAcrossDirsAndErrors(t *testing.T) {
+	f, _, _ := newTestFS()
+	f.Mkdir("/a")
+	f.Mkdir("/b")
+	f.Create("/a/f")
+	if errno := f.Rename("/a/f", "/b/g"); errno != kernel.OK {
+		t.Fatalf("cross-dir rename = %v", errno)
+	}
+	if _, errno := f.Lookup("/b/g"); errno != kernel.OK {
+		t.Fatalf("moved file missing: %v", errno)
+	}
+	if errno := f.Rename("/missing", "/x"); errno != kernel.ENOENT {
+		t.Fatalf("rename missing = %v", errno)
+	}
+	if errno := f.Rename("/b/g", "/a"); errno != kernel.EISDIR {
+		t.Fatalf("rename onto dir = %v, want EISDIR", errno)
+	}
+	// Renaming a path to itself is a no-op.
+	if errno := f.Rename("/b/g", "/b/g"); errno != kernel.OK {
+		t.Fatalf("self rename = %v", errno)
+	}
+	// Moving a directory between parents updates link counts.
+	f.Mkdir("/a/sub")
+	aBefore, _ := f.Stat(mustLookup(t, f, "/a"))
+	if errno := f.Rename("/a/sub", "/b/sub"); errno != kernel.OK {
+		t.Fatalf("dir rename = %v", errno)
+	}
+	aAfter, _ := f.Stat(mustLookup(t, f, "/a"))
+	if aAfter.Nlink != aBefore.Nlink-1 {
+		t.Fatalf("source parent nlink %d -> %d, want decrement", aBefore.Nlink, aAfter.Nlink)
+	}
+}
+
+func mustLookup(t *testing.T, f *FS, path string) int64 {
+	t.Helper()
+	ino, errno := f.Lookup(path)
+	if errno != kernel.OK {
+		t.Fatalf("Lookup(%s) = %v", path, errno)
+	}
+	return ino
+}

@@ -1,0 +1,42 @@
+package fs
+
+import "repro/internal/kernel"
+
+// MemDevice is a trivial in-memory BlockDevice for unit tests and for
+// running the filesystem outside the full OS.
+type MemDevice struct {
+	blocks [][]byte
+}
+
+var _ BlockDevice = (*MemDevice)(nil)
+
+// NewMemDevice returns a device with n blocks.
+func NewMemDevice(n int32) *MemDevice {
+	return &MemDevice{blocks: make([][]byte, n)}
+}
+
+// Blocks reports the device capacity.
+func (d *MemDevice) Blocks() int32 { return int32(len(d.blocks)) }
+
+// ReadBlock returns the contents of block b.
+func (d *MemDevice) ReadBlock(b int32) ([]byte, kernel.Errno) {
+	if b < 0 || int(b) >= len(d.blocks) {
+		return nil, kernel.EIO
+	}
+	out := make([]byte, BlockSize)
+	if d.blocks[b] != nil {
+		copy(out, d.blocks[b])
+	}
+	return out, kernel.OK
+}
+
+// WriteBlock overwrites block b.
+func (d *MemDevice) WriteBlock(b int32, data []byte) kernel.Errno {
+	if b < 0 || int(b) >= len(d.blocks) {
+		return kernel.EIO
+	}
+	buf := make([]byte, BlockSize)
+	copy(buf, data)
+	d.blocks[b] = buf
+	return kernel.OK
+}

@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"container/heap"
+
+	"repro/internal/sim"
+)
+
+// alarm is a pending timer: at deadline, deliver MsgAlarm to ep.
+type alarm struct {
+	deadline sim.Cycles
+	ep       Endpoint
+	seq      uint64 // tie-breaker for determinism
+}
+
+// alarmHeap orders alarms by (deadline, seq).
+type alarmHeap []alarm
+
+func (h alarmHeap) Len() int { return len(h) }
+func (h alarmHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h alarmHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *alarmHeap) Push(x any)   { *h = append(*h, x.(alarm)) }
+func (h *alarmHeap) Pop() any     { old := *h; n := len(old); a := old[n-1]; *h = old[:n-1]; return a }
+
+// addAlarm schedules an alarm delivery.
+func (k *Kernel) addAlarm(ep Endpoint, deadline sim.Cycles) {
+	k.alarmSeq++
+	heap.Push((*alarmHeap)(&k.alarms), alarm{deadline: deadline, ep: ep, seq: k.alarmSeq})
+}
+
+// fireDueAlarms delivers every alarm whose deadline has passed.
+func (k *Kernel) fireDueAlarms() {
+	h := (*alarmHeap)(&k.alarms)
+	for h.Len() > 0 && (*h)[0].deadline <= k.clock.Now() {
+		a := heap.Pop(h).(alarm)
+		k.deliverAlarm(a)
+	}
+}
+
+// advanceToNextAlarm jumps virtual time to the earliest pending alarm
+// when the machine is otherwise idle. It reports whether an alarm was
+// fired.
+func (k *Kernel) advanceToNextAlarm() bool {
+	h := (*alarmHeap)(&k.alarms)
+	for h.Len() > 0 {
+		a := heap.Pop(h).(alarm)
+		if p := k.procs[a.ep]; p == nil || !p.Alive() {
+			continue // stale alarm for a dead process
+		}
+		if a.deadline > k.clock.Now() {
+			k.clock.Advance(a.deadline - k.clock.Now())
+		}
+		k.deliverAlarm(a)
+		return true
+	}
+	return false
+}
+
+func (k *Kernel) deliverAlarm(a alarm) {
+	p := k.procs[a.ep]
+	if p == nil || !p.Alive() {
+		return
+	}
+	p.inbox = append(p.inbox, Message{Type: MsgAlarm, From: EpKernel, To: a.ep})
+	k.counters.Add("kernel.alarms_fired", 1)
+}

@@ -1,0 +1,238 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/memlog"
+	"repro/internal/seep"
+	"repro/internal/sim"
+)
+
+// Context is the system-call surface a process body uses to interact
+// with the kernel: IPC, time, instrumentation points. A Context is
+// bound to one process and must only be used from that process's body.
+type Context struct {
+	k *Kernel
+	p *Process
+}
+
+// Endpoint returns the endpoint of the calling process.
+func (c *Context) Endpoint() Endpoint { return c.p.ep }
+
+// ProcName returns the process name (diagnostics).
+func (c *Context) ProcName() string { return c.p.name }
+
+// Kernel exposes the kernel for privileged components (PM, the
+// recovery engine). User programs must not use it.
+func (c *Context) Kernel() *Kernel { return c.k }
+
+// Now returns the current virtual time.
+func (c *Context) Now() sim.Cycles { return c.k.clock.Now() }
+
+// Store-instrumentation surcharges on server computation. Server code
+// is dense with memory writes; the LLVM pass instruments every one of
+// them, so instrumented cycles run slower. While write logging is
+// active each tick pays the full undo-log surcharge; in the optimized
+// build, out-of-window code runs on the uninstrumented clone and pays
+// only the window check at loop boundaries (§IV-D); the unoptimized
+// build pays the full surcharge all the time.
+const (
+	// loggedTickNum/loggedTickDen: surcharge while logging (70%).
+	loggedTickNum, loggedTickDen = 7, 10
+	// checkTickDen: surcharge of the cloned fast path (4%).
+	checkTickDen = 25
+)
+
+// Tick charges n cycles of computation to the virtual clock (plus the
+// instrumentation surcharge for server code), accounts them against
+// the recovery window, and cooperatively yields when the scheduling
+// quantum is exhausted.
+func (c *Context) Tick(n sim.Cycles) {
+	if c.p.isServer {
+		if scale := c.k.cost.ServerWorkScale; scale > 1 {
+			n *= scale
+		}
+	}
+	if st := c.p.store; st != nil {
+		switch {
+		case st.Logging():
+			n += n * loggedTickNum / loggedTickDen
+		case st.Mode() == memlog.Optimized:
+			n += n / checkTickDen
+		}
+	}
+	c.k.clock.Advance(n)
+	if c.p.window != nil {
+		c.p.window.AccountCycles(n)
+	}
+	c.p.quantumUsed += n
+	if c.p.quantumUsed >= c.k.cost.Quantum {
+		c.p.quantumUsed = 0
+		c.Yield()
+	}
+}
+
+// Yield hands the CPU to the scheduler, staying runnable.
+func (c *Context) Yield() {
+	c.p.state = stateRunnable
+	c.p.yieldToKernel()
+}
+
+// Point marks an instrumentation point (the analogue of a basic block
+// that EDFI could instrument): it feeds recovery-coverage accounting
+// and gives the fault injector a place to trigger.
+func (c *Context) Point(site string) {
+	c.k.point(c.p, site)
+}
+
+// Receive blocks until a message is available and returns it. For
+// servers, it also records the in-flight request for reconciliation.
+func (c *Context) Receive() Message {
+	for len(c.p.inbox) == 0 {
+		c.p.state = stateReceiving
+		c.p.yieldToKernel()
+	}
+	m := c.p.inbox[0]
+	c.p.inbox = c.p.inbox[1:]
+	c.p.state = stateRunnable
+	c.k.chargeIPC()
+	if c.p.isServer {
+		c.p.curSender = m.From
+		c.p.curNeedsReply = m.NeedsReply
+	}
+	c.k.trace("recv: %s(%d) <- %d type=%d t=%d", c.p.name, c.p.ep, m.From, m.Type, c.k.clock.Now())
+	return m
+}
+
+// TryReceive returns a queued message without blocking, if any.
+func (c *Context) TryReceive() (Message, bool) {
+	if len(c.p.inbox) == 0 {
+		return Message{}, false
+	}
+	m := c.p.inbox[0]
+	c.p.inbox = c.p.inbox[1:]
+	c.k.chargeIPC()
+	if c.p.isServer {
+		c.p.curSender = m.From
+		c.p.curNeedsReply = m.NeedsReply
+	}
+	return m, true
+}
+
+// SendRec sends m to dst and blocks until dst replies (or recovery
+// replies on its behalf). The reply's Errno field carries the status;
+// on IPC-level failure a synthetic reply with the errno is returned.
+func (c *Context) SendRec(dst Endpoint, m Message) Message {
+	target := c.k.procs[dst]
+	if target == nil || !target.Alive() {
+		return Message{From: dst, To: c.p.ep, Errno: EDEADSRCDST}
+	}
+	c.k.chargeIPC()
+	m.From = c.p.ep
+	m.To = dst
+	m.NeedsReply = true
+	target.inbox = append(target.inbox, m)
+
+	c.p.state = stateSendRec
+	c.p.waitFrom = dst
+	c.p.reply = nil
+	for c.p.reply == nil {
+		c.p.yieldToKernel()
+	}
+	reply := *c.p.reply
+	c.p.reply = nil
+	c.p.waitFrom = EpNone
+	c.p.state = stateRunnable
+	return reply
+}
+
+// Call is the SEEP-aware SendRec used by servers for inter-component
+// requests: the recovery window observes the passage before the
+// message leaves the component.
+func (c *Context) Call(p seep.Passage, dst Endpoint, m Message) Message {
+	if c.p.window != nil {
+		c.p.window.ObservePassage(p)
+	}
+	return c.SendRec(dst, m)
+}
+
+// Send delivers m to dst asynchronously (no reply expected).
+func (c *Context) Send(dst Endpoint, m Message) Errno {
+	target := c.k.procs[dst]
+	if target == nil || !target.Alive() {
+		return EDEADSRCDST
+	}
+	c.k.chargeIPC()
+	m.From = c.p.ep
+	m.To = dst
+	m.NeedsReply = false
+	target.inbox = append(target.inbox, m)
+	return OK
+}
+
+// SendSeep is the SEEP-aware asynchronous send.
+func (c *Context) SendSeep(p seep.Passage, dst Endpoint, m Message) Errno {
+	if c.p.window != nil {
+		c.p.window.ObservePassage(p)
+	}
+	return c.Send(dst, m)
+}
+
+// Reply answers the request of `to`. It is a state-modifying passage
+// (information leaves the component), so the recovery window closes.
+func (c *Context) Reply(to Endpoint, m Message) {
+	if c.p.window != nil {
+		c.p.window.ObservePassage(seep.Passage{Name: c.p.name + ".reply", Class: seep.ClassReply})
+	}
+	if override, ok := c.k.replyErrnoOverride[c.p.ep]; ok {
+		delete(c.k.replyErrnoOverride, c.p.ep)
+		m.Errno = override
+	}
+	c.k.chargeIPC()
+	if err := c.k.DeliverReply(c.p.ep, to, m); err != nil {
+		// The caller died while we processed its request; drop the reply.
+		c.k.counters.Add("kernel.replies_dropped", 1)
+	}
+}
+
+// ReplyErr is shorthand for replying with only an error status.
+func (c *Context) ReplyErr(to Endpoint, errno Errno) {
+	c.Reply(to, Message{Errno: errno})
+}
+
+// Notify sends a lightweight kernel-style notification (asynchronous,
+// non-state-carrying) to dst.
+func (c *Context) Notify(dst Endpoint, t MsgType) Errno {
+	if c.p.window != nil {
+		c.p.window.ObservePassage(seep.Passage{Name: c.p.name + ".notify", Class: seep.ClassNotify})
+	}
+	return c.Send(dst, Message{Type: t})
+}
+
+// SetAlarm schedules a MsgAlarm delivery to the caller after delay
+// cycles of virtual time.
+func (c *Context) SetAlarm(delay sim.Cycles) {
+	c.k.addAlarm(c.p.ep, c.k.clock.Now()+delay)
+}
+
+// Crash fail-stops the calling component immediately, as a defensive
+// assertion would (paper §II-E). Never returns.
+func (c *Context) Crash(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+// Hang burns cycles forever; the quantum mechanism keeps the machine
+// live, and the run ends by cycle limit (classified as a hang) unless a
+// heartbeat notices first. It models hung-component faults.
+func (c *Context) Hang() {
+	for {
+		c.Tick(c.k.cost.Quantum)
+	}
+}
+
+// Window returns the component's recovery window (nil for user
+// processes). Exposed for the recovery engine and instrumentation.
+func (c *Context) Window() *seep.Window { return c.p.window }
+
+// Process returns the Context's process handle (privileged users only).
+func (c *Context) Process() *Process { return c.p }

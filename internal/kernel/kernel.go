@@ -1,0 +1,508 @@
+// Package kernel implements the microkernel substrate of the simulated
+// compartmentalized operating system: endpoints, synchronous message
+// passing, a deterministic cooperative scheduler, crash trapping, alarms
+// and the virtual-cycle cost model.
+//
+// Every simulated process — OS server or user program — is a goroutine
+// that runs only while it holds the kernel baton. It yields the baton
+// when it blocks in Receive/SendRec, when its scheduling quantum
+// expires inside Tick, or when it exits or crashes. Exactly one
+// goroutine runs at any moment, so the entire machine is deterministic
+// given its seed.
+//
+// A panic inside a process is trapped by the kernel and treated as a
+// fail-stop crash of that component (paper §II-E): the kernel records
+// the crash and invokes the registered recovery handler (the OSIRIS
+// recovery engine) in kernel context with userland stalled.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/seep"
+	"repro/internal/sim"
+)
+
+// Endpoint identifies a process (server or user program) for IPC.
+type Endpoint int
+
+// Well-known endpoints. Servers get fixed endpoints at boot; user
+// processes are allocated from EpUserBase upward.
+const (
+	// EpNone is the zero, invalid endpoint.
+	EpNone Endpoint = 0
+	// EpKernel is the source of kernel-generated messages (alarms,
+	// crash notifications). It is not a schedulable process.
+	EpKernel Endpoint = 1
+	// EpRS is the Recovery Server.
+	EpRS Endpoint = 2
+	// EpPM is the Process Manager.
+	EpPM Endpoint = 3
+	// EpVM is the Virtual Memory Manager.
+	EpVM Endpoint = 4
+	// EpVFS is the Virtual File System server.
+	EpVFS Endpoint = 5
+	// EpDS is the Data Store.
+	EpDS Endpoint = 6
+	// EpDriver is the block device driver.
+	EpDriver Endpoint = 7
+	// EpUserBase is the first endpoint handed to user processes.
+	EpUserBase Endpoint = 100
+)
+
+// MsgType discriminates message payloads. Values below 100 are reserved
+// for the kernel; the proto package defines the server protocols.
+type MsgType int32
+
+const (
+	// MsgAlarm is delivered from EpKernel when a requested alarm fires.
+	MsgAlarm MsgType = 1
+	// MsgCrashNotify is delivered from EpKernel to the Recovery Server
+	// after a component crash has been handled, so RS can account for it.
+	MsgCrashNotify MsgType = 2
+)
+
+// Errno is a system error code carried in replies.
+type Errno int32
+
+// Error codes. OK must be zero so a zero-valued reply means success.
+const (
+	OK Errno = 0
+	// ECRASH reports that the server handling the request crashed and
+	// the request was aborted by recovery (error virtualization).
+	ECRASH Errno = 1 + iota
+	// EDEADSRCDST reports that the destination endpoint does not exist
+	// or is dead.
+	EDEADSRCDST
+	// ESHUTDOWN reports that the system is shutting down.
+	ESHUTDOWN
+	// ENOENT reports a missing file or object.
+	ENOENT
+	// EEXIST reports that an object already exists.
+	EEXIST
+	// EBADF reports an invalid descriptor.
+	EBADF
+	// EINVAL reports an invalid argument.
+	EINVAL
+	// ENOMEM reports memory exhaustion.
+	ENOMEM
+	// ENOSPC reports block or table exhaustion.
+	ENOSPC
+	// ECHILD reports that no waitable child exists.
+	ECHILD
+	// ESRCH reports that no such process exists.
+	ESRCH
+	// EAGAIN reports a transient resource shortage.
+	EAGAIN
+	// EPIPE reports a write to a pipe with no reader.
+	EPIPE
+	// EISDIR reports a file operation on a directory.
+	EISDIR
+	// ENOTDIR reports a directory operation on a non-directory.
+	ENOTDIR
+	// EIO reports a device input/output error.
+	EIO
+	// EPERM reports an operation that the caller may not perform.
+	EPERM
+	// ENOSYS reports an unimplemented request type.
+	ENOSYS
+)
+
+// String renders the errno symbolically.
+func (e Errno) String() string {
+	switch e {
+	case OK:
+		return "OK"
+	case ECRASH:
+		return "ECRASH"
+	case EDEADSRCDST:
+		return "EDEADSRCDST"
+	case ESHUTDOWN:
+		return "ESHUTDOWN"
+	case ENOENT:
+		return "ENOENT"
+	case EEXIST:
+		return "EEXIST"
+	case EBADF:
+		return "EBADF"
+	case EINVAL:
+		return "EINVAL"
+	case ENOMEM:
+		return "ENOMEM"
+	case ENOSPC:
+		return "ENOSPC"
+	case ECHILD:
+		return "ECHILD"
+	case ESRCH:
+		return "ESRCH"
+	case EAGAIN:
+		return "EAGAIN"
+	case EPIPE:
+		return "EPIPE"
+	case EISDIR:
+		return "EISDIR"
+	case ENOTDIR:
+		return "ENOTDIR"
+	case EIO:
+		return "EIO"
+	case EPERM:
+		return "EPERM"
+	case ENOSYS:
+		return "ENOSYS"
+	default:
+		return fmt.Sprintf("Errno(%d)", int32(e))
+	}
+}
+
+// Message is the unit of IPC. Payload fields are generic registers, as
+// in MINIX message structs; each protocol documents its usage.
+type Message struct {
+	Type       MsgType
+	From, To   Endpoint
+	NeedsReply bool
+	Errno      Errno
+	A, B, C, D int64
+	Str, Str2  string
+	Bytes      []byte
+	Aux        any
+}
+
+// CostModel holds the virtual-cycle costs of kernel operations.
+type CostModel struct {
+	// MsgHop is the cost of transferring one message between address
+	// spaces, including the context switch (microkernel mode).
+	MsgHop sim.Cycles
+	// Trap is the cost of a syscall trap in monolithic mode.
+	Trap sim.Cycles
+	// Monolithic selects the monolithic-kernel cost model used as the
+	// "Linux" baseline of Table IV: IPC costs Trap instead of MsgHop.
+	Monolithic bool
+	// Quantum is the number of cycles a process may consume in Tick
+	// before it is preempted (cooperatively, inside Tick).
+	Quantum sim.Cycles
+	// ServerWorkScale multiplies Tick charges inside OS servers,
+	// calibrating handler instruction volume against IPC cost (real
+	// servers execute far more instructions per request than one
+	// message hop costs). Zero means 1.
+	ServerWorkScale sim.Cycles
+}
+
+// DefaultCostModel returns the microkernel cost model used throughout
+// the evaluation.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		MsgHop:          400,
+		Trap:            50,
+		Quantum:         20000,
+		ServerWorkScale: 4,
+	}
+}
+
+// ipcCost returns the cost of one message transfer under the model.
+func (c CostModel) ipcCost() sim.Cycles {
+	if c.Monolithic {
+		return c.Trap / 2
+	}
+	return c.MsgHop
+}
+
+// RunOutcome classifies how a simulation run ended.
+type RunOutcome int
+
+const (
+	// OutcomeCompleted: the root workload process exited normally.
+	OutcomeCompleted RunOutcome = iota + 1
+	// OutcomeShutdown: the recovery engine performed a controlled
+	// shutdown because consistent recovery could not be guaranteed.
+	OutcomeShutdown
+	// OutcomeCrashed: an uncontrolled failure — a panic outside any
+	// recoverable component, a crash during recovery itself, or a
+	// cascading failure the engine gave up on.
+	OutcomeCrashed
+	// OutcomeDeadlock: no process was runnable and no alarm pending
+	// before the workload finished.
+	OutcomeDeadlock
+	// OutcomeHang: the cycle limit was exceeded.
+	OutcomeHang
+)
+
+// String names the outcome.
+func (o RunOutcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeShutdown:
+		return "shutdown"
+	case OutcomeCrashed:
+		return "crashed"
+	case OutcomeDeadlock:
+		return "deadlock"
+	case OutcomeHang:
+		return "hang"
+	default:
+		return fmt.Sprintf("RunOutcome(%d)", int(o))
+	}
+}
+
+// Result summarizes a completed simulation run.
+type Result struct {
+	Outcome RunOutcome
+	Reason  string
+	// Cycles is the virtual time at which the run ended.
+	Cycles sim.Cycles
+}
+
+// CrashInfo describes a trapped component crash, handed to the
+// registered recovery handler.
+type CrashInfo struct {
+	// Victim is the crashed endpoint; Name its component name.
+	Victim Endpoint
+	Name   string
+	// CurSender is the endpoint whose request was in flight (EpNone if
+	// the component was idle), and CurNeedsReply whether that request
+	// expects a reply (whether error virtualization is possible).
+	CurSender     Endpoint
+	CurNeedsReply bool
+	// PanicValue is the recovered panic payload.
+	PanicValue any
+	// DuringRecovery is true when the crash occurred while the recovery
+	// engine was already handling an earlier crash (violating the
+	// single-fault assumption).
+	DuringRecovery bool
+}
+
+// CrashHandler reacts to a component crash in kernel context with
+// userland stalled. Returning an error aborts the run as an
+// uncontrolled crash.
+type CrashHandler func(info CrashInfo) error
+
+// Kernel is one simulated machine.
+type Kernel struct {
+	clock    *sim.Clock
+	rng      *sim.RNG
+	counters *sim.Counters
+	cost     CostModel
+
+	procs  map[Endpoint]*Process
+	order  []Endpoint
+	rrNext int
+
+	kernelCh chan struct{}
+	running  *Process
+
+	pendingCrash *CrashInfo
+	inRecovery   bool
+	crashHandler CrashHandler
+
+	alarms   []alarm
+	alarmSeq uint64
+
+	rootEp Endpoint
+
+	done    bool
+	outcome RunOutcome
+	reason  string
+
+	nextUserEp Endpoint
+
+	pointHook func(ep Endpoint, name, site string)
+	tracer    func(format string, args ...any)
+	// replyErrnoOverride forces the next reply sent by the given
+	// endpoint to carry this errno (EDFI wrong-error fault model).
+	replyErrnoOverride map[Endpoint]Errno
+}
+
+// New creates a machine with the given cost model and seed.
+func New(cost CostModel, seed uint64) *Kernel {
+	return &Kernel{
+		clock:              &sim.Clock{},
+		rng:                sim.NewRNG(seed),
+		counters:           sim.NewCounters(),
+		cost:               cost,
+		procs:              make(map[Endpoint]*Process),
+		kernelCh:           make(chan struct{}),
+		nextUserEp:         EpUserBase,
+		replyErrnoOverride: make(map[Endpoint]Errno),
+	}
+}
+
+// Clock returns the machine's virtual clock.
+func (k *Kernel) Clock() *sim.Clock { return k.clock }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Cycles { return k.clock.Now() }
+
+// RNG returns the machine's root random number generator.
+func (k *Kernel) RNG() *sim.RNG { return k.rng }
+
+// Counters returns the machine's statistics counters.
+func (k *Kernel) Counters() *sim.Counters { return k.counters }
+
+// Cost returns the active cost model.
+func (k *Kernel) Cost() CostModel { return k.cost }
+
+// SetCrashHandler installs the recovery engine invoked on component
+// crashes. Without a handler, any component crash aborts the run.
+func (k *Kernel) SetCrashHandler(h CrashHandler) { k.crashHandler = h }
+
+// SetPointHook installs the fault-injection hook invoked at every
+// instrumentation point of every process.
+func (k *Kernel) SetPointHook(h func(ep Endpoint, name, site string)) { k.pointHook = h }
+
+// SetTracer installs a diagnostic event tracer (nil disables tracing).
+// Events cover message receipt, reply delivery and crash handling.
+func (k *Kernel) SetTracer(t func(format string, args ...any)) { k.tracer = t }
+
+// trace emits a diagnostic event if tracing is enabled.
+func (k *Kernel) trace(format string, args ...any) {
+	if k.tracer != nil {
+		k.tracer(format, args...)
+	}
+}
+
+// SetRootProcess marks ep as the root workload process; its normal exit
+// completes the run.
+func (k *Kernel) SetRootProcess(ep Endpoint) { k.rootEp = ep }
+
+// InRecovery reports whether the kernel is currently executing the
+// crash handler (recovery in progress, userland stalled).
+func (k *Kernel) InRecovery() bool { return k.inRecovery }
+
+// ControlledShutdown stops the machine with OutcomeShutdown. Called by
+// the recovery engine when consistent recovery cannot be guaranteed.
+func (k *Kernel) ControlledShutdown(reason string) {
+	if k.done {
+		return
+	}
+	k.done = true
+	k.outcome = OutcomeShutdown
+	k.reason = reason
+}
+
+// Abort stops the machine with OutcomeCrashed. Used for unrecoverable
+// internal inconsistencies.
+func (k *Kernel) Abort(reason string) {
+	if k.done {
+		return
+	}
+	k.done = true
+	k.outcome = OutcomeCrashed
+	k.reason = reason
+}
+
+// OverrideNextReplyErrno forces the next reply sent by ep to carry
+// errno e (EDFI wrong-error fault emulation).
+func (k *Kernel) OverrideNextReplyErrno(ep Endpoint, e Errno) {
+	k.replyErrnoOverride[ep] = e
+}
+
+// Run drives the machine until the root process exits, a shutdown or
+// crash occurs, deadlock is detected, or cycleLimit is exceeded. It
+// always tears down every process goroutine before returning.
+func (k *Kernel) Run(cycleLimit sim.Cycles) Result {
+	defer k.killAll()
+	for !k.done {
+		if k.clock.Now() > cycleLimit {
+			k.done = true
+			k.outcome = OutcomeHang
+			k.reason = "cycle limit exceeded"
+			break
+		}
+		k.fireDueAlarms()
+		p := k.pickRunnable()
+		if p == nil {
+			if k.advanceToNextAlarm() {
+				continue
+			}
+			k.done = true
+			k.outcome = OutcomeDeadlock
+			k.reason = "no runnable process and no pending alarm: " + k.describeBlocked()
+			break
+		}
+		k.dispatch(p)
+		if k.pendingCrash != nil {
+			info := *k.pendingCrash
+			k.pendingCrash = nil
+			k.handleCrash(info)
+		}
+	}
+	return Result{Outcome: k.outcome, Reason: k.reason, Cycles: k.clock.Now()}
+}
+
+// handleCrash runs the recovery engine in kernel context.
+func (k *Kernel) handleCrash(info CrashInfo) {
+	k.trace("crash: %s(%d) sender=%d replyable=%v panic=%v",
+		info.Name, info.Victim, info.CurSender, info.CurNeedsReply, info.PanicValue)
+	k.counters.Add("kernel.crashes", 1)
+	if k.crashHandler == nil {
+		k.Abort(fmt.Sprintf("component %s crashed with no recovery handler: %v", info.Name, info.PanicValue))
+		return
+	}
+	k.inRecovery = true
+	err := k.invokeCrashHandler(info)
+	k.inRecovery = false
+	if err != nil {
+		k.Abort(fmt.Sprintf("recovery of %s failed: %v", info.Name, err))
+	}
+}
+
+// invokeCrashHandler isolates handler panics: a panic inside the
+// recovery path itself (e.g. an injected fault in component code
+// executed during restart) is an uncontrolled crash.
+func (k *Kernel) invokeCrashHandler(info CrashInfo) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic during recovery: %v", r)
+		}
+	}()
+	return k.crashHandler(info)
+}
+
+// chargeIPC advances the clock by one message-transfer cost.
+func (k *Kernel) chargeIPC() {
+	k.clock.Advance(k.cost.ipcCost())
+	k.counters.Add("kernel.msg_hops", 1)
+}
+
+// Point is invoked by Context.Point; it also serves the recovery
+// coverage accounting.
+func (k *Kernel) point(p *Process, site string) {
+	if p.window != nil {
+		p.window.AccountBlock()
+	}
+	if k.pointHook != nil {
+		k.pointHook(p.ep, p.name, site)
+	}
+}
+
+// describeBlocked summarizes the non-dead processes for deadlock
+// diagnostics.
+func (k *Kernel) describeBlocked() string {
+	out := ""
+	for _, ep := range k.order {
+		p := k.procs[ep]
+		if p == nil || !p.Alive() {
+			continue
+		}
+		state := "runnable"
+		switch p.state {
+		case stateReceiving:
+			state = "receiving"
+		case stateSendRec:
+			state = fmt.Sprintf("sendrec->%d", p.waitFrom)
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s(%d):%s", p.name, ep, state)
+	}
+	return out
+}
+
+// windowOf returns the seep window of ep, or nil.
+func (k *Kernel) windowOf(ep Endpoint) *seep.Window {
+	if p := k.procs[ep]; p != nil {
+		return p.window
+	}
+	return nil
+}

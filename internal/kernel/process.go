@@ -1,0 +1,442 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memlog"
+	"repro/internal/seep"
+	"repro/internal/sim"
+)
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	// stateRunnable: parked on the baton, ready to run.
+	stateRunnable procState = iota + 1
+	// stateReceiving: blocked in Receive; runnable once the inbox is
+	// non-empty.
+	stateReceiving
+	// stateSendRec: blocked awaiting a reply from waitFrom; runnable
+	// once the reply is delivered.
+	stateSendRec
+	// stateDead: exited or terminated; never scheduled again.
+	stateDead
+	// stateCrashed: fail-stopped; never scheduled again (its endpoint
+	// may be taken over by a recovery clone).
+	stateCrashed
+)
+
+// token is passed through the baton channel; kill asks the goroutine to
+// unwind and exit without touching kernel state.
+type token struct{ kill bool }
+
+// errKilled is the panic payload used to unwind a killed process.
+type killedSignal struct{}
+
+// Body is the code of a simulated process.
+type Body func(*Context)
+
+// Process is one schedulable entity: an OS server or a user program.
+type Process struct {
+	k        *Kernel
+	ep       Endpoint
+	name     string
+	isServer bool
+	body     Body
+
+	state procState
+	baton chan token
+	gone  chan struct{}
+
+	inbox    []Message
+	waitFrom Endpoint
+	reply    *Message
+
+	quantumUsed sim.Cycles
+
+	// Recovery attachments (servers only; nil for user processes).
+	window *seep.Window
+	store  *memlog.Store
+
+	// In-flight request bookkeeping for reconciliation.
+	curSender     Endpoint
+	curNeedsReply bool
+
+	// onKill releases resources owned by the process body (e.g.
+	// cooperative worker threads) when the goroutine is torn down or
+	// the component is replaced after a crash.
+	onKill func()
+
+	ctx *Context
+}
+
+// Endpoint returns the process endpoint.
+func (p *Process) Endpoint() Endpoint { return p.ep }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Alive reports whether the process can still be scheduled.
+func (p *Process) Alive() bool { return p.state != stateDead && p.state != stateCrashed }
+
+// SetOnKill installs the teardown hook. Process bodies owning auxiliary
+// goroutines (cooperative threads) must set this.
+func (p *Process) SetOnKill(fn func()) { p.onKill = fn }
+
+// ServerConfig attaches recovery machinery to a server process.
+type ServerConfig struct {
+	Window *seep.Window
+	Store  *memlog.Store
+}
+
+// AddServer registers an OS server at a fixed endpoint. The body runs
+// when the scheduler first dispatches the process.
+func (k *Kernel) AddServer(ep Endpoint, name string, body Body, cfg ServerConfig) *Process {
+	p := k.addProcess(ep, name, body, true)
+	p.window = cfg.Window
+	p.store = cfg.Store
+	return p
+}
+
+// SpawnUser creates a user process with a fresh endpoint and returns it.
+func (k *Kernel) SpawnUser(name string, body Body) *Process {
+	ep := k.nextUserEp
+	k.nextUserEp++
+	return k.addProcess(ep, name, body, false)
+}
+
+func (k *Kernel) addProcess(ep Endpoint, name string, body Body, isServer bool) *Process {
+	if _, dup := k.procs[ep]; dup {
+		panic(fmt.Sprintf("kernel: endpoint %d already registered", ep))
+	}
+	p := &Process{
+		k:        k,
+		ep:       ep,
+		name:     name,
+		isServer: isServer,
+		body:     body,
+		state:    stateRunnable,
+		baton:    make(chan token),
+		gone:     make(chan struct{}),
+	}
+	p.ctx = &Context{k: k, p: p}
+	k.procs[ep] = p
+	k.insertIntoOrder(ep)
+	p.start()
+	k.counters.Add("kernel.procs_created", 1)
+	return p
+}
+
+// insertIntoOrder keeps the scheduling order sorted by endpoint so that
+// runs are deterministic regardless of creation interleaving.
+func (k *Kernel) insertIntoOrder(ep Endpoint) {
+	i := sort.Search(len(k.order), func(i int) bool { return k.order[i] >= ep })
+	k.order = append(k.order, 0)
+	copy(k.order[i+1:], k.order[i:])
+	k.order[i] = ep
+}
+
+// start launches the process goroutine, parked on the baton.
+func (p *Process) start() {
+	go func() {
+		defer close(p.gone)
+		tok := <-p.baton
+		if tok.kill {
+			return
+		}
+		killed := p.runBody()
+		if killed {
+			// A killed process never signals the kernel: the killer owns
+			// the control flow and waits on p.gone.
+			return
+		}
+		p.k.kernelCh <- struct{}{}
+	}()
+}
+
+// runBody executes the process body, trapping crashes. It reports
+// whether the body was unwound by a kill.
+func (p *Process) runBody() (killed bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, isKill := r.(killedSignal); isKill {
+			killed = true
+			p.state = stateDead
+			return
+		}
+		// Fail-stop crash: record it for the kernel loop.
+		p.state = stateCrashed
+		p.k.counters.Add("kernel.panics_trapped", 1)
+		p.k.pendingCrash = &CrashInfo{
+			Victim:         p.ep,
+			Name:           p.name,
+			CurSender:      p.curSender,
+			CurNeedsReply:  p.curNeedsReply,
+			PanicValue:     r,
+			DuringRecovery: p.k.inRecovery,
+		}
+	}()
+	p.body(p.ctx)
+	p.state = stateDead
+	p.k.noteExit(p)
+	return false
+}
+
+// yieldToKernel hands the baton back and blocks until re-dispatched.
+// It panics with killedSignal when the kernel tears the process down.
+func (p *Process) yieldToKernel() {
+	p.k.kernelCh <- struct{}{}
+	tok := <-p.baton
+	if tok.kill {
+		panic(killedSignal{})
+	}
+}
+
+// schedulable reports whether the scheduler may dispatch the process.
+func (p *Process) schedulable() bool {
+	switch p.state {
+	case stateRunnable:
+		return true
+	case stateReceiving:
+		return len(p.inbox) > 0
+	case stateSendRec:
+		return p.reply != nil
+	default:
+		return false
+	}
+}
+
+// pickRunnable selects the next schedulable process round-robin.
+func (k *Kernel) pickRunnable() *Process {
+	n := len(k.order)
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		idx := (k.rrNext + i) % n
+		p := k.procs[k.order[idx]]
+		if p != nil && p.schedulable() {
+			k.rrNext = (idx + 1) % n
+			return p
+		}
+	}
+	return nil
+}
+
+// dispatch hands the baton to p and waits for it to yield back.
+func (k *Kernel) dispatch(p *Process) {
+	k.running = p
+	k.counters.Add("kernel.dispatches", 1)
+	p.baton <- token{}
+	<-k.kernelCh
+	k.running = nil
+}
+
+// noteExit handles normal termination of a process body.
+func (k *Kernel) noteExit(p *Process) {
+	if p.ep == k.rootEp && !k.done {
+		k.done = true
+		k.outcome = OutcomeCompleted
+		k.reason = "root process exited"
+	}
+}
+
+// TerminateProcess forcibly ends a parked process (used by PM for exit
+// and kill). It must not be called on the currently running process —
+// a process terminates itself by returning from its body.
+func (k *Kernel) TerminateProcess(ep Endpoint) Errno {
+	p := k.procs[ep]
+	if p == nil || !p.Alive() {
+		return ESRCH
+	}
+	if p == k.running {
+		panic("kernel: TerminateProcess on the running process")
+	}
+	k.killProcess(p)
+	return OK
+}
+
+// killProcess tears down the goroutine of a parked, alive process.
+//
+// Ordering matters: the kill token goes through the baton FIRST. If the
+// process owns cooperative worker threads, the goroutine currently
+// parked on the baton may be a worker (it yielded to the kernel from
+// inside a job); the kill then unwinds worker → main loop naturally.
+// Only afterwards does onKill reap the workers still parked on their
+// own channels — doing it first deadlocks against a baton-parked worker.
+func (k *Kernel) killProcess(p *Process) {
+	if p.ep == k.rootEp && !k.done {
+		// The root workload process ended (exit syscall or kill):
+		// the run is complete.
+		k.done = true
+		k.outcome = OutcomeCompleted
+		k.reason = "root process terminated"
+	}
+	if p.state == stateDead || p.state == stateCrashed {
+		// Crashed processes already unwound their goroutine.
+		p.state = stateDead
+	} else {
+		p.state = stateDead
+		p.baton <- token{kill: true}
+		<-p.gone
+	}
+	if p.onKill != nil {
+		p.onKill()
+		p.onKill = nil
+	}
+}
+
+// killAll tears down every process at the end of Run. As in
+// killProcess, the baton kill precedes onKill so a worker thread parked
+// on the baton unwinds cleanly before its siblings are reaped.
+func (k *Kernel) killAll() {
+	for _, ep := range k.order {
+		p := k.procs[ep]
+		if p == nil {
+			continue
+		}
+		switch p.state {
+		case stateDead:
+		case stateCrashed:
+			// Goroutine already returned through the crash path.
+			<-p.gone
+			p.state = stateDead
+		default:
+			p.state = stateDead
+			p.baton <- token{kill: true}
+			<-p.gone
+		}
+		if p.onKill != nil {
+			p.onKill()
+			p.onKill = nil
+		}
+	}
+}
+
+// ReplaceProcess installs a fresh body at a crashed (or alive) server
+// endpoint, preserving the inbox so queued requests survive recovery.
+// The recovery engine uses this during the restart phase. The previous
+// goroutine is reaped. Window and store attachments are replaced.
+func (k *Kernel) ReplaceProcess(ep Endpoint, name string, body Body, cfg ServerConfig) (*Process, error) {
+	return k.replaceProcess(ep, name, body, cfg, true)
+}
+
+// ReplaceUserProcess swaps the image of a user process (exec): the old
+// goroutine is reaped and a fresh body starts at the same endpoint.
+func (k *Kernel) ReplaceUserProcess(ep Endpoint, name string, body Body) (*Process, error) {
+	return k.replaceProcess(ep, name, body, ServerConfig{}, false)
+}
+
+func (k *Kernel) replaceProcess(ep Endpoint, name string, body Body, cfg ServerConfig, isServer bool) (*Process, error) {
+	old := k.procs[ep]
+	if old == nil {
+		return nil, fmt.Errorf("kernel: no process at endpoint %d", ep)
+	}
+	savedInbox := old.inbox
+	if old.state == stateCrashed {
+		// The crashed goroutine has already unwound; wait for it, then
+		// reap any worker threads it left parked.
+		<-old.gone
+		old.state = stateDead
+		if old.onKill != nil {
+			old.onKill()
+			old.onKill = nil
+		}
+	} else if old.state != stateDead {
+		k.killProcess(old)
+	}
+
+	p := &Process{
+		k:        k,
+		ep:       ep,
+		name:     name,
+		isServer: isServer,
+		body:     body,
+		state:    stateRunnable,
+		baton:    make(chan token),
+		gone:     make(chan struct{}),
+		inbox:    savedInbox,
+		window:   cfg.Window,
+		store:    cfg.Store,
+	}
+	p.ctx = &Context{k: k, p: p}
+	k.procs[ep] = p
+	// Endpoint already present in k.order: keep position.
+	p.start()
+	k.counters.Add("kernel.procs_replaced", 1)
+	return p, nil
+}
+
+// FailPendingCallers delivers an error reply to every process blocked
+// in SendRec on ep. The recovery engine calls this during
+// reconciliation so no caller waits on a rolled-back component forever.
+func (k *Kernel) FailPendingCallers(ep Endpoint, errno Errno) int {
+	failed := 0
+	for _, oep := range k.order {
+		p := k.procs[oep]
+		if p == nil || p.state != stateSendRec || p.waitFrom != ep {
+			continue
+		}
+		m := Message{Type: 0, From: ep, To: p.ep, Errno: errno}
+		p.reply = &m
+		failed++
+	}
+	return failed
+}
+
+// DeliverReply injects a reply from `from` to a process blocked in
+// SendRec on `from`. Used by the recovery engine for error
+// virtualization of the in-flight request.
+func (k *Kernel) DeliverReply(from, to Endpoint, m Message) error {
+	p := k.procs[to]
+	if p == nil || !p.Alive() {
+		return fmt.Errorf("kernel: reply target %d not alive", to)
+	}
+	m.From = from
+	m.To = to
+	if p.state == stateSendRec && p.waitFrom == from {
+		mm := m
+		p.reply = &mm
+		k.trace("reply: %d -> %s(%d) errno=%v", from, p.name, to, m.Errno)
+		return nil
+	}
+	// Not blocked on us: deliver asynchronously.
+	k.trace("reply-async: %d -> %s(%d) errno=%v state=%d", from, p.name, to, m.Errno, p.state)
+	p.inbox = append(p.inbox, m)
+	return nil
+}
+
+// PostMessage appends a message to the inbox of `to`, as if sent by
+// `from`, without a sending process. The recovery engine uses this to
+// notify PM of user-process crashes and RS of completed recoveries.
+func (k *Kernel) PostMessage(from, to Endpoint, m Message) error {
+	p := k.procs[to]
+	if p == nil || !p.Alive() {
+		return fmt.Errorf("kernel: post target %d not alive", to)
+	}
+	m.From = from
+	m.To = to
+	m.NeedsReply = false
+	p.inbox = append(p.inbox, m)
+	return nil
+}
+
+// ProcessAlive reports whether the endpoint hosts a live process.
+func (k *Kernel) ProcessAlive(ep Endpoint) bool {
+	p := k.procs[ep]
+	return p != nil && p.Alive()
+}
+
+// InboxLen reports the number of queued messages at ep (testing and
+// diagnostics).
+func (k *Kernel) InboxLen(ep Endpoint) int {
+	if p := k.procs[ep]; p != nil {
+		return len(p.inbox)
+	}
+	return 0
+}

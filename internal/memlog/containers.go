@@ -1,0 +1,404 @@
+package memlog
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Cell is a single instrumented variable of type T. Every Set goes
+// through the store's undo-log hook, like an instrumented store
+// instruction on a global or static in the original prototype.
+type Cell[T any] struct {
+	store *Store
+	id    string
+	v     T
+}
+
+// NewCell registers a cell named id holding init. If the store already
+// holds a cell with this name (a clone built over transferred state),
+// the existing cell is returned and init is ignored.
+func NewCell[T any](s *Store, id string, init T) *Cell[T] {
+	if existing := s.lookup(id); existing != nil {
+		c, ok := existing.(*Cell[T])
+		if !ok {
+			panic(fmt.Sprintf("memlog: container %q re-declared with a different type", id))
+		}
+		return c
+	}
+	c := &Cell[T]{store: s, id: id, v: init}
+	s.register(c)
+	return c
+}
+
+// Get returns the current value. Loads are not instrumented (the
+// original pass instruments store instructions only).
+func (c *Cell[T]) Get() T { return c.v }
+
+// Set overwrites the value, logging the old value for rollback.
+func (c *Cell[T]) Set(v T) {
+	c.store.recordStore(undoRec{
+		entry: c.id,
+		kind:  recCellSet,
+		old:   c.v,
+		bytes: approxSize(c.v),
+	})
+	c.v = v
+}
+
+func (c *Cell[T]) name() string { return c.id }
+
+func (c *Cell[T]) bytes() int { return approxSize(c.v) }
+
+func (c *Cell[T]) cloneInto(dst *Store) {
+	clone := &Cell[T]{store: dst, id: c.id, v: c.v}
+	dst.register(clone)
+}
+
+func (c *Cell[T]) undo(rec undoRec) {
+	old, ok := rec.old.(T)
+	if !ok {
+		panic(fmt.Sprintf("memlog: undo type mismatch for cell %q", c.id))
+	}
+	c.v = old
+}
+
+func (c *Cell[T]) restoreFrom(src container) {
+	other, ok := src.(*Cell[T])
+	if !ok {
+		panic(fmt.Sprintf("memlog: snapshot type mismatch for cell %q", c.id))
+	}
+	c.v = other.v
+}
+
+func (c *Cell[T]) corrupt(r *sim.RNG) bool {
+	nv, ok := corruptValue(any(c.v), r)
+	if !ok {
+		return false
+	}
+	c.v = nv.(T)
+	return true
+}
+
+// Map is an instrumented, insertion-ordered map. Iteration order is the
+// order keys were first inserted, which keeps the simulation
+// deterministic without sorting.
+type Map[K comparable, V any] struct {
+	store *Store
+	id    string
+	m     map[K]V
+	order []K
+}
+
+// NewMap registers an empty map named id, or returns the existing one
+// on a cloned store.
+func NewMap[K comparable, V any](s *Store, id string) *Map[K, V] {
+	if existing := s.lookup(id); existing != nil {
+		m, ok := existing.(*Map[K, V])
+		if !ok {
+			panic(fmt.Sprintf("memlog: container %q re-declared with a different type", id))
+		}
+		return m
+	}
+	m := &Map[K, V]{store: s, id: id, m: make(map[K]V)}
+	s.register(m)
+	return m
+}
+
+// Get returns the value for key and whether it is present.
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	v, ok := m.m[key]
+	return v, ok
+}
+
+// Len reports the number of keys present.
+func (m *Map[K, V]) Len() int { return len(m.m) }
+
+// Set inserts or overwrites key, logging the previous state.
+func (m *Map[K, V]) Set(key K, v V) {
+	if old, ok := m.m[key]; ok {
+		m.store.recordStore(undoRec{
+			entry: m.id,
+			kind:  recMapSet,
+			key:   key,
+			old:   old,
+			bytes: approxSize(old),
+		})
+	} else {
+		m.store.recordStore(undoRec{
+			entry: m.id,
+			kind:  recMapSet,
+			key:   key,
+			old:   oldAbsent{},
+			bytes: approxSize(key),
+		})
+		m.order = append(m.order, key)
+	}
+	m.m[key] = v
+}
+
+// Delete removes key if present, logging the removed value.
+func (m *Map[K, V]) Delete(key K) {
+	old, ok := m.m[key]
+	if !ok {
+		return
+	}
+	m.store.recordStore(undoRec{
+		entry: m.id,
+		kind:  recMapDelete,
+		key:   key,
+		old:   old,
+		bytes: approxSize(old),
+	})
+	delete(m.m, key)
+	m.removeFromOrder(key)
+}
+
+// Keys returns the present keys in insertion order.
+func (m *Map[K, V]) Keys() []K {
+	out := make([]K, 0, len(m.m))
+	for _, k := range m.order {
+		if _, ok := m.m[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for each key/value pair in insertion order. It stops
+// early if fn returns false. fn must not mutate the map.
+func (m *Map[K, V]) ForEach(fn func(K, V) bool) {
+	for _, k := range m.order {
+		if v, ok := m.m[k]; ok {
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
+}
+
+func (m *Map[K, V]) removeFromOrder(key K) {
+	for i, k := range m.order {
+		if k == key {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *Map[K, V]) name() string { return m.id }
+
+func (m *Map[K, V]) bytes() int {
+	total := 0
+	for _, k := range m.order {
+		if v, ok := m.m[k]; ok {
+			total += approxSize(k) + approxSize(v)
+		}
+	}
+	return total
+}
+
+func (m *Map[K, V]) cloneInto(dst *Store) {
+	clone := &Map[K, V]{store: dst, id: m.id, m: make(map[K]V, len(m.m))}
+	for _, k := range m.order {
+		if v, ok := m.m[k]; ok {
+			clone.m[k] = v
+			clone.order = append(clone.order, k)
+		}
+	}
+	dst.register(clone)
+}
+
+func (m *Map[K, V]) undo(rec undoRec) {
+	key, ok := rec.key.(K)
+	if !ok {
+		panic(fmt.Sprintf("memlog: undo key type mismatch for map %q", m.id))
+	}
+	switch rec.kind {
+	case recMapSet:
+		if _, absent := rec.old.(oldAbsent); absent {
+			delete(m.m, key)
+			m.removeFromOrder(key)
+			return
+		}
+		m.m[key] = rec.old.(V)
+	case recMapDelete:
+		if _, present := m.m[key]; !present {
+			m.order = append(m.order, key)
+		}
+		m.m[key] = rec.old.(V)
+	default:
+		panic(fmt.Sprintf("memlog: bad undo kind %d for map %q", rec.kind, m.id))
+	}
+}
+
+func (m *Map[K, V]) restoreFrom(src container) {
+	other, ok := src.(*Map[K, V])
+	if !ok {
+		panic(fmt.Sprintf("memlog: snapshot type mismatch for map %q", m.id))
+	}
+	m.m = make(map[K]V, len(other.m))
+	m.order = m.order[:0]
+	for _, k := range other.order {
+		if v, present := other.m[k]; present {
+			m.m[k] = v
+			m.order = append(m.order, k)
+		}
+	}
+}
+
+func (m *Map[K, V]) corrupt(r *sim.RNG) bool {
+	if len(m.order) == 0 {
+		return false
+	}
+	// Pick a random present key deterministically via insertion order.
+	keys := m.Keys()
+	if len(keys) == 0 {
+		return false
+	}
+	k := keys[r.Intn(len(keys))]
+	nv, ok := corruptValue(any(m.m[k]), r)
+	if !ok {
+		// Corrupt by dropping the entry instead: a lost record is a
+		// realistic silent-corruption outcome.
+		delete(m.m, k)
+		m.removeFromOrder(k)
+		return true
+	}
+	m.m[k] = nv.(V)
+	return true
+}
+
+// Slice is an instrumented growable sequence.
+type Slice[T any] struct {
+	store *Store
+	id    string
+	v     []T
+}
+
+// NewSlice registers an empty slice named id, or returns the existing
+// one on a cloned store.
+func NewSlice[T any](s *Store, id string) *Slice[T] {
+	if existing := s.lookup(id); existing != nil {
+		sl, ok := existing.(*Slice[T])
+		if !ok {
+			panic(fmt.Sprintf("memlog: container %q re-declared with a different type", id))
+		}
+		return sl
+	}
+	sl := &Slice[T]{store: s, id: id}
+	s.register(sl)
+	return sl
+}
+
+// Len reports the current length.
+func (s *Slice[T]) Len() int { return len(s.v) }
+
+// Get returns element i. It panics on out-of-range i, like a slice.
+func (s *Slice[T]) Get(i int) T { return s.v[i] }
+
+// Set overwrites element i, logging the old value.
+func (s *Slice[T]) Set(i int, v T) {
+	s.store.recordStore(undoRec{
+		entry: s.id,
+		kind:  recSliceSet,
+		key:   i,
+		old:   s.v[i],
+		bytes: approxSize(s.v[i]),
+	})
+	s.v[i] = v
+}
+
+// Append adds v at the end.
+func (s *Slice[T]) Append(v T) {
+	s.store.recordStore(undoRec{
+		entry: s.id,
+		kind:  recSliceAppend,
+		bytes: 8,
+	})
+	s.v = append(s.v, v)
+}
+
+// Truncate shortens the slice to length n, logging the removed tail.
+// It panics if n is negative or beyond the current length.
+func (s *Slice[T]) Truncate(n int) {
+	if n < 0 || n > len(s.v) {
+		panic(fmt.Sprintf("memlog: Truncate(%d) on slice %q of length %d", n, s.id, len(s.v)))
+	}
+	if n == len(s.v) {
+		return
+	}
+	tail := make([]T, len(s.v)-n)
+	copy(tail, s.v[n:])
+	bytes := 0
+	for i := range tail {
+		bytes += approxSize(tail[i])
+	}
+	s.store.recordStore(undoRec{
+		entry: s.id,
+		kind:  recSliceTruncate,
+		old:   tail,
+		bytes: bytes,
+	})
+	s.v = s.v[:n]
+}
+
+// ForEach calls fn for each element in order; it stops early if fn
+// returns false. fn must not mutate the slice.
+func (s *Slice[T]) ForEach(fn func(int, T) bool) {
+	for i, v := range s.v {
+		if !fn(i, v) {
+			return
+		}
+	}
+}
+
+func (s *Slice[T]) name() string { return s.id }
+
+func (s *Slice[T]) bytes() int {
+	total := 0
+	for i := range s.v {
+		total += approxSize(s.v[i])
+	}
+	return total
+}
+
+func (s *Slice[T]) cloneInto(dst *Store) {
+	clone := &Slice[T]{store: dst, id: s.id, v: make([]T, len(s.v))}
+	copy(clone.v, s.v)
+	dst.register(clone)
+}
+
+func (s *Slice[T]) undo(rec undoRec) {
+	switch rec.kind {
+	case recSliceSet:
+		s.v[rec.key.(int)] = rec.old.(T)
+	case recSliceAppend:
+		s.v = s.v[:len(s.v)-1]
+	case recSliceTruncate:
+		s.v = append(s.v, rec.old.([]T)...)
+	default:
+		panic(fmt.Sprintf("memlog: bad undo kind %d for slice %q", rec.kind, s.id))
+	}
+}
+
+func (s *Slice[T]) restoreFrom(src container) {
+	other, ok := src.(*Slice[T])
+	if !ok {
+		panic(fmt.Sprintf("memlog: snapshot type mismatch for slice %q", s.id))
+	}
+	s.v = append(s.v[:0], other.v...)
+}
+
+func (s *Slice[T]) corrupt(r *sim.RNG) bool {
+	if len(s.v) == 0 {
+		return false
+	}
+	i := r.Intn(len(s.v))
+	nv, ok := corruptValue(any(s.v[i]), r)
+	if !ok {
+		return false
+	}
+	s.v[i] = nv.(T)
+	return true
+}

@@ -1,0 +1,107 @@
+package memlog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFullCopyCheckpointRollback(t *testing.T) {
+	s := NewStore("fc", FullCopy)
+	s.SetLogging(true)
+	c := NewCell(s, "x", 1)
+	m := NewMap[int, string](s, "m")
+	m.Set(1, "one")
+
+	s.Checkpoint()
+	c.Set(99)
+	m.Set(1, "mutated")
+	m.Set(2, "new")
+
+	if s.LogLen() != 0 {
+		t.Fatal("FullCopy mode must not keep an undo log")
+	}
+	s.Rollback()
+	if c.Get() != 1 {
+		t.Fatalf("cell = %d, want 1", c.Get())
+	}
+	if v, _ := m.Get(1); v != "one" {
+		t.Fatalf("m[1] = %q, want one", v)
+	}
+	if _, ok := m.Get(2); ok {
+		t.Fatal("m[2] survived rollback")
+	}
+}
+
+func TestFullCopyChargesPerCheckpoint(t *testing.T) {
+	s := NewStore("fc", FullCopy)
+	var charged sim.Cycles
+	s.SetCostSink(func(n sim.Cycles) { charged += n })
+	sl := NewSlice[int64](s, "arena")
+	for i := 0; i < 1000; i++ {
+		sl.Append(int64(i))
+	}
+	if charged != 0 {
+		t.Fatalf("FullCopy charged %d for plain stores", charged)
+	}
+	s.SetLogging(true)
+	s.Checkpoint()
+	if charged < 1000 {
+		t.Fatalf("checkpoint charged only %d cycles for an 8000-byte section", charged)
+	}
+}
+
+func TestFullCopyWindowClosedTakesNoSnapshot(t *testing.T) {
+	s := NewStore("fc", FullCopy)
+	var charged sim.Cycles
+	s.SetCostSink(func(n sim.Cycles) { charged += n })
+	NewCell(s, "x", 0)
+	s.SetLogging(false)
+	s.Checkpoint()
+	if charged != 0 {
+		t.Fatalf("closed-window checkpoint charged %d", charged)
+	}
+}
+
+func TestFullCopyDiscardDropsSnapshot(t *testing.T) {
+	s := NewStore("fc", FullCopy)
+	s.SetLogging(true)
+	c := NewCell(s, "x", 1)
+	s.Checkpoint()
+	c.Set(5)
+	s.DiscardLog()
+	s.Rollback() // no snapshot: must be a no-op
+	if c.Get() != 5 {
+		t.Fatalf("rollback after discard changed state to %d", c.Get())
+	}
+}
+
+// TestPropertyFullCopyMatchesUndoLog: both checkpointing strategies
+// restore identical states for any mutation sequence.
+func TestPropertyFullCopyMatchesUndoLog(t *testing.T) {
+	fn := func(seed uint64, opCount uint8) bool {
+		build := func(mode Instrumentation) (*Store, *Cell[int], *Map[int, int], *Slice[int]) {
+			s := NewStore("prop", mode)
+			s.SetLogging(true)
+			return s, NewCell(s, "cell", 0), NewMap[int, int](s, "map"), NewSlice[int](s, "slice")
+		}
+		s1, c1, m1, l1 := build(Optimized)
+		s2, c2, m2, l2 := build(FullCopy)
+
+		r1, r2 := sim.NewRNG(seed), sim.NewRNG(seed)
+		applyRandomOps(r1, 10, c1, m1, l1)
+		applyRandomOps(r2, 10, c2, m2, l2)
+		s1.Checkpoint()
+		s2.Checkpoint()
+		applyRandomOps(r1, int(opCount), c1, m1, l1)
+		applyRandomOps(r2, int(opCount), c2, m2, l2)
+		s1.Rollback()
+		s2.Rollback()
+
+		return equalModel(snapshotModel(c1, m1, l1), snapshotModel(c2, m2, l2))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

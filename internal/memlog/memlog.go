@@ -1,0 +1,417 @@
+// Package memlog implements OSIRIS' lightweight in-memory checkpointing
+// (Vogt et al., DSN 2015) for the simulated operating system.
+//
+// In the original prototype an LLVM pass instruments every store
+// instruction of an OS server with a call that appends (address, old
+// value) to a per-component undo log. In this reproduction, server state
+// lives in typed, named containers (Cell, Map, Slice) owned by a Store;
+// every mutation goes through a Set-style method which plays the role of
+// the instrumented store: it appends an undo record while write logging
+// is enabled, and charges virtual cycles according to the active
+// instrumentation mode.
+//
+// A checkpoint is simply the (empty) log position at the top of a
+// server's request-processing loop; Rollback undoes all records in
+// reverse, restoring the exact state at the checkpoint. The undo log is
+// self-describing (records reference containers by name), so it can be
+// transferred to a freshly cloned Store and replayed there — exactly the
+// restart-then-rollback flow of the paper's Recovery Server.
+package memlog
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Instrumentation selects how stores are instrumented, mirroring the
+// build modes evaluated in the paper (§VI-C, Table V).
+type Instrumentation int
+
+const (
+	// Baseline performs no write logging and charges no instrumentation
+	// cost. Recovery is impossible in this mode (the paper's baseline).
+	Baseline Instrumentation = iota + 1
+	// Unoptimized logs every store regardless of recovery-window state
+	// (the paper's "without opt." column).
+	Unoptimized
+	// Optimized logs stores only while the recovery window is open and
+	// pays only a cheap check otherwise (the paper's optimisation of
+	// §IV-D, implemented there by function cloning).
+	Optimized
+	// FullCopy checkpoints by copying the entire data section instead
+	// of keeping an undo log: zero per-store cost, but a per-request
+	// cost proportional to component state size. It exists to reproduce
+	// the paper's design rationale (§IV-C): at OS request frequencies a
+	// simple undo log beats full-state checkpointing.
+	FullCopy
+)
+
+// Virtual-cycle costs of the store instrumentation. A logged store pays
+// the undo-log append; an unlogged store in Optimized mode pays only the
+// window check on the cloned fast path.
+const (
+	CostLoggedStore = 6 * costScale
+	CostCheckStore  = 1 * costScale
+	costScale       = 1
+)
+
+type recKind uint8
+
+const (
+	recCellSet recKind = iota + 1
+	recMapSet
+	recMapDelete
+	recSliceSet
+	recSliceAppend
+	recSliceTruncate
+)
+
+// undoRec is one entry of the undo log: enough information to restore
+// the previous value of one store.
+type undoRec struct {
+	entry string
+	kind  recKind
+	key   any // map key, slice index, or nil
+	old   any // previous value; for recMapSet of a new key, oldAbsent
+	bytes int
+}
+
+// oldAbsent marks a map Set that created the key (undo = delete).
+type oldAbsent struct{}
+
+// container is the interface implemented by Cell, Map and Slice so the
+// Store can roll back, clone and account for them generically.
+type container interface {
+	name() string
+	bytes() int
+	cloneInto(dst *Store)
+	undo(rec undoRec)
+	corrupt(r *sim.RNG) bool
+	// restoreFrom overwrites this container's contents from a snapshot
+	// container of the same name and type (FullCopy rollback).
+	restoreFrom(src container)
+}
+
+// Store is the instrumented data section of one simulated OS component.
+// All of a server's recoverable state must live in containers registered
+// with its Store.
+type Store struct {
+	label   string
+	mode    Instrumentation
+	logging bool
+
+	containers map[string]container
+	order      []string
+
+	log         []undoRec
+	logBytes    int
+	maxLogBytes int
+
+	charge   func(sim.Cycles)
+	counters *sim.Counters
+
+	// snapshot is the FullCopy-mode checkpoint image.
+	snapshot *Store
+
+	// generation counts how many times the owning component has been
+	// restarted: 0 for the boot-time store. Component constructors use
+	// it to run boot-only bootstrap (e.g. registering the init process)
+	// exactly once — a freshly restarted stateless component must NOT
+	// rediscover state it has genuinely lost.
+	generation int
+}
+
+// NewStore returns an empty Store for the named component, using the
+// given instrumentation mode.
+func NewStore(label string, mode Instrumentation) *Store {
+	return &Store{
+		label:      label,
+		mode:       mode,
+		containers: make(map[string]container),
+	}
+}
+
+// Label reports the component name this store belongs to.
+func (s *Store) Label() string { return s.label }
+
+// Generation reports how many restarts preceded this store (0 = boot).
+func (s *Store) Generation() int { return s.generation }
+
+// SetGeneration records the restart count; the recovery engine calls
+// this when building a replacement store.
+func (s *Store) SetGeneration(n int) { s.generation = n }
+
+// Mode reports the instrumentation mode.
+func (s *Store) Mode() Instrumentation { return s.mode }
+
+// SetCostSink installs the function used to charge virtual cycles for
+// instrumented stores. A nil sink disables cost accounting.
+func (s *Store) SetCostSink(charge func(sim.Cycles)) { s.charge = charge }
+
+// SetCounters installs a counter set receiving store statistics.
+func (s *Store) SetCounters(c *sim.Counters) { s.counters = c }
+
+// SetLogging opens (true) or closes (false) write logging. The recovery
+// window manager calls this when the window state changes; it only has
+// an effect in Optimized mode (Unoptimized always logs, Baseline never).
+func (s *Store) SetLogging(on bool) { s.logging = on }
+
+// Logging reports whether stores are currently appended to the undo log.
+func (s *Store) Logging() bool {
+	switch s.mode {
+	case Baseline, FullCopy:
+		return false
+	case Unoptimized:
+		return true
+	default:
+		return s.logging
+	}
+}
+
+// fullCopyCheckpointShift scales the virtual cost of a full-copy
+// checkpoint: one cycle per 4 bytes of data section.
+const fullCopyCheckpointShift = 2
+
+// Checkpoint establishes the current state as the rollback target.
+// Called at the top of the request-processing loop. With undo-log
+// instrumentation it just discards the log; in FullCopy mode it clones
+// the entire data section (and charges accordingly) — the expensive
+// alternative the paper's undo log replaces.
+func (s *Store) Checkpoint() {
+	s.log = s.log[:0]
+	s.logBytes = 0
+	if s.mode == FullCopy && s.logging {
+		s.snapshot = s.Clone()
+		bytes := s.BaseBytes()
+		if bytes > s.maxLogBytes {
+			// The resident snapshot plays the undo log's memory role.
+			s.maxLogBytes = bytes
+		}
+		s.chargeCycles(sim.Cycles(bytes) >> fullCopyCheckpointShift)
+	}
+}
+
+// DiscardLog drops the undo log (and any FullCopy snapshot) without
+// rolling back. Called when the recovery window closes: the checkpoint
+// can no longer be restored.
+func (s *Store) DiscardLog() {
+	s.log = s.log[:0]
+	s.logBytes = 0
+	s.snapshot = nil
+}
+
+// LogLen reports the number of records currently in the undo log.
+func (s *Store) LogLen() int { return len(s.log) }
+
+// LogBytes reports the current undo-log size in (approximate) bytes.
+func (s *Store) LogBytes() int { return s.logBytes }
+
+// MaxLogBytes reports the high-water mark of the undo-log size since the
+// store was created (Table VI's "+undo log" column).
+func (s *Store) MaxLogBytes() int { return s.maxLogBytes }
+
+// BaseBytes reports the approximate resident size of all containers
+// (Table VI's base memory usage).
+func (s *Store) BaseBytes() int {
+	total := 0
+	for _, name := range s.order {
+		total += s.containers[name].bytes()
+	}
+	return total
+}
+
+// Rollback restores the state at the last Checkpoint: by undoing all
+// logged stores in reverse order (undo-log modes), or by restoring the
+// snapshot (FullCopy).
+func (s *Store) Rollback() {
+	if s.mode == FullCopy {
+		if s.snapshot != nil {
+			for _, name := range s.order {
+				src := s.snapshot.lookup(name)
+				if src == nil {
+					panic(fmt.Sprintf("memlog: snapshot missing container %q", name))
+				}
+				s.containers[name].restoreFrom(src)
+			}
+		}
+		return
+	}
+	for i := len(s.log) - 1; i >= 0; i-- {
+		rec := s.log[i]
+		c, ok := s.containers[rec.entry]
+		if !ok {
+			panic(fmt.Sprintf("memlog: undo record for unknown container %q", rec.entry))
+		}
+		c.undo(rec)
+	}
+	s.log = s.log[:0]
+	s.logBytes = 0
+}
+
+// TransferLog moves this store's undo log to dst, leaving this store's
+// log empty. It is used by the Recovery Server: the clone receives the
+// crashed component's log and rolls it back on its own copy of the data.
+func (s *Store) TransferLog(dst *Store) {
+	dst.log = append(dst.log[:0], s.log...)
+	dst.logBytes = s.logBytes
+	if dst.logBytes > dst.maxLogBytes {
+		dst.maxLogBytes = dst.logBytes
+	}
+	s.log = s.log[:0]
+	s.logBytes = 0
+}
+
+// Clone produces a fresh Store with a deep copy of every container —
+// the "data section copy" performed during the restart phase. The clone
+// shares no mutable state with the original; its undo log starts empty.
+// The clone inherits the instrumentation mode and label.
+func (s *Store) Clone() *Store {
+	dst := NewStore(s.label, s.mode)
+	dst.charge = s.charge
+	dst.counters = s.counters
+	dst.generation = s.generation
+	for _, name := range s.order {
+		s.containers[name].cloneInto(dst)
+	}
+	return dst
+}
+
+// CloneBytes reports the approximate memory cost of keeping a clone of
+// this store (Table VI's "+clone" column): the full data section.
+func (s *Store) CloneBytes() int { return s.BaseBytes() }
+
+// ContainerNames returns the registered container names in registration
+// order (deterministic).
+func (s *Store) ContainerNames() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// CorruptRandom silently corrupts one random container value, bypassing
+// the undo log — the analogue of a fail-silent memory corruption fault
+// (EDFI's non-fail-stop fault classes). It reports whether any value was
+// actually changed.
+func (s *Store) CorruptRandom(r *sim.RNG) bool {
+	if len(s.order) == 0 {
+		return false
+	}
+	// Try a few containers; some may be empty or hold uncorruptible types.
+	for attempt := 0; attempt < 8; attempt++ {
+		name := s.order[r.Intn(len(s.order))]
+		if s.containers[name].corrupt(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// register adds a container under its unique name.
+func (s *Store) register(c container) {
+	if _, dup := s.containers[c.name()]; dup {
+		panic(fmt.Sprintf("memlog: duplicate container %q in store %q", c.name(), s.label))
+	}
+	s.containers[c.name()] = c
+	s.order = append(s.order, c.name())
+}
+
+// lookup returns the container registered under name, or nil.
+func (s *Store) lookup(name string) container {
+	return s.containers[name]
+}
+
+// recordStore is the instrumented-store hook: it charges the cycle cost
+// of the active instrumentation mode and, when logging, appends rec.
+func (s *Store) recordStore(rec undoRec) {
+	switch s.mode {
+	case Baseline:
+		return
+	case Unoptimized:
+		s.append(rec)
+		s.chargeCycles(CostLoggedStore)
+	case Optimized:
+		if s.logging {
+			s.append(rec)
+			s.chargeCycles(CostLoggedStore)
+		} else {
+			s.chargeCycles(CostCheckStore)
+		}
+	}
+}
+
+func (s *Store) append(rec undoRec) {
+	s.log = append(s.log, rec)
+	s.logBytes += rec.bytes + recOverheadBytes
+	if s.logBytes > s.maxLogBytes {
+		s.maxLogBytes = s.logBytes
+	}
+	if s.counters != nil {
+		s.counters.Add("memlog.stores_logged", 1)
+	}
+}
+
+func (s *Store) chargeCycles(n sim.Cycles) {
+	if s.counters != nil {
+		s.counters.Add("memlog.stores_total", 1)
+	}
+	if s.charge != nil {
+		s.charge(n)
+	}
+}
+
+// recOverheadBytes approximates the per-record bookkeeping of the undo
+// log (address + length + list linkage in the original implementation).
+const recOverheadBytes = 16
+
+// approxSize estimates the resident size of a value for memory
+// accounting. It intentionally errs small and stable rather than exact.
+func approxSize(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int, int64, uint, uint64, float64, uintptr:
+		return 8
+	case string:
+		return 16 + len(x)
+	case []byte:
+		return 24 + len(x)
+	default:
+		return 16
+	}
+}
+
+// corruptValue perturbs a value of a supported type, returning the new
+// value and true, or the zero value and false for unsupported types.
+func corruptValue(v any, r *sim.RNG) (any, bool) {
+	switch x := v.(type) {
+	case bool:
+		return !x, true
+	case int:
+		return x ^ (1 << uint(r.Intn(16))), true
+	case int32:
+		return x ^ (1 << uint(r.Intn(16))), true
+	case int64:
+		return x ^ (1 << uint(r.Intn(32))), true
+	case uint32:
+		return x ^ (1 << uint(r.Intn(16))), true
+	case uint64:
+		return x ^ (1 << uint(r.Intn(32))), true
+	case string:
+		if len(x) == 0 {
+			return x + "\x01", true
+		}
+		i := r.Intn(len(x))
+		b := []byte(x)
+		b[i] ^= byte(1 + r.Intn(255))
+		return string(b), true
+	default:
+		return nil, false
+	}
+}

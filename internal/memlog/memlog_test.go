@@ -1,0 +1,468 @@
+package memlog
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestCellSetGetRollback(t *testing.T) {
+	s := NewStore("pm", Optimized)
+	s.SetLogging(true)
+	c := NewCell(s, "nprocs", 3)
+	s.Checkpoint()
+	c.Set(7)
+	c.Set(9)
+	if c.Get() != 9 {
+		t.Fatalf("Get() = %d, want 9", c.Get())
+	}
+	s.Rollback()
+	if c.Get() != 3 {
+		t.Fatalf("after rollback Get() = %d, want 3", c.Get())
+	}
+	if s.LogLen() != 0 {
+		t.Fatalf("log not cleared after rollback: %d records", s.LogLen())
+	}
+}
+
+func TestCellRollbackToIntermediateCheckpoint(t *testing.T) {
+	s := NewStore("pm", Optimized)
+	s.SetLogging(true)
+	c := NewCell(s, "x", 0)
+	c.Set(1)
+	s.Checkpoint()
+	c.Set(2)
+	s.Rollback()
+	if c.Get() != 1 {
+		t.Fatalf("rollback target = %d, want 1 (the checkpointed value)", c.Get())
+	}
+}
+
+func TestMapSetDeleteRollback(t *testing.T) {
+	s := NewStore("vfs", Optimized)
+	s.SetLogging(true)
+	m := NewMap[int, string](s, "fds")
+	m.Set(1, "stdin")
+	m.Set(2, "stdout")
+	s.Checkpoint()
+
+	m.Set(2, "pipe")   // overwrite
+	m.Set(3, "file")   // insert
+	m.Delete(1)        // delete
+	m.Set(1, "reborn") // re-insert deleted key
+
+	s.Rollback()
+
+	if v, ok := m.Get(1); !ok || v != "stdin" {
+		t.Fatalf("key 1 = %q,%v, want stdin,true", v, ok)
+	}
+	if v, ok := m.Get(2); !ok || v != "stdout" {
+		t.Fatalf("key 2 = %q,%v, want stdout,true", v, ok)
+	}
+	if _, ok := m.Get(3); ok {
+		t.Fatal("key 3 still present after rollback")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", m.Len())
+	}
+}
+
+func TestMapKeysInsertionOrder(t *testing.T) {
+	s := NewStore("ds", Baseline)
+	m := NewMap[string, int](s, "kv")
+	m.Set("b", 1)
+	m.Set("a", 2)
+	m.Set("c", 3)
+	m.Delete("a")
+	want := []string{"b", "c"}
+	if got := m.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+}
+
+func TestMapForEachStopsEarly(t *testing.T) {
+	s := NewStore("ds", Baseline)
+	m := NewMap[int, int](s, "kv")
+	for i := 0; i < 5; i++ {
+		m.Set(i, i*i)
+	}
+	var seen []int
+	m.ForEach(func(k, _ int) bool {
+		seen = append(seen, k)
+		return len(seen) < 3
+	})
+	if !reflect.DeepEqual(seen, []int{0, 1, 2}) {
+		t.Fatalf("ForEach visited %v, want [0 1 2]", seen)
+	}
+}
+
+func TestSliceOperationsRollback(t *testing.T) {
+	s := NewStore("vm", Optimized)
+	s.SetLogging(true)
+	sl := NewSlice[int](s, "pages")
+	sl.Append(10)
+	sl.Append(20)
+	sl.Append(30)
+	s.Checkpoint()
+
+	sl.Set(0, 99)
+	sl.Append(40)
+	sl.Truncate(2)
+
+	s.Rollback()
+
+	want := []int{10, 20, 30}
+	if sl.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", sl.Len())
+	}
+	for i, w := range want {
+		if sl.Get(i) != w {
+			t.Fatalf("Get(%d) = %d, want %d", i, sl.Get(i), w)
+		}
+	}
+}
+
+func TestSliceTruncatePanicsOnBadLength(t *testing.T) {
+	s := NewStore("vm", Baseline)
+	sl := NewSlice[int](s, "pages")
+	sl.Append(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Truncate(5) beyond length did not panic")
+		}
+	}()
+	sl.Truncate(5)
+}
+
+func TestBaselineModeNeverLogs(t *testing.T) {
+	s := NewStore("pm", Baseline)
+	s.SetLogging(true) // must be ignored in Baseline mode
+	c := NewCell(s, "x", 0)
+	c.Set(5)
+	if s.LogLen() != 0 {
+		t.Fatalf("baseline store logged %d records", s.LogLen())
+	}
+	if s.Logging() {
+		t.Fatal("Logging() = true in Baseline mode")
+	}
+}
+
+func TestUnoptimizedModeAlwaysLogs(t *testing.T) {
+	s := NewStore("pm", Unoptimized)
+	s.SetLogging(false) // must be ignored in Unoptimized mode
+	c := NewCell(s, "x", 0)
+	c.Set(5)
+	if s.LogLen() != 1 {
+		t.Fatalf("unoptimized store logged %d records, want 1", s.LogLen())
+	}
+}
+
+func TestOptimizedModeRespectsLoggingFlag(t *testing.T) {
+	s := NewStore("pm", Optimized)
+	c := NewCell(s, "x", 0)
+	s.SetLogging(false)
+	c.Set(1)
+	if s.LogLen() != 0 {
+		t.Fatal("logged a store while the window was closed")
+	}
+	s.SetLogging(true)
+	c.Set(2)
+	if s.LogLen() != 1 {
+		t.Fatalf("LogLen() = %d, want 1", s.LogLen())
+	}
+}
+
+func TestCostCharging(t *testing.T) {
+	s := NewStore("pm", Optimized)
+	var charged sim.Cycles
+	s.SetCostSink(func(n sim.Cycles) { charged += n })
+	c := NewCell(s, "x", 0)
+
+	s.SetLogging(true)
+	c.Set(1)
+	if charged != CostLoggedStore {
+		t.Fatalf("logged store charged %d, want %d", charged, CostLoggedStore)
+	}
+	charged = 0
+	s.SetLogging(false)
+	c.Set(2)
+	if charged != CostCheckStore {
+		t.Fatalf("unlogged store charged %d, want %d", charged, CostCheckStore)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := NewStore("pm", Unoptimized)
+	counters := sim.NewCounters()
+	s.SetCounters(counters)
+	c := NewCell(s, "x", 0)
+	c.Set(1)
+	c.Set(2)
+	if got := counters.Get("memlog.stores_logged"); got != 2 {
+		t.Fatalf("stores_logged = %d, want 2", got)
+	}
+	if got := counters.Get("memlog.stores_total"); got != 2 {
+		t.Fatalf("stores_total = %d, want 2", got)
+	}
+}
+
+func TestCloneIsDeepAndIndependent(t *testing.T) {
+	s := NewStore("pm", Optimized)
+	s.SetLogging(true)
+	c := NewCell(s, "x", 1)
+	m := NewMap[int, string](s, "procs")
+	m.Set(1, "init")
+
+	clone := s.Clone()
+	cc := NewCell(clone, "x", 0) // rebinds to cloned cell; init ignored
+	cm := NewMap[int, string](clone, "procs")
+
+	if cc.Get() != 1 {
+		t.Fatalf("cloned cell = %d, want 1", cc.Get())
+	}
+	if v, ok := cm.Get(1); !ok || v != "init" {
+		t.Fatalf("cloned map[1] = %q,%v, want init,true", v, ok)
+	}
+
+	c.Set(99)
+	m.Set(1, "mutated")
+	if cc.Get() != 1 {
+		t.Fatal("mutating original changed the clone cell")
+	}
+	if v, _ := cm.Get(1); v != "init" {
+		t.Fatal("mutating original changed the clone map")
+	}
+}
+
+func TestTransferLogAndRollbackOnClone(t *testing.T) {
+	// The Recovery Server flow: crash happens mid-request; the clone
+	// copies the data section, receives the undo log, and rolls back.
+	s := NewStore("pm", Optimized)
+	s.SetLogging(true)
+	c := NewCell(s, "x", 10)
+	s.Checkpoint()
+	c.Set(20) // mutation inside the recovery window
+	c.Set(30)
+
+	clone := s.Clone() // data section copy (sees x=30, the crashed state)
+	clone.SetLogging(true)
+	s.TransferLog(clone)
+	clone.Rollback()
+
+	cc := NewCell(clone, "x", 0)
+	if cc.Get() != 10 {
+		t.Fatalf("clone after rollback = %d, want checkpointed 10", cc.Get())
+	}
+	if s.LogLen() != 0 {
+		t.Fatal("TransferLog left records behind in the source")
+	}
+}
+
+func TestDiscardLog(t *testing.T) {
+	s := NewStore("pm", Optimized)
+	s.SetLogging(true)
+	c := NewCell(s, "x", 1)
+	c.Set(2)
+	s.DiscardLog()
+	if s.LogLen() != 0 || s.LogBytes() != 0 {
+		t.Fatal("DiscardLog did not clear the log")
+	}
+	if c.Get() != 2 {
+		t.Fatal("DiscardLog must not roll back")
+	}
+}
+
+func TestMaxLogBytesHighWaterMark(t *testing.T) {
+	s := NewStore("vm", Optimized)
+	s.SetLogging(true)
+	c := NewCell(s, "x", 0)
+	for i := 0; i < 10; i++ {
+		c.Set(i)
+	}
+	high := s.MaxLogBytes()
+	if high == 0 {
+		t.Fatal("MaxLogBytes() = 0 after logged stores")
+	}
+	s.Checkpoint()
+	if s.MaxLogBytes() != high {
+		t.Fatal("Checkpoint reset the high-water mark")
+	}
+	if s.LogBytes() != 0 {
+		t.Fatal("Checkpoint did not clear current log bytes")
+	}
+}
+
+func TestBaseBytesAccountsContainers(t *testing.T) {
+	s := NewStore("ds", Baseline)
+	NewCell(s, "a", int64(1))
+	m := NewMap[string, string](s, "kv")
+	m.Set("key", "value")
+	if s.BaseBytes() <= 8 {
+		t.Fatalf("BaseBytes() = %d, want > 8", s.BaseBytes())
+	}
+}
+
+func TestDuplicateContainerPanics(t *testing.T) {
+	s := NewStore("pm", Baseline)
+	NewCell(s, "x", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-declaring container with different type did not panic")
+		}
+	}()
+	NewCell(s, "x", "different type")
+}
+
+func TestCorruptRandomChangesState(t *testing.T) {
+	s := NewStore("pm", Optimized)
+	c := NewCell(s, "x", 12345)
+	r := sim.NewRNG(1)
+	if !s.CorruptRandom(r) {
+		t.Fatal("CorruptRandom reported no corruption")
+	}
+	if c.Get() == 12345 {
+		t.Fatal("CorruptRandom did not change the value")
+	}
+	if s.LogLen() != 0 {
+		t.Fatal("corruption must bypass the undo log")
+	}
+}
+
+// opSeq drives the property test: a deterministic sequence of mutations
+// derived from a seed, applied to a store with cell+map+slice.
+type modelState struct {
+	cell  int
+	m     map[int]int
+	slice []int
+}
+
+func snapshotModel(c *Cell[int], m *Map[int, int], sl *Slice[int]) modelState {
+	ms := modelState{cell: c.Get(), m: make(map[int]int)}
+	m.ForEach(func(k, v int) bool { ms.m[k] = v; return true })
+	sl.ForEach(func(_ int, v int) bool { ms.slice = append(ms.slice, v); return true })
+	return ms
+}
+
+func equalModel(a, b modelState) bool {
+	return a.cell == b.cell && reflect.DeepEqual(a.m, b.m) &&
+		((len(a.slice) == 0 && len(b.slice) == 0) || reflect.DeepEqual(a.slice, b.slice))
+}
+
+func applyRandomOps(r *sim.RNG, n int, c *Cell[int], m *Map[int, int], sl *Slice[int]) {
+	for i := 0; i < n; i++ {
+		switch r.Intn(6) {
+		case 0:
+			c.Set(r.Intn(1000))
+		case 1:
+			m.Set(r.Intn(8), r.Intn(1000))
+		case 2:
+			m.Delete(r.Intn(8))
+		case 3:
+			sl.Append(r.Intn(1000))
+		case 4:
+			if sl.Len() > 0 {
+				sl.Set(r.Intn(sl.Len()), r.Intn(1000))
+			}
+		case 5:
+			if sl.Len() > 0 {
+				sl.Truncate(r.Intn(sl.Len() + 1))
+			}
+		}
+	}
+}
+
+// TestPropertyRollbackInvertsAnyWriteSequence is the core correctness
+// property of the undo log: for any sequence of mutations inside a
+// window, Rollback restores the exact checkpointed state.
+func TestPropertyRollbackInvertsAnyWriteSequence(t *testing.T) {
+	f := func(seed uint64, opCount uint8) bool {
+		r := sim.NewRNG(seed)
+		s := NewStore("prop", Optimized)
+		s.SetLogging(true)
+		c := NewCell(s, "cell", 0)
+		m := NewMap[int, int](s, "map")
+		sl := NewSlice[int](s, "slice")
+
+		// Pre-populate with some state before the checkpoint.
+		applyRandomOps(r, 10, c, m, sl)
+		s.Checkpoint()
+		want := snapshotModel(c, m, sl)
+
+		applyRandomOps(r, int(opCount), c, m, sl)
+		s.Rollback()
+
+		got := snapshotModel(c, m, sl)
+		return equalModel(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDoubleRollbackIsNoop: after a rollback the log is empty,
+// so a second rollback must not change state.
+func TestPropertyDoubleRollbackIsNoop(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		s := NewStore("prop", Optimized)
+		s.SetLogging(true)
+		c := NewCell(s, "cell", 0)
+		m := NewMap[int, int](s, "map")
+		sl := NewSlice[int](s, "slice")
+		s.Checkpoint()
+		applyRandomOps(r, 20, c, m, sl)
+		s.Rollback()
+		a := snapshotModel(c, m, sl)
+		s.Rollback()
+		b := snapshotModel(c, m, sl)
+		return equalModel(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCloneRollbackMatchesDirectRollback: rolling back the
+// transferred log on a clone yields the same state as rolling back the
+// original — the restart+rollback recovery path is equivalent to an
+// in-place rollback.
+func TestPropertyCloneRollbackMatchesDirectRollback(t *testing.T) {
+	f := func(seed uint64, opCount uint8) bool {
+		r := sim.NewRNG(seed)
+		s := NewStore("prop", Optimized)
+		s.SetLogging(true)
+		c := NewCell(s, "cell", 0)
+		m := NewMap[int, int](s, "map")
+		sl := NewSlice[int](s, "slice")
+		applyRandomOps(r, 8, c, m, sl)
+		s.Checkpoint()
+		applyRandomOps(r, int(opCount), c, m, sl)
+
+		clone := s.Clone()
+		s.TransferLog(clone)
+		clone.Rollback()
+		cc := NewCell(clone, "cell", 0)
+		cm := NewMap[int, int](clone, "map")
+		csl := NewSlice[int](clone, "slice")
+		got := snapshotModel(cc, cm, csl)
+
+		// Roll back the original for comparison. The log was moved, so
+		// rebuild it by replaying: instead, compare against a snapshot
+		// taken before the in-window ops by re-running deterministically.
+		r2 := sim.NewRNG(seed)
+		s2 := NewStore("prop", Optimized)
+		s2.SetLogging(true)
+		c2 := NewCell(s2, "cell", 0)
+		m2 := NewMap[int, int](s2, "map")
+		sl2 := NewSlice[int](s2, "slice")
+		applyRandomOps(r2, 8, c2, m2, sl2)
+		want := snapshotModel(c2, m2, sl2)
+
+		return equalModel(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package proto
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// TestMessageTypesUnique guards against accidental overlap between the
+// per-server protocol ranges.
+func TestMessageTypesUnique(t *testing.T) {
+	types := map[kernel.MsgType]string{
+		kernel.MsgAlarm:       "MsgAlarm",
+		kernel.MsgCrashNotify: "MsgCrashNotify",
+		PMFork:                "PMFork",
+		PMExit:                "PMExit",
+		PMWait:                "PMWait",
+		PMGetPID:              "PMGetPID",
+		PMKill:                "PMKill",
+		PMExec:                "PMExec",
+		PMSleep:               "PMSleep",
+		PMUserCrashed:         "PMUserCrashed",
+		PMSpawn:               "PMSpawn",
+		VMNewProc:             "VMNewProc",
+		VMFork:                "VMFork",
+		VMExit:                "VMExit",
+		VMBrk:                 "VMBrk",
+		VMQuery:               "VMQuery",
+		VFSOpen:               "VFSOpen",
+		VFSClose:              "VFSClose",
+		VFSRead:               "VFSRead",
+		VFSWrite:              "VFSWrite",
+		VFSUnlink:             "VFSUnlink",
+		VFSMkdir:              "VFSMkdir",
+		VFSStat:               "VFSStat",
+		VFSPipe:               "VFSPipe",
+		VFSSeek:               "VFSSeek",
+		VFSReadDir:            "VFSReadDir",
+		VFSForkFDs:            "VFSForkFDs",
+		VFSExitFDs:            "VFSExitFDs",
+		VFSSync:               "VFSSync",
+		DSPut:                 "DSPut",
+		DSGet:                 "DSGet",
+		DSDelete:              "DSDelete",
+		DSKeys:                "DSKeys",
+		DSEvent:               "DSEvent",
+		RSPing:                "RSPing",
+		RSStatus:              "RSStatus",
+		RSHeartbeatTick:       "RSHeartbeatTick",
+		SysSpawn:              "SysSpawn",
+		SysTerminate:          "SysTerminate",
+		SysReplace:            "SysReplace",
+		SysMap:                "SysMap",
+		SysUnmap:              "SysUnmap",
+		DevRead:               "DevRead",
+		DevWrite:              "DevWrite",
+		DevReadDone:           "DevReadDone",
+		DevWriteDone:          "DevWriteDone",
+		DevInfo:               "DevInfo",
+	}
+	if len(types) != 47 {
+		t.Fatalf("map collapsed to %d entries: duplicate message type values", len(types))
+	}
+	// Server protocol types must stay out of the kernel-reserved range.
+	for v, name := range types {
+		if name == "MsgAlarm" || name == "MsgCrashNotify" {
+			continue
+		}
+		if v < 100 {
+			t.Errorf("%s = %d collides with the kernel-reserved range", name, v)
+		}
+	}
+}
+
+// TestFlagsDistinct ensures open flags are independent bits.
+func TestFlagsDistinct(t *testing.T) {
+	if OCreate&OTrunc != 0 || OCreate&OExcl != 0 || OTrunc&OExcl != 0 {
+		t.Fatal("open flags overlap")
+	}
+}
+
+// TestEpSysDistinct keeps the system task off the well-known server
+// endpoints.
+func TestEpSysDistinct(t *testing.T) {
+	known := []kernel.Endpoint{kernel.EpKernel, kernel.EpRS, kernel.EpPM,
+		kernel.EpVM, kernel.EpVFS, kernel.EpDS, kernel.EpDriver}
+	for _, ep := range known {
+		if EpSys == ep {
+			t.Fatalf("EpSys collides with endpoint %d", ep)
+		}
+	}
+	if EpSys >= kernel.EpUserBase {
+		t.Fatal("EpSys inside the user endpoint range")
+	}
+}

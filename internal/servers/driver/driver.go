@@ -1,0 +1,96 @@
+// Package driver implements the block-device driver server. It owns the
+// device contents (plain state — a device is outside any recoverable
+// component, which is exactly why writes to it are state-modifying
+// SEEPs for the VFS). Requests may be synchronous (SendRec) or
+// asynchronous: async requests carry a routing tag in D that is echoed
+// in the completion message, letting the multithreaded VFS match
+// completions to worker threads.
+package driver
+
+import (
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Latency of one device operation in cycles (a "slow disk" relative to
+// IPC, which is why the VFS is multithreaded).
+const (
+	readLatency  sim.Cycles = 600
+	writeLatency sim.Cycles = 900
+)
+
+// Driver is the block-device driver.
+type Driver struct {
+	blocks [][]byte
+}
+
+// New returns a driver with n blocks of fs.BlockSize bytes.
+func New(n int32) *Driver {
+	return &Driver{blocks: make([][]byte, n)}
+}
+
+// Blocks reports the device capacity.
+func (d *Driver) Blocks() int32 { return int32(len(d.blocks)) }
+
+// Run is the driver server body.
+func (d *Driver) Run(ctx *kernel.Context) {
+	for {
+		m := ctx.Receive()
+		switch m.Type {
+		case proto.DevRead:
+			ctx.Tick(readLatency)
+			data, errno := d.read(int32(m.A))
+			resp := kernel.Message{Type: proto.DevReadDone, A: m.A, D: m.D, Errno: errno, Bytes: data}
+			d.respond(ctx, m, resp)
+
+		case proto.DevWrite:
+			ctx.Tick(writeLatency)
+			errno := d.write(int32(m.A), m.Bytes)
+			resp := kernel.Message{Type: proto.DevWriteDone, A: m.A, D: m.D, Errno: errno}
+			d.respond(ctx, m, resp)
+
+		case proto.DevInfo:
+			ctx.Reply(m.From, kernel.Message{A: int64(len(d.blocks))})
+
+		case proto.RSPing:
+			ctx.Reply(m.From, kernel.Message{Type: proto.RSPing})
+
+		default:
+			if m.NeedsReply {
+				ctx.ReplyErr(m.From, kernel.ENOSYS)
+			}
+		}
+	}
+}
+
+// respond completes a request through the channel it arrived on.
+func (d *Driver) respond(ctx *kernel.Context, req kernel.Message, resp kernel.Message) {
+	if req.NeedsReply {
+		ctx.Reply(req.From, resp)
+		return
+	}
+	ctx.Send(req.From, resp)
+}
+
+func (d *Driver) read(b int32) ([]byte, kernel.Errno) {
+	if b < 0 || int(b) >= len(d.blocks) {
+		return nil, kernel.EIO
+	}
+	out := make([]byte, fs.BlockSize)
+	if d.blocks[b] != nil {
+		copy(out, d.blocks[b])
+	}
+	return out, kernel.OK
+}
+
+func (d *Driver) write(b int32, data []byte) kernel.Errno {
+	if b < 0 || int(b) >= len(d.blocks) {
+		return kernel.EIO
+	}
+	buf := make([]byte, fs.BlockSize)
+	copy(buf, data)
+	d.blocks[b] = buf
+	return kernel.OK
+}

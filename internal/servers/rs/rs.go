@@ -1,0 +1,104 @@
+// Package rs implements the Recovery Server's service face: periodic
+// heartbeat probing of the other servers (hung-component detection,
+// paper §II-E), crash accounting, and status queries. The privileged
+// restart/rollback/reconciliation sequencer runs in kernel context (see
+// internal/core); in the paper that code is likewise part of the
+// Reliable Computing Base.
+package rs
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/proto"
+	"repro/internal/seep"
+	"repro/internal/sim"
+)
+
+// HeartbeatPeriod is the virtual-time interval between heartbeat rounds.
+const HeartbeatPeriod sim.Cycles = 250_000
+
+// seepPing is the heartbeat probe: a pure query of the target's
+// liveness, read-only by construction.
+var seepPing = seep.Passage{Name: "rs->*.ping", Class: seep.ClassReadOnly}
+
+// RS is the Recovery Server component.
+type RS struct {
+	recoveries *memlog.Cell[int64]
+	crashes    *memlog.Map[int64, int64] // victim endpoint -> crash count
+	pingRounds *memlog.Cell[int64]
+	lastSeen   *memlog.Map[int64, int64] // endpoint -> last heartbeat time
+
+	// targets are the endpoints RS probes; fixed at boot (code, not
+	// recoverable state).
+	targets []kernel.Endpoint
+}
+
+// New binds an RS over store. targets are the components to probe.
+func New(store *memlog.Store, targets []kernel.Endpoint) *RS {
+	return &RS{
+		recoveries: memlog.NewCell(store, "rs.recoveries", int64(0)),
+		crashes:    memlog.NewMap[int64, int64](store, "rs.crashes"),
+		pingRounds: memlog.NewCell(store, "rs.ping_rounds", int64(0)),
+		lastSeen:   memlog.NewMap[int64, int64](store, "rs.last_seen"),
+		targets:    targets,
+	}
+}
+
+// Name implements the component interface.
+func (r *RS) Name() string { return "rs" }
+
+// Init schedules the first heartbeat round.
+func (r *RS) Init(ctx *kernel.Context) {
+	ctx.SetAlarm(HeartbeatPeriod)
+}
+
+// Handle processes one request.
+func (r *RS) Handle(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("rs.handle.entry")
+	ctx.Tick(30)
+	switch m.Type {
+	case kernel.MsgAlarm:
+		r.heartbeat(ctx)
+	case kernel.MsgCrashNotify:
+		r.crashNotify(ctx, m)
+	case proto.RSStatus:
+		ctx.Point("rs.status")
+		ctx.Reply(m.From, kernel.Message{A: r.recoveries.Get(), B: int64(len(r.targets))})
+	case proto.DSEvent:
+		// Subscriber feed from DS: account and move on.
+		ctx.Point("rs.dsevent")
+		ctx.Tick(10)
+	case proto.RSPing:
+		ctx.Reply(m.From, kernel.Message{Type: proto.RSPing})
+	default:
+		if m.NeedsReply {
+			ctx.ReplyErr(m.From, kernel.ENOSYS)
+		}
+	}
+}
+
+// heartbeat probes every target and records liveness.
+func (r *RS) heartbeat(ctx *kernel.Context) {
+	ctx.Point("rs.heartbeat")
+	r.pingRounds.Set(r.pingRounds.Get() + 1)
+	for _, target := range r.targets {
+		reply := ctx.Call(seepPing, target, kernel.Message{Type: proto.RSPing})
+		if reply.Errno == kernel.OK {
+			r.lastSeen.Set(int64(target), int64(ctx.Now()))
+		}
+		ctx.Tick(10)
+	}
+	ctx.SetAlarm(HeartbeatPeriod)
+}
+
+// crashNotify accounts a recovery performed by the engine.
+func (r *RS) crashNotify(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("rs.crashnotify")
+	victim := m.A
+	count, _ := r.crashes.Get(victim)
+	r.crashes.Set(victim, count+1)
+	r.recoveries.Set(r.recoveries.Get() + 1)
+}
+
+// Recoveries reports the number of recoveries RS has accounted.
+func (r *RS) Recoveries() int64 { return r.recoveries.Get() }

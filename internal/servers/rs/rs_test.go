@@ -1,0 +1,114 @@
+package rs
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/proto"
+	"repro/internal/seep"
+	"repro/internal/sim"
+)
+
+// harness runs RS with heartbeats against a counting ping responder.
+func harness(t *testing.T, heartbeats bool, client func(ctx *kernel.Context)) (*RS, *sim.Counters) {
+	t.Helper()
+	k := kernel.New(kernel.DefaultCostModel(), 1)
+	pings := k.Counters()
+	k.AddServer(kernel.EpDS, "ds", func(ctx *kernel.Context) {
+		for {
+			m := ctx.Receive()
+			if m.Type == proto.RSPing {
+				pings.Add("test.pings", 1)
+				ctx.Reply(m.From, kernel.Message{Type: proto.RSPing})
+				continue
+			}
+			if m.NeedsReply {
+				ctx.ReplyErr(m.From, kernel.OK)
+			}
+		}
+	}, kernel.ServerConfig{})
+
+	store := memlog.NewStore("rs", memlog.Optimized)
+	win := seep.NewWindow(seep.PolicyEnhanced, store)
+	r := New(store, []kernel.Endpoint{kernel.EpDS})
+	k.AddServer(kernel.EpRS, "rs", func(ctx *kernel.Context) {
+		if heartbeats {
+			r.Init(ctx)
+		}
+		for {
+			m := ctx.Receive()
+			win.BeginRequest(m.NeedsReply)
+			r.Handle(ctx, m)
+			win.EndRequest()
+		}
+	}, kernel.ServerConfig{Window: win, Store: store})
+
+	root := k.SpawnUser("client", client)
+	k.SetRootProcess(root.Endpoint())
+	if res := k.Run(10_000_000_000); res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	return r, pings
+}
+
+func TestHeartbeatRounds(t *testing.T) {
+	r, pings := harness(t, true, func(ctx *kernel.Context) {
+		// Sleep across several heartbeat periods.
+		ctx.SetAlarm(3 * HeartbeatPeriod)
+		ctx.Receive()
+	})
+	if got := pings.Get("test.pings"); got < 2 {
+		t.Fatalf("target pinged %d times, want >= 2", got)
+	}
+	if r.pingRounds.Get() < 2 {
+		t.Fatalf("ping rounds = %d, want >= 2", r.pingRounds.Get())
+	}
+	if _, ok := r.lastSeen.Get(int64(kernel.EpDS)); !ok {
+		t.Fatal("no liveness record for the probed target")
+	}
+}
+
+func TestNoHeartbeatsWhenDisabled(t *testing.T) {
+	_, pings := harness(t, false, func(ctx *kernel.Context) {
+		ctx.SetAlarm(3 * HeartbeatPeriod)
+		ctx.Receive()
+	})
+	if got := pings.Get("test.pings"); got != 0 {
+		t.Fatalf("disabled heartbeats still pinged %d times", got)
+	}
+}
+
+func TestCrashAccounting(t *testing.T) {
+	r, _ := harness(t, false, func(ctx *kernel.Context) {
+		for i := 0; i < 3; i++ {
+			ctx.Kernel().PostMessage(kernel.EpKernel, kernel.EpRS,
+				kernel.Message{Type: kernel.MsgCrashNotify, A: int64(kernel.EpVM)})
+		}
+		st := ctx.SendRec(kernel.EpRS, kernel.Message{Type: proto.RSStatus})
+		if st.Errno != kernel.OK || st.A != 3 {
+			t.Errorf("status = %v recoveries=%d, want 3", st.Errno, st.A)
+		}
+		if st.B != 1 {
+			t.Errorf("targets = %d, want 1", st.B)
+		}
+	})
+	if r.Recoveries() != 3 {
+		t.Fatalf("Recoveries() = %d, want 3", r.Recoveries())
+	}
+	if count, _ := r.crashes.Get(int64(kernel.EpVM)); count != 3 {
+		t.Fatalf("per-victim count = %d, want 3", count)
+	}
+}
+
+func TestDSEventAbsorbedAndPing(t *testing.T) {
+	harness(t, false, func(ctx *kernel.Context) {
+		ctx.Send(kernel.EpRS, kernel.Message{Type: proto.DSEvent, A: 1})
+		if r := ctx.SendRec(kernel.EpRS, kernel.Message{Type: proto.RSPing}); r.Type != proto.RSPing {
+			t.Errorf("ping = %+v", r)
+		}
+		if r := ctx.SendRec(kernel.EpRS, kernel.Message{Type: 996}); r.Errno != kernel.ENOSYS {
+			t.Errorf("unknown = %v", r.Errno)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+// Package systask implements the system task: the message-level face of
+// the privileged kernel calls of the original prototype (sys_fork,
+// sys_exec, page-table manipulation). It is substrate, not a
+// recoverable OSIRIS component — in the paper this code lives inside
+// the microkernel and belongs to the Reliable Computing Base.
+package systask
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/proto"
+)
+
+// pageTable tracks installed mappings per endpoint. This state belongs
+// to the kernel in the original system, so it is plain Go state: it is
+// never rolled back and never fault-injected.
+type pageTable struct {
+	mapped map[kernel.Endpoint]int64
+}
+
+// Run is the system task body. Register it at proto.EpSys.
+func Run(ctx *kernel.Context) {
+	pt := pageTable{mapped: make(map[kernel.Endpoint]int64)}
+	for {
+		m := ctx.Receive()
+		ctx.Tick(20)
+		switch m.Type {
+		case proto.SysSpawn:
+			body, ok := m.Aux.(kernel.Body)
+			if !ok {
+				ctx.ReplyErr(m.From, kernel.EINVAL)
+				continue
+			}
+			p := ctx.Kernel().SpawnUser(m.Str, body)
+			ctx.Reply(m.From, kernel.Message{A: int64(p.Endpoint())})
+
+		case proto.SysTerminate:
+			errno := ctx.Kernel().TerminateProcess(kernel.Endpoint(m.A))
+			delete(pt.mapped, kernel.Endpoint(m.A))
+			ctx.ReplyErr(m.From, errno)
+
+		case proto.SysReplace:
+			body, ok := m.Aux.(kernel.Body)
+			if !ok {
+				ctx.ReplyErr(m.From, kernel.EINVAL)
+				continue
+			}
+			_, err := ctx.Kernel().ReplaceUserProcess(kernel.Endpoint(m.A), m.Str, body)
+			if err != nil {
+				ctx.ReplyErr(m.From, kernel.ESRCH)
+				continue
+			}
+			ctx.ReplyErr(m.From, kernel.OK)
+
+		case proto.SysMap:
+			pt.mapped[kernel.Endpoint(m.A)] += m.B
+			ctx.ReplyErr(m.From, kernel.OK)
+
+		case proto.SysUnmap:
+			ep := kernel.Endpoint(m.A)
+			pt.mapped[ep] -= m.B
+			if pt.mapped[ep] <= 0 {
+				delete(pt.mapped, ep)
+			}
+			ctx.ReplyErr(m.From, kernel.OK)
+
+		case proto.RSPing:
+			ctx.Reply(m.From, kernel.Message{Type: proto.RSPing})
+
+		default:
+			ctx.ReplyErr(m.From, kernel.ENOSYS)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package systask
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/proto"
+)
+
+func drive(t *testing.T, client func(ctx *kernel.Context)) {
+	t.Helper()
+	k := kernel.New(kernel.DefaultCostModel(), 1)
+	k.AddServer(proto.EpSys, "sys", Run, kernel.ServerConfig{})
+	root := k.SpawnUser("client", client)
+	k.SetRootProcess(root.Endpoint())
+	if res := k.Run(100_000_000); res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+}
+
+func TestSpawnAndTerminate(t *testing.T) {
+	drive(t, func(ctx *kernel.Context) {
+		ran := false
+		body := kernel.Body(func(c *kernel.Context) {
+			ran = true
+			c.Receive() // park until terminated
+		})
+		r := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.SysSpawn, Str: "child", Aux: body})
+		if r.Errno != kernel.OK || r.A < int64(kernel.EpUserBase) {
+			t.Fatalf("spawn = %v, ep %d", r.Errno, r.A)
+		}
+		ctx.Yield() // let the child run once
+		if !ran {
+			t.Error("spawned child never ran")
+		}
+		kill := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.SysTerminate, A: r.A})
+		if kill.Errno != kernel.OK {
+			t.Errorf("terminate = %v", kill.Errno)
+		}
+		if ctx.Kernel().ProcessAlive(kernel.Endpoint(r.A)) {
+			t.Error("terminated process still alive")
+		}
+		again := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.SysTerminate, A: r.A})
+		if again.Errno != kernel.ESRCH {
+			t.Errorf("double terminate = %v, want ESRCH", again.Errno)
+		}
+	})
+}
+
+func TestSpawnRejectsBadBody(t *testing.T) {
+	drive(t, func(ctx *kernel.Context) {
+		r := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.SysSpawn, Str: "bad", Aux: "not a body"})
+		if r.Errno != kernel.EINVAL {
+			t.Errorf("spawn with bad body = %v, want EINVAL", r.Errno)
+		}
+	})
+}
+
+func TestMapUnmap(t *testing.T) {
+	drive(t, func(ctx *kernel.Context) {
+		if r := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.SysMap, A: 200, B: 8}); r.Errno != kernel.OK {
+			t.Errorf("map = %v", r.Errno)
+		}
+		if r := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.SysUnmap, A: 200, B: 8}); r.Errno != kernel.OK {
+			t.Errorf("unmap = %v", r.Errno)
+		}
+	})
+}
+
+func TestReplace(t *testing.T) {
+	drive(t, func(ctx *kernel.Context) {
+		first := kernel.Body(func(c *kernel.Context) { c.Receive() })
+		spawn := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.SysSpawn, Str: "v", Aux: first})
+		if spawn.Errno != kernel.OK {
+			t.Fatalf("spawn = %v", spawn.Errno)
+		}
+		ranSecond := false
+		second := kernel.Body(func(c *kernel.Context) { ranSecond = true })
+		rep := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.SysReplace, A: spawn.A, Str: "v2", Aux: second})
+		if rep.Errno != kernel.OK {
+			t.Fatalf("replace = %v", rep.Errno)
+		}
+		ctx.Yield()
+		if !ranSecond {
+			t.Error("replacement body never ran")
+		}
+		bad := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.SysReplace, A: 9999, Str: "x", Aux: second})
+		if bad.Errno != kernel.ESRCH {
+			t.Errorf("replace of missing ep = %v, want ESRCH", bad.Errno)
+		}
+	})
+}
+
+func TestPingAndUnknown(t *testing.T) {
+	drive(t, func(ctx *kernel.Context) {
+		if r := ctx.SendRec(proto.EpSys, kernel.Message{Type: proto.RSPing}); r.Type != proto.RSPing {
+			t.Errorf("ping = %+v", r)
+		}
+		if r := ctx.SendRec(proto.EpSys, kernel.Message{Type: 999}); r.Errno != kernel.ENOSYS {
+			t.Errorf("unknown = %v, want ENOSYS", r.Errno)
+		}
+	})
+}

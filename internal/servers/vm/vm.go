@@ -1,0 +1,290 @@
+// Package vm implements the Virtual Memory Manager: address-space
+// accounting, fork-time copying, brk, and physical frame bookkeeping.
+//
+// VM is the memory-heavy component of the system: it owns a frame table
+// sized to physical memory, which dominates both its clone size and its
+// undo-log high-water mark — reproducing the shape of Table VI, where
+// VM accounts for nearly all recovery memory overhead.
+package vm
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/proto"
+	"repro/internal/seep"
+	"repro/internal/sim"
+)
+
+// copyPageCost is the per-page cost of copying an address space on fork.
+const copyPageCost sim.Cycles = 200
+
+// TotalPages is the simulated physical memory size in pages.
+const TotalPages = 16384
+
+// DefaultProcPages is the initial address-space size of a new process.
+const DefaultProcPages = 16
+
+// SEEP call sites of the VM server. Page-table manipulation changes
+// kernel state, so these are state-modifying under any policy.
+var (
+	seepMap   = seep.Passage{Name: "vm->sys.map", Class: seep.ClassMutating}
+	seepUnmap = seep.Passage{Name: "vm->sys.unmap", Class: seep.ClassMutating}
+)
+
+// space is one process address space.
+type space struct {
+	EP    int64
+	Pages int64
+	Brk   int64
+}
+
+// VM is the Virtual Memory Manager server.
+type VM struct {
+	spaces *memlog.Map[int64, space]
+	used   *memlog.Cell[int64]
+	// frames maps each physical frame to its owning endpoint (0 =
+	// free). It is the large arena that makes VM clones expensive.
+	frames *memlog.Slice[int32]
+	// nextFrame scans for free frames round-robin.
+	nextFrame *memlog.Cell[int]
+}
+
+// New binds a VM server over store (fresh or recovered clone). initEP
+// is the endpoint of the initial workload process, which receives a
+// default address space on a fresh store.
+func New(store *memlog.Store, initEP int64) *VM {
+	v := &VM{
+		spaces:    memlog.NewMap[int64, space](store, "vm.spaces"),
+		used:      memlog.NewCell(store, "vm.used", int64(0)),
+		frames:    memlog.NewSlice[int32](store, "vm.frames"),
+		nextFrame: memlog.NewCell(store, "vm.next_frame", 0),
+	}
+	if v.frames.Len() == 0 {
+		for i := 0; i < TotalPages; i++ {
+			v.frames.Append(0)
+		}
+	}
+	// Seed the init address space only at first boot (see pm.New).
+	if _, ok := v.spaces.Get(initEP); !ok && initEP != 0 && v.spaces.Len() == 0 && store.Generation() == 0 {
+		v.seedSpace(initEP, DefaultProcPages)
+	}
+	return v
+}
+
+// seedSpace installs an address space without kernel interaction (boot).
+func (v *VM) seedSpace(ep, pages int64) {
+	scan := v.nextFrame.Get()
+	for claimed := int64(0); claimed < pages; claimed++ {
+		for v.frames.Get(scan%TotalPages) != 0 {
+			scan++
+		}
+		v.frames.Set(scan%TotalPages, int32(ep))
+		scan++
+	}
+	v.nextFrame.Set(scan % TotalPages)
+	v.used.Set(v.used.Get() + pages)
+	v.spaces.Set(ep, space{EP: ep, Pages: pages, Brk: pages})
+}
+
+// Name implements the component interface.
+func (v *VM) Name() string { return "vm" }
+
+// Handle processes one request.
+func (v *VM) Handle(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("vm.handle.entry")
+	ctx.Tick(30)
+	switch m.Type {
+	case proto.VMNewProc:
+		v.newProc(ctx, m)
+	case proto.VMFork:
+		v.fork(ctx, m)
+	case proto.VMExit:
+		v.exit(ctx, m)
+	case proto.VMBrk:
+		v.brk(ctx, m)
+	case proto.VMQuery:
+		v.query(ctx, m)
+	case proto.RSPing:
+		ctx.Reply(m.From, kernel.Message{Type: proto.RSPing})
+	default:
+		if m.NeedsReply {
+			ctx.ReplyErr(m.From, kernel.ENOSYS)
+		}
+	}
+}
+
+// mapChunk is the granularity at which VM installs mappings through
+// the system task: real address spaces are mapped region by region, so
+// the kernel map calls interleave with the allocation work. The first
+// chunk's map call closes the recovery window; the remaining allocation
+// work executes outside it — which is why VM's recovery coverage sits
+// in the middle of Table I under both policies.
+const mapChunk = 4
+
+// allocFrames claims n physical frames for ep and installs the
+// mappings chunk by chunk. It returns ENOMEM without allocation if
+// memory is exhausted.
+func (v *VM) allocFrames(ctx *kernel.Context, ep int64, n int64) kernel.Errno {
+	if v.used.Get()+n > TotalPages {
+		return kernel.ENOMEM
+	}
+	scan := v.nextFrame.Get()
+	claimed := int64(0)
+	for claimed < n {
+		chunk := int64(0)
+		for claimed < n && chunk < mapChunk {
+			for v.frames.Get(scan%TotalPages) != 0 {
+				scan++
+				ctx.Tick(1)
+			}
+			v.frames.Set(scan%TotalPages, int32(ep))
+			scan++
+			claimed++
+			chunk++
+			ctx.Point("vm.alloc.frame")
+		}
+		r := ctx.Call(seepMap, proto.EpSys, kernel.Message{Type: proto.SysMap, A: ep, B: chunk})
+		if r.Errno != kernel.OK {
+			return r.Errno
+		}
+		ctx.Tick(15)
+	}
+	v.nextFrame.Set(scan % TotalPages)
+	v.used.Set(v.used.Get() + n)
+	ctx.Point("vm.alloc.done")
+	return kernel.OK
+}
+
+// freeFrames tells the kernel to drop the mappings, then releases every
+// frame owned by ep — the table scan runs after the unmap call, outside
+// the recovery window.
+func (v *VM) freeFrames(ctx *kernel.Context, ep int64, pages int64) int64 {
+	ctx.Call(seepUnmap, proto.EpSys, kernel.Message{Type: proto.SysUnmap, A: ep, B: pages})
+	freed := int64(0)
+	for i := 0; i < TotalPages; i++ {
+		if v.frames.Get(i) == int32(ep) {
+			v.frames.Set(i, 0)
+			freed++
+			ctx.Point("vm.free.frame")
+		}
+	}
+	ctx.Tick(kernelScanCost)
+	v.used.Set(v.used.Get() - freed)
+	return freed
+}
+
+const kernelScanCost = 256
+
+func (v *VM) newProc(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("vm.newproc")
+	ep, pages := m.A, m.B
+	if pages <= 0 {
+		pages = DefaultProcPages
+	}
+	if _, exists := v.spaces.Get(ep); exists {
+		ctx.ReplyErr(m.From, kernel.EEXIST)
+		return
+	}
+	if errno := v.allocFrames(ctx, ep, pages); errno != kernel.OK {
+		ctx.ReplyErr(m.From, errno)
+		return
+	}
+	v.spaces.Set(ep, space{EP: ep, Pages: pages, Brk: pages})
+	ctx.Point("vm.newproc.mapped")
+	ctx.ReplyErr(m.From, kernel.OK)
+}
+
+func (v *VM) fork(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("vm.fork")
+	parent, child := m.A, m.B
+	ps, ok := v.spaces.Get(parent)
+	if !ok {
+		// PM believes this process exists; VM has no space for it. The
+		// address-space tables are inconsistent with the process table —
+		// a defensive assertion fail-stops the component (§II-E).
+		ctx.Crash("vm: fork from endpoint %d with no address space", parent)
+	}
+	if _, exists := v.spaces.Get(child); exists {
+		ctx.ReplyErr(m.From, kernel.EEXIST)
+		return
+	}
+	if errno := v.allocFrames(ctx, child, ps.Pages); errno != kernel.OK {
+		ctx.ReplyErr(m.From, errno)
+		return
+	}
+	// Copying the parent's pages costs real time proportional to size.
+	ctx.Tick(copyPageCost * sim.Cycles(ps.Pages))
+	v.spaces.Set(child, space{EP: child, Pages: ps.Pages, Brk: ps.Brk})
+	ctx.Point("vm.fork.copied")
+	ctx.ReplyErr(m.From, kernel.OK)
+}
+
+func (v *VM) exit(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("vm.exit")
+	ep := m.A
+	if _, ok := v.spaces.Get(ep); !ok {
+		// Same inconsistency as fork: PM is tearing down a process VM
+		// has never seen.
+		ctx.Crash("vm: exit for endpoint %d with no address space", ep)
+	}
+	sp, _ := v.spaces.Get(ep)
+	v.freeFrames(ctx, ep, sp.Pages)
+	v.spaces.Delete(ep)
+	ctx.Point("vm.exit.freed")
+	ctx.ReplyErr(m.From, kernel.OK)
+}
+
+func (v *VM) brk(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("vm.brk")
+	ep, delta := m.A, m.B
+	s, ok := v.spaces.Get(ep)
+	if !ok {
+		ctx.ReplyErr(m.From, kernel.ESRCH)
+		return
+	}
+	switch {
+	case delta > 0:
+		if errno := v.allocFrames(ctx, ep, delta); errno != kernel.OK {
+			ctx.ReplyErr(m.From, errno)
+			return
+		}
+		s.Pages += delta
+		s.Brk += delta
+		v.spaces.Set(ep, s)
+		ctx.Point("vm.brk.grown")
+		ctx.Reply(m.From, kernel.Message{A: s.Pages})
+	case delta < 0:
+		// Shrinking releases frames owned by ep, newest-first scan.
+		want := -delta
+		if want > s.Pages {
+			ctx.ReplyErr(m.From, kernel.EINVAL)
+			return
+		}
+		ctx.Call(seepUnmap, proto.EpSys, kernel.Message{Type: proto.SysUnmap, A: ep, B: want})
+		released := int64(0)
+		for i := TotalPages - 1; i >= 0 && released < want; i-- {
+			if v.frames.Get(i) == int32(ep) {
+				v.frames.Set(i, 0)
+				released++
+				ctx.Point("vm.brk.release")
+			}
+		}
+		v.used.Set(v.used.Get() - released)
+		s.Pages -= released
+		s.Brk -= released
+		v.spaces.Set(ep, s)
+		ctx.Reply(m.From, kernel.Message{A: s.Pages})
+	default:
+		ctx.Reply(m.From, kernel.Message{A: s.Pages})
+	}
+}
+
+func (v *VM) query(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("vm.query")
+	s, ok := v.spaces.Get(m.A)
+	if !ok {
+		ctx.ReplyErr(m.From, kernel.ESRCH)
+		return
+	}
+	ctx.Reply(m.From, kernel.Message{A: s.Pages, B: v.used.Get()})
+}

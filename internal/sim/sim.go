@@ -1,0 +1,120 @@
+// Package sim provides the deterministic substrate for the OSIRIS
+// simulation: a virtual cycle clock, a seeded pseudo-random number
+// generator, and named counters.
+//
+// Nothing in this package spawns goroutines or reads wall-clock time;
+// every run of the simulator is a pure function of its seed and inputs.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cycles is a quantity of virtual CPU cycles. All simulated costs —
+// computation, IPC hops, undo-log appends — are expressed in cycles, and
+// all performance results are derived from cycle counts.
+type Cycles uint64
+
+// Clock is the virtual cycle clock shared by an entire simulated machine.
+// The zero value is a clock at time zero, ready to use.
+type Clock struct {
+	now Cycles
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves the clock forward by n cycles.
+func (c *Clock) Advance(n Cycles) { c.now += n }
+
+// RNG is a deterministic xorshift64* pseudo-random number generator.
+// It is deliberately not safe for concurrent use: the simulator runs
+// one process at a time by construction.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is replaced
+// with a fixed non-zero constant because xorshift has a zero fixpoint.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0,
+// matching math/rand semantics.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Fork derives an independent generator whose stream is a deterministic
+// function of the parent state. The parent advances by one step.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() | 1)
+}
+
+// Counters is a set of named uint64 counters used for simulation
+// statistics (messages sent, stores logged, faults injected, ...).
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]uint64)}
+}
+
+// Add increments counter name by n, creating it if necessary.
+func (c *Counters) Add(name string, n uint64) { c.m[name] += n }
+
+// Get reports the current value of counter name (zero if never set).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for name := range c.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters deterministically, one per line.
+func (c *Counters) String() string {
+	var out string
+	for _, name := range c.Names() {
+		out += fmt.Sprintf("%s=%d\n", name, c.m[name])
+	}
+	return out
+}

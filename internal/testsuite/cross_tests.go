@@ -1,0 +1,319 @@
+package testsuite
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/usr"
+)
+
+// addCrossTests registers programs that exercise several servers in one
+// flow — the cross-cutting system calls the paper singles out as the
+// hard recovery cases (fork/exec touching PM, VM, VFS at once).
+func addCrossTests(m map[string]usr.Program) {
+	add(m, "t_x_rs_status", func(p *usr.Proc) int {
+		recoveries, errno := p.RSStatus()
+		if errno != kernel.OK || recoveries < 0 {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_x_rs_status_stable", func(p *usr.Proc) int {
+		a, errno1 := p.RSStatus()
+		b, errno2 := p.RSStatus()
+		if errno1 != kernel.OK || errno2 != kernel.OK || b < a {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_x_fork_file_ds", func(p *usr.Proc) int {
+		// File + DS state woven through a fork.
+		fd, errno := p.Create("/tmp/xfd")
+		if errno != kernel.OK {
+			return 1
+		}
+		p.Write(fd, []byte("parent"))
+		p.DsPut("xk", "xv")
+		p.Fork(func(c *usr.Proc) int {
+			if v, errno := c.DsGet("xk"); errno != kernel.OK || v != "xv" {
+				return 1
+			}
+			if errno := c.LSeek(fd, 0); errno != kernel.OK {
+				return 2
+			}
+			data, errno := c.Read(fd, 16)
+			if errno != kernel.OK || string(data) != "parent" {
+				return 3
+			}
+			return 0
+		})
+		_, status, errno := p.Wait()
+		p.Close(fd)
+		p.Unlink("/tmp/xfd")
+		p.DsDelete("xk")
+		if errno != kernel.OK || status != 0 {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_x_spawn_pipeline", func(p *usr.Proc) int {
+		// A producer child writes into a pipe; the parent consumes.
+		rfd, wfd, errno := p.Pipe()
+		if errno != kernel.OK {
+			return 1
+		}
+		if _, errno := p.Fork(func(c *usr.Proc) int {
+			for i := 0; i < 4; i++ {
+				if _, errno := c.Write(wfd, []byte("chunk")); errno != kernel.OK {
+					return 1
+				}
+			}
+			c.Close(wfd)
+			c.Close(rfd)
+			return 0
+		}); errno != kernel.OK {
+			return 2
+		}
+		p.Close(wfd)
+		total := 0
+		for {
+			data, errno := p.Read(rfd, 8)
+			if errno != kernel.OK {
+				return 3
+			}
+			if len(data) == 0 {
+				break
+			}
+			total += len(data)
+		}
+		p.Close(rfd)
+		p.Wait()
+		if total != 20 {
+			return 4
+		}
+		return 0
+	})
+
+	add(m, "t_x_exec_then_file", func(p *usr.Proc) int {
+		// The exec'd image writes a file; we observe it afterwards.
+		p.Unlink("/tmp/from-exec")
+		p.Fork(func(c *usr.Proc) int {
+			c.Exec("u_writefile", "/tmp/from-exec")
+			return 99
+		})
+		_, status, errno := p.Wait()
+		if errno != kernel.OK || status != 0 {
+			return 1
+		}
+		if _, _, errno := p.Stat("/tmp/from-exec"); errno != kernel.OK {
+			return 2
+		}
+		p.Unlink("/tmp/from-exec")
+		return 0
+	})
+
+	add(m, "t_x_shell_script", func(p *usr.Proc) int {
+		failures := usr.Shell(p, []string{
+			"u_exit0",
+			"u_writefile /tmp/shellfile",
+			"u_exit0",
+		})
+		if failures != 0 {
+			return 1
+		}
+		if _, _, errno := p.Stat("/tmp/shellfile"); errno != kernel.OK {
+			return 2
+		}
+		p.Unlink("/tmp/shellfile")
+		return 0
+	})
+
+	add(m, "t_x_shell_failures", func(p *usr.Proc) int {
+		failures := usr.Shell(p, []string{"u_exit0", "u_exit7", "no-such"})
+		if failures != 2 {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_x_concurrent_writers", func(p *usr.Proc) int {
+		// Two children write distinct files concurrently through the
+		// multithreaded VFS.
+		for i := 0; i < 2; i++ {
+			name := "/tmp/cw0"
+			if i == 1 {
+				name = "/tmp/cw1"
+			}
+			fileName := name
+			p.Fork(func(c *usr.Proc) int {
+				fd, errno := c.Create(fileName)
+				if errno != kernel.OK {
+					return 1
+				}
+				for j := 0; j < 8; j++ {
+					if _, errno := c.Write(fd, make([]byte, 512)); errno != kernel.OK {
+						return 2
+					}
+				}
+				c.Close(fd)
+				return 0
+			})
+		}
+		for i := 0; i < 2; i++ {
+			if _, status, errno := p.Wait(); errno != kernel.OK || status != 0 {
+				return 1
+			}
+		}
+		for _, name := range []string{"/tmp/cw0", "/tmp/cw1"} {
+			size, _, errno := p.Stat(name)
+			if errno != kernel.OK || size != 8*512 {
+				return 2
+			}
+			p.Unlink(name)
+		}
+		return 0
+	})
+
+	add(m, "t_x_fork_exec_wait_storm", func(p *usr.Proc) int {
+		for i := 0; i < 5; i++ {
+			pid, errno := p.Spawn("u_exit0")
+			if errno != kernel.OK {
+				return 1
+			}
+			wpid, status, errno := p.Wait()
+			if errno != kernel.OK || wpid != pid || status != 0 {
+				return 2
+			}
+		}
+		return 0
+	})
+
+	add(m, "t_x_ds_under_forks", func(p *usr.Proc) int {
+		// Children increment a DS counter strictly sequentially.
+		p.DsPut("ctr", "0")
+		for i := 0; i < 4; i++ {
+			p.Fork(func(c *usr.Proc) int {
+				v, errno := c.DsGet("ctr")
+				if errno != kernel.OK {
+					return 1
+				}
+				c.DsPut("ctr", v+"+")
+				return 0
+			})
+			if _, status, errno := p.Wait(); errno != kernel.OK || status != 0 {
+				return 1
+			}
+		}
+		v, errno := p.DsGet("ctr")
+		p.DsDelete("ctr")
+		if errno != kernel.OK || v != "0++++" {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_x_file_visibility_after_child", func(p *usr.Proc) int {
+		p.Fork(func(c *usr.Proc) int {
+			fd, errno := c.Open("/tmp/childmade", proto.OCreate)
+			if errno != kernel.OK {
+				return 1
+			}
+			c.Write(fd, []byte("made by child"))
+			c.Close(fd)
+			return 0
+		})
+		if _, status, errno := p.Wait(); errno != kernel.OK || status != 0 {
+			return 1
+		}
+		fd, errno := p.Open("/tmp/childmade", 0)
+		if errno != kernel.OK {
+			return 2
+		}
+		data, _ := p.Read(fd, 32)
+		p.Close(fd)
+		p.Unlink("/tmp/childmade")
+		if string(data) != "made by child" {
+			return 3
+		}
+		return 0
+	})
+
+	add(m, "t_x_deep_pipeline", func(p *usr.Proc) int {
+		// Three-stage pipeline: gen -> double -> sum, via two pipes.
+		r1, w1, _ := p.Pipe()
+		r2, w2, _ := p.Pipe()
+		p.Fork(func(c *usr.Proc) int { // generator
+			for i := byte(1); i <= 5; i++ {
+				if _, errno := c.Write(w1, []byte{i}); errno != kernel.OK {
+					return 1
+				}
+			}
+			c.Close(w1)
+			return 0
+		})
+		p.Fork(func(c *usr.Proc) int { // doubler
+			c.Close(w1)
+			for {
+				b, errno := c.Read(r1, 1)
+				if errno != kernel.OK {
+					return 1
+				}
+				if len(b) == 0 {
+					break
+				}
+				if _, errno := c.Write(w2, []byte{b[0] * 2}); errno != kernel.OK {
+					return 2
+				}
+			}
+			c.Close(w2)
+			return 0
+		})
+		p.Close(w1)
+		p.Close(w2)
+		sum := 0
+		for {
+			b, errno := p.Read(r2, 1)
+			if errno != kernel.OK {
+				return 1
+			}
+			if len(b) == 0 {
+				break
+			}
+			sum += int(b[0])
+		}
+		for i := 0; i < 2; i++ {
+			if _, status, errno := p.Wait(); errno != kernel.OK || status != 0 {
+				return 2
+			}
+		}
+		p.Close(r1)
+		p.Close(r2)
+		if sum != 30 { // 2*(1+2+3+4+5)
+			return 3
+		}
+		return 0
+	})
+
+	add(m, "t_x_kill_mid_pipeline", func(p *usr.Proc) int {
+		rfd, wfd, _ := p.Pipe()
+		pid, _ := p.Fork(func(c *usr.Proc) int {
+			c.Sleep(50_000_000) // never writes
+			return 0
+		})
+		p.Compute(10_000)
+		if errno := p.Kill(pid); errno != kernel.OK {
+			return 1
+		}
+		p.Wait()
+		// The killed child held copies of both ends; ours remain.
+		p.Close(wfd)
+		data, errno := p.Read(rfd, 4)
+		if errno != kernel.OK || len(data) != 0 {
+			return 2
+		}
+		p.Close(rfd)
+		return 0
+	})
+}

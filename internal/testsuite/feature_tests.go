@@ -1,0 +1,282 @@
+package testsuite
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/servers/vfs"
+	"repro/internal/usr"
+)
+
+// addFeatureTests registers programs for rename, pipe capacity and Data
+// Store subscriptions.
+func addFeatureTests(m map[string]usr.Program) {
+	add(m, "t_fs_rename", func(p *usr.Proc) int {
+		fd, _ := p.Create("/tmp/rn-old")
+		p.Write(fd, []byte("moved"))
+		p.Close(fd)
+		if errno := p.Rename("/tmp/rn-old", "/tmp/rn-new"); errno != kernel.OK {
+			return 1
+		}
+		if _, _, errno := p.Stat("/tmp/rn-old"); errno != kernel.ENOENT {
+			return 2
+		}
+		fd, errno := p.Open("/tmp/rn-new", 0)
+		if errno != kernel.OK {
+			return 3
+		}
+		data, _ := p.Read(fd, 16)
+		p.Close(fd)
+		p.Unlink("/tmp/rn-new")
+		if string(data) != "moved" {
+			return 4
+		}
+		return 0
+	})
+
+	add(m, "t_fs_rename_replace", func(p *usr.Proc) int {
+		for _, name := range []string{"/tmp/rr-a", "/tmp/rr-b"} {
+			fd, _ := p.Create(name)
+			p.Write(fd, []byte(name))
+			p.Close(fd)
+		}
+		if errno := p.Rename("/tmp/rr-a", "/tmp/rr-b"); errno != kernel.OK {
+			return 1
+		}
+		fd, _ := p.Open("/tmp/rr-b", 0)
+		data, _ := p.Read(fd, 32)
+		p.Close(fd)
+		p.Unlink("/tmp/rr-b")
+		if string(data) != "/tmp/rr-a" {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_fs_rename_missing", func(p *usr.Proc) int {
+		if errno := p.Rename("/tmp/ghost", "/tmp/elsewhere"); errno != kernel.ENOENT {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pipe_full_suspends_writer", func(p *usr.Proc) int {
+		rfd, wfd, errno := p.Pipe()
+		if errno != kernel.OK {
+			return 1
+		}
+		// Fill the pipe to capacity.
+		chunk := make([]byte, vfs.PipeCap/4)
+		for i := 0; i < 4; i++ {
+			if _, errno := p.Write(wfd, chunk); errno != kernel.OK {
+				return 2
+			}
+		}
+		// The next write suspends; a child drains the pipe to release us.
+		p.Fork(func(c *usr.Proc) int {
+			c.Compute(100_000)
+			total := 0
+			for total < vfs.PipeCap/2 {
+				data, errno := c.Read(rfd, 4096)
+				if errno != kernel.OK || len(data) == 0 {
+					return 1
+				}
+				total += len(data)
+			}
+			return 0
+		})
+		if n, errno := p.Write(wfd, chunk); errno != kernel.OK || n != len(chunk) {
+			return 3
+		}
+		p.Close(wfd)
+		p.Close(rfd)
+		_, status, errno := p.Wait()
+		if errno != kernel.OK || status != 0 {
+			return 4
+		}
+		return 0
+	})
+
+	add(m, "t_pipe_oversized_write_rejected", func(p *usr.Proc) int {
+		rfd, wfd, _ := p.Pipe()
+		defer func() { p.Close(rfd); p.Close(wfd) }()
+		if _, errno := p.Write(wfd, make([]byte, vfs.PipeCap+1)); errno != kernel.EINVAL {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_ds_subscribe_basic", func(p *usr.Proc) int {
+		if errno := p.DsSubscribe("watch/"); errno != kernel.OK {
+			return 1
+		}
+		p.Fork(func(c *usr.Proc) int {
+			return int(c.DsPut("watch/x", "1"))
+		})
+		key := p.DsNextEvent()
+		p.Wait()
+		p.DsUnsubscribe()
+		p.DsDelete("watch/x")
+		if key != "watch/x" {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_ds_subscribe_prefix_filter", func(p *usr.Proc) int {
+		if errno := p.DsSubscribe("only/"); errno != kernel.OK {
+			return 1
+		}
+		p.Fork(func(c *usr.Proc) int {
+			c.DsPut("other/k", "x") // must not be delivered
+			c.DsPut("only/k", "y")  // must be delivered
+			return 0
+		})
+		key := p.DsNextEvent()
+		p.Wait()
+		p.DsUnsubscribe()
+		p.DsDelete("other/k")
+		p.DsDelete("only/k")
+		if key != "only/k" {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_ds_subscribe_delete_event", func(p *usr.Proc) int {
+		p.DsPut("del/k", "v")
+		p.DsSubscribe("del/")
+		p.Fork(func(c *usr.Proc) int {
+			return int(c.DsDelete("del/k"))
+		})
+		key := p.DsNextEvent()
+		p.Wait()
+		p.DsUnsubscribe()
+		if key != "del/k" {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_ds_unsubscribe", func(p *usr.Proc) int {
+		if errno := p.DsUnsubscribe(); errno != kernel.ENOENT {
+			return 1
+		}
+		p.DsSubscribe("u/")
+		if errno := p.DsUnsubscribe(); errno != kernel.OK {
+			return 2
+		}
+		return 0
+	})
+
+	addCwdTests(m)
+
+	add(m, "t_ds_sub_cleanup_on_exit", func(p *usr.Proc) int {
+		// A child subscribes then exits; its subscription must be
+		// cleaned up so later puts do not try to notify a dead process.
+		p.Fork(func(c *usr.Proc) int {
+			return int(c.DsSubscribe("gone/"))
+		})
+		if _, status, errno := p.Wait(); errno != kernel.OK || status != 0 {
+			return 1
+		}
+		if errno := p.DsPut("gone/key", "v"); errno != kernel.OK {
+			return 2
+		}
+		p.DsDelete("gone/key")
+		return 0
+	})
+}
+
+// addCwdTests registers working-directory programs. Called from
+// addFeatureTests to keep registration in one place.
+func addCwdTests(m map[string]usr.Program) {
+	add(m, "t_fs_getcwd_default", func(p *usr.Proc) int {
+		dir, errno := p.Getcwd()
+		if errno != kernel.OK || dir != "/" {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_fs_chdir_relative_ops", func(p *usr.Proc) int {
+		p.Mkdir("/tmp/wd")
+		if errno := p.Chdir("/tmp/wd"); errno != kernel.OK {
+			return 1
+		}
+		fd, errno := p.Create("here") // relative to /tmp/wd
+		if errno != kernel.OK {
+			return 2
+		}
+		p.Write(fd, []byte("rel"))
+		p.Close(fd)
+		if _, _, errno := p.Stat("/tmp/wd/here"); errno != kernel.OK {
+			return 3
+		}
+		if _, _, errno := p.Stat("here"); errno != kernel.OK {
+			return 4
+		}
+		if errno := p.Unlink("here"); errno != kernel.OK {
+			return 5
+		}
+		p.Chdir("/")
+		p.Unlink("/tmp/wd")
+		return 0
+	})
+
+	add(m, "t_fs_chdir_nested_relative", func(p *usr.Proc) int {
+		p.Mkdir("/tmp/w1")
+		p.Mkdir("/tmp/w1/w2")
+		if errno := p.Chdir("/tmp/w1"); errno != kernel.OK {
+			return 1
+		}
+		if errno := p.Chdir("w2"); errno != kernel.OK { // relative chdir
+			return 2
+		}
+		dir, _ := p.Getcwd()
+		if dir != "/tmp/w1/w2" {
+			return 3
+		}
+		p.Chdir("/")
+		p.Unlink("/tmp/w1/w2")
+		p.Unlink("/tmp/w1")
+		return 0
+	})
+
+	add(m, "t_fs_chdir_errors", func(p *usr.Proc) int {
+		if errno := p.Chdir("/tmp/nowhere"); errno != kernel.ENOENT {
+			return 1
+		}
+		fd, _ := p.Create("/tmp/plainfile")
+		p.Close(fd)
+		errno := p.Chdir("/tmp/plainfile")
+		p.Unlink("/tmp/plainfile")
+		if errno != kernel.ENOTDIR {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_fs_cwd_inherited", func(p *usr.Proc) int {
+		p.Mkdir("/tmp/inhwd")
+		p.Chdir("/tmp/inhwd")
+		p.Fork(func(c *usr.Proc) int {
+			dir, errno := c.Getcwd()
+			if errno != kernel.OK || dir != "/tmp/inhwd" {
+				return 1
+			}
+			// The child's chdir must not affect the parent.
+			c.Chdir("/")
+			return 0
+		})
+		_, status, errno := p.Wait()
+		if errno != kernel.OK || status != 0 {
+			return 1
+		}
+		dir, _ := p.Getcwd()
+		p.Chdir("/")
+		p.Unlink("/tmp/inhwd")
+		if dir != "/tmp/inhwd" {
+			return 2
+		}
+		return 0
+	})
+}

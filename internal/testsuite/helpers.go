@@ -1,0 +1,80 @@
+package testsuite
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/usr"
+)
+
+// registerHelpers installs the small utility programs some suite tests
+// spawn or exec (the suite's /bin toolbox).
+func registerHelpers(reg *usr.Registry) {
+	reg.Register("u_exit0", func(p *usr.Proc) int { return 0 })
+	reg.Register("u_exit7", func(p *usr.Proc) int { return 7 })
+
+	reg.Register("u_argcount", func(p *usr.Proc) int {
+		return len(p.Args)
+	})
+
+	reg.Register("u_chain", func(p *usr.Proc) int {
+		if _, errno := p.Spawn("u_exit7"); errno != kernel.OK {
+			return 100
+		}
+		_, status, errno := p.Wait()
+		if errno != kernel.OK {
+			return 101
+		}
+		return int(status)
+	})
+
+	reg.Register("u_meminfo", func(p *usr.Proc) int {
+		pages, _, errno := p.MemInfo()
+		if errno != kernel.OK || pages <= 0 {
+			return 1
+		}
+		return 0
+	})
+
+	reg.Register("u_writefile", func(p *usr.Proc) int {
+		if len(p.Args) != 1 {
+			return 1
+		}
+		fd, errno := p.Open(p.Args[0], proto.OCreate|proto.OTrunc)
+		if errno != kernel.OK {
+			return 2
+		}
+		if _, errno := p.Write(fd, []byte("written")); errno != kernel.OK {
+			return 3
+		}
+		if errno := p.Close(fd); errno != kernel.OK {
+			return 4
+		}
+		return 0
+	})
+
+	reg.Register("u_readfile", func(p *usr.Proc) int {
+		if len(p.Args) != 1 {
+			return 1
+		}
+		fd, errno := p.Open(p.Args[0], 0)
+		if errno != kernel.OK {
+			return 2
+		}
+		for {
+			data, errno := p.Read(fd, 4096)
+			if errno != kernel.OK {
+				return 3
+			}
+			if len(data) == 0 {
+				break
+			}
+		}
+		p.Close(fd)
+		return 0
+	})
+
+	reg.Register("u_burn", func(p *usr.Proc) int {
+		p.Compute(100_000)
+		return 0
+	})
+}

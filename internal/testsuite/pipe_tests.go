@@ -1,0 +1,219 @@
+package testsuite
+
+import (
+	"bytes"
+
+	"repro/internal/kernel"
+	"repro/internal/usr"
+)
+
+// addPipeTests registers pipe and inter-process communication programs.
+func addPipeTests(m map[string]usr.Program) {
+	add(m, "t_pipe_basic", func(p *usr.Proc) int {
+		rfd, wfd, errno := p.Pipe()
+		if errno != kernel.OK {
+			return 1
+		}
+		if _, errno := p.Write(wfd, []byte("ping")); errno != kernel.OK {
+			return 2
+		}
+		data, errno := p.Read(rfd, 16)
+		if errno != kernel.OK || string(data) != "ping" {
+			return 3
+		}
+		p.Close(rfd)
+		p.Close(wfd)
+		return 0
+	})
+
+	add(m, "t_pipe_partial_read", func(p *usr.Proc) int {
+		rfd, wfd, _ := p.Pipe()
+		p.Write(wfd, []byte("abcdef"))
+		a, _ := p.Read(rfd, 2)
+		b, _ := p.Read(rfd, 2)
+		c, _ := p.Read(rfd, 10)
+		p.Close(rfd)
+		p.Close(wfd)
+		if string(a) != "ab" || string(b) != "cd" || string(c) != "ef" {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pipe_eof", func(p *usr.Proc) int {
+		rfd, wfd, _ := p.Pipe()
+		p.Write(wfd, []byte("last"))
+		p.Close(wfd)
+		data, errno := p.Read(rfd, 16)
+		if errno != kernel.OK || string(data) != "last" {
+			return 1
+		}
+		data, errno = p.Read(rfd, 16)
+		if errno != kernel.OK || len(data) != 0 {
+			return 2
+		}
+		p.Close(rfd)
+		return 0
+	})
+
+	add(m, "t_pipe_epipe", func(p *usr.Proc) int {
+		rfd, wfd, _ := p.Pipe()
+		p.Close(rfd)
+		if _, errno := p.Write(wfd, []byte("x")); errno != kernel.EPIPE {
+			return 1
+		}
+		p.Close(wfd)
+		return 0
+	})
+
+	add(m, "t_pipe_wrong_direction", func(p *usr.Proc) int {
+		rfd, wfd, _ := p.Pipe()
+		defer func() { p.Close(rfd); p.Close(wfd) }()
+		if _, errno := p.Write(rfd, []byte("x")); errno != kernel.EBADF {
+			return 1
+		}
+		if _, errno := p.Read(wfd, 1); errno != kernel.EBADF {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_pipe_blocking_read", func(p *usr.Proc) int {
+		rfd, wfd, _ := p.Pipe()
+		p.Fork(func(c *usr.Proc) int {
+			c.Compute(100_000) // ensure the parent blocks first
+			if _, errno := c.Write(wfd, []byte("delayed")); errno != kernel.OK {
+				return 1
+			}
+			return 0
+		})
+		data, errno := p.Read(rfd, 16) // suspends until the child writes
+		if errno != kernel.OK || string(data) != "delayed" {
+			return 1
+		}
+		p.Close(rfd)
+		p.Close(wfd)
+		if _, status, errno := p.Wait(); errno != kernel.OK || status != 0 {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_pipe_blocking_eof", func(p *usr.Proc) int {
+		rfd, wfd, _ := p.Pipe()
+		p.Fork(func(c *usr.Proc) int {
+			c.Compute(100_000)
+			c.Close(wfd) // the blocked parent must see EOF
+			c.Close(rfd)
+			return 0
+		})
+		p.Close(wfd)
+		data, errno := p.Read(rfd, 16)
+		if errno != kernel.OK || len(data) != 0 {
+			return 1
+		}
+		p.Close(rfd)
+		p.Wait()
+		return 0
+	})
+
+	add(m, "t_pipe_fork_transfer", func(p *usr.Proc) int {
+		payload := bytes.Repeat([]byte("stream"), 200) // 1200 bytes
+		rfd, wfd, _ := p.Pipe()
+		p.Fork(func(c *usr.Proc) int {
+			for off := 0; off < len(payload); off += 100 {
+				if _, errno := c.Write(wfd, payload[off:off+100]); errno != kernel.OK {
+					return 1
+				}
+			}
+			c.Close(wfd)
+			c.Close(rfd)
+			return 0
+		})
+		p.Close(wfd)
+		var got []byte
+		for {
+			chunk, errno := p.Read(rfd, 256)
+			if errno != kernel.OK {
+				return 1
+			}
+			if len(chunk) == 0 {
+				break
+			}
+			got = append(got, chunk...)
+		}
+		p.Close(rfd)
+		p.Wait()
+		if !bytes.Equal(got, payload) {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_pipe_two_pipes", func(p *usr.Proc) int {
+		// Request/response over a pipe pair.
+		r1, w1, _ := p.Pipe()
+		r2, w2, _ := p.Pipe()
+		p.Fork(func(c *usr.Proc) int {
+			req, errno := c.Read(r1, 16)
+			if errno != kernel.OK {
+				return 1
+			}
+			if _, errno := c.Write(w2, append([]byte("re:"), req...)); errno != kernel.OK {
+				return 2
+			}
+			return 0
+		})
+		p.Write(w1, []byte("ping"))
+		resp, errno := p.Read(r2, 16)
+		if errno != kernel.OK || string(resp) != "re:ping" {
+			return 1
+		}
+		for _, fd := range []int64{r1, w1, r2, w2} {
+			p.Close(fd)
+		}
+		p.Wait()
+		return 0
+	})
+
+	add(m, "t_pipe_exit_releases_ends", func(p *usr.Proc) int {
+		rfd, wfd, _ := p.Pipe()
+		p.Fork(func(c *usr.Proc) int {
+			c.Compute(50_000)
+			return 0 // exits without closing: VFSExitFDs must release its ends
+		})
+		p.Close(wfd)
+		p.Wait()
+		// Both writers gone now: read must see EOF, not block forever.
+		data, errno := p.Read(rfd, 8)
+		if errno != kernel.OK || len(data) != 0 {
+			return 1
+		}
+		p.Close(rfd)
+		return 0
+	})
+
+	add(m, "t_pipe_many", func(p *usr.Proc) int {
+		type pipePair struct{ r, w int64 }
+		var pairs []pipePair
+		for i := 0; i < 5; i++ {
+			r, w, errno := p.Pipe()
+			if errno != kernel.OK {
+				return 1
+			}
+			pairs = append(pairs, pipePair{r, w})
+		}
+		for i, pr := range pairs {
+			p.Write(pr.w, []byte{byte('0' + i)})
+		}
+		for i, pr := range pairs {
+			data, _ := p.Read(pr.r, 1)
+			if len(data) != 1 || data[0] != byte('0'+i) {
+				return 2
+			}
+			p.Close(pr.r)
+			p.Close(pr.w)
+		}
+		return 0
+	})
+}

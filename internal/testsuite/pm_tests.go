@@ -1,0 +1,334 @@
+package testsuite
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/usr"
+)
+
+// addPMTests registers the Process Manager coverage programs.
+func addPMTests(m map[string]usr.Program) {
+	add(m, "t_pm_getpid", func(p *usr.Proc) int {
+		pid, _, errno := p.GetPID()
+		if errno != kernel.OK || pid <= 0 {
+			return 1
+		}
+		pid2, _, errno := p.GetPID()
+		if errno != kernel.OK || pid2 != pid {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_pm_ppid", func(p *usr.Proc) int {
+		myPid, _, _ := p.GetPID()
+		ok := true
+		p.Fork(func(c *usr.Proc) int {
+			_, ppid, errno := c.GetPID()
+			if errno != kernel.OK || ppid != myPid {
+				return 1
+			}
+			return 0
+		})
+		_, status, errno := p.Wait()
+		if errno != kernel.OK || status != 0 {
+			ok = false
+		}
+		if !ok {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_fork_distinct_pids", func(p *usr.Proc) int {
+		pids := make(map[int64]bool)
+		for i := 0; i < 4; i++ {
+			pid, errno := p.Fork(func(c *usr.Proc) int { return 0 })
+			if errno != kernel.OK {
+				return 1
+			}
+			if pids[pid] {
+				return 2
+			}
+			pids[pid] = true
+		}
+		for i := 0; i < 4; i++ {
+			if _, _, errno := p.Wait(); errno != kernel.OK {
+				return 3
+			}
+		}
+		return 0
+	})
+
+	add(m, "t_pm_fork_status", func(p *usr.Proc) int {
+		pid, errno := p.Fork(func(c *usr.Proc) int { return 23 })
+		if errno != kernel.OK {
+			return 1
+		}
+		wpid, status, errno := p.Wait()
+		if errno != kernel.OK || wpid != pid || status != 23 {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_pm_fork_many", func(p *usr.Proc) int {
+		const n = 8
+		for i := 0; i < n; i++ {
+			if _, errno := p.Fork(func(c *usr.Proc) int {
+				c.Compute(1000)
+				return 0
+			}); errno != kernel.OK {
+				return 1
+			}
+		}
+		for i := 0; i < n; i++ {
+			if _, status, errno := p.Wait(); errno != kernel.OK || status != 0 {
+				return 2
+			}
+		}
+		return 0
+	})
+
+	add(m, "t_pm_wait_echild", func(p *usr.Proc) int {
+		if _, _, errno := p.Wait(); errno != kernel.ECHILD {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_wait_blocks", func(p *usr.Proc) int {
+		// The child computes for a while; wait must still return it.
+		pid, errno := p.Fork(func(c *usr.Proc) int {
+			c.Compute(200_000)
+			return 5
+		})
+		if errno != kernel.OK {
+			return 1
+		}
+		wpid, status, errno := p.Wait()
+		if errno != kernel.OK || wpid != pid || status != 5 {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_pm_wait_collects_all", func(p *usr.Proc) int {
+		want := make(map[int64]int64)
+		for i := int64(1); i <= 3; i++ {
+			status := i * 10
+			pid, errno := p.Fork(func(c *usr.Proc) int { return int(status) })
+			if errno != kernel.OK {
+				return 1
+			}
+			want[pid] = status
+		}
+		for i := 0; i < 3; i++ {
+			pid, status, errno := p.Wait()
+			if errno != kernel.OK || want[pid] != status {
+				return 2
+			}
+			delete(want, pid)
+		}
+		return 0
+	})
+
+	add(m, "t_pm_kill_child", func(p *usr.Proc) int {
+		pid, errno := p.Fork(func(c *usr.Proc) int {
+			c.Sleep(50_000_000)
+			return 0
+		})
+		if errno != kernel.OK {
+			return 1
+		}
+		p.Compute(5_000)
+		if errno := p.Kill(pid); errno != kernel.OK {
+			return 2
+		}
+		wpid, status, errno := p.Wait()
+		if errno != kernel.OK || wpid != pid || status != -9 {
+			return 3
+		}
+		return 0
+	})
+
+	add(m, "t_pm_kill_missing", func(p *usr.Proc) int {
+		if errno := p.Kill(99999); errno != kernel.ESRCH {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_kill_reaped_child", func(p *usr.Proc) int {
+		pid, _ := p.Fork(func(c *usr.Proc) int { return 0 })
+		p.Wait()
+		if errno := p.Kill(pid); errno != kernel.ESRCH {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_exec_missing", func(p *usr.Proc) int {
+		if errno := p.Exec("no-such-binary"); errno != kernel.ENOENT {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_exec_replaces", func(p *usr.Proc) int {
+		p.Fork(func(c *usr.Proc) int {
+			c.Exec("u_exit7")
+			return 1 // only reached if exec failed
+		})
+		_, status, errno := p.Wait()
+		if errno != kernel.OK || status != 7 {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_exec_args", func(p *usr.Proc) int {
+		p.Fork(func(c *usr.Proc) int {
+			c.Exec("u_argcount", "a", "b", "c")
+			return 99
+		})
+		_, status, errno := p.Wait()
+		if errno != kernel.OK || status != 3 {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_spawn", func(p *usr.Proc) int {
+		pid, errno := p.Spawn("u_exit7")
+		if errno != kernel.OK {
+			return 1
+		}
+		wpid, status, errno := p.Wait()
+		if errno != kernel.OK || wpid != pid || status != 7 {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_pm_spawn_missing", func(p *usr.Proc) int {
+		if _, errno := p.Spawn("no-such-binary"); errno != kernel.ENOENT {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_spawn_chain", func(p *usr.Proc) int {
+		// u_chain spawns u_exit7 itself and propagates the status.
+		if _, errno := p.Spawn("u_chain"); errno != kernel.OK {
+			return 1
+		}
+		_, status, errno := p.Wait()
+		if errno != kernel.OK || status != 7 {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_pm_nested_fork", func(p *usr.Proc) int {
+		pid, errno := p.Fork(func(c *usr.Proc) int {
+			_, errno := c.Fork(func(g *usr.Proc) int { return 3 })
+			if errno != kernel.OK {
+				return 1
+			}
+			_, st, errno := c.Wait()
+			if errno != kernel.OK || st != 3 {
+				return 2
+			}
+			return 0
+		})
+		if errno != kernel.OK {
+			return 1
+		}
+		wpid, status, errno := p.Wait()
+		if errno != kernel.OK || wpid != pid || status != 0 {
+			return 2
+		}
+		return 0
+	})
+
+	add(m, "t_pm_orphan", func(p *usr.Proc) int {
+		// Parent exits before its child: the orphan must be auto-reaped
+		// without wedging PM.
+		pid, errno := p.Fork(func(c *usr.Proc) int {
+			c.Fork(func(g *usr.Proc) int {
+				g.Compute(100_000)
+				return 0
+			})
+			return 0 // exit without waiting
+		})
+		if errno != kernel.OK {
+			return 1
+		}
+		wpid, _, errno := p.Wait()
+		if errno != kernel.OK || wpid != pid {
+			return 2
+		}
+		// Give the orphan time to exit and be cleaned up.
+		p.Sleep(300_000)
+		return 0
+	})
+
+	add(m, "t_pm_sleep", func(p *usr.Proc) int {
+		if errno := p.Sleep(10_000); errno != kernel.OK {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_sleep_zero", func(p *usr.Proc) int {
+		if errno := p.Sleep(0); errno != kernel.OK {
+			return 1
+		}
+		return 0
+	})
+
+	add(m, "t_pm_sleep_parallel", func(p *usr.Proc) int {
+		for i := 0; i < 3; i++ {
+			p.Fork(func(c *usr.Proc) int {
+				if errno := c.Sleep(20_000); errno != kernel.OK {
+					return 1
+				}
+				return 0
+			})
+		}
+		for i := 0; i < 3; i++ {
+			if _, status, errno := p.Wait(); errno != kernel.OK || status != 0 {
+				return 1
+			}
+		}
+		return 0
+	})
+
+	add(m, "t_pm_fork_depth", func(p *usr.Proc) int {
+		// Three generations deep.
+		var descend func(depth int) usr.Program
+		descend = func(depth int) usr.Program {
+			return func(c *usr.Proc) int {
+				if depth == 0 {
+					return 0
+				}
+				if _, errno := c.Fork(descend(depth - 1)); errno != kernel.OK {
+					return 1
+				}
+				_, st, errno := c.Wait()
+				if errno != kernel.OK || st != 0 {
+					return 2
+				}
+				return 0
+			}
+		}
+		if _, errno := p.Fork(descend(3)); errno != kernel.OK {
+			return 1
+		}
+		_, st, errno := p.Wait()
+		if errno != kernel.OK || st != 0 {
+			return 2
+		}
+		return 0
+	})
+}

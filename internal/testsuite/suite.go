@@ -1,0 +1,110 @@
+// Package testsuite is the prototype test suite of the reproduction:
+// a set of ~90 small user programs written to maximize code coverage
+// in the five OS servers, mirroring the role of the homegrown MINIX 3
+// test-program set the paper uses for its recovery-coverage and
+// survivability experiments (§VI).
+//
+// Each program returns 0 on success and a small positive failure code
+// otherwise. The suite runner executes every program as a spawned
+// child process and tallies the outcome, so a server crash during one
+// test surfaces as that test failing (or the system dying) rather than
+// the whole suite aborting.
+package testsuite
+
+import (
+	"sort"
+
+	"repro/internal/usr"
+)
+
+// Report tallies a suite run. It is filled in by the runner program
+// while the simulation executes and read by the harness afterwards.
+type Report struct {
+	Ran    int
+	Passed int
+	Failed int
+	// FailedNames lists the failing tests in execution order.
+	FailedNames []string
+	// InstallOK records whether program installation succeeded.
+	InstallOK bool
+}
+
+// Complete reports whether every test ran.
+func (r *Report) Complete() bool { return r.Ran == len(Names()) }
+
+// AllPassed reports whether every test ran and passed.
+func (r *Report) AllPassed() bool { return r.Complete() && r.Failed == 0 }
+
+// tests is the name -> program table, assembled explicitly from the
+// per-server files (no init magic).
+var tests = buildTests()
+
+func buildTests() map[string]usr.Program {
+	m := make(map[string]usr.Program, 96)
+	addPMTests(m)
+	addVFSTests(m)
+	addPipeTests(m)
+	addVMTests(m)
+	addDSTests(m)
+	addCrossTests(m)
+	addFeatureTests(m)
+	return m
+}
+
+// add inserts a test, panicking on duplicates (programming error).
+func add(m map[string]usr.Program, name string, prog usr.Program) {
+	if _, dup := m[name]; dup {
+		panic("testsuite: duplicate test " + name)
+	}
+	m[name] = prog
+}
+
+// Names returns every test name in execution (sorted) order.
+func Names() []string {
+	names := make([]string, 0, len(tests))
+	for n := range tests {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Register installs every suite program (and its helper programs) into
+// reg so they can be spawned.
+func Register(reg *usr.Registry) {
+	for name, prog := range tests {
+		reg.Register(name, prog)
+	}
+	registerHelpers(reg)
+}
+
+// RunnerInit returns an init program that installs all binaries, then
+// spawns every test in order, filling in report.
+func RunnerInit(report *Report) usr.Program {
+	return func(p *usr.Proc) int {
+		if errno := usr.InstallPrograms(p); errno != 0 {
+			return 1
+		}
+		report.InstallOK = true
+		p.Mkdir("/tmp")
+		for _, name := range Names() {
+			pid, errno := p.Spawn(name)
+			if errno != 0 {
+				report.Ran++
+				report.Failed++
+				report.FailedNames = append(report.FailedNames, name)
+				continue
+			}
+			_, status, werr := p.Wait()
+			report.Ran++
+			if werr != 0 || status != 0 {
+				report.Failed++
+				report.FailedNames = append(report.FailedNames, name)
+			} else {
+				report.Passed++
+			}
+			_ = pid
+		}
+		return 0
+	}
+}

@@ -1,0 +1,325 @@
+package unixbench
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/usr"
+)
+
+// retry repeats op until it stops failing with ECRASH (a recovered
+// component aborted the request via error virtualization) so that
+// benchmarks run to completion under fault inflow, as in the paper's
+// service-disruption experiment (§VI-E). It gives up after a bounded
+// number of attempts to keep broken systems from spinning.
+func retry(op func() kernel.Errno) kernel.Errno {
+	var errno kernel.Errno
+	for attempt := 0; attempt < 64; attempt++ {
+		errno = op()
+		if errno != kernel.ECRASH {
+			return errno
+		}
+	}
+	return errno
+}
+
+// registerBenchPrograms installs the helper binaries the workloads
+// spawn.
+func registerBenchPrograms(reg *usr.Registry) {
+	reg.Register("b_null", func(p *usr.Proc) int { return 0 })
+	reg.Register("b_io", func(p *usr.Proc) int {
+		if len(p.Args) != 1 {
+			return 1
+		}
+		path := p.Args[0]
+		var fd int64
+		if retry(func() kernel.Errno {
+			var errno kernel.Errno
+			fd, errno = p.Open(path, proto.OCreate|proto.OTrunc)
+			return errno
+		}) != kernel.OK {
+			return 2
+		}
+		if retry(func() kernel.Errno { _, e := p.Write(fd, make([]byte, 1024)); return e }) != kernel.OK {
+			return 3
+		}
+		p.Close(fd)
+		retry(func() kernel.Errno { return p.Unlink(path) })
+		return 0
+	})
+	reg.Register("b_compute", func(p *usr.Proc) int {
+		p.Compute(5_000)
+		return 0
+	})
+	reg.Register("b_shellunit", func(p *usr.Proc) int {
+		// One "script body": a compute step and an I/O step, like the
+		// file manipulation loops of the Unixbench shell scripts.
+		if len(p.Args) != 1 {
+			return 1
+		}
+		failures := usr.Shell(p, []string{
+			"b_compute",
+			"b_io " + p.Args[0],
+		})
+		return failures
+	})
+}
+
+// runDhrystone: register-heavy integer computation, no kernel
+// interaction after startup.
+func runDhrystone(p *usr.Proc, iters int) int {
+	for i := 0; i < iters; i++ {
+		p.Compute(1_000)
+	}
+	return iters
+}
+
+// runWhetstone: floating-point computation, slightly chunkier units.
+func runWhetstone(p *usr.Proc, iters int) int {
+	for i := 0; i < iters; i++ {
+		p.Compute(2_500)
+	}
+	return iters
+}
+
+// runExecl: repeated process image replacement — fork a child that
+// execs a trivial binary, then reap it.
+func runExecl(p *usr.Proc, iters int) int {
+	ops := 0
+	for i := 0; i < iters; i++ {
+		errno := retry(func() kernel.Errno {
+			_, e := p.Spawn("b_null")
+			return e
+		})
+		if errno != kernel.OK {
+			continue
+		}
+		p.Wait()
+		ops++
+	}
+	return ops
+}
+
+// fileChurn writes and reads back bufSize-byte chunks over a file of
+// fileChunks chunks, the shared shape of the three fs benchmarks.
+func fileChurn(p *usr.Proc, iters, bufSize, fileChunks int, syncEach bool) int {
+	var fd int64
+	if retry(func() kernel.Errno {
+		var e kernel.Errno
+		fd, e = p.Open("/tmp/ubfile", proto.OCreate|proto.OTrunc)
+		return e
+	}) != kernel.OK {
+		return 0
+	}
+	defer func() {
+		p.Close(fd)
+		retry(func() kernel.Errno { return p.Unlink("/tmp/ubfile") })
+	}()
+
+	buf := make([]byte, bufSize)
+	ops := 0
+	for i := 0; i < iters; i++ {
+		off := int64((i % fileChunks) * bufSize)
+		if retry(func() kernel.Errno { return p.LSeek(fd, off) }) != kernel.OK {
+			continue
+		}
+		if retry(func() kernel.Errno { _, e := p.Write(fd, buf); return e }) != kernel.OK {
+			continue
+		}
+		if syncEach {
+			retry(func() kernel.Errno { return p.Sync() })
+		}
+		if retry(func() kernel.Errno { return p.LSeek(fd, off) }) != kernel.OK {
+			continue
+		}
+		if retry(func() kernel.Errno { _, e := p.Read(fd, bufSize); return e }) != kernel.OK {
+			continue
+		}
+		ops++
+	}
+	return ops
+}
+
+// runFstime: 1 KiB buffered file copy traffic.
+func runFstime(p *usr.Proc, iters int) int {
+	return fileChurn(p, iters, 1024, 16, false)
+}
+
+// runFsbuffer: small 256-byte buffers — syscall-dominated file I/O.
+func runFsbuffer(p *usr.Proc, iters int) int {
+	return fileChurn(p, iters, 256, 32, false)
+}
+
+// runFsdisk: 4 KiB blocks with a sync per iteration — device-dominated.
+func runFsdisk(p *usr.Proc, iters int) int {
+	return fileChurn(p, iters, 4096, 32, true)
+}
+
+// runPipe: self-pipe write+read of 512 bytes per operation.
+func runPipe(p *usr.Proc, iters int) int {
+	rfd, wfd, errno := p.Pipe()
+	if errno != kernel.OK {
+		return 0
+	}
+	defer func() {
+		p.Close(rfd)
+		p.Close(wfd)
+	}()
+	buf := make([]byte, 512)
+	ops := 0
+	for i := 0; i < iters; i++ {
+		if retry(func() kernel.Errno { _, e := p.Write(wfd, buf); return e }) != kernel.OK {
+			continue
+		}
+		if retry(func() kernel.Errno { _, e := p.Read(rfd, 512); return e }) != kernel.OK {
+			continue
+		}
+		ops++
+	}
+	return ops
+}
+
+// runContext1: two processes ping-pong one byte through a pipe pair —
+// the context-switch benchmark.
+func runContext1(p *usr.Proc, iters int) int {
+	r1, w1, errno := p.Pipe()
+	if errno != kernel.OK {
+		return 0
+	}
+	r2, w2, errno := p.Pipe()
+	if errno != kernel.OK {
+		return 0
+	}
+	rounds := iters
+	p.Fork(func(c *usr.Proc) int {
+		// Close the ends the child does not use, as the real context1
+		// does; an early exit then surfaces as EOF, never a deadlock.
+		c.Close(w1)
+		c.Close(r2)
+		b := []byte{0}
+		for i := 0; i < rounds; i++ {
+			if _, e := c.Read(r1, 1); e != kernel.OK {
+				return 1
+			}
+			if _, e := c.Write(w2, b); e != kernel.OK {
+				return 1
+			}
+		}
+		return 0
+	})
+	p.Close(r1)
+	p.Close(w2)
+	ops := 0
+	b := []byte{1}
+	for i := 0; i < rounds; i++ {
+		if retry(func() kernel.Errno { _, e := p.Write(w1, b); return e }) != kernel.OK {
+			break
+		}
+		var got []byte
+		errno := retry(func() kernel.Errno {
+			var e kernel.Errno
+			got, e = p.Read(r2, 1)
+			return e
+		})
+		if errno != kernel.OK || len(got) == 0 {
+			break // child gone: EOF
+		}
+		ops++
+	}
+	p.Close(w1)
+	p.Close(r2)
+	p.Wait()
+	return ops
+}
+
+// runSpawn: fork + wait per operation, no exec.
+func runSpawn(p *usr.Proc, iters int) int {
+	ops := 0
+	for i := 0; i < iters; i++ {
+		errno := retry(func() kernel.Errno {
+			_, e := p.Fork(func(c *usr.Proc) int { return 0 })
+			return e
+		})
+		if errno != kernel.OK {
+			continue
+		}
+		p.Wait()
+		ops++
+	}
+	return ops
+}
+
+// runSyscall: the cheapest complete syscall round trip (getpid).
+func runSyscall(p *usr.Proc, iters int) int {
+	ops := 0
+	for i := 0; i < iters; i++ {
+		errno := retry(func() kernel.Errno {
+			_, _, e := p.GetPID()
+			return e
+		})
+		if errno == kernel.OK {
+			ops++
+		}
+	}
+	return ops
+}
+
+// shellUnit runs one script unit, retrying when a recovered component
+// aborted a command (the script "completes without functional service
+// degradation", only slower — §VI-E).
+func shellUnit(p *usr.Proc, path string) bool {
+	for attempt := 0; attempt < 64; attempt++ {
+		if usr.Shell(p, []string{"b_shellunit " + path}) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runShell1: one shell executing the script unit per operation.
+func runShell1(p *usr.Proc, iters int) int {
+	ops := 0
+	for i := 0; i < iters; i++ {
+		if shellUnit(p, "/tmp/sh1") {
+			ops++
+		}
+	}
+	return ops
+}
+
+// runShell8: eight concurrent shells per operation.
+func runShell8(p *usr.Proc, iters int) int {
+	ops := 0
+	for i := 0; i < iters; i++ {
+		launched := 0
+		for j := 0; j < 8; j++ {
+			path := "/tmp/sh8-" + string(rune('a'+j))
+			arg := path
+			errno := retry(func() kernel.Errno {
+				_, e := p.Fork(func(c *usr.Proc) int {
+					if shellUnit(c, arg) {
+						return 0
+					}
+					return 1
+				})
+				return e
+			})
+			if errno == kernel.OK {
+				launched++
+			}
+		}
+		collected := 0
+		for j := 0; j < launched; j++ {
+			errno := retry(func() kernel.Errno {
+				_, _, e := p.Wait()
+				return e
+			})
+			if errno == kernel.OK {
+				collected++
+			}
+		}
+		if launched == 8 && collected == 8 {
+			ops++
+		}
+	}
+	return ops
+}

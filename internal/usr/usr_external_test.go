@@ -1,0 +1,173 @@
+package usr_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/seep"
+	"repro/internal/usr"
+)
+
+// TestSyscallSweep drives every syscall wrapper once against the full
+// OS, asserting success paths end to end.
+func TestSyscallSweep(t *testing.T) {
+	reg := usr.NewRegistry()
+	reg.Register("sweep-helper", func(p *usr.Proc) int { return len(p.Args) })
+
+	failures := make(map[string]kernel.Errno)
+	check := func(name string, errno kernel.Errno) {
+		if errno != kernel.OK {
+			failures[name] = errno
+		}
+	}
+
+	sys := boot.Boot(boot.Options{
+		Config:   core.Config{Policy: seep.PolicyEnhanced, Seed: 5},
+		Registry: reg,
+	}, func(p *usr.Proc) int {
+		check("install", usr.InstallPrograms(p))
+
+		// Process management.
+		pid, _, errno := p.GetPID()
+		check("getpid", errno)
+		if pid != 1 {
+			failures["getpid-value"] = kernel.EINVAL
+		}
+		cpid, errno := p.Fork(func(c *usr.Proc) int { return 3 })
+		check("fork", errno)
+		wpid, status, errno := p.Wait()
+		check("wait", errno)
+		if wpid != cpid || status != 3 {
+			failures["wait-value"] = kernel.EINVAL
+		}
+		spid, errno := p.Spawn("sweep-helper", "one", "two")
+		check("spawn", errno)
+		_, status, errno = p.Wait()
+		check("wait-spawn", errno)
+		if status != 2 {
+			failures["spawn-args"] = kernel.EINVAL
+		}
+		_ = spid
+		kpid, _ := p.Fork(func(c *usr.Proc) int { c.Sleep(1 << 40); return 0 })
+		p.Compute(20_000)
+		check("kill", p.Kill(kpid))
+		p.Wait()
+		check("sleep", p.Sleep(5_000))
+
+		// Memory.
+		pages, used, errno := p.MemInfo()
+		check("meminfo", errno)
+		if pages <= 0 || used < pages {
+			failures["meminfo-value"] = kernel.EINVAL
+		}
+		if _, errno := p.Brk(2); errno != kernel.OK {
+			failures["brk-grow"] = errno
+		}
+		if _, errno := p.Brk(-2); errno != kernel.OK {
+			failures["brk-shrink"] = errno
+		}
+
+		// Files.
+		check("mkdir", p.Mkdir("/sweep"))
+		check("chdir", p.Chdir("/sweep"))
+		cwd, errno := p.Getcwd()
+		check("getcwd", errno)
+		if cwd != "/sweep" {
+			failures["getcwd-value"] = kernel.EINVAL
+		}
+		fd, errno := p.Create("file")
+		check("create", errno)
+		if _, errno := p.Write(fd, []byte("abcdef")); errno != kernel.OK {
+			failures["write"] = errno
+		}
+		check("lseek", p.LSeek(fd, 2))
+		data, errno := p.Read(fd, 2)
+		check("read", errno)
+		if !bytes.Equal(data, []byte("cd")) {
+			failures["read-value"] = kernel.EINVAL
+		}
+		check("sync", p.Sync())
+		check("close", p.Close(fd))
+		size, isDir, errno := p.Stat("file")
+		check("stat", errno)
+		if size != 6 || isDir {
+			failures["stat-value"] = kernel.EINVAL
+		}
+		names, errno := p.ReadDir("/sweep")
+		check("readdir", errno)
+		if len(names) != 1 || names[0] != "file" {
+			failures["readdir-value"] = kernel.EINVAL
+		}
+		check("rename", p.Rename("file", "file2"))
+		check("unlink", p.Unlink("file2"))
+		fd2, errno := p.Open("/sweep/again", proto.OCreate|proto.OExcl)
+		check("open-excl", errno)
+		p.Close(fd2)
+		p.Unlink("/sweep/again")
+		check("chdir-back", p.Chdir("/"))
+		check("rmdir", p.Unlink("/sweep"))
+
+		// Pipes.
+		rfd, wfd, errno := p.Pipe()
+		check("pipe", errno)
+		if _, errno := p.Write(wfd, []byte("pp")); errno != kernel.OK {
+			failures["pipe-write"] = errno
+		}
+		if data, errno := p.Read(rfd, 4); errno != kernel.OK || string(data) != "pp" {
+			failures["pipe-read"] = kernel.EINVAL
+		}
+		p.Close(rfd)
+		p.Close(wfd)
+
+		// Data store.
+		check("dsput", p.DsPut("sk", "sv"))
+		v, errno := p.DsGet("sk")
+		check("dsget", errno)
+		if v != "sv" {
+			failures["dsget-value"] = kernel.EINVAL
+		}
+		n, errno := p.DsKeys()
+		check("dskeys", errno)
+		if n != 1 {
+			failures["dskeys-value"] = kernel.EINVAL
+		}
+		check("dssub", p.DsSubscribe("sk"))
+		p.Fork(func(c *usr.Proc) int { return int(c.DsPut("sk", "sv2")) })
+		if key := p.DsNextEvent(); key != "sk" {
+			failures["dsevent"] = kernel.EINVAL
+		}
+		p.Wait()
+		check("dsunsub", p.DsUnsubscribe())
+		check("dsdel", p.DsDelete("sk"))
+
+		// Recovery server.
+		if _, errno := p.RSStatus(); errno != kernel.OK {
+			failures["rsstatus"] = errno
+		}
+
+		// Shell.
+		if fails := usr.Shell(p, []string{"sweep-helper a"}); fails != 1 {
+			// helper exits with argc=1, i.e. nonzero: one "failure".
+			failures["shell"] = kernel.EINVAL
+		}
+
+		// Exec replaces the image last (never returns).
+		check("exec-missing", kernel.OK)
+		if errno := p.Exec("not-installed"); errno != kernel.ENOENT {
+			failures["exec-missing"] = errno
+		}
+		return 0
+	})
+
+	res := sys.Run(4_000_000_000)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	for name, errno := range failures {
+		t.Errorf("%s failed: %v", name, errno)
+	}
+}

@@ -1,0 +1,161 @@
+package usr
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/proto"
+)
+
+func TestRegistryRegisterAndNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("zeta", func(p *Proc) int { return 0 })
+	reg.Register("alpha", func(p *Proc) int { return 0 })
+	reg.Register("alpha", func(p *Proc) int { return 1 }) // replace
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestMakeBodyResolution(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("prog", func(p *Proc) int { return 0 })
+	if _, ok := reg.MakeBody("prog", nil); !ok {
+		t.Fatal("registered program not resolvable")
+	}
+	if _, ok := reg.MakeBody("missing", nil); ok {
+		t.Fatal("missing program resolved")
+	}
+}
+
+// miniPM is the smallest server that satisfies the wrapper Body's
+// GetPID/Exit protocol so user programs can run without a full boot.
+func miniPM(ctx *kernel.Context) {
+	for {
+		m := ctx.Receive()
+		switch m.Type {
+		case proto.PMGetPID:
+			ctx.Reply(m.From, kernel.Message{A: 1})
+		case proto.PMExit:
+			victim := m.From
+			ctx.Kernel().TerminateProcess(victim)
+		default:
+			if m.NeedsReply {
+				ctx.ReplyErr(m.From, kernel.ENOSYS)
+			}
+		}
+	}
+}
+
+func TestBodyRunsProgramAndExits(t *testing.T) {
+	k := kernel.New(kernel.DefaultCostModel(), 1)
+	k.AddServer(kernel.EpPM, "pm", miniPM, kernel.ServerConfig{})
+	reg := NewRegistry()
+	var gotArgs []string
+	body := reg.Body(func(p *Proc) int {
+		gotArgs = p.Args
+		return 5
+	}, []string{"x", "y"})
+	root := k.SpawnUser("prog", body)
+	k.SetRootProcess(root.Endpoint())
+	res := k.Run(100_000_000)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	if len(gotArgs) != 2 || gotArgs[0] != "x" {
+		t.Fatalf("Args = %v", gotArgs)
+	}
+}
+
+func TestExitRetriesOnECrash(t *testing.T) {
+	// A PM that ECRASHes the first exit (recovery aborted it) must see
+	// a retried exit.
+	k := kernel.New(kernel.DefaultCostModel(), 1)
+	exits := 0
+	k.AddServer(kernel.EpPM, "pm", func(ctx *kernel.Context) {
+		for {
+			m := ctx.Receive()
+			switch m.Type {
+			case proto.PMGetPID:
+				ctx.Reply(m.From, kernel.Message{A: 1})
+			case proto.PMExit:
+				exits++
+				if exits == 1 {
+					ctx.ReplyErr(m.From, kernel.ECRASH)
+					continue
+				}
+				ctx.Kernel().TerminateProcess(m.From)
+			}
+		}
+	}, kernel.ServerConfig{})
+	reg := NewRegistry()
+	root := k.SpawnUser("prog", reg.Body(func(p *Proc) int { return 0 }, nil))
+	k.SetRootProcess(root.Endpoint())
+	if res := k.Run(100_000_000); res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	if exits != 2 {
+		t.Fatalf("PM saw %d exit attempts, want 2 (one retried)", exits)
+	}
+}
+
+func TestShellParsing(t *testing.T) {
+	// Shell behaviour against a scripted PM: spawn replies pid, wait
+	// replies status per command.
+	k := kernel.New(kernel.DefaultCostModel(), 1)
+	var spawned []string
+	statuses := []int64{0, 1, 0}
+	k.AddServer(kernel.EpPM, "pm", func(ctx *kernel.Context) {
+		waits := 0
+		for {
+			m := ctx.Receive()
+			switch m.Type {
+			case proto.PMGetPID:
+				ctx.Reply(m.From, kernel.Message{A: 1})
+			case proto.PMSpawn:
+				if m.Str == "missing" {
+					ctx.ReplyErr(m.From, kernel.ENOENT)
+					continue
+				}
+				args, _ := m.Aux.([]string)
+				line := m.Str
+				for _, a := range args {
+					line += " " + a
+				}
+				spawned = append(spawned, line)
+				ctx.Reply(m.From, kernel.Message{A: int64(100 + len(spawned))})
+			case proto.PMWait:
+				st := statuses[waits%len(statuses)]
+				waits++
+				ctx.Reply(m.From, kernel.Message{A: 1, B: st})
+			case proto.PMExit:
+				ctx.Kernel().TerminateProcess(m.From)
+			}
+		}
+	}, kernel.ServerConfig{})
+
+	reg := NewRegistry()
+	var failures int
+	root := k.SpawnUser("sh", reg.Body(func(p *Proc) int {
+		failures = Shell(p, []string{
+			"cmd1 a b",
+			"  ", // blank line skipped
+			"cmd2",
+			"missing x",
+			"cmd3",
+		})
+		return 0
+	}, nil))
+	k.SetRootProcess(root.Endpoint())
+	if res := k.Run(100_000_000); res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	if len(spawned) != 3 || spawned[0] != "cmd1 a b" || spawned[1] != "cmd2" || spawned[2] != "cmd3" {
+		t.Fatalf("spawned = %v", spawned)
+	}
+	// failures: cmd2 exited 1, missing failed to spawn.
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2", failures)
+	}
+}

@@ -1,0 +1,76 @@
+package osiris
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	var got string
+	sys := Boot(Options{Policy: PolicyEnhanced}, func(p *Proc) int {
+		if errno := p.DsPut("greeting", "hello"); errno != OK {
+			t.Errorf("DsPut = %v", errno)
+		}
+		got, _ = p.DsGet("greeting")
+		return 0
+	})
+	res := sys.Run(DefaultRunLimit)
+	if res.Outcome != OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	if got != "hello" {
+		t.Fatalf("DsGet = %q", got)
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	// Zero-valued options must pick the enhanced policy and a usable
+	// seed.
+	sys := Boot(Options{}, func(p *Proc) int { return 0 })
+	if sys.Policy() != PolicyEnhanced {
+		t.Fatalf("default policy = %v", sys.Policy())
+	}
+	if res := sys.Run(DefaultRunLimit); res.Outcome != OutcomeCompleted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestFacadeTestSuite(t *testing.T) {
+	reg := NewRegistry()
+	var report SuiteReport
+	sys := Boot(Options{Registry: reg}, RegisterTestSuite(reg, &report))
+	res := sys.Run(DefaultRunLimit)
+	if res.Outcome != OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	if !report.AllPassed() {
+		t.Fatalf("suite failures: %v", report.FailedNames)
+	}
+}
+
+func TestFacadeRecoveryVisible(t *testing.T) {
+	var firstErr, retryErr Errno
+	sys := Boot(Options{Policy: PolicyEnhanced}, func(p *Proc) int {
+		firstErr = p.DsPut("k", "v")
+		retryErr = p.DsPut("k", "v")
+		return 0
+	})
+	armed := true
+	sys.Kernel().SetPointHook(func(_ kernel.Endpoint, _, site string) {
+		if armed && site == "ds.put.applied" {
+			armed = false
+			panic("injected fault")
+		}
+	})
+	res := sys.Run(DefaultRunLimit)
+	if res.Outcome != OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	if firstErr != ECRASH || retryErr != OK {
+		t.Fatalf("errnos = %v, %v; want ECRASH then OK", firstErr, retryErr)
+	}
+	if sys.Recoveries != 1 {
+		t.Fatalf("recoveries = %d", sys.Recoveries)
+	}
+}
