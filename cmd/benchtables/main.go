@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3]
+//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf]
 package main
 
 import (
@@ -20,7 +20,7 @@ func main() {
 	var (
 		scaleName = flag.String("scale", "quick", "evaluation scale: quick or full")
 		seed      = flag.Uint64("seed", 42, "simulation seed")
-		only      = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,ablation (default all)")
+		only      = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation (default all)")
 	)
 	flag.Parse()
 	if err := run(*scaleName, *seed, *only); err != nil {
@@ -41,6 +41,17 @@ func run(scaleName string, seed uint64, only string) error {
 	}
 	sc.Seed = seed
 
+	valid := map[string]bool{
+		"1": true, "2": true, "3": true, "4": true, "5": true, "6": true,
+		"f3": true, "mf": true, "ablation": true,
+	}
+	if only != "" {
+		for _, k := range strings.Split(only, ",") {
+			if k = strings.TrimSpace(k); !valid[k] {
+				return fmt.Errorf("unknown table %q (valid: 1,2,3,4,5,6,f3,mf,ablation)", k)
+			}
+		}
+	}
 	want := func(key string) bool {
 		if only == "" {
 			return true
@@ -89,6 +100,13 @@ func run(scaleName string, seed uint64, only string) error {
 	}
 	if want("f3") {
 		fmt.Println(eval.RunFigure3(sc, nil).Render())
+	}
+	if want("mf") {
+		t, err := eval.RunMultiFault(sc)
+		if err != nil {
+			return fmt.Errorf("multi-fault table: %w", err)
+		}
+		fmt.Println(t.Render())
 	}
 	if want("ablation") {
 		fmt.Println(eval.RunAblationCheckpointing(sc).Render())

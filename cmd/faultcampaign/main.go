@@ -1,11 +1,17 @@
 // Command faultcampaign runs the paper's survivability experiment: a
 // large-scale one-fault-per-boot injection campaign over the prototype
 // test suite, classified as pass / fail / shutdown / crash (§VI-B).
+// With -faults N (N >= 2) it instead runs the multi-fault cascade
+// campaign: N faults armed per boot (independent, correlated with a
+// prior recovery, or planted in the recovery path), with the extra
+// degraded-pass class for runs that survived by quarantining a
+// component.
 //
 // Usage:
 //
 //	faultcampaign [-policy all|enhanced|...] [-model failstop|edfi]
 //	              [-samples N] [-maxruns N] [-seed N] [-profile]
+//	              [-faults N] [-runs N]
 package main
 
 import (
@@ -25,15 +31,17 @@ func main() {
 		maxRuns    = flag.Int("maxruns", 0, "cap on total runs per policy (0 = no cap)")
 		seed       = flag.Uint64("seed", 42, "simulation seed")
 		profile    = flag.Bool("profile", false, "print the fault-site profile and exit")
+		faults     = flag.Int("faults", 1, "faults armed per boot; >= 2 selects the multi-fault cascade campaign")
+		runs       = flag.Int("runs", 40, "boots per policy in the multi-fault campaign")
 	)
 	flag.Parse()
-	if err := run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile); err != nil {
+	if err := run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile, *faults, *runs); err != nil {
 		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
 		os.Exit(1)
 	}
 }
 
-func run(policyName, modelName string, samples, maxRuns int, seed uint64, profileOnly bool) error {
+func run(policyName, modelName string, samples, maxRuns int, seed uint64, profileOnly bool, faults, runs int) error {
 	prof, err := faultinject.Profile(seed)
 	if err != nil {
 		return err
@@ -72,6 +80,30 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 		policies = []seep.Policy{seep.PolicyExtended}
 	default:
 		return fmt.Errorf("unknown policy %q", policyName)
+	}
+
+	if faults >= 2 {
+		fmt.Printf("model: %v, %d faults per boot, %d candidate sites\n\n", model, faults, countCandidates(prof))
+		fmt.Printf("%-12s %8s %9s %8s %10s %8s %8s %12s\n",
+			"Recovery", "Pass", "Degraded", "Fail", "Shutdown", "Crash", "Runs", "Untriggered")
+		for _, policy := range policies {
+			res := faultinject.RunMultiCampaign(faultinject.MultiCampaignConfig{
+				Policy: policy,
+				Model:  model,
+				Faults: faults,
+				Runs:   runs,
+				Seed:   seed,
+			}, prof)
+			fmt.Printf("%-12s %7.1f%% %8.1f%% %7.1f%% %9.1f%% %7.1f%% %8d %12d\n",
+				res.Policy,
+				res.Percent(faultinject.OutcomePass),
+				res.Percent(faultinject.OutcomeDegradedPass),
+				res.Percent(faultinject.OutcomeFail),
+				res.Percent(faultinject.OutcomeShutdown),
+				res.Percent(faultinject.OutcomeCrash),
+				res.Runs, res.Untriggered)
+		}
+		return nil
 	}
 
 	fmt.Printf("model: %v, %d candidate sites\n\n", model, countCandidates(prof))

@@ -17,6 +17,7 @@ import (
 	"repro/internal/servers/systask"
 	"repro/internal/servers/vfs"
 	"repro/internal/servers/vm"
+	"repro/internal/sim"
 	"repro/internal/usr"
 )
 
@@ -62,8 +63,12 @@ func Boot(opts Options, initProg usr.Program, initArgs ...string) *System {
 	initEP := o.SpawnInit("init", reg.Body(initProg, initArgs))
 
 	heartbeats := opts.Heartbeats
+	rsCfg := rs.Config{HangMisses: opts.HangMisses}
+	if opts.HeartbeatPeriod > 0 {
+		rsCfg.Period = sim.Cycles(opts.HeartbeatPeriod)
+	}
 	o.AddComponent(kernel.EpRS, func(st *memlog.Store) core.Component {
-		return newRS(st, heartbeats)
+		return newRS(st, heartbeats, rsCfg)
 	})
 	o.AddComponent(kernel.EpPM, func(st *memlog.Store) core.Component {
 		return pm.New(st, initEP, reg.MakeBody)
@@ -88,8 +93,8 @@ type rsComponent struct {
 	heartbeats bool
 }
 
-func newRS(st *memlog.Store, heartbeats bool) core.Component {
-	return &rsComponent{RS: rs.New(st, heartbeatTargets), heartbeats: heartbeats}
+func newRS(st *memlog.Store, heartbeats bool, cfg rs.Config) core.Component {
+	return &rsComponent{RS: rs.NewWithConfig(st, heartbeatTargets, cfg), heartbeats: heartbeats}
 }
 
 // Init schedules heartbeats only when enabled.

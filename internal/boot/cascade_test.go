@@ -1,0 +1,134 @@
+package boot
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/usr"
+)
+
+// cascadeWorkload crashes DS twice from the parent while a forked child
+// hammers VFS; the point hook (installed by cascadeHooks) crashes VFS
+// only while DS's deferred recovery is still pending, producing a
+// genuine overlap of two component failures.
+func cascadeWorkload(put3 *kernel.Errno, final *string) usr.Program {
+	return func(p *usr.Proc) int {
+		p.Fork(func(c *usr.Proc) int {
+			for i := 0; i < 40; i++ {
+				fd, errno := c.Create("/scratch")
+				if errno == kernel.OK {
+					c.Write(fd, []byte("x"))
+					c.Close(fd)
+				}
+			}
+			return 0
+		})
+		p.DsPut("k", "v1") // crash 1: recovered immediately
+		p.DsPut("k", "v2") // crash 2: recovery deferred by backoff
+		*put3 = p.DsPut("k", "v3")
+		p.Wait()
+		*final, _ = p.DsGet("k")
+		return 0
+	}
+}
+
+// cascadeHooks arms the two faults: DS crashes on its first two puts,
+// and VFS crashes on the first write that executes while DS's recovery
+// is still pending. Returns a flag reporting whether the overlap
+// actually happened.
+func cascadeHooks(sys *System) *bool {
+	overlapped := false
+	dsCrashes := 0
+	k := sys.Kernel()
+	k.SetPointHook(func(_ kernel.Endpoint, _, site string) {
+		switch site {
+		case "ds.put.applied":
+			if dsCrashes < 2 {
+				dsCrashes++
+				panic("injected: ds fail-stop")
+			}
+		case "vfs.write.entry":
+			if !overlapped && k.RecoveryPending(kernel.EpDS) {
+				overlapped = true
+				panic("injected: vfs fail-stop during ds recovery")
+			}
+		}
+	})
+	return &overlapped
+}
+
+// cascadeConfig uses a long restart cool-down so the child reliably
+// lands its VFS crash inside DS's deferred-recovery window.
+func cascadeConfig() core.Config {
+	return core.Config{
+		Policy:             seep.PolicyEnhanced,
+		Seed:               1,
+		RestartBackoffBase: 200_000,
+	}
+}
+
+// TestCrashDuringDeferredRecoveryBothRecover is the cascade scenario of
+// the issue: component B crashes while component A's recovery is still
+// pending. The old engine aborted the machine; the sequencer queues the
+// second crash, recovers both serially, and the workload completes with
+// both services restored.
+func TestCrashDuringDeferredRecoveryBothRecover(t *testing.T) {
+	var put3 kernel.Errno
+	var final string
+	sys := Boot(Options{Config: cascadeConfig()}, cascadeWorkload(&put3, &final))
+	overlapped := cascadeHooks(sys)
+
+	res := sys.Run(testLimit)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s), want completed", res.Outcome, res.Reason)
+	}
+	if !*overlapped {
+		t.Fatal("the VFS crash never overlapped a pending DS recovery; scenario not exercised")
+	}
+	if sys.Recoveries < 3 {
+		t.Fatalf("recoveries = %d, want >= 3 (two ds, one vfs)", sys.Recoveries)
+	}
+	if sys.Quarantines != 0 {
+		t.Fatalf("quarantines = %d, want 0 (both components recover)", sys.Quarantines)
+	}
+	if got := sys.Kernel().Counters().Get("kernel.crashes_deferred"); got < 1 {
+		t.Fatalf("kernel.crashes_deferred = %d, want >= 1 (backoff must defer the second ds crash)", got)
+	}
+	if put3 != kernel.OK {
+		t.Fatalf("post-recovery put errno = %v, want OK", put3)
+	}
+	if final != "v3" {
+		t.Fatalf("final value = %q, want %q", final, "v3")
+	}
+}
+
+// TestCascadeDeterminism: the same seed replays the whole cascaded
+// scenario — deferred crash, overlapping faults, serialized recoveries —
+// to the exact same virtual time and scheduling decisions.
+func TestCascadeDeterminism(t *testing.T) {
+	run := func() (kernel.Result, uint64, uint64) {
+		var put3 kernel.Errno
+		var final string
+		sys := Boot(Options{Config: cascadeConfig()}, cascadeWorkload(&put3, &final))
+		cascadeHooks(sys)
+		res := sys.Run(testLimit)
+		c := sys.Kernel().Counters()
+		return res, c.Get("kernel.dispatches"), c.Get("kernel.crashes")
+	}
+	resA, dispatchesA, crashesA := run()
+	resB, dispatchesB, crashesB := run()
+	if resA.Outcome != resB.Outcome || resA.Cycles != resB.Cycles {
+		t.Fatalf("results diverge: %v/%d vs %v/%d", resA.Outcome, resA.Cycles, resB.Outcome, resB.Cycles)
+	}
+	if dispatchesA != dispatchesB {
+		t.Fatalf("dispatch counts diverge: %d vs %d", dispatchesA, dispatchesB)
+	}
+	if crashesA != crashesB {
+		t.Fatalf("crash counts diverge: %d vs %d", crashesA, crashesB)
+	}
+	if crashesA < 3 {
+		t.Fatalf("crashes = %d, want >= 3 (the scenario must actually cascade)", crashesA)
+	}
+}

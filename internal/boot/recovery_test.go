@@ -270,13 +270,20 @@ func TestUserProcessCrashCleansUp(t *testing.T) {
 	}
 }
 
-// TestCrashStormAborts: a fault that re-triggers on every recovery
-// exhausts the per-component recovery budget and the engine gives up.
-func TestCrashStormAborts(t *testing.T) {
-	sys := Boot(Options{Config: core.Config{Policy: seep.PolicyEnhanced, Seed: 1, MaxRecoveries: 3}},
+// TestCrashStormQuarantines: a fault that re-triggers on every recovery
+// exhausts the per-component crash-storm budget and the sequencer
+// quarantines the component; the rest of the machine keeps running and
+// later requests to it fail ECRASH (graceful degradation).
+func TestCrashStormQuarantines(t *testing.T) {
+	var errs []kernel.Errno
+	sys := Boot(Options{Config: core.Config{
+		Policy: seep.PolicyEnhanced, Seed: 1, MaxRecoveries: 3,
+		// Keep the storm tight: no backoff deferrals between crashes.
+		RestartBackoffBase: -1,
+	}},
 		func(p *usr.Proc) int {
 			for i := 0; i < 10; i++ {
-				p.DsPut("k", "v")
+				errs = append(errs, p.DsPut("k", "v"))
 			}
 			return 0
 		})
@@ -288,9 +295,44 @@ func TestCrashStormAborts(t *testing.T) {
 		}
 	})
 	res := sys.Run(testLimit)
-	// Error virtualization masks each occurrence, so the workload either
-	// completes with every put failing ECRASH, or the storm budget
-	// aborts the run. With 10 puts and budget 3, the storm wins.
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s), want completed under quarantine", res.Outcome, res.Reason)
+	}
+	if !sys.Quarantined(kernel.EpDS) {
+		t.Fatalf("ds not quarantined; quarantines = %v", sys.QuarantinedComponents())
+	}
+	if len(errs) != 10 {
+		t.Fatalf("workload issued %d puts, want 10", len(errs))
+	}
+	for i, e := range errs {
+		if e != kernel.ECRASH {
+			t.Fatalf("put %d errno = %v, want ECRASH", i, e)
+		}
+	}
+}
+
+// TestCrashStormAbortsWhenQuarantineDisabled: with the sequencer's
+// quarantine escalation pinned off, an exhausted storm budget aborts
+// the whole run — the pre-sequencer fail-hard behaviour single-fault
+// campaigns rely on.
+func TestCrashStormAbortsWhenQuarantineDisabled(t *testing.T) {
+	sys := Boot(Options{Config: core.Config{
+		Policy: seep.PolicyEnhanced, Seed: 1, MaxRecoveries: 3,
+		DisableQuarantine:  true,
+		RestartBackoffBase: -1,
+	}},
+		func(p *usr.Proc) int {
+			for i := 0; i < 10; i++ {
+				p.DsPut("k", "v")
+			}
+			return 0
+		})
+	sys.Kernel().SetPointHook(func(_ kernel.Endpoint, _, s string) {
+		if s == "ds.put.applied" {
+			panic("persistent fault")
+		}
+	})
+	res := sys.Run(testLimit)
 	if res.Outcome != kernel.OutcomeCrashed {
 		t.Fatalf("outcome = %v (%s), want crashed (storm)", res.Outcome, res.Reason)
 	}

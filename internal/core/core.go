@@ -59,13 +59,83 @@ type Config struct {
 	// from Policy (zero = derive). Used to measure the unoptimized
 	// write-logging build of Table V.
 	Instrumentation memlog.Instrumentation
-	// MaxRecoveries bounds per-component recoveries before the engine
-	// declares a crash storm (uncontrolled crash). Zero = default (25).
+	// MaxRecoveries bounds a component's crash-storm budget: crashes
+	// beyond it (after decay, see RecoveryDecay) quarantine the
+	// component. Zero = default (25).
 	MaxRecoveries int
 	// ComponentPolicies overrides Policy per component — the composable
 	// recovery policies of the paper's §VII: different components may
 	// run different strategies in the same system.
 	ComponentPolicies map[kernel.Endpoint]seep.Policy
+
+	// RecoveryDecay is the crash-free interval (in virtual cycles) after
+	// which one unit of a component's crash-storm budget is forgiven
+	// (and a longer gap forgives proportionally more); it also resets
+	// the consecutive-crash streak that drives restart backoff. Long
+	// healthy runs are thus never killed by accumulated ancient crashes.
+	// Zero = default (2,000,000 cycles); negative disables decay.
+	RecoveryDecay int64
+	// RestartBackoffBase is the cool-down (in virtual cycles) inserted
+	// before the restart of a component that crashed twice in a row
+	// without completing a healthy request; each further consecutive
+	// crash doubles the cool-down up to RestartBackoffCap. Zero =
+	// default (50,000); negative disables backoff.
+	RestartBackoffBase int64
+	// RestartBackoffCap caps the exponential backoff, in virtual cycles.
+	// Zero = default (1,600,000).
+	RestartBackoffCap int64
+	// MaxRestartAttempts bounds how many times the restart sequence
+	// itself may be attempted within one recovery incident when the
+	// recovery path keeps crashing, before escalating to quarantine.
+	// Zero = default (3).
+	MaxRestartAttempts int
+	// RecoveryDeadline is the recovery watchdog: a virtual-cycle budget
+	// for one recovery incident (restart, rollback and reconciliation,
+	// including escalation retries). Exceeding it converts the incident
+	// into quarantine of just that component. Zero = default
+	// (5,000,000); negative disables the watchdog.
+	RecoveryDeadline int64
+	// DisableQuarantine restores the pre-sequencer fail-hard behaviour:
+	// exhausted crash budgets and failing recoveries abort the whole run
+	// instead of quarantining the offending component.
+	DisableQuarantine bool
+
+	// HeartbeatPeriod is the Recovery Server's heartbeat interval in
+	// virtual cycles (used by boot when heartbeats are enabled). Zero =
+	// the RS default.
+	HeartbeatPeriod int64
+	// HangMisses is the number of consecutive unanswered heartbeat
+	// rounds after which RS declares a component hung and fail-stops it.
+	// Zero = the RS default; the minimum meaningful value is 2.
+	HangMisses int
+}
+
+// Validate rejects nonsensical configurations. NewOS panics on invalid
+// configs, so misconfiguration surfaces at boot, not mid-run.
+func (c Config) Validate() error {
+	if c.MaxRecoveries < 0 {
+		return fmt.Errorf("core: MaxRecoveries must be >= 0, got %d", c.MaxRecoveries)
+	}
+	if c.MaxRestartAttempts < 0 {
+		return fmt.Errorf("core: MaxRestartAttempts must be >= 0, got %d", c.MaxRestartAttempts)
+	}
+	if c.HeartbeatPeriod < 0 {
+		return fmt.Errorf("core: HeartbeatPeriod must be >= 0, got %d", c.HeartbeatPeriod)
+	}
+	if c.HangMisses < 0 {
+		return fmt.Errorf("core: HangMisses must be >= 0, got %d", c.HangMisses)
+	}
+	if c.HangMisses == 1 {
+		return fmt.Errorf("core: HangMisses must be >= 2 (one missed round cannot distinguish a hang from an in-flight reply)")
+	}
+	if c.RestartBackoffCap < 0 {
+		return fmt.Errorf("core: RestartBackoffCap must be >= 0, got %d", c.RestartBackoffCap)
+	}
+	if c.RestartBackoffBase > 0 && c.RestartBackoffCap > 0 && c.RestartBackoffCap < c.RestartBackoffBase {
+		return fmt.Errorf("core: RestartBackoffCap (%d) below RestartBackoffBase (%d)",
+			c.RestartBackoffCap, c.RestartBackoffBase)
+	}
+	return nil
 }
 
 // slot tracks one recoverable component across recoveries.
@@ -86,6 +156,23 @@ type slot struct {
 	// cloneResident is the memory held by the spare copy kept for the
 	// restart phase (Table VI's "+clone").
 	cloneResident int
+
+	// Recovery-sequencer state.
+	//
+	// storm is the decaying crash budget: incremented per crash, decayed
+	// by crash-free time (Config.RecoveryDecay), quarantining the
+	// component when it exceeds Config.MaxRecoveries. consecutive counts
+	// crashes since the component last completed a healthy request; it
+	// drives the exponential restart backoff. attempts counts restart
+	// executions within the active incident (escalation ladder), and
+	// incidentAt stamps when the incident's first restart began (the
+	// watchdog deadline is measured from here).
+	storm       int
+	consecutive int
+	lastCrash   sim.Cycles
+	attempts    int
+	incidentAt  sim.Cycles
+	quarantined bool
 }
 
 // OS is one booted machine.
@@ -99,6 +186,13 @@ type OS struct {
 
 	// Recoveries counts successful component recoveries.
 	Recoveries int
+	// Quarantines counts components detached by the sequencer's
+	// graceful-degradation escalation.
+	Quarantines int
+	// restartHook observes every restart attempt before the restart
+	// phase builds the replacement state (SetRestartHook). Fault
+	// campaigns inject recovery-phase faults through it.
+	restartHook func(ep kernel.Endpoint, attempt int)
 	// ShutdownDump is the post-mortem report produced when the engine
 	// performs a controlled shutdown — the §VII "controlled shutdown"
 	// improvement: the system stops consistently AND leaves a record of
@@ -130,9 +224,56 @@ func (c Config) maxRecoveries() int {
 	return 25
 }
 
+func (c Config) recoveryDecay() sim.Cycles {
+	switch {
+	case c.RecoveryDecay > 0:
+		return sim.Cycles(c.RecoveryDecay)
+	case c.RecoveryDecay < 0:
+		return 0 // disabled
+	}
+	return 2_000_000
+}
+
+func (c Config) backoffBase() sim.Cycles {
+	switch {
+	case c.RestartBackoffBase > 0:
+		return sim.Cycles(c.RestartBackoffBase)
+	case c.RestartBackoffBase < 0:
+		return 0 // disabled
+	}
+	return 50_000
+}
+
+func (c Config) backoffCap() sim.Cycles {
+	if c.RestartBackoffCap > 0 {
+		return sim.Cycles(c.RestartBackoffCap)
+	}
+	return 1_600_000
+}
+
+func (c Config) maxRestartAttempts() int {
+	if c.MaxRestartAttempts > 0 {
+		return c.MaxRestartAttempts
+	}
+	return 3
+}
+
+func (c Config) recoveryDeadline() sim.Cycles {
+	switch {
+	case c.RecoveryDeadline > 0:
+		return sim.Cycles(c.RecoveryDeadline)
+	case c.RecoveryDeadline < 0:
+		return 0 // disabled
+	}
+	return 5_000_000
+}
+
 // NewOS creates a machine with no components yet. Most callers should
 // use boot.Boot (internal/boot) which assembles the full server set.
 func NewOS(cfg Config) *OS {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if cfg.Cost == (kernel.CostModel{}) {
 		cfg.Cost = kernel.DefaultCostModel()
 	}
@@ -240,24 +381,65 @@ func (o *OS) serverBody(s *slot) kernel.Body {
 			ctx.Point(s.name + ".loop.bottom")
 			ctx.Tick(10)
 			s.window.EndRequest()
+			// A completed request resets the consecutive-crash streak:
+			// restart backoff targets components that crash again before
+			// doing any useful work.
+			o.noteHealthy(s)
 		}
 	}
 }
 
-// handleCrash is the recovery engine, invoked in kernel context with
-// userland stalled (paper §II-E, §IV-C).
+// handleCrash is the recovery-sequencer entry point, invoked in kernel
+// context with userland stalled (paper §II-E, §IV-C). The paper assumes
+// one failure at a time; the sequencer lifts that: the kernel queues
+// overlapping crashes and delivers them here serially, repeat offenders
+// are retried with exponential backoff (DeferCrash), a failing recovery
+// path escalates restart → fresh restart → quarantine, and a watchdog
+// deadline bounds the whole incident.
 func (o *OS) handleCrash(info kernel.CrashInfo) error {
 	s := o.slots[info.Victim]
 	if s == nil {
 		return o.handleUserCrash(info)
 	}
+	if s.quarantined {
+		// Late crash event of an already-detached component: ignore.
+		return nil
+	}
 	if info.DuringRecovery {
-		return fmt.Errorf("component %s crashed during recovery of another component", info.Name)
+		// The recovery path itself crashed (e.g. a fault in component
+		// init code executed during restart). Escalate: retry with
+		// fresh state, quarantine once the attempt budget or the
+		// watchdog deadline is exhausted.
+		s.attempts++
+		if s.attempts > o.cfg.maxRestartAttempts() {
+			return o.quarantine(s, fmt.Sprintf("recovery failed %d times (%v)", s.attempts-1, info.PanicValue))
+		}
+		if dl := o.cfg.recoveryDeadline(); dl > 0 && o.k.Now()-s.incidentAt > dl {
+			return o.quarantine(s, fmt.Sprintf("recovery watchdog: incident exceeded %d cycles", dl))
+		}
+		return o.restart(s, info, restartFresh, reconcileVirtualize)
 	}
-	s.recoveries++
-	if s.recoveries > o.cfg.maxRecoveries() {
-		return fmt.Errorf("crash storm: component %s crashed %d times", s.name, s.recoveries)
+	if !info.Deferred {
+		now := o.k.Now()
+		o.decayStorm(s, now)
+		s.recoveries++
+		s.consecutive++
+		s.storm++
+		s.lastCrash = now
+		if s.storm > o.cfg.maxRecoveries() {
+			return o.quarantine(s, fmt.Sprintf("crash storm: component %s crashed %d times", s.name, s.recoveries))
+		}
+		if delay := o.backoffDelay(s.consecutive); delay > 0 {
+			// Repeat offender: cool down before restarting. The crash
+			// re-arrives with Deferred set; meanwhile the component stays
+			// detached and IPC to it queues in its surviving inbox.
+			o.k.Counters().Add("core.restarts_deferred", 1)
+			o.k.DeferCrash(info, delay)
+			return nil
+		}
 	}
+	s.attempts = 1
+	s.incidentAt = o.k.Now()
 
 	switch s.policy {
 	case seep.PolicyStateless:
@@ -293,6 +475,109 @@ func (o *OS) handleCrash(info kernel.CrashInfo) error {
 	return nil
 }
 
+// decayStorm forgives crash-budget units earned by ancient crashes: one
+// unit per crash-free RecoveryDecay interval since the last crash. A
+// full interval also resets the consecutive-crash streak, so backoff
+// only punishes components that crash again promptly.
+func (o *OS) decayStorm(s *slot, now sim.Cycles) {
+	d := o.cfg.recoveryDecay()
+	if d <= 0 {
+		return
+	}
+	gap := now - s.lastCrash
+	if s.lastCrash == 0 || gap < d {
+		return
+	}
+	forgiven := int(gap / d)
+	if forgiven >= s.storm {
+		s.storm = 0
+	} else {
+		s.storm -= forgiven
+	}
+	s.consecutive = 0
+}
+
+// noteHealthy records that a component completed a request without
+// crashing: the consecutive-crash streak (and with it the restart
+// backoff) resets.
+func (o *OS) noteHealthy(s *slot) {
+	s.consecutive = 0
+}
+
+// backoffDelay returns the restart cool-down for the nth consecutive
+// crash: zero for the first crash in a streak, then exponential from
+// RestartBackoffBase up to RestartBackoffCap.
+func (o *OS) backoffDelay(consecutive int) sim.Cycles {
+	base := o.cfg.backoffBase()
+	if base <= 0 || consecutive <= 1 {
+		return 0
+	}
+	capAt := o.cfg.backoffCap()
+	delay := base
+	for i := 2; i < consecutive; i++ {
+		delay *= 2
+		if delay >= capAt {
+			return capAt
+		}
+	}
+	if delay > capAt {
+		delay = capAt
+	}
+	return delay
+}
+
+// quarantine detaches a component for good — the graceful-degradation
+// end of the escalation ladder. The kernel error-virtualizes all
+// further IPC to it as ECRASH, so the rest of the OS and userland keep
+// running without the component's service. With DisableQuarantine the
+// exhausted budget aborts the run instead (the pre-sequencer
+// behaviour).
+func (o *OS) quarantine(s *slot, reason string) error {
+	if o.cfg.DisableQuarantine {
+		return fmt.Errorf("%s", reason)
+	}
+	s.accum = addStats(s.accum, s.window.Stats())
+	s.quarantined = true
+	full := fmt.Sprintf("component %s quarantined: %s", s.name, reason)
+	if err := o.k.QuarantineProcess(s.ep, full); err != nil {
+		return fmt.Errorf("quarantine %s: %w", s.name, err)
+	}
+	o.Quarantines++
+	o.k.Counters().Add("core.quarantines", 1)
+	if s.ep != kernel.EpRS {
+		// Tell RS so it accounts the degraded configuration (ignore if
+		// RS is down or itself quarantined).
+		_ = o.k.PostMessage(kernel.EpKernel, kernel.EpRS,
+			kernel.Message{Type: kernel.MsgQuarantineNotify, A: int64(s.ep)})
+	}
+	return nil
+}
+
+// SetRestartHook installs an observer invoked at the start of every
+// restart attempt (endpoint, 1-based attempt number within the
+// incident). Fault-injection campaigns use it to place faults inside
+// the recovery path itself. A panic inside the hook is trapped like any
+// recovery-phase fault.
+func (o *OS) SetRestartHook(h func(ep kernel.Endpoint, attempt int)) { o.restartHook = h }
+
+// Quarantined reports whether the component at ep has been detached.
+func (o *OS) Quarantined(ep kernel.Endpoint) bool {
+	s := o.slots[ep]
+	return s != nil && s.quarantined
+}
+
+// QuarantinedComponents returns the names of quarantined components in
+// endpoint order.
+func (o *OS) QuarantinedComponents() []string {
+	var out []string
+	for _, ep := range o.order {
+		if s := o.slots[ep]; s.quarantined {
+			out = append(out, s.name)
+		}
+	}
+	return out
+}
+
 // dump renders the post-mortem state summary attached to a controlled
 // shutdown.
 func (o *OS) dump(info kernel.CrashInfo) string {
@@ -307,6 +592,9 @@ func (o *OS) dump(info kernel.CrashInfo) string {
 		state := "closed"
 		if s.window.Open() {
 			state = "open"
+		}
+		if s.quarantined {
+			state = "quarantined"
 		}
 		fmt.Fprintf(&b, "%-8s %-8s %-10s %-12d %-10d %d\n",
 			s.name, s.policy, state, s.store.BaseBytes(), s.store.LogLen(), s.recoveries)
@@ -357,6 +645,12 @@ const (
 // component over the selected state), rollback (mode-dependent), and
 // reconciliation (error virtualization or requester kill).
 func (o *OS) restart(s *slot, info kernel.CrashInfo, mode restartMode, reconcile reconcileMode) error {
+	if o.restartHook != nil {
+		// Observation point for recovery-phase fault injection; a panic
+		// here is a crash of the recovery path and re-queues the
+		// incident for escalation.
+		o.restartHook(s.ep, s.attempts)
+	}
 	recoveryCost := restartFixedCost
 	// Phase 1: restart — build the replacement state.
 	var store *memlog.Store

@@ -119,9 +119,47 @@ func TestEngineRollbackRecovery(t *testing.T) {
 	}
 }
 
-func TestEngineCrashStorm(t *testing.T) {
-	// A component that crashes on every call exhausts the budget.
+func TestEngineCrashStormQuarantines(t *testing.T) {
+	// A component that crashes on every call exhausts the decaying
+	// crash budget; the sequencer quarantines it and the rest of the
+	// machine keeps running with IPC to it error-virtualized to ECRASH.
 	cfg := Config{Policy: seep.PolicyEnhanced, MaxRecoveries: 2}
+	o := NewOS(cfg)
+	var seen int64
+	o.AddComponent(echoEP, func(st *memlog.Store) Component {
+		return &alwaysCrash{echoComp: newEchoComp(st, 0, &seen)}
+	})
+	var errnos []kernel.Errno
+	o.SpawnInit("client", func(ctx *kernel.Context) {
+		for i := 0; i < 5; i++ {
+			r := ctx.SendRec(echoEP, kernel.Message{Type: 300})
+			errnos = append(errnos, r.Errno)
+		}
+	})
+	res := o.Run(1_000_000_000)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s), want completed under quarantine", res.Outcome, res.Reason)
+	}
+	if o.Quarantines != 1 || !o.Quarantined(echoEP) {
+		t.Fatalf("quarantines = %d, Quarantined = %v", o.Quarantines, o.Quarantined(echoEP))
+	}
+	if got := o.QuarantinedComponents(); len(got) != 1 || got[0] != "echo" {
+		t.Fatalf("QuarantinedComponents = %v", got)
+	}
+	// Every request still got exactly one reply, all ECRASH.
+	if len(errnos) != 5 {
+		t.Fatalf("replies = %d, want 5 (IPC conservation)", len(errnos))
+	}
+	for i, e := range errnos {
+		if e != kernel.ECRASH {
+			t.Fatalf("request %d errno = %v, want ECRASH (all: %v)", i, e, errnos)
+		}
+	}
+}
+
+func TestEngineCrashStormAbortsWhenQuarantineDisabled(t *testing.T) {
+	// DisableQuarantine restores the fail-hard pre-sequencer behaviour.
+	cfg := Config{Policy: seep.PolicyEnhanced, MaxRecoveries: 2, DisableQuarantine: true}
 	o := NewOS(cfg)
 	var seen int64
 	o.AddComponent(echoEP, func(st *memlog.Store) Component {
@@ -310,14 +348,51 @@ func TestRootCrashAbortsRun(t *testing.T) {
 	}
 }
 
-func TestCrashDuringRecoveryOfAnotherComponent(t *testing.T) {
-	// Two components; the first crash's recovery path provokes a crash
-	// in the second (via the factory), violating single-fault.
+func TestCrashDuringRecoveryEscalatesToQuarantine(t *testing.T) {
+	// The crash's recovery path itself keeps crashing (a persistent
+	// fault in component init code executed during restart). The
+	// sequencer retries up to MaxRestartAttempts with fresh state, then
+	// quarantines the component; the blocked caller is released with
+	// ECRASH and the run completes.
 	o := NewOS(Config{Policy: seep.PolicyEnhanced, Seed: 1})
+	var seen int64
+	factoryCalls := 0
+	o.AddComponent(echoEP, func(st *memlog.Store) Component {
+		factoryCalls++
+		if seen > 0 {
+			// Recovery-time factory fault: the restart phase panics.
+			panic("fault in component init during recovery")
+		}
+		return newEchoComp(st, 1, &seen)
+	})
+	var errno kernel.Errno
+	o.SpawnInit("client", func(ctx *kernel.Context) {
+		r := ctx.SendRec(echoEP, kernel.Message{Type: 300})
+		errno = r.Errno
+	})
+	res := o.Run(1_000_000_000)
+	if res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s), want completed", res.Outcome, res.Reason)
+	}
+	if !o.Quarantined(echoEP) {
+		t.Fatal("repeat recovery failure did not quarantine the component")
+	}
+	if errno != kernel.ECRASH {
+		t.Fatalf("caller errno = %v, want ECRASH", errno)
+	}
+	// Boot + initial restart + MaxRestartAttempts-1 escalation retries.
+	if factoryCalls != 1+3 {
+		t.Fatalf("factory calls = %d, want 4 (boot + 3 restart attempts)", factoryCalls)
+	}
+}
+
+func TestCrashDuringRecoveryAbortsWhenQuarantineDisabled(t *testing.T) {
+	// With quarantine disabled, a recovery path that keeps crashing
+	// aborts the run (the paper's single-fault assumption).
+	o := NewOS(Config{Policy: seep.PolicyEnhanced, Seed: 1, DisableQuarantine: true})
 	var seen int64
 	o.AddComponent(echoEP, func(st *memlog.Store) Component {
 		if seen > 0 {
-			// Recovery-time factory fault: the restart phase panics.
 			panic("fault in component init during recovery")
 		}
 		return newEchoComp(st, 1, &seen)
@@ -328,5 +403,35 @@ func TestCrashDuringRecoveryOfAnotherComponent(t *testing.T) {
 	res := o.Run(1_000_000_000)
 	if res.Outcome != kernel.OutcomeCrashed {
 		t.Fatalf("outcome = %v (%s), want crashed", res.Outcome, res.Reason)
+	}
+}
+
+func TestConfigValidateRejectsBadSequencerKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"hang misses of one", Config{HangMisses: 1}, "HangMisses"},
+		{"negative hang misses", Config{HangMisses: -1}, "HangMisses"},
+		{"negative heartbeat period", Config{HeartbeatPeriod: -1}, "HeartbeatPeriod"},
+		{"negative backoff cap", Config{RestartBackoffCap: -1}, "RestartBackoffCap"},
+		{"cap below base", Config{RestartBackoffBase: 100, RestartBackoffCap: 10}, "RestartBackoffCap"},
+		{"negative restart attempts", Config{MaxRestartAttempts: -1}, "MaxRestartAttempts"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %s", tc.name, err, tc.want)
+		}
+	}
+	// Negative values on the disable-capable knobs mean "off", not error.
+	ok := Config{RecoveryDecay: -1, RestartBackoffBase: -1, RecoveryDeadline: -1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("negative disable knobs rejected: %v", err)
 	}
 }

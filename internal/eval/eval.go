@@ -243,6 +243,71 @@ func (t SurvivabilityTable) Render() string {
 	return b.String()
 }
 
+// --- Cascade table: multi-fault survivability (beyond the paper) ---
+
+// MultiFaultTable aggregates multi-fault campaigns: one row per
+// (policy, faults-per-boot) pair. It evaluates the cascade-tolerance
+// sequencer, which the paper's one-failure-at-a-time experiments never
+// exercise: faults land while other recoveries are pending, inside
+// post-recovery windows, and inside the recovery path itself.
+type MultiFaultTable struct {
+	Rows []faultinject.MultiCampaignResult
+}
+
+// multiFaultPolicies are the rows of the cascade table: the two
+// consistent-recovery policies the paper recommends.
+var multiFaultPolicies = []seep.Policy{seep.PolicyPessimistic, seep.PolicyEnhanced}
+
+// multiFaultCounts are the faults-per-boot columns of the cascade table.
+var multiFaultCounts = []int{2, 3}
+
+// RunMultiFault regenerates the cascade survivability table.
+func RunMultiFault(sc Scale) (MultiFaultTable, error) {
+	profile, err := faultinject.Profile(sc.Seed)
+	if err != nil {
+		return MultiFaultTable{}, err
+	}
+	runs := sc.MaxRuns / 4
+	if runs < 8 {
+		runs = 8
+	}
+	var t MultiFaultTable
+	for _, policy := range multiFaultPolicies {
+		for _, faults := range multiFaultCounts {
+			res := faultinject.RunMultiCampaign(faultinject.MultiCampaignConfig{
+				Policy: policy,
+				Model:  faultinject.FailStop,
+				Faults: faults,
+				Runs:   runs,
+				Seed:   sc.Seed,
+			}, profile)
+			t.Rows = append(t.Rows, res)
+		}
+	}
+	return t, nil
+}
+
+// Render formats the cascade table in the style of Tables II/III, with
+// the extra degraded-pass class (survived by quarantining a component).
+func (t MultiFaultTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cascade — Survivability under multi-fault injection (fail-stop faults, beyond the paper)\n")
+	fmt.Fprintf(&b, "%-12s %7s %8s %9s %8s %10s %8s %8s\n",
+		"Recovery", "Faults", "Pass", "Degraded", "Fail", "Shutdown", "Crash", "Runs")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %7d %7.1f%% %8.1f%% %7.1f%% %9.1f%% %7.1f%% %8d\n",
+			r.Policy,
+			r.Faults,
+			r.Percent(faultinject.OutcomePass),
+			r.Percent(faultinject.OutcomeDegradedPass),
+			r.Percent(faultinject.OutcomeFail),
+			r.Percent(faultinject.OutcomeShutdown),
+			r.Percent(faultinject.OutcomeCrash),
+			r.Runs)
+	}
+	return b.String()
+}
+
 // --- Table IV: baseline vs monolithic ---
 
 // PerfRow pairs scores of one benchmark under two configurations.

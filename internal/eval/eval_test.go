@@ -197,3 +197,29 @@ func TestAblationCheckpointing(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiFaultTableShape: the cascade table runs all campaigns and
+// the sequencer keeps uncontrolled crashes rare even with several
+// faults per boot.
+func TestMultiFaultTableShape(t *testing.T) {
+	tab, err := RunMultiFault(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab.Render())
+	if len(tab.Rows) != len(multiFaultPolicies)*len(multiFaultCounts) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(multiFaultPolicies)*len(multiFaultCounts))
+	}
+	for _, r := range tab.Rows {
+		if r.Runs == 0 {
+			t.Fatalf("row %v/%d classified no runs", r.Policy, r.Faults)
+		}
+		total := 0
+		for _, n := range r.Counts {
+			total += n
+		}
+		if total != r.Runs {
+			t.Fatalf("row %v/%d classified %d of %d runs", r.Policy, r.Faults, total, r.Runs)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package faultinject
+
+import (
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/sim"
+	"repro/internal/testsuite"
+	"repro/internal/usr"
+)
+
+// Multi-fault campaigns go beyond the paper's one-failure-at-a-time
+// evaluation: each boot is armed with N faults, including faults
+// correlated with an earlier recovery and faults placed inside the
+// recovery path itself. They exercise the cascade-tolerance sequencer
+// (crash queueing, restart backoff, escalation, quarantine) that
+// single-fault campaigns deliberately pin off.
+
+// MultiInjection is one fault of a multi-fault plan.
+type MultiInjection struct {
+	Injection
+	// Correlated delays arming until the machine has performed at least
+	// one recovery: the fault manifests in the post-recovery window,
+	// when a second failure is most likely in practice (recovery shifts
+	// load and exercises cold paths).
+	Correlated bool
+	// DuringRecovery plants the fault inside the restart sequence
+	// itself: it fires at the Occurrence-th restart attempt of any
+	// component, crashing the recovery path (Server/Site are unused).
+	DuringRecovery bool
+	// Persistent re-fires the fault on every execution of the site
+	// after it first triggers — a deterministic software bug that
+	// restarting cannot clear. It is what drives a component into the
+	// crash-storm budget and quarantine.
+	Persistent bool
+}
+
+// MultiRunResult is the outcome of one multi-fault run.
+type MultiRunResult struct {
+	Injections  []MultiInjection
+	Outcome     Outcome
+	Triggered   int
+	TestsFailed int
+	Recoveries  int
+	Quarantines int
+	Reason      string
+}
+
+// RunMulti boots a fresh machine with the cascade sequencer enabled,
+// arms every injection, runs the suite and classifies the outcome.
+func RunMulti(policy seep.Policy, seed uint64, injs []MultiInjection) MultiRunResult {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	var report testsuite.Report
+
+	sys := boot.Boot(boot.Options{
+		Config:     core.Config{Policy: policy, Seed: seed},
+		Registry:   reg,
+		Heartbeats: true,
+	}, testsuite.RunnerInit(&report))
+
+	k := sys.Kernel()
+	rng := sim.NewRNG(seed ^ 0x3A17F0C57)
+	triggered := make([]bool, len(injs))
+	remaining := make([]int, len(injs))
+	for i, inj := range injs {
+		remaining[i] = inj.Occurrence
+	}
+
+	k.SetPointHook(func(ep kernel.Endpoint, name, site string) {
+		for i := range injs {
+			inj := &injs[i]
+			if inj.DuringRecovery || (triggered[i] && !inj.Persistent) {
+				continue
+			}
+			if name != inj.Server || site != inj.Site {
+				continue
+			}
+			if inj.Correlated && sys.Recoveries == 0 {
+				// Armed only once the first recovery has happened.
+				continue
+			}
+			if !triggered[i] {
+				remaining[i]--
+				if remaining[i] > 0 {
+					continue
+				}
+				triggered[i] = true
+			}
+			// At most one fault manifests per point execution; a crash
+			// unwinds the component anyway. A persistent fault keeps
+			// firing on every later execution of its site.
+			applyFault(sys, ep, inj.Type, rng)
+			return
+		}
+	})
+
+	restarts := 0
+	sys.SetRestartHook(func(ep kernel.Endpoint, attempt int) {
+		restarts++
+		for i := range injs {
+			inj := &injs[i]
+			if triggered[i] || !inj.DuringRecovery {
+				continue
+			}
+			if restarts < inj.Occurrence {
+				continue
+			}
+			triggered[i] = true
+			// The hook runs inside the restart sequence: this panic is a
+			// fault in the recovery path, forcing the sequencer to
+			// escalate (retry, then quarantine).
+			panic("edfi: injected fault in recovery path")
+		}
+	})
+
+	res := sys.Run(RunLimit)
+	nTriggered := 0
+	for _, tr := range triggered {
+		if tr {
+			nTriggered++
+		}
+	}
+	return MultiRunResult{
+		Injections:  injs,
+		Outcome:     classifyMulti(res, &report, sys.Quarantines),
+		Triggered:   nTriggered,
+		TestsFailed: report.Failed,
+		Recoveries:  sys.Recoveries,
+		Quarantines: sys.Quarantines,
+		Reason:      res.Reason,
+	}
+}
+
+// classifyMulti extends the paper's four classes with degraded-pass:
+// the machine survived only by quarantining a component.
+func classifyMulti(res kernel.Result, report *testsuite.Report, quarantines int) Outcome {
+	switch res.Outcome {
+	case kernel.OutcomeCompleted:
+		if quarantines > 0 {
+			return OutcomeDegradedPass
+		}
+		if report.Complete() && report.Failed == 0 {
+			return OutcomePass
+		}
+		return OutcomeFail
+	case kernel.OutcomeShutdown:
+		return OutcomeShutdown
+	default:
+		return OutcomeCrash
+	}
+}
+
+// MultiCampaignConfig parameterizes a multi-fault campaign.
+type MultiCampaignConfig struct {
+	Policy seep.Policy
+	Model  Model
+	// Faults is the number of faults armed per boot (>= 2).
+	Faults int
+	// Runs is the number of boots.
+	Runs int
+	Seed uint64
+}
+
+// MultiCampaignResult aggregates a multi-fault campaign: one row of the
+// cascade survivability table.
+type MultiCampaignResult struct {
+	Policy seep.Policy
+	Model  Model
+	Faults int
+	Runs   int
+	Counts map[Outcome]int
+	// Untriggered counts runs where no armed fault fired at all; they
+	// are excluded from Runs and Counts.
+	Untriggered int
+}
+
+// Percent reports the share of runs with the given outcome.
+func (c MultiCampaignResult) Percent(o Outcome) float64 {
+	if c.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(c.Counts[o]) / float64(c.Runs)
+}
+
+// PlanMultiCampaign derives the per-run injection lists from a profile.
+// The first fault of each run is an ordinary injection; each further
+// fault is drawn as plain, correlated, or during-recovery with equal
+// probability, so every campaign mixes independent double faults,
+// recovery-window faults and faults in the recovery path itself.
+func PlanMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) [][]MultiInjection {
+	faults := cfg.Faults
+	if faults < 2 {
+		faults = 2
+	}
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 20
+	}
+	var sites []SiteProfile
+	for _, sp := range profile {
+		if sp.Candidate() {
+			sites = append(sites, sp)
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0x9E3779B9)
+	plans := make([][]MultiInjection, 0, runs)
+	for r := 0; r < runs; r++ {
+		plan := make([]MultiInjection, 0, faults)
+		for f := 0; f < faults; f++ {
+			sp := sites[rng.Intn(len(sites))]
+			reach := sp.Total - sp.Boot
+			mi := MultiInjection{Injection: Injection{
+				Server:     sp.Server,
+				Site:       sp.Site,
+				Occurrence: sp.Boot + 1 + rng.Intn(reach),
+				Type:       pickType(cfg.Model, rng),
+			}}
+			if f > 0 {
+				switch rng.Intn(4) {
+				case 1:
+					mi.Correlated = true
+					// Correlated faults count occurrences from the first
+					// recovery onward; keep the trigger close so the
+					// fault lands inside the post-recovery window.
+					mi.Occurrence = 1 + rng.Intn(3)
+				case 2:
+					mi.DuringRecovery = true
+					// Fire at one of the first restart attempts.
+					mi.Occurrence = 1 + rng.Intn(2)
+					// Only fail-stop semantics make sense inside the
+					// restart path.
+					mi.Type = FaultCrash
+				case 3:
+					// A deterministic bug: the crash re-fires after every
+					// restart, driving the component into quarantine.
+					mi.Persistent = true
+					mi.Type = FaultCrash
+				}
+			}
+			plan = append(plan, mi)
+		}
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// RunMultiCampaign executes the whole multi-fault campaign.
+func RunMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) MultiCampaignResult {
+	plans := PlanMultiCampaign(cfg, profile)
+	result := MultiCampaignResult{
+		Policy: cfg.Policy,
+		Model:  cfg.Model,
+		Faults: cfg.Faults,
+		Counts: make(map[Outcome]int),
+	}
+	if result.Faults < 2 {
+		result.Faults = 2
+	}
+	for i, plan := range plans {
+		rr := RunMulti(cfg.Policy, cfg.Seed+uint64(i)*104729, plan)
+		if rr.Triggered == 0 {
+			result.Untriggered++
+			continue
+		}
+		result.Runs++
+		result.Counts[rr.Outcome]++
+	}
+	return result
+}

@@ -42,23 +42,38 @@ func (k *Kernel) fireDueAlarms() {
 	}
 }
 
-// advanceToNextAlarm jumps virtual time to the earliest pending alarm
-// when the machine is otherwise idle. It reports whether an alarm was
-// fired.
-func (k *Kernel) advanceToNextAlarm() bool {
+// advanceToNextEvent jumps virtual time to the earliest pending event —
+// a live alarm or a deferred crash — when the machine is otherwise
+// idle. It reports whether an event became due (the main loop then
+// processes it).
+func (k *Kernel) advanceToNextEvent() bool {
 	h := (*alarmHeap)(&k.alarms)
 	for h.Len() > 0 {
-		a := heap.Pop(h).(alarm)
-		if p := k.procs[a.ep]; p == nil || !p.Alive() {
-			continue // stale alarm for a dead process
+		a := (*h)[0]
+		if p := k.procs[a.ep]; p != nil && p.Alive() {
+			break
 		}
-		if a.deadline > k.clock.Now() {
-			k.clock.Advance(a.deadline - k.clock.Now())
-		}
-		k.deliverAlarm(a)
-		return true
+		heap.Pop(h) // stale alarm for a dead process
 	}
-	return false
+	var next sim.Cycles
+	have := false
+	if h.Len() > 0 {
+		next = (*h)[0].deadline
+		have = true
+	}
+	for _, qc := range k.pendingCrashes {
+		if !have || qc.due < next {
+			next = qc.due
+			have = true
+		}
+	}
+	if !have {
+		return false
+	}
+	if next > k.clock.Now() {
+		k.clock.Advance(next - k.clock.Now())
+	}
+	return true
 }
 
 func (k *Kernel) deliverAlarm(a alarm) {

@@ -123,9 +123,22 @@ func (c *Context) TryReceive() (Message, bool) {
 // replies on its behalf). The reply's Errno field carries the status;
 // on IPC-level failure a synthetic reply with the errno is returned.
 func (c *Context) SendRec(dst Endpoint, m Message) Message {
+	if c.k.IsQuarantined(dst) {
+		// Error virtualization for detached components: the request
+		// fails exactly as if the component had crashed serving it.
+		c.k.chargeIPC()
+		c.k.counters.Add("kernel.quarantine_ecrash", 1)
+		return Message{From: dst, To: c.p.ep, Errno: ECRASH}
+	}
 	target := c.k.procs[dst]
 	if target == nil || !target.Alive() {
-		return Message{From: dst, To: c.p.ep, Errno: EDEADSRCDST}
+		if target == nil || !c.k.RecoveryPending(dst) {
+			return Message{From: dst, To: c.p.ep, Errno: EDEADSRCDST}
+		}
+		// The component crashed but a (possibly deferred) recovery is
+		// queued: enqueue and block. The inbox survives the restart, so
+		// the request is served once the component is back — or failed
+		// with ECRASH if recovery escalates to quarantine or shutdown.
 	}
 	c.k.chargeIPC()
 	m.From = c.p.ep
@@ -158,9 +171,17 @@ func (c *Context) Call(p seep.Passage, dst Endpoint, m Message) Message {
 
 // Send delivers m to dst asynchronously (no reply expected).
 func (c *Context) Send(dst Endpoint, m Message) Errno {
+	if c.k.IsQuarantined(dst) {
+		c.k.counters.Add("kernel.quarantine_ecrash", 1)
+		return ECRASH
+	}
 	target := c.k.procs[dst]
 	if target == nil || !target.Alive() {
-		return EDEADSRCDST
+		if target == nil || !c.k.RecoveryPending(dst) {
+			return EDEADSRCDST
+		}
+		// Crashed but recovery pending: queue the message for the
+		// replacement instance.
 	}
 	c.k.chargeIPC()
 	m.From = c.p.ep

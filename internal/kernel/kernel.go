@@ -60,6 +60,10 @@ const (
 	// MsgCrashNotify is delivered from EpKernel to the Recovery Server
 	// after a component crash has been handled, so RS can account for it.
 	MsgCrashNotify MsgType = 2
+	// MsgQuarantineNotify is delivered from EpKernel to the Recovery
+	// Server after a component has been quarantined, so RS can account
+	// for the degraded configuration.
+	MsgQuarantineNotify MsgType = 3
 )
 
 // Errno is a system error code carried in replies.
@@ -267,8 +271,21 @@ type CrashInfo struct {
 	PanicValue any
 	// DuringRecovery is true when the crash occurred while the recovery
 	// engine was already handling an earlier crash (violating the
-	// single-fault assumption).
+	// single-fault assumption). The kernel re-queues such crashes so the
+	// engine can escalate instead of aborting the run.
 	DuringRecovery bool
+	// Deferred is true when the crash was queued with a backoff delay by
+	// the recovery engine (DeferCrash) and is now being redelivered.
+	Deferred bool
+}
+
+// queuedCrash is one entry of the pending-crash queue: a trapped crash
+// and the earliest virtual time at which it may be handled. Crashes are
+// handled serially in FIFO-by-due-time order, so overlapping failures
+// are sequenced instead of aborting the run.
+type queuedCrash struct {
+	info CrashInfo
+	due  sim.Cycles
 }
 
 // CrashHandler reacts to a component crash in kernel context with
@@ -290,9 +307,15 @@ type Kernel struct {
 	kernelCh chan struct{}
 	running  *Process
 
-	pendingCrash *CrashInfo
-	inRecovery   bool
-	crashHandler CrashHandler
+	pendingCrashes []queuedCrash
+	inRecovery     bool
+	crashHandler   CrashHandler
+	// recoveryPanics counts consecutive crash-handler panics per victim;
+	// it backstops handlers that fail the same way forever.
+	recoveryPanics map[Endpoint]int
+	// quarantined maps detached endpoints to the quarantine reason. All
+	// IPC to a quarantined endpoint is error-virtualized to ECRASH.
+	quarantined map[Endpoint]string
 
 	alarms   []alarm
 	alarmSeq uint64
@@ -323,6 +346,8 @@ func New(cost CostModel, seed uint64) *Kernel {
 		kernelCh:           make(chan struct{}),
 		nextUserEp:         EpUserBase,
 		replyErrnoOverride: make(map[Endpoint]Errno),
+		recoveryPanics:     make(map[Endpoint]int),
+		quarantined:        make(map[Endpoint]string),
 	}
 }
 
@@ -402,6 +427,9 @@ func (k *Kernel) OverrideNextReplyErrno(ep Endpoint, e Errno) {
 func (k *Kernel) Run(cycleLimit sim.Cycles) Result {
 	defer k.killAll()
 	for !k.done {
+		if k.handleDueCrash() {
+			continue
+		}
 		if k.clock.Now() > cycleLimit {
 			k.done = true
 			k.outcome = OutcomeHang
@@ -411,7 +439,7 @@ func (k *Kernel) Run(cycleLimit sim.Cycles) Result {
 		k.fireDueAlarms()
 		p := k.pickRunnable()
 		if p == nil {
-			if k.advanceToNextAlarm() {
+			if k.advanceToNextEvent() {
 				continue
 			}
 			k.done = true
@@ -420,42 +448,171 @@ func (k *Kernel) Run(cycleLimit sim.Cycles) Result {
 			break
 		}
 		k.dispatch(p)
-		if k.pendingCrash != nil {
-			info := *k.pendingCrash
-			k.pendingCrash = nil
-			k.handleCrash(info)
-		}
 	}
 	return Result{Outcome: k.outcome, Reason: k.reason, Cycles: k.clock.Now()}
 }
 
+// queueCrash appends a crash to the pending queue for handling at or
+// after due. Crashes trapped while another recovery is queued or active
+// wait their turn instead of aborting the run.
+func (k *Kernel) queueCrash(info CrashInfo, due sim.Cycles) {
+	k.pendingCrashes = append(k.pendingCrashes, queuedCrash{info: info, due: due})
+}
+
+// DeferCrash re-queues a crash for handling after delay cycles. The
+// recovery engine uses it to apply restart backoff: the crash
+// re-arrives with Deferred set, and the component stays detached (its
+// inbox intact) until then.
+func (k *Kernel) DeferCrash(info CrashInfo, delay sim.Cycles) {
+	info.Deferred = true
+	k.counters.Add("kernel.crashes_deferred", 1)
+	k.queueCrash(info, k.clock.Now()+delay)
+}
+
+// RecoveryPending reports whether a trapped crash of ep is queued
+// awaiting recovery. IPC to such an endpoint blocks (the inbox survives
+// the restart) instead of failing with EDEADSRCDST.
+func (k *Kernel) RecoveryPending(ep Endpoint) bool {
+	for _, qc := range k.pendingCrashes {
+		if qc.info.Victim == ep {
+			return true
+		}
+	}
+	return false
+}
+
+// handleDueCrash pops and handles the first queued crash whose due time
+// has arrived. It reports whether a crash was handled.
+func (k *Kernel) handleDueCrash() bool {
+	for i, qc := range k.pendingCrashes {
+		if qc.due > k.clock.Now() {
+			continue
+		}
+		k.pendingCrashes = append(k.pendingCrashes[:i], k.pendingCrashes[i+1:]...)
+		k.handleCrash(qc.info)
+		return true
+	}
+	return false
+}
+
+// dropQueuedCrashes discards pending crashes of ep (quarantine: the
+// component will never be recovered).
+func (k *Kernel) dropQueuedCrashes(ep Endpoint) {
+	kept := k.pendingCrashes[:0]
+	for _, qc := range k.pendingCrashes {
+		if qc.info.Victim != ep {
+			kept = append(kept, qc)
+		}
+	}
+	k.pendingCrashes = kept
+}
+
+// maxRecoveryPanics bounds consecutive crash-handler panics for one
+// victim before the kernel gives up on it. The recovery engine
+// normally escalates to quarantine long before this backstop fires; it
+// exists so a raw handler that panics forever cannot livelock the run.
+const maxRecoveryPanics = 32
+
 // handleCrash runs the recovery engine in kernel context.
 func (k *Kernel) handleCrash(info CrashInfo) {
-	k.trace("crash: %s(%d) sender=%d replyable=%v panic=%v",
-		info.Name, info.Victim, info.CurSender, info.CurNeedsReply, info.PanicValue)
-	k.counters.Add("kernel.crashes", 1)
+	k.trace("crash: %s(%d) sender=%d replyable=%v panic=%v deferred=%v duringRecovery=%v",
+		info.Name, info.Victim, info.CurSender, info.CurNeedsReply, info.PanicValue,
+		info.Deferred, info.DuringRecovery)
+	if !info.Deferred {
+		k.counters.Add("kernel.crashes", 1)
+	}
 	if k.crashHandler == nil {
 		k.Abort(fmt.Sprintf("component %s crashed with no recovery handler: %v", info.Name, info.PanicValue))
 		return
 	}
 	k.inRecovery = true
-	err := k.invokeCrashHandler(info)
+	err, panicked := k.invokeCrashHandler(info)
 	k.inRecovery = false
-	if err != nil {
+	switch {
+	case panicked:
+		// The recovery path itself crashed (e.g. an injected fault in
+		// component code executed during restart). Re-queue the incident
+		// as a during-recovery crash so the engine can escalate —
+		// bounded, so a handler that always panics cannot loop forever.
+		k.recoveryPanics[info.Victim]++
+		if k.recoveryPanics[info.Victim] > maxRecoveryPanics {
+			k.Abort(fmt.Sprintf("recovery of %s failed: %v", info.Name, err))
+			return
+		}
+		k.counters.Add("kernel.recovery_panics", 1)
+		next := info
+		next.DuringRecovery = true
+		next.Deferred = false
+		k.queueCrash(next, k.clock.Now())
+	case err != nil:
 		k.Abort(fmt.Sprintf("recovery of %s failed: %v", info.Name, err))
+	default:
+		delete(k.recoveryPanics, info.Victim)
 	}
 }
 
 // invokeCrashHandler isolates handler panics: a panic inside the
 // recovery path itself (e.g. an injected fault in component code
-// executed during restart) is an uncontrolled crash.
-func (k *Kernel) invokeCrashHandler(info CrashInfo) (err error) {
+// executed during restart) is reported so the caller can sequence a
+// retry or escalate.
+func (k *Kernel) invokeCrashHandler(info CrashInfo) (err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic during recovery: %v", r)
+			panicked = true
 		}
 	}()
-	return k.crashHandler(info)
+	return k.crashHandler(info), false
+}
+
+// IsQuarantined reports whether ep has been detached by quarantine.
+func (k *Kernel) IsQuarantined(ep Endpoint) bool {
+	_, q := k.quarantined[ep]
+	return q
+}
+
+// QuarantineReason returns the reason ep was quarantined ("" if it was
+// not).
+func (k *Kernel) QuarantineReason(ep Endpoint) string { return k.quarantined[ep] }
+
+// QuarantineProcess permanently detaches the process at ep as graceful
+// degradation: its goroutine is torn down, queued messages are dropped,
+// every blocked caller receives ECRASH, and all subsequent IPC to ep is
+// error-virtualized to ECRASH by the kernel so the rest of the system
+// keeps running. Must not be called on the currently running process.
+func (k *Kernel) QuarantineProcess(ep Endpoint, reason string) error {
+	p := k.procs[ep]
+	if p == nil {
+		return fmt.Errorf("kernel: no process at endpoint %d", ep)
+	}
+	if k.IsQuarantined(ep) {
+		return nil
+	}
+	if p == k.running {
+		panic("kernel: QuarantineProcess on the running process")
+	}
+	switch p.state {
+	case stateDead:
+	case stateCrashed:
+		// The crashed goroutine has already unwound.
+		<-p.gone
+		p.state = stateDead
+	default:
+		p.state = stateDead
+		p.baton <- token{kill: true}
+		<-p.gone
+	}
+	if p.onKill != nil {
+		p.onKill()
+		p.onKill = nil
+	}
+	p.inbox = nil
+	k.quarantined[ep] = reason
+	k.dropQueuedCrashes(ep)
+	k.FailPendingCallers(ep, ECRASH)
+	k.counters.Add("kernel.quarantines", 1)
+	k.trace("quarantine: %s(%d): %s", p.name, ep, reason)
+	return nil
 }
 
 // chargeIPC advances the clock by one message-transfer cost.

@@ -169,17 +169,19 @@ func (p *Process) runBody() (killed bool) {
 			p.state = stateDead
 			return
 		}
-		// Fail-stop crash: record it for the kernel loop.
+		// Fail-stop crash: queue it for the kernel loop. Crashes that
+		// arrive while another recovery is queued or active are handled
+		// serially, in trap order.
 		p.state = stateCrashed
 		p.k.counters.Add("kernel.panics_trapped", 1)
-		p.k.pendingCrash = &CrashInfo{
+		p.k.queueCrash(CrashInfo{
 			Victim:         p.ep,
 			Name:           p.name,
 			CurSender:      p.curSender,
 			CurNeedsReply:  p.curNeedsReply,
 			PanicValue:     r,
 			DuringRecovery: p.k.inRecovery,
-		}
+		}, p.k.clock.Now())
 	}()
 	p.body(p.ctx)
 	p.state = stateDead
@@ -337,6 +339,9 @@ func (k *Kernel) replaceProcess(ep Endpoint, name string, body Body, cfg ServerC
 	if old == nil {
 		return nil, fmt.Errorf("kernel: no process at endpoint %d", ep)
 	}
+	if k.IsQuarantined(ep) {
+		return nil, fmt.Errorf("kernel: endpoint %d is quarantined", ep)
+	}
 	savedInbox := old.inbox
 	if old.state == stateCrashed {
 		// The crashed goroutine has already unwound; wait for it, then
@@ -370,6 +375,46 @@ func (k *Kernel) replaceProcess(ep Endpoint, name string, body Body, cfg ServerC
 	p.start()
 	k.counters.Add("kernel.procs_replaced", 1)
 	return p, nil
+}
+
+// FailStopProcess converts a live but unresponsive process into a
+// fail-stop crash: the goroutine is torn down and a synthetic crash is
+// queued for the recovery engine, exactly as if the component had
+// panicked. The Recovery Server uses it when hang detection declares a
+// component dead (paper §II-E: hangs become fail-stops). It returns
+// ESRCH when ep is already dead, crashed or quarantined.
+func (k *Kernel) FailStopProcess(ep Endpoint, reason string) Errno {
+	p := k.procs[ep]
+	if p == nil || !p.Alive() || k.IsQuarantined(ep) {
+		return ESRCH
+	}
+	if p == k.running {
+		panic("kernel: FailStopProcess on the running process")
+	}
+	// Capture the in-flight request before unwinding so reconciliation
+	// can error-virtualize it.
+	info := CrashInfo{
+		Victim:         ep,
+		Name:           p.name,
+		CurSender:      p.curSender,
+		CurNeedsReply:  p.curNeedsReply,
+		PanicValue:     reason,
+		DuringRecovery: k.inRecovery,
+	}
+	p.state = stateDead
+	p.baton <- token{kill: true}
+	<-p.gone
+	if p.onKill != nil {
+		p.onKill()
+		p.onKill = nil
+	}
+	// Mark the endpoint as crashed-awaiting-recovery (Alive() is false;
+	// ReplaceProcess treats the unwound goroutine correctly).
+	p.state = stateCrashed
+	k.counters.Add("kernel.failstops", 1)
+	k.trace("failstop: %s(%d): %s", p.name, ep, reason)
+	k.queueCrash(info, k.clock.Now())
+	return OK
 }
 
 // FailPendingCallers delivers an error reply to every process blocked

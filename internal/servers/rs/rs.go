@@ -7,6 +7,8 @@
 package rs
 
 import (
+	"fmt"
+
 	"repro/internal/kernel"
 	"repro/internal/memlog"
 	"repro/internal/proto"
@@ -14,8 +16,43 @@ import (
 	"repro/internal/sim"
 )
 
-// HeartbeatPeriod is the virtual-time interval between heartbeat rounds.
+// HeartbeatPeriod is the default virtual-time interval between
+// heartbeat rounds.
 const HeartbeatPeriod sim.Cycles = 250_000
+
+// DefaultHangMisses is the default number of consecutive unanswered
+// heartbeat rounds after which RS declares a component hung.
+const DefaultHangMisses = 4
+
+// Config parameterizes the heartbeat prober.
+type Config struct {
+	// Period is the interval between heartbeat rounds. Zero = default
+	// (HeartbeatPeriod).
+	Period sim.Cycles
+	// HangMisses is how many consecutive rounds a target may leave
+	// unanswered before RS declares it hung and fail-stops it so the
+	// recovery engine can restart it. Zero = default (4). One round can
+	// never distinguish a hang from an in-flight reply, so values below
+	// 2 are clamped to 2.
+	HangMisses int
+}
+
+func (c Config) period() sim.Cycles {
+	if c.Period > 0 {
+		return c.Period
+	}
+	return HeartbeatPeriod
+}
+
+func (c Config) hangMisses() int {
+	if c.HangMisses == 0 {
+		return DefaultHangMisses
+	}
+	if c.HangMisses < 2 {
+		return 2
+	}
+	return c.HangMisses
+}
 
 // seepPing is the heartbeat probe: a pure query of the target's
 // liveness, read-only by construction.
@@ -23,24 +60,44 @@ var seepPing = seep.Passage{Name: "rs->*.ping", Class: seep.ClassReadOnly}
 
 // RS is the Recovery Server component.
 type RS struct {
-	recoveries *memlog.Cell[int64]
-	crashes    *memlog.Map[int64, int64] // victim endpoint -> crash count
-	pingRounds *memlog.Cell[int64]
-	lastSeen   *memlog.Map[int64, int64] // endpoint -> last heartbeat time
+	recoveries  *memlog.Cell[int64]
+	crashes     *memlog.Map[int64, int64] // victim endpoint -> crash count
+	pingRounds  *memlog.Cell[int64]
+	lastSeen    *memlog.Map[int64, int64] // endpoint -> last heartbeat time
+	quarantines *memlog.Cell[int64]
+	hangKills   *memlog.Cell[int64]
 
 	// targets are the endpoints RS probes; fixed at boot (code, not
 	// recoverable state).
 	targets []kernel.Endpoint
+	cfg     Config
+
+	// Transient prober bookkeeping, deliberately outside the store: if
+	// RS itself is recovered, miss counts restart from a clean slate
+	// rather than being replayed into a stale kill decision.
+	outstanding map[kernel.Endpoint]int
+	quarantined map[kernel.Endpoint]bool
 }
 
-// New binds an RS over store. targets are the components to probe.
+// New binds an RS with the default prober configuration.
 func New(store *memlog.Store, targets []kernel.Endpoint) *RS {
+	return NewWithConfig(store, targets, Config{})
+}
+
+// NewWithConfig binds an RS over store. targets are the components to
+// probe.
+func NewWithConfig(store *memlog.Store, targets []kernel.Endpoint, cfg Config) *RS {
 	return &RS{
-		recoveries: memlog.NewCell(store, "rs.recoveries", int64(0)),
-		crashes:    memlog.NewMap[int64, int64](store, "rs.crashes"),
-		pingRounds: memlog.NewCell(store, "rs.ping_rounds", int64(0)),
-		lastSeen:   memlog.NewMap[int64, int64](store, "rs.last_seen"),
-		targets:    targets,
+		recoveries:  memlog.NewCell(store, "rs.recoveries", int64(0)),
+		crashes:     memlog.NewMap[int64, int64](store, "rs.crashes"),
+		pingRounds:  memlog.NewCell(store, "rs.ping_rounds", int64(0)),
+		lastSeen:    memlog.NewMap[int64, int64](store, "rs.last_seen"),
+		quarantines: memlog.NewCell(store, "rs.quarantines", int64(0)),
+		hangKills:   memlog.NewCell(store, "rs.hang_kills", int64(0)),
+		targets:     targets,
+		cfg:         cfg,
+		outstanding: make(map[kernel.Endpoint]int),
+		quarantined: make(map[kernel.Endpoint]bool),
 	}
 }
 
@@ -49,7 +106,7 @@ func (r *RS) Name() string { return "rs" }
 
 // Init schedules the first heartbeat round.
 func (r *RS) Init(ctx *kernel.Context) {
-	ctx.SetAlarm(HeartbeatPeriod)
+	ctx.SetAlarm(r.cfg.period())
 }
 
 // Handle processes one request.
@@ -61,6 +118,8 @@ func (r *RS) Handle(ctx *kernel.Context, m kernel.Message) {
 		r.heartbeat(ctx)
 	case kernel.MsgCrashNotify:
 		r.crashNotify(ctx, m)
+	case kernel.MsgQuarantineNotify:
+		r.quarantineNotify(ctx, m)
 	case proto.RSStatus:
 		ctx.Point("rs.status")
 		ctx.Reply(m.From, kernel.Message{A: r.recoveries.Get(), B: int64(len(r.targets))})
@@ -69,7 +128,14 @@ func (r *RS) Handle(ctx *kernel.Context, m kernel.Message) {
 		ctx.Point("rs.dsevent")
 		ctx.Tick(10)
 	case proto.RSPing:
-		ctx.Reply(m.From, kernel.Message{Type: proto.RSPing})
+		if m.NeedsReply {
+			// A liveness query of RS itself.
+			ctx.Reply(m.From, kernel.Message{Type: proto.RSPing})
+			break
+		}
+		// An asynchronous pong from a probed target: it answered the
+		// heartbeat round, so it is not hung.
+		r.pong(ctx, m.From)
 	default:
 		if m.NeedsReply {
 			ctx.ReplyErr(m.From, kernel.ENOSYS)
@@ -77,18 +143,49 @@ func (r *RS) Handle(ctx *kernel.Context, m kernel.Message) {
 	}
 }
 
-// heartbeat probes every target and records liveness.
+// heartbeat runs one probe round. Pings are asynchronous: a blocking
+// probe would hang RS itself on exactly the component it is trying to
+// diagnose. Each round first judges the previous rounds' silence, then
+// sends the next batch of pings.
 func (r *RS) heartbeat(ctx *kernel.Context) {
 	ctx.Point("rs.heartbeat")
 	r.pingRounds.Set(r.pingRounds.Get() + 1)
 	for _, target := range r.targets {
-		reply := ctx.Call(seepPing, target, kernel.Message{Type: proto.RSPing})
-		if reply.Errno == kernel.OK {
-			r.lastSeen.Set(int64(target), int64(ctx.Now()))
+		if r.quarantined[target] {
+			continue
+		}
+		if r.outstanding[target] >= r.cfg.hangMisses() {
+			r.declareHung(ctx, target)
+			continue
+		}
+		if errno := ctx.SendSeep(seepPing, target, kernel.Message{Type: proto.RSPing}); errno == kernel.OK {
+			// The ping is in the target's inbox (or queued for its
+			// replacement while a recovery is pending); count the round
+			// as outstanding until the pong comes back.
+			r.outstanding[target]++
 		}
 		ctx.Tick(10)
 	}
-	ctx.SetAlarm(HeartbeatPeriod)
+	ctx.SetAlarm(r.cfg.period())
+}
+
+// pong records a heartbeat answer.
+func (r *RS) pong(ctx *kernel.Context, from kernel.Endpoint) {
+	ctx.Point("rs.pong")
+	r.lastSeen.Set(int64(from), int64(ctx.Now()))
+	delete(r.outstanding, from)
+}
+
+// declareHung converts a silent component into a fail-stop so the
+// recovery engine can handle it like any other crash (§II-E: hangs are
+// detected by heartbeat and mapped onto the fail-stop model).
+func (r *RS) declareHung(ctx *kernel.Context, target kernel.Endpoint) {
+	ctx.Point("rs.hangkill")
+	delete(r.outstanding, target)
+	reason := fmt.Sprintf("rs: component %d missed %d heartbeat rounds", int(target), r.cfg.hangMisses())
+	if errno := ctx.Kernel().FailStopProcess(target, reason); errno == kernel.OK {
+		r.hangKills.Set(r.hangKills.Get() + 1)
+	}
 }
 
 // crashNotify accounts a recovery performed by the engine.
@@ -98,7 +195,25 @@ func (r *RS) crashNotify(ctx *kernel.Context, m kernel.Message) {
 	count, _ := r.crashes.Get(victim)
 	r.crashes.Set(victim, count+1)
 	r.recoveries.Set(r.recoveries.Get() + 1)
+	// A fresh instance is serving the endpoint: forget pings addressed
+	// to its predecessor.
+	delete(r.outstanding, kernel.Endpoint(victim))
+}
+
+// quarantineNotify accounts a component detached by the sequencer and
+// stops probing it (its pings would only fail ECRASH).
+func (r *RS) quarantineNotify(ctx *kernel.Context, m kernel.Message) {
+	ctx.Point("rs.quarantinenotify")
+	r.quarantines.Set(r.quarantines.Get() + 1)
+	r.quarantined[kernel.Endpoint(m.A)] = true
+	delete(r.outstanding, kernel.Endpoint(m.A))
 }
 
 // Recoveries reports the number of recoveries RS has accounted.
 func (r *RS) Recoveries() int64 { return r.recoveries.Get() }
+
+// Quarantines reports the number of quarantines RS has accounted.
+func (r *RS) Quarantines() int64 { return r.quarantines.Get() }
+
+// HangKills reports how many hung components RS has fail-stopped.
+func (r *RS) HangKills() int64 { return r.hangKills.Get() }

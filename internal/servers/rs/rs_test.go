@@ -101,6 +101,104 @@ func TestCrashAccounting(t *testing.T) {
 	}
 }
 
+// TestHangDetectionFailStops: a target that stops answering heartbeats
+// is declared hung after HangMisses silent rounds and fail-stopped, so
+// the crash handler can restart it like any crashed component; service
+// then resumes (§II-E: hangs are mapped onto the fail-stop model).
+func TestHangDetectionFailStops(t *testing.T) {
+	k := kernel.New(kernel.DefaultCostModel(), 1)
+	counters := k.Counters()
+
+	healthyBody := func(ctx *kernel.Context) {
+		for {
+			m := ctx.Receive()
+			if m.Type == proto.RSPing {
+				counters.Add("test.pongs_after_recovery", 1)
+				ctx.Reply(m.From, kernel.Message{Type: proto.RSPing})
+				continue
+			}
+			if m.NeedsReply {
+				ctx.ReplyErr(m.From, kernel.OK)
+			}
+		}
+	}
+	// The first instance answers one round, then wedges in an infinite
+	// loop — a genuine hang, not a crash.
+	hangBody := func(ctx *kernel.Context) {
+		m := ctx.Receive()
+		if m.Type == proto.RSPing {
+			ctx.Reply(m.From, kernel.Message{Type: proto.RSPing})
+		}
+		ctx.Hang()
+	}
+	k.AddServer(kernel.EpDS, "ds", hangBody, kernel.ServerConfig{})
+
+	recovered := 0
+	k.SetCrashHandler(func(info kernel.CrashInfo) error {
+		if info.Victim != kernel.EpDS {
+			t.Errorf("unexpected crash victim %d", info.Victim)
+		}
+		recovered++
+		_, err := k.ReplaceProcess(kernel.EpDS, "ds", healthyBody, kernel.ServerConfig{})
+		return err
+	})
+
+	store := memlog.NewStore("rs", memlog.Optimized)
+	win := seep.NewWindow(seep.PolicyEnhanced, store)
+	const period = 100_000
+	r := NewWithConfig(store, []kernel.Endpoint{kernel.EpDS}, Config{Period: period, HangMisses: 2})
+	k.AddServer(kernel.EpRS, "rs", func(ctx *kernel.Context) {
+		r.Init(ctx)
+		for {
+			m := ctx.Receive()
+			win.BeginRequest(m.NeedsReply)
+			r.Handle(ctx, m)
+			win.EndRequest()
+		}
+	}, kernel.ServerConfig{Window: win, Store: store})
+
+	root := k.SpawnUser("client", func(ctx *kernel.Context) {
+		ctx.SetAlarm(20 * period)
+		ctx.Receive()
+	})
+	k.SetRootProcess(root.Endpoint())
+	if res := k.Run(10_000_000_000); res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Reason)
+	}
+	if recovered != 1 {
+		t.Fatalf("hung component recovered %d times, want 1", recovered)
+	}
+	if r.HangKills() != 1 {
+		t.Fatalf("HangKills() = %d, want 1", r.HangKills())
+	}
+	if counters.Get("test.pongs_after_recovery") == 0 {
+		t.Fatal("replacement instance never answered a heartbeat")
+	}
+	if counters.Get("kernel.failstops") != 1 {
+		t.Fatalf("kernel.failstops = %d, want 1", counters.Get("kernel.failstops"))
+	}
+}
+
+// TestQuarantineNotifyStopsProbing: a quarantine notification makes RS
+// account the degraded configuration and drop the component from the
+// probe set.
+func TestQuarantineNotifyStopsProbing(t *testing.T) {
+	r, pings := harness(t, true, func(ctx *kernel.Context) {
+		ctx.Kernel().PostMessage(kernel.EpKernel, kernel.EpRS,
+			kernel.Message{Type: kernel.MsgQuarantineNotify, A: int64(kernel.EpDS)})
+		ctx.SetAlarm(4 * HeartbeatPeriod)
+		ctx.Receive()
+	})
+	if r.Quarantines() != 1 {
+		t.Fatalf("Quarantines() = %d, want 1", r.Quarantines())
+	}
+	// The notification races the first round at most once; after it, DS
+	// is never probed again.
+	if got := pings.Get("test.pings"); got > 1 {
+		t.Fatalf("quarantined target pinged %d times, want <= 1", got)
+	}
+}
+
 func TestDSEventAbsorbedAndPing(t *testing.T) {
 	harness(t, false, func(ctx *kernel.Context) {
 		ctx.Send(kernel.EpRS, kernel.Message{Type: proto.DSEvent, A: 1})

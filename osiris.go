@@ -118,6 +118,32 @@ type Options struct {
 	// declares a crash storm (0 = default 25). Raise it for workloads
 	// that intentionally crash components many times.
 	MaxRecoveries int
+
+	// Cascade-tolerance sequencer knobs (all optional; zero = default).
+	//
+	// RecoveryDecay is the crash-free interval, in virtual cycles, after
+	// which one unit of the crash-storm budget is forgiven (0 = default
+	// 2,000,000; negative disables decay).
+	RecoveryDecay int64
+	// RestartBackoffBase is the cool-down before restarting a component
+	// that crashed twice in a row, doubling per further crash (0 =
+	// default 50,000; negative disables backoff).
+	RestartBackoffBase int64
+	// MaxRestartAttempts bounds restart retries within one recovery
+	// incident before escalating to quarantine (0 = default 3).
+	MaxRestartAttempts int
+	// RecoveryDeadline is the watchdog budget, in virtual cycles, for
+	// one recovery incident (0 = default 5,000,000; negative disables).
+	RecoveryDeadline int64
+	// DisableQuarantine restores the fail-hard behaviour: exhausted
+	// budgets abort the run instead of quarantining the component.
+	DisableQuarantine bool
+	// HeartbeatPeriod is the Recovery Server's probe interval in virtual
+	// cycles (0 = default 250,000). Effective only with Heartbeats.
+	HeartbeatPeriod int64
+	// HangMisses is how many silent heartbeat rounds make RS declare a
+	// component hung and fail-stop it (0 = default 4, minimum 2).
+	HangMisses int
 }
 
 // NewRegistry returns an empty program registry.
@@ -136,7 +162,18 @@ func Boot(opts Options, init Program, args ...string) *System {
 		seed = 1
 	}
 	return boot.Boot(boot.Options{
-		Config:     core.Config{Policy: policy, Seed: seed, MaxRecoveries: opts.MaxRecoveries},
+		Config: core.Config{
+			Policy:             policy,
+			Seed:               seed,
+			MaxRecoveries:      opts.MaxRecoveries,
+			RecoveryDecay:      opts.RecoveryDecay,
+			RestartBackoffBase: opts.RestartBackoffBase,
+			MaxRestartAttempts: opts.MaxRestartAttempts,
+			RecoveryDeadline:   opts.RecoveryDeadline,
+			DisableQuarantine:  opts.DisableQuarantine,
+			HeartbeatPeriod:    opts.HeartbeatPeriod,
+			HangMisses:         opts.HangMisses,
+		},
 		Registry:   opts.Registry,
 		Heartbeats: opts.Heartbeats,
 	}, init, args...)
@@ -176,4 +213,8 @@ var (
 	RunTable6 = eval.RunTable6
 	// RunFigure3 sweeps fault-inflow intervals (Figure 3).
 	RunFigure3 = eval.RunFigure3
+	// RunMultiFault runs the multi-fault cascade survivability table
+	// (beyond the paper: several faults per boot, classified with the
+	// extra degraded-pass outcome).
+	RunMultiFault = eval.RunMultiFault
 )
