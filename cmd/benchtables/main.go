@@ -4,32 +4,100 @@
 // Usage:
 //
 //	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf]
+//	            [-workers N] [-json out.json]
+//	            [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// Independent simulated machines fan out across -workers threads; the
+// numbers are bit-identical for every worker count (-workers 1 is the
+// historical serial path). -json writes a machine-readable report with
+// per-section wall-clock and process allocation statistics alongside
+// the table data.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/faultinject"
+	"repro/internal/parallel"
 )
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "quick", "evaluation scale: quick or full")
-		seed      = flag.Uint64("seed", 42, "simulation seed")
-		only      = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation (default all)")
+		scaleName  = flag.String("scale", "quick", "evaluation scale: quick or full")
+		seed       = flag.Uint64("seed", 42, "simulation seed")
+		only       = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation (default all)")
+		workers    = flag.Int("workers", 0, "concurrent simulated machines (0 = one per CPU, 1 = serial)")
+		jsonPath   = flag.String("json", "", "write a machine-readable report to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*scaleName, *seed, *only); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*scaleName, *seed, *only, *workers, *jsonPath)
+	if *memProfile != "" {
+		if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName string, seed uint64, only string) error {
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// section is one table/figure of the JSON report.
+type section struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	Data   any     `json:"data"`
+}
+
+// report is the machine-readable output of one benchtables invocation.
+type report struct {
+	Scale       string    `json:"scale"`
+	Seed        uint64    `json:"seed"`
+	Workers     int       `json:"workers"`
+	GoMaxProcs  int       `json:"gomaxprocs"`
+	Sections    []section `json:"sections"`
+	TotalWallMS float64   `json:"total_wall_ms"`
+	// Process-wide allocation statistics over the whole run, for
+	// tracking the hot-path pooling work.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+	NumGC      uint32 `json:"num_gc"`
+}
+
+func run(scaleName string, seed uint64, only string, workers int, jsonPath string) error {
 	var sc eval.Scale
 	switch scaleName {
 	case "quick":
@@ -40,6 +108,7 @@ func run(scaleName string, seed uint64, only string) error {
 		return fmt.Errorf("unknown scale %q", scaleName)
 	}
 	sc.Seed = seed
+	sc.Workers = workers
 
 	valid := map[string]bool{
 		"1": true, "2": true, "3": true, "4": true, "5": true, "6": true,
@@ -64,52 +133,99 @@ func run(scaleName string, seed uint64, only string) error {
 		return false
 	}
 
+	rep := report{
+		Scale:      scaleName,
+		Seed:       seed,
+		Workers:    parallel.Resolve(workers),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+
+	type renderer interface{ Render() string }
+	emit := func(name string, data renderer, elapsed time.Duration) {
+		fmt.Println(data.Render())
+		rep.Sections = append(rep.Sections, section{
+			Name:   name,
+			WallMS: float64(elapsed.Microseconds()) / 1000,
+			Data:   data,
+		})
+	}
+
 	if want("1") {
+		t0 := time.Now()
 		t, err := eval.RunTable1(sc)
 		if err != nil {
 			return fmt.Errorf("table 1: %w", err)
 		}
-		fmt.Println(t.Render())
+		emit("table1_coverage", t, time.Since(t0))
 	}
 	if want("2") {
+		t0 := time.Now()
 		t, err := eval.RunSurvivability(faultinject.FailStop, sc)
 		if err != nil {
 			return fmt.Errorf("table 2: %w", err)
 		}
-		fmt.Println(t.Render())
+		emit("table2_survivability_failstop", t, time.Since(t0))
 	}
 	if want("3") {
+		t0 := time.Now()
 		t, err := eval.RunSurvivability(faultinject.FullEDFI, sc)
 		if err != nil {
 			return fmt.Errorf("table 3: %w", err)
 		}
-		fmt.Println(t.Render())
+		emit("table3_survivability_edfi", t, time.Since(t0))
 	}
 	if want("4") {
-		fmt.Println(eval.RunTable4(sc).Render())
+		t0 := time.Now()
+		emit("table4_perf_vs_monolithic", eval.RunTable4(sc), time.Since(t0))
 	}
 	if want("5") {
-		fmt.Println(eval.RunTable5(sc).Render())
+		t0 := time.Now()
+		emit("table5_instrumentation", eval.RunTable5(sc), time.Since(t0))
 	}
 	if want("6") {
+		t0 := time.Now()
 		t, err := eval.RunTable6(sc)
 		if err != nil {
 			return fmt.Errorf("table 6: %w", err)
 		}
-		fmt.Println(t.Render())
+		emit("table6_memory", t, time.Since(t0))
 	}
 	if want("f3") {
-		fmt.Println(eval.RunFigure3(sc, nil).Render())
+		t0 := time.Now()
+		emit("figure3_disruption", eval.RunFigure3(sc, nil), time.Since(t0))
 	}
 	if want("mf") {
+		t0 := time.Now()
 		t, err := eval.RunMultiFault(sc)
 		if err != nil {
 			return fmt.Errorf("multi-fault table: %w", err)
 		}
-		fmt.Println(t.Render())
+		emit("multifault_cascade", t, time.Since(t0))
 	}
 	if want("ablation") {
-		fmt.Println(eval.RunAblationCheckpointing(sc).Render())
+		t0 := time.Now()
+		emit("ablation_checkpointing", eval.RunAblationCheckpointing(sc), time.Since(t0))
+	}
+
+	if jsonPath != "" {
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		rep.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
+		rep.AllocBytes = msAfter.TotalAlloc - msBefore.TotalAlloc
+		rep.Mallocs = msAfter.Mallocs - msBefore.Mallocs
+		rep.NumGC = msAfter.NumGC - msBefore.NumGC
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal report: %w", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d sections, %.0f ms)\n", jsonPath, len(rep.Sections), rep.TotalWallMS)
 	}
 	return nil
 }

@@ -11,13 +11,20 @@
 //
 //	faultcampaign [-policy all|enhanced|...] [-model failstop|edfi]
 //	              [-samples N] [-maxruns N] [-seed N] [-profile]
-//	              [-faults N] [-runs N]
+//	              [-faults N] [-runs N] [-workers N]
+//	              [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// Campaign boots are independent simulated machines and fan out across
+// -workers threads; results are bit-identical for every worker count
+// (-workers 1 is the historical serial path).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/faultinject"
 	"repro/internal/seep"
@@ -33,15 +40,47 @@ func main() {
 		profile    = flag.Bool("profile", false, "print the fault-site profile and exit")
 		faults     = flag.Int("faults", 1, "faults armed per boot; >= 2 selects the multi-fault cascade campaign")
 		runs       = flag.Int("runs", 40, "boots per policy in the multi-fault campaign")
+		workers    = flag.Int("workers", 0, "concurrent boots (0 = one per CPU, 1 = serial)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile, *faults, *runs); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile, *faults, *runs, *workers)
+	if *memProfile != "" {
+		if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
 		os.Exit(1)
 	}
 }
 
-func run(policyName, modelName string, samples, maxRuns int, seed uint64, profileOnly bool, faults, runs int) error {
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+func run(policyName, modelName string, samples, maxRuns int, seed uint64, profileOnly bool, faults, runs, workers int) error {
 	prof, err := faultinject.Profile(seed)
 	if err != nil {
 		return err
@@ -88,11 +127,12 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 			"Recovery", "Pass", "Degraded", "Fail", "Shutdown", "Crash", "Runs", "Untriggered")
 		for _, policy := range policies {
 			res := faultinject.RunMultiCampaign(faultinject.MultiCampaignConfig{
-				Policy: policy,
-				Model:  model,
-				Faults: faults,
-				Runs:   runs,
-				Seed:   seed,
+				Policy:  policy,
+				Model:   model,
+				Faults:  faults,
+				Runs:    runs,
+				Seed:    seed,
+				Workers: workers,
 			}, prof)
 			fmt.Printf("%-12s %7.1f%% %8.1f%% %7.1f%% %9.1f%% %7.1f%% %8d %12d\n",
 				res.Policy,
@@ -116,6 +156,7 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 			Seed:           seed,
 			SamplesPerSite: samples,
 			MaxRuns:        maxRuns,
+			Workers:        workers,
 		}, prof)
 		fmt.Printf("%-12s %7.1f%% %7.1f%% %9.1f%% %7.1f%% %8d %12d\n",
 			res.Policy,

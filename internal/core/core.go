@@ -352,7 +352,15 @@ func (o *OS) InitEP() kernel.Endpoint { return o.initEP }
 
 // Run drives the machine to completion.
 func (o *OS) Run(limit sim.Cycles) kernel.Result {
-	return o.k.Run(limit)
+	res := o.k.Run(limit)
+	// The machine is dead; campaigns boot hundreds of them per process.
+	// Recycle every component's undo-log slab so the next boot starts
+	// from the pool instead of the heap. Scalar statistics (high-water
+	// marks, counters) survive for the evaluation tables.
+	for _, ep := range o.order {
+		o.slots[ep].store.ReleaseLog()
+	}
+	return res
 }
 
 // serverBody wraps a component in the OSIRIS event-driven request loop
@@ -688,6 +696,13 @@ func (o *OS) restart(s *slot, info kernel.CrashInfo, mode restartMode, reconcile
 
 	s.accum = addStats(s.accum, s.window.Stats())
 	s.comp = comp
+	if s.store != store {
+		// The replaced store is dead: recycle its undo-log slab. (After
+		// TransferLog the old log is already detached and this is a
+		// no-op; after a fresh restart it returns the crashed log's
+		// slab.)
+		s.store.ReleaseLog()
+	}
 	s.store = store
 	s.window = win
 	if _, err := o.k.ReplaceProcess(s.ep, s.name, o.serverBody(s), kernel.ServerConfig{Window: win, Store: store}); err != nil {

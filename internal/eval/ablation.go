@@ -24,20 +24,23 @@ type Ablation struct {
 }
 
 // RunAblationCheckpointing measures both strategies against the
-// uninstrumented baseline under the enhanced policy.
+// uninstrumented baseline under the enhanced policy. All three
+// configurations share the parallel engine's worker pool.
 func RunAblationCheckpointing(sc Scale) Ablation {
-	base := unixbench.RunAll(unixbench.Config{
-		Policy: seep.PolicyEnhanced, Instrumentation: memlog.Baseline,
-		Seed: sc.Seed, IterScale: sc.IterScale,
-	})
-	undo := unixbench.RunAll(unixbench.Config{
-		Policy: seep.PolicyEnhanced, Instrumentation: memlog.Optimized,
-		Seed: sc.Seed, IterScale: sc.IterScale,
-	})
-	full := unixbench.RunAll(unixbench.Config{
-		Policy: seep.PolicyEnhanced, Instrumentation: memlog.FullCopy,
-		Seed: sc.Seed, IterScale: sc.IterScale,
-	})
+	grouped := runBenchMatrix(sc.Workers,
+		unixbench.Config{
+			Policy: seep.PolicyEnhanced, Instrumentation: memlog.Baseline,
+			Seed: sc.Seed, IterScale: sc.IterScale,
+		},
+		unixbench.Config{
+			Policy: seep.PolicyEnhanced, Instrumentation: memlog.Optimized,
+			Seed: sc.Seed, IterScale: sc.IterScale,
+		},
+		unixbench.Config{
+			Policy: seep.PolicyEnhanced, Instrumentation: memlog.FullCopy,
+			Seed: sc.Seed, IterScale: sc.IterScale,
+		})
+	base, undo, full := grouped[0], grouped[1], grouped[2]
 
 	var a Ablation
 	var lu, lf float64

@@ -18,6 +18,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/kernel"
 	"repro/internal/memlog"
+	"repro/internal/parallel"
 	"repro/internal/seep"
 	"repro/internal/testsuite"
 	"repro/internal/unixbench"
@@ -33,6 +34,12 @@ type Scale struct {
 	MaxRuns        int
 	// Seed drives everything.
 	Seed uint64
+	// Workers bounds how many independent simulated boots run
+	// concurrently. Every table is a deterministic reduction over
+	// per-run results collected by run index, so the output is
+	// bit-identical for any worker count. Zero selects one worker per
+	// CPU; 1 reproduces the historical serial path exactly.
+	Workers int
 }
 
 // QuickScale is suitable for tests and testing.B benchmarks.
@@ -69,15 +76,22 @@ type Table1 struct {
 	CycleWeightedPessimistic, CycleWeightedEnhanced float64
 }
 
-// RunTable1 regenerates Table I.
+// RunTable1 regenerates Table I. The two coverage runs are independent
+// machines and execute concurrently.
 func RunTable1(sc Scale) (Table1, error) {
-	pess, err := coverageRun(seep.PolicyPessimistic, sc.Seed)
-	if err != nil {
-		return Table1{}, fmt.Errorf("pessimistic run: %w", err)
+	var (
+		pess, enh  map[string]seep.Stats
+		errP, errE error
+	)
+	parallel.Do(sc.Workers,
+		func() { pess, errP = coverageRun(seep.PolicyPessimistic, sc.Seed) },
+		func() { enh, errE = coverageRun(seep.PolicyEnhanced, sc.Seed) },
+	)
+	if errP != nil {
+		return Table1{}, fmt.Errorf("pessimistic run: %w", errP)
 	}
-	enh, err := coverageRun(seep.PolicyEnhanced, sc.Seed)
-	if err != nil {
-		return Table1{}, fmt.Errorf("enhanced run: %w", err)
+	if errE != nil {
+		return Table1{}, fmt.Errorf("enhanced run: %w", errE)
 	}
 
 	var t Table1
@@ -209,6 +223,8 @@ func RunSurvivability(model faultinject.Model, sc Scale) (SurvivabilityTable, er
 		return SurvivabilityTable{}, err
 	}
 	t := SurvivabilityTable{Model: model}
+	// Each campaign fans its runs out internally; the policy rows stay
+	// in the paper's order.
 	for _, policy := range policiesInTableOrder {
 		res := faultinject.RunCampaign(faultinject.CampaignConfig{
 			Policy:         policy,
@@ -216,6 +232,7 @@ func RunSurvivability(model faultinject.Model, sc Scale) (SurvivabilityTable, er
 			Seed:           sc.Seed,
 			SamplesPerSite: sc.SamplesPerSite,
 			MaxRuns:        sc.MaxRuns,
+			Workers:        sc.Workers,
 		}, profile)
 		t.Rows = append(t.Rows, res)
 	}
@@ -275,11 +292,12 @@ func RunMultiFault(sc Scale) (MultiFaultTable, error) {
 	for _, policy := range multiFaultPolicies {
 		for _, faults := range multiFaultCounts {
 			res := faultinject.RunMultiCampaign(faultinject.MultiCampaignConfig{
-				Policy: policy,
-				Model:  faultinject.FailStop,
-				Faults: faults,
-				Runs:   runs,
-				Seed:   sc.Seed,
+				Policy:  policy,
+				Model:   faultinject.FailStop,
+				Faults:  faults,
+				Runs:    runs,
+				Seed:    sc.Seed,
+				Workers: sc.Workers,
 			}, profile)
 			t.Rows = append(t.Rows, res)
 		}
@@ -323,21 +341,39 @@ type Table4 struct {
 	GeomeanSlowdown float64
 }
 
+// runBenchMatrix executes every (config, benchmark) pair on the
+// parallel engine and returns results grouped by config, each group in
+// table order — byte-identical to running unixbench.RunAll per config
+// serially, but with all machines of all configs in one work pool.
+func runBenchMatrix(workers int, cfgs ...unixbench.Config) [][]unixbench.Result {
+	bench := unixbench.All()
+	flat := parallel.Map(workers, len(cfgs)*len(bench), func(i int) unixbench.Result {
+		return unixbench.RunOne(bench[i%len(bench)], cfgs[i/len(bench)])
+	})
+	out := make([][]unixbench.Result, len(cfgs))
+	for c := range cfgs {
+		out[c] = flat[c*len(bench) : (c+1)*len(bench)]
+	}
+	return out
+}
+
 // RunTable4 regenerates Table IV: the recovery-free microkernel system
 // against the monolithic cost model standing in for Linux.
 func RunTable4(sc Scale) Table4 {
-	mono := unixbench.RunAll(unixbench.Config{
-		Monolithic:      true,
-		Instrumentation: memlog.Baseline,
-		Seed:            sc.Seed,
-		IterScale:       sc.IterScale,
-	})
-	micro := unixbench.RunAll(unixbench.Config{
-		Policy:          seep.PolicyEnhanced,
-		Instrumentation: memlog.Baseline, // baseline build: no recovery
-		Seed:            sc.Seed,
-		IterScale:       sc.IterScale,
-	})
+	grouped := runBenchMatrix(sc.Workers,
+		unixbench.Config{
+			Monolithic:      true,
+			Instrumentation: memlog.Baseline,
+			Seed:            sc.Seed,
+			IterScale:       sc.IterScale,
+		},
+		unixbench.Config{
+			Policy:          seep.PolicyEnhanced,
+			Instrumentation: memlog.Baseline, // baseline build: no recovery
+			Seed:            sc.Seed,
+			IterScale:       sc.IterScale,
+		})
+	mono, micro := grouped[0], grouped[1]
 	var t Table4
 	logSum, n := 0.0, 0
 	for i := range mono {
@@ -386,22 +422,24 @@ type Table5 struct {
 // of the optimized pessimistic/enhanced builds relative to the
 // uninstrumented baseline.
 func RunTable5(sc Scale) Table5 {
-	base := unixbench.RunAll(unixbench.Config{
-		Policy: seep.PolicyEnhanced, Instrumentation: memlog.Baseline,
-		Seed: sc.Seed, IterScale: sc.IterScale,
-	})
-	unopt := unixbench.RunAll(unixbench.Config{
-		Policy: seep.PolicyEnhanced, Instrumentation: memlog.Unoptimized,
-		Seed: sc.Seed, IterScale: sc.IterScale,
-	})
-	pess := unixbench.RunAll(unixbench.Config{
-		Policy: seep.PolicyPessimistic, Instrumentation: memlog.Optimized,
-		Seed: sc.Seed, IterScale: sc.IterScale,
-	})
-	enh := unixbench.RunAll(unixbench.Config{
-		Policy: seep.PolicyEnhanced, Instrumentation: memlog.Optimized,
-		Seed: sc.Seed, IterScale: sc.IterScale,
-	})
+	grouped := runBenchMatrix(sc.Workers,
+		unixbench.Config{
+			Policy: seep.PolicyEnhanced, Instrumentation: memlog.Baseline,
+			Seed: sc.Seed, IterScale: sc.IterScale,
+		},
+		unixbench.Config{
+			Policy: seep.PolicyEnhanced, Instrumentation: memlog.Unoptimized,
+			Seed: sc.Seed, IterScale: sc.IterScale,
+		},
+		unixbench.Config{
+			Policy: seep.PolicyPessimistic, Instrumentation: memlog.Optimized,
+			Seed: sc.Seed, IterScale: sc.IterScale,
+		},
+		unixbench.Config{
+			Policy: seep.PolicyEnhanced, Instrumentation: memlog.Optimized,
+			Seed: sc.Seed, IterScale: sc.IterScale,
+		})
+	base, unopt, pess, enh := grouped[0], grouped[1], grouped[2], grouped[3]
 
 	var t Table5
 	var lu, lp, le float64
@@ -525,23 +563,28 @@ func RunFigure3(sc Scale, intervals []uint64) Figure3 {
 		intervals = []uint64{50_000, 100_000, 200_000, 400_000, 800_000, 1_600_000, 3_200_000, 6_400_000}
 	}
 	fig := Figure3{Intervals: intervals, Series: make(map[string][]DisruptionPoint)}
-	for _, name := range unixbench.Names() {
-		b, _ := unixbench.ByName(name)
-		// Fault-free reference.
-		ref := unixbench.RunOne(b, unixbench.Config{
-			Policy: seep.PolicyEnhanced, Seed: sc.Seed, IterScale: sc.IterScale,
-		})
-		fig.Series[name] = append(fig.Series[name], DisruptionPoint{Interval: 0, Score: ref.Score})
-		for _, interval := range intervals {
-			cfg := unixbench.Config{
-				Policy:    seep.PolicyEnhanced,
-				Seed:      sc.Seed,
-				IterScale: sc.IterScale,
-				Hook:      pmFaultInflow(interval),
-			}
-			r := unixbench.RunOne(b, cfg)
-			fig.Series[name] = append(fig.Series[name], DisruptionPoint{Interval: interval, Score: r.Score})
+
+	// Flatten the (benchmark, interval) sweep into one indexed job list
+	// so every machine of the figure shares the worker pool. Interval 0
+	// is the fault-free reference.
+	bench := unixbench.All()
+	sweep := append([]uint64{0}, intervals...)
+	points := parallel.Map(sc.Workers, len(bench)*len(sweep), func(i int) DisruptionPoint {
+		b := bench[i/len(sweep)]
+		interval := sweep[i%len(sweep)]
+		cfg := unixbench.Config{
+			Policy:    seep.PolicyEnhanced,
+			Seed:      sc.Seed,
+			IterScale: sc.IterScale,
 		}
+		if interval > 0 {
+			cfg.Hook = pmFaultInflow(interval)
+		}
+		r := unixbench.RunOne(b, cfg)
+		return DisruptionPoint{Interval: interval, Score: r.Score}
+	})
+	for bi, b := range bench {
+		fig.Series[b.Name] = points[bi*len(sweep) : (bi+1)*len(sweep)]
 	}
 	return fig
 }

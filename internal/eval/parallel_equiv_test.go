@@ -1,0 +1,38 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every evaluation table must be bit-identical for any worker count:
+// each simulated machine owns its clock and RNG, and results are
+// reduced in job order, so the thread count can never leak into the
+// numbers.
+
+func TestTable5IdenticalAcrossWorkerCounts(t *testing.T) {
+	sc := QuickScale()
+	sc.Workers = 1
+	serial := RunTable5(sc)
+	for _, workers := range []int{2, 8} {
+		sc.Workers = workers
+		got := RunTable5(sc)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d Table5 diverged from serial:\n%+v\nvs\n%+v", workers, got, serial)
+		}
+	}
+}
+
+func TestFigure3IdenticalAcrossWorkerCounts(t *testing.T) {
+	sc := QuickScale()
+	intervals := []uint64{3_200_000}
+	sc.Workers = 1
+	serial := RunFigure3(sc, intervals)
+	for _, workers := range []int{2, 8} {
+		sc.Workers = workers
+		got := RunFigure3(sc, intervals)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d Figure3 diverged from serial:\n%+v\nvs\n%+v", workers, got, serial)
+		}
+	}
+}

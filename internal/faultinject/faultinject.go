@@ -14,6 +14,7 @@ import (
 	"repro/internal/boot"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 	"repro/internal/seep"
 	"repro/internal/servers/rs"
 	"repro/internal/sim"
@@ -44,6 +45,9 @@ func (m Model) String() string {
 	}
 	return "full-EDFI"
 }
+
+// MarshalText renders the model by name in JSON reports.
+func (m Model) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
 
 // FaultType is one injectable fault behaviour.
 type FaultType int
@@ -217,6 +221,10 @@ func (o Outcome) String() string {
 	}
 }
 
+// MarshalText renders the outcome by name, so JSON reports key outcome
+// counts as "pass"/"crash"/... instead of raw integers.
+func (o Outcome) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
+
 // Injection is one planned fault: at the occurrence-th execution of the
 // site (counted from run start), trigger the fault.
 type Injection struct {
@@ -339,6 +347,11 @@ type CampaignConfig struct {
 	SamplesPerSite int
 	// MaxRuns optionally caps the total number of runs (0 = no cap).
 	MaxRuns int
+	// Workers bounds the number of runs executed concurrently; each run
+	// is an independent simulated boot, so results are bit-identical for
+	// any worker count. Zero selects one worker per CPU; 1 reproduces
+	// the historical serial path exactly.
+	Workers int
 }
 
 // CampaignResult aggregates a survivability campaign (one row of
@@ -389,18 +402,34 @@ func PlanCampaign(cfg CampaignConfig, profile []SiteProfile) []Injection {
 		}
 	}
 	if cfg.MaxRuns > 0 && len(plan) > cfg.MaxRuns {
-		// Deterministic thinning: keep an evenly spaced subset.
+		// Deterministic thinning: keep an evenly spaced subset. Integer
+		// arithmetic only — float rounding of i*(len/max) can duplicate
+		// or skip indices for some (len, max) pairs.
 		thinned := make([]Injection, 0, cfg.MaxRuns)
-		step := float64(len(plan)) / float64(cfg.MaxRuns)
-		for i := 0; i < cfg.MaxRuns; i++ {
-			thinned = append(thinned, plan[int(float64(i)*step)])
+		for _, idx := range thinIndices(len(plan), cfg.MaxRuns) {
+			thinned = append(thinned, plan[idx])
 		}
 		plan = thinned
 	}
 	return plan
 }
 
-// RunCampaign executes the whole campaign.
+// thinIndices returns max evenly spaced, strictly increasing indices
+// into [0, n). Requires 0 < max <= n; then floor(i*n/max) advances by
+// at least floor(n/max) >= 1 per step, so the indices are distinct and
+// in range.
+func thinIndices(n, max int) []int {
+	out := make([]int, max)
+	for i := 0; i < max; i++ {
+		out[i] = i * n / max
+	}
+	return out
+}
+
+// RunCampaign executes the whole campaign. Runs are independent boots
+// (one fault per boot, per-run seed), so they fan out across the
+// parallel engine; the aggregate is reduced in plan order and is
+// bit-identical for any worker count.
 func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
 	plan := PlanCampaign(cfg, profile)
 	result := CampaignResult{
@@ -408,8 +437,10 @@ func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
 		Model:  cfg.Model,
 		Counts: make(map[Outcome]int),
 	}
-	for i, inj := range plan {
-		rr := RunOne(cfg.Policy, cfg.Seed+uint64(i)*7919, inj)
+	results := parallel.Map(cfg.Workers, len(plan), func(i int) RunResult {
+		return RunOne(cfg.Policy, cfg.Seed+uint64(i)*7919, plan[i])
+	})
+	for _, rr := range results {
 		if !rr.Triggered {
 			result.Untriggered++
 			continue

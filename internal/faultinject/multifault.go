@@ -4,6 +4,7 @@ import (
 	"repro/internal/boot"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 	"repro/internal/seep"
 	"repro/internal/sim"
 	"repro/internal/testsuite"
@@ -161,6 +162,9 @@ type MultiCampaignConfig struct {
 	// Runs is the number of boots.
 	Runs int
 	Seed uint64
+	// Workers bounds concurrent boots (0 = one per CPU, 1 = serial);
+	// results are bit-identical for any worker count.
+	Workers int
 }
 
 // MultiCampaignResult aggregates a multi-fault campaign: one row of the
@@ -261,8 +265,10 @@ func RunMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) MultiCampa
 	if result.Faults < 2 {
 		result.Faults = 2
 	}
-	for i, plan := range plans {
-		rr := RunMulti(cfg.Policy, cfg.Seed+uint64(i)*104729, plan)
+	results := parallel.Map(cfg.Workers, len(plans), func(i int) MultiRunResult {
+		return RunMulti(cfg.Policy, cfg.Seed+uint64(i)*104729, plans[i])
+	})
+	for _, rr := range results {
 		if rr.Triggered == 0 {
 			result.Untriggered++
 			continue

@@ -81,6 +81,6 @@ func (k *Kernel) deliverAlarm(a alarm) {
 	if p == nil || !p.Alive() {
 		return
 	}
-	p.inbox = append(p.inbox, Message{Type: MsgAlarm, From: EpKernel, To: a.ep})
+	p.pushMsg(Message{Type: MsgAlarm, From: EpKernel, To: a.ep})
 	k.counters.Add("kernel.alarms_fired", 1)
 }

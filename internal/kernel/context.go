@@ -88,12 +88,11 @@ func (c *Context) Point(site string) {
 // Receive blocks until a message is available and returns it. For
 // servers, it also records the in-flight request for reconciliation.
 func (c *Context) Receive() Message {
-	for len(c.p.inbox) == 0 {
+	for c.p.queueLen() == 0 {
 		c.p.state = stateReceiving
 		c.p.yieldToKernel()
 	}
-	m := c.p.inbox[0]
-	c.p.inbox = c.p.inbox[1:]
+	m := c.p.popMsg()
 	c.p.state = stateRunnable
 	c.k.chargeIPC()
 	if c.p.isServer {
@@ -106,11 +105,10 @@ func (c *Context) Receive() Message {
 
 // TryReceive returns a queued message without blocking, if any.
 func (c *Context) TryReceive() (Message, bool) {
-	if len(c.p.inbox) == 0 {
+	if c.p.queueLen() == 0 {
 		return Message{}, false
 	}
-	m := c.p.inbox[0]
-	c.p.inbox = c.p.inbox[1:]
+	m := c.p.popMsg()
 	c.k.chargeIPC()
 	if c.p.isServer {
 		c.p.curSender = m.From
@@ -144,7 +142,7 @@ func (c *Context) SendRec(dst Endpoint, m Message) Message {
 	m.From = c.p.ep
 	m.To = dst
 	m.NeedsReply = true
-	target.inbox = append(target.inbox, m)
+	target.pushMsg(m)
 
 	c.p.state = stateSendRec
 	c.p.waitFrom = dst
@@ -187,7 +185,7 @@ func (c *Context) Send(dst Endpoint, m Message) Errno {
 	m.From = c.p.ep
 	m.To = dst
 	m.NeedsReply = false
-	target.inbox = append(target.inbox, m)
+	target.pushMsg(m)
 	return OK
 }
 

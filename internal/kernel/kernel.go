@@ -606,7 +606,7 @@ func (k *Kernel) QuarantineProcess(ep Endpoint, reason string) error {
 		p.onKill()
 		p.onKill = nil
 	}
-	p.inbox = nil
+	p.releaseInbox()
 	k.quarantined[ep] = reason
 	k.dropQueuedCrashes(ep)
 	k.FailPendingCallers(ep, ECRASH)

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/memlog"
 	"repro/internal/seep"
@@ -50,7 +51,12 @@ type Process struct {
 	baton chan token
 	gone  chan struct{}
 
-	inbox    []Message
+	// inbox is a head-indexed FIFO over a pooled backing array:
+	// inbox[inboxHead:] are the queued messages. Access goes through
+	// pushMsg/popMsg/queueLen so the slab can be recycled across boots.
+	inbox     []Message
+	inboxHead int
+
 	waitFrom Endpoint
 	reply    *Message
 
@@ -70,6 +76,61 @@ type Process struct {
 	onKill func()
 
 	ctx *Context
+}
+
+// inboxSlabCap is the capacity of pooled inbox backing arrays. Queues
+// are short (a few outstanding requests per server); deeper queues grow
+// past the slab and are simply not pooled.
+const inboxSlabCap = 16
+
+// inboxPool recycles inbox backing arrays across processes and
+// simulated boots (campaigns create thousands of short-lived
+// processes). Entries are slice pointers so Put/Get stay
+// allocation-free.
+var inboxPool = sync.Pool{New: func() any {
+	s := make([]Message, 0, inboxSlabCap)
+	return &s
+}}
+
+// pushMsg enqueues m, lazily attaching a pooled backing array and
+// rewinding consumed headroom once the queue drains.
+func (p *Process) pushMsg(m Message) {
+	if p.inbox == nil {
+		p.inbox = *inboxPool.Get().(*[]Message)
+	} else if p.inboxHead == len(p.inbox) {
+		// Fully drained: reset in place so the array is reused instead
+		// of growing rightwards forever.
+		p.inbox = p.inbox[:0]
+		p.inboxHead = 0
+	}
+	p.inbox = append(p.inbox, m)
+}
+
+// popMsg dequeues the oldest message; callers must check queueLen.
+func (p *Process) popMsg() Message {
+	m := p.inbox[p.inboxHead]
+	p.inbox[p.inboxHead] = Message{} // drop payload references
+	p.inboxHead++
+	return m
+}
+
+// queueLen reports the number of queued messages.
+func (p *Process) queueLen() int { return len(p.inbox) - p.inboxHead }
+
+// releaseInbox detaches the backing array, returning pooled slabs for
+// reuse. Any queued messages are dropped; contents are zeroed so the
+// pool retains no references.
+func (p *Process) releaseInbox() {
+	if cap(p.inbox) == inboxSlabCap {
+		slab := p.inbox[:cap(p.inbox)]
+		for i := range slab {
+			slab[i] = Message{}
+		}
+		slab = slab[:0]
+		inboxPool.Put(&slab)
+	}
+	p.inbox = nil
+	p.inboxHead = 0
 }
 
 // Endpoint returns the process endpoint.
@@ -205,7 +266,7 @@ func (p *Process) schedulable() bool {
 	case stateRunnable:
 		return true
 	case stateReceiving:
-		return len(p.inbox) > 0
+		return p.queueLen() > 0
 	case stateSendRec:
 		return p.reply != nil
 	default:
@@ -291,6 +352,7 @@ func (k *Kernel) killProcess(p *Process) {
 		p.onKill()
 		p.onKill = nil
 	}
+	p.releaseInbox()
 }
 
 // killAll tears down every process at the end of Run. As in
@@ -317,6 +379,7 @@ func (k *Kernel) killAll() {
 			p.onKill()
 			p.onKill = nil
 		}
+		p.releaseInbox()
 	}
 }
 
@@ -342,7 +405,11 @@ func (k *Kernel) replaceProcess(ep Endpoint, name string, body Body, cfg ServerC
 	if k.IsQuarantined(ep) {
 		return nil, fmt.Errorf("kernel: endpoint %d is quarantined", ep)
 	}
-	savedInbox := old.inbox
+	// Detach the queued messages before any teardown path can release
+	// the backing array back to the pool: they survive into the
+	// replacement process.
+	savedInbox, savedHead := old.inbox, old.inboxHead
+	old.inbox, old.inboxHead = nil, 0
 	if old.state == stateCrashed {
 		// The crashed goroutine has already unwound; wait for it, then
 		// reap any worker threads it left parked.
@@ -365,10 +432,10 @@ func (k *Kernel) replaceProcess(ep Endpoint, name string, body Body, cfg ServerC
 		state:    stateRunnable,
 		baton:    make(chan token),
 		gone:     make(chan struct{}),
-		inbox:    savedInbox,
 		window:   cfg.Window,
 		store:    cfg.Store,
 	}
+	p.inbox, p.inboxHead = savedInbox, savedHead
 	p.ctx = &Context{k: k, p: p}
 	k.procs[ep] = p
 	// Endpoint already present in k.order: keep position.
@@ -452,7 +519,7 @@ func (k *Kernel) DeliverReply(from, to Endpoint, m Message) error {
 	}
 	// Not blocked on us: deliver asynchronously.
 	k.trace("reply-async: %d -> %s(%d) errno=%v state=%d", from, p.name, to, m.Errno, p.state)
-	p.inbox = append(p.inbox, m)
+	p.pushMsg(m)
 	return nil
 }
 
@@ -467,7 +534,7 @@ func (k *Kernel) PostMessage(from, to Endpoint, m Message) error {
 	m.From = from
 	m.To = to
 	m.NeedsReply = false
-	p.inbox = append(p.inbox, m)
+	p.pushMsg(m)
 	return nil
 }
 
@@ -481,7 +548,7 @@ func (k *Kernel) ProcessAlive(ep Endpoint) bool {
 // diagnostics).
 func (k *Kernel) InboxLen(ep Endpoint) int {
 	if p := k.procs[ep]; p != nil {
-		return len(p.inbox)
+		return p.queueLen()
 	}
 	return 0
 }

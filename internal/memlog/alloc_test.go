@@ -1,0 +1,172 @@
+package memlog
+
+import "testing"
+
+// The logging fast path must be allocation-free when the store is not
+// logging: no undoRec is built, so neither old values nor keys are
+// boxed into interfaces. This is the hot path of every instrumented
+// store in Baseline mode and in Optimized mode outside a recovery
+// window.
+func TestNotLoggingStoresDoNotAllocate(t *testing.T) {
+	for _, mode := range []Instrumentation{Baseline, Optimized, FullCopy} {
+		s := NewStore("alloc", mode) // logging stays closed
+		cell := NewCell(s, "cell", "initial-value")
+		m := NewMap[int, string](s, "map")
+		m.Set(1, "seed")
+		sl := NewSlice[string](s, "slice")
+		sl.Append("seed")
+
+		allocs := testing.AllocsPerRun(200, func() {
+			cell.Set("overwritten-value")
+			m.Set(1, "overwritten-value")
+			sl.Set(0, "overwritten-value")
+		})
+		if allocs != 0 {
+			t.Errorf("mode %d: unlogged stores allocated %.1f times per run, want 0", mode, allocs)
+		}
+	}
+}
+
+// ReleaseLog recycles the slab but leaves the store fully usable: the
+// next logged store acquires a fresh backing array.
+func TestReleaseLogStoreRemainsUsable(t *testing.T) {
+	s := NewStore("pool", Unoptimized)
+	c := NewCell(s, "c", 0)
+	s.Checkpoint()
+	c.Set(1)
+	c.Set(2)
+	if s.LogLen() != 2 {
+		t.Fatalf("LogLen = %d, want 2", s.LogLen())
+	}
+	s.ReleaseLog()
+	if s.LogLen() != 0 || s.LogBytes() != 0 {
+		t.Fatalf("after release: LogLen=%d LogBytes=%d", s.LogLen(), s.LogBytes())
+	}
+	s.Checkpoint()
+	c.Set(3)
+	if s.LogLen() != 1 {
+		t.Fatalf("LogLen after re-grab = %d, want 1", s.LogLen())
+	}
+	s.Rollback()
+	if c.Get() != 2 {
+		t.Fatalf("rollback restored %d, want 2", c.Get())
+	}
+}
+
+// A store whose log once outgrew the pooled slab preallocates its next
+// log to the demonstrated high-water mark instead of growing through
+// repeated reallocation.
+func TestLogPreallocatesToHighWater(t *testing.T) {
+	s := NewStore("hw", Unoptimized)
+	c := NewCell(s, "c", 0)
+	n := slabRecords * 2
+	for i := 0; i < n; i++ {
+		c.Set(i)
+	}
+	s.DiscardLog()
+	s.ReleaseLog()
+	c.Set(1)
+	if got := cap(s.log); got < n {
+		t.Fatalf("log capacity after high-water re-grab = %d, want >= %d", got, n)
+	}
+	// The high-water hint survives cloning (restarted components keep
+	// their demonstrated log size).
+	clone := s.Clone()
+	if clone.maxLogLen != s.maxLogLen {
+		t.Fatalf("clone maxLogLen = %d, want %d", clone.maxLogLen, s.maxLogLen)
+	}
+}
+
+// TransferLog hands the backing array to the destination store rather
+// than copying it; both stores stay independently usable afterwards.
+func TestTransferLogHandsOverBackingArray(t *testing.T) {
+	src := NewStore("src", Unoptimized)
+	c := NewCell(src, "c", 0)
+	c.Set(1)
+	c.Set(2)
+	dst := src.Clone()
+	src.TransferLog(dst)
+	if src.LogLen() != 0 {
+		t.Fatalf("source LogLen = %d after transfer", src.LogLen())
+	}
+	if dst.LogLen() != 2 {
+		t.Fatalf("dest LogLen = %d, want 2", dst.LogLen())
+	}
+	dst.Rollback()
+	dc := NewCell(dst, "c", -1) // returns the cloned cell
+	if dc.Get() != 0 {
+		t.Fatalf("rollback on transferred log restored %d, want 0", dc.Get())
+	}
+	c.Set(5)
+	if src.LogLen() != 1 {
+		t.Fatalf("source unusable after transfer: LogLen = %d", src.LogLen())
+	}
+}
+
+// Benchmarks below quantify the boxing work the branch-before-record
+// restructure removed. String payloads are used deliberately: boxing a
+// string into an interface allocates, so the logged path reports
+// allocs/op while the unlogged paths must report zero.
+
+func benchCell(b *testing.B, mode Instrumentation, logging bool) {
+	s := NewStore("bench", mode)
+	s.SetLogging(logging)
+	c := NewCell(s, "cell", "initial")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			// Top-of-loop checkpoint: the freelist reset that bounds
+			// log growth in real request loops.
+			s.Checkpoint()
+		}
+		c.Set("stored-value")
+	}
+}
+
+func BenchmarkCellSetBaseline(b *testing.B)        { benchCell(b, Baseline, false) }
+func BenchmarkCellSetOptimizedClosed(b *testing.B) { benchCell(b, Optimized, false) }
+func BenchmarkCellSetOptimizedLogged(b *testing.B) { benchCell(b, Optimized, true) }
+func BenchmarkCellSetUnoptimized(b *testing.B)     { benchCell(b, Unoptimized, false) }
+
+func benchMap(b *testing.B, mode Instrumentation, logging bool) {
+	s := NewStore("bench", mode)
+	s.SetLogging(logging)
+	m := NewMap[int, string](s, "map")
+	for k := 0; k < 16; k++ {
+		m.Set(k, "seed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			s.Checkpoint()
+		}
+		m.Set(i%16, "stored-value")
+	}
+}
+
+func BenchmarkMapSetBaseline(b *testing.B)        { benchMap(b, Baseline, false) }
+func BenchmarkMapSetOptimizedClosed(b *testing.B) { benchMap(b, Optimized, false) }
+func BenchmarkMapSetOptimizedLogged(b *testing.B) { benchMap(b, Optimized, true) }
+
+func benchSlice(b *testing.B, mode Instrumentation, logging bool) {
+	s := NewStore("bench", mode)
+	s.SetLogging(logging)
+	sl := NewSlice[string](s, "slice")
+	for k := 0; k < 16; k++ {
+		sl.Append("seed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			s.Checkpoint()
+		}
+		sl.Set(i%16, "stored-value")
+	}
+}
+
+func BenchmarkSliceSetBaseline(b *testing.B)        { benchSlice(b, Baseline, false) }
+func BenchmarkSliceSetOptimizedClosed(b *testing.B) { benchSlice(b, Optimized, false) }
+func BenchmarkSliceSetOptimizedLogged(b *testing.B) { benchSlice(b, Optimized, true) }

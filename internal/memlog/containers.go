@@ -35,14 +35,20 @@ func NewCell[T any](s *Store, id string, init T) *Cell[T] {
 // original pass instruments store instructions only).
 func (c *Cell[T]) Get() T { return c.v }
 
-// Set overwrites the value, logging the old value for rollback.
+// Set overwrites the value, logging the old value for rollback. When
+// the store is not logging, the old value is never boxed: the fast
+// path is a branch plus the mode's check cost.
 func (c *Cell[T]) Set(v T) {
-	c.store.recordStore(undoRec{
-		entry: c.id,
-		kind:  recCellSet,
-		old:   c.v,
-		bytes: approxSize(c.v),
-	})
+	if c.store.shouldLog() {
+		c.store.appendLogged(undoRec{
+			entry: c.id,
+			kind:  recCellSet,
+			old:   c.v,
+			bytes: approxSize(c.v),
+		})
+	} else {
+		c.store.noteUnloggedStore()
+	}
 	c.v = v
 }
 
@@ -114,24 +120,32 @@ func (m *Map[K, V]) Get(key K) (V, bool) {
 // Len reports the number of keys present.
 func (m *Map[K, V]) Len() int { return len(m.m) }
 
-// Set inserts or overwrites key, logging the previous state.
+// Set inserts or overwrites key, logging the previous state. The
+// not-logging fast path boxes neither the key nor the old value.
 func (m *Map[K, V]) Set(key K, v V) {
-	if old, ok := m.m[key]; ok {
-		m.store.recordStore(undoRec{
-			entry: m.id,
-			kind:  recMapSet,
-			key:   key,
-			old:   old,
-			bytes: approxSize(old),
-		})
+	old, present := m.m[key]
+	if m.store.shouldLog() {
+		if present {
+			m.store.appendLogged(undoRec{
+				entry: m.id,
+				kind:  recMapSet,
+				key:   key,
+				old:   old,
+				bytes: approxSize(old),
+			})
+		} else {
+			m.store.appendLogged(undoRec{
+				entry: m.id,
+				kind:  recMapSet,
+				key:   key,
+				old:   oldAbsent{},
+				bytes: approxSize(key),
+			})
+		}
 	} else {
-		m.store.recordStore(undoRec{
-			entry: m.id,
-			kind:  recMapSet,
-			key:   key,
-			old:   oldAbsent{},
-			bytes: approxSize(key),
-		})
+		m.store.noteUnloggedStore()
+	}
+	if !present {
 		m.order = append(m.order, key)
 	}
 	m.m[key] = v
@@ -143,13 +157,17 @@ func (m *Map[K, V]) Delete(key K) {
 	if !ok {
 		return
 	}
-	m.store.recordStore(undoRec{
-		entry: m.id,
-		kind:  recMapDelete,
-		key:   key,
-		old:   old,
-		bytes: approxSize(old),
-	})
+	if m.store.shouldLog() {
+		m.store.appendLogged(undoRec{
+			entry: m.id,
+			kind:  recMapDelete,
+			key:   key,
+			old:   old,
+			bytes: approxSize(old),
+		})
+	} else {
+		m.store.noteUnloggedStore()
+	}
 	delete(m.m, key)
 	m.removeFromOrder(key)
 }
@@ -299,23 +317,31 @@ func (s *Slice[T]) Get(i int) T { return s.v[i] }
 
 // Set overwrites element i, logging the old value.
 func (s *Slice[T]) Set(i int, v T) {
-	s.store.recordStore(undoRec{
-		entry: s.id,
-		kind:  recSliceSet,
-		key:   i,
-		old:   s.v[i],
-		bytes: approxSize(s.v[i]),
-	})
+	if s.store.shouldLog() {
+		s.store.appendLogged(undoRec{
+			entry: s.id,
+			kind:  recSliceSet,
+			key:   i,
+			old:   s.v[i],
+			bytes: approxSize(s.v[i]),
+		})
+	} else {
+		s.store.noteUnloggedStore()
+	}
 	s.v[i] = v
 }
 
 // Append adds v at the end.
 func (s *Slice[T]) Append(v T) {
-	s.store.recordStore(undoRec{
-		entry: s.id,
-		kind:  recSliceAppend,
-		bytes: 8,
-	})
+	if s.store.shouldLog() {
+		s.store.appendLogged(undoRec{
+			entry: s.id,
+			kind:  recSliceAppend,
+			bytes: 8,
+		})
+	} else {
+		s.store.noteUnloggedStore()
+	}
 	s.v = append(s.v, v)
 }
 
@@ -328,18 +354,22 @@ func (s *Slice[T]) Truncate(n int) {
 	if n == len(s.v) {
 		return
 	}
-	tail := make([]T, len(s.v)-n)
-	copy(tail, s.v[n:])
-	bytes := 0
-	for i := range tail {
-		bytes += approxSize(tail[i])
+	if s.store.shouldLog() {
+		tail := make([]T, len(s.v)-n)
+		copy(tail, s.v[n:])
+		bytes := 0
+		for i := range tail {
+			bytes += approxSize(tail[i])
+		}
+		s.store.appendLogged(undoRec{
+			entry: s.id,
+			kind:  recSliceTruncate,
+			old:   tail,
+			bytes: bytes,
+		})
+	} else {
+		s.store.noteUnloggedStore()
 	}
-	s.store.recordStore(undoRec{
-		entry: s.id,
-		kind:  recSliceTruncate,
-		old:   tail,
-		bytes: bytes,
-	})
 	s.v = s.v[:n]
 }
 

@@ -20,6 +20,7 @@ package memlog
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -107,6 +108,9 @@ type Store struct {
 	log         []undoRec
 	logBytes    int
 	maxLogBytes int
+	// maxLogLen is the high-water record count; a store that outgrows
+	// the pooled slab preallocates its next log to this mark.
+	maxLogLen int
 
 	charge   func(sim.Cycles)
 	counters *sim.Counters
@@ -253,12 +257,18 @@ func (s *Store) Rollback() {
 // log empty. It is used by the Recovery Server: the clone receives the
 // crashed component's log and rolls it back on its own copy of the data.
 func (s *Store) TransferLog(dst *Store) {
-	dst.log = append(dst.log[:0], s.log...)
+	// Hand over the backing array instead of copying: the source store
+	// is the crashed component's and is about to be discarded.
+	dst.ReleaseLog()
+	dst.log = s.log
 	dst.logBytes = s.logBytes
 	if dst.logBytes > dst.maxLogBytes {
 		dst.maxLogBytes = dst.logBytes
 	}
-	s.log = s.log[:0]
+	if len(dst.log) > dst.maxLogLen {
+		dst.maxLogLen = len(dst.log)
+	}
+	s.log = nil
 	s.logBytes = 0
 }
 
@@ -271,6 +281,9 @@ func (s *Store) Clone() *Store {
 	dst.charge = s.charge
 	dst.counters = s.counters
 	dst.generation = s.generation
+	// Carry the undo-log high-water mark so the clone preallocates its
+	// log to the size the component has already demonstrated it needs.
+	dst.maxLogLen = s.maxLogLen
 	for _, name := range s.order {
 		s.containers[name].cloneInto(dst)
 	}
@@ -321,27 +334,45 @@ func (s *Store) lookup(name string) container {
 	return s.containers[name]
 }
 
-// recordStore is the instrumented-store hook: it charges the cycle cost
-// of the active instrumentation mode and, when logging, appends rec.
-func (s *Store) recordStore(rec undoRec) {
+// shouldLog reports whether an instrumented store must append an undo
+// record right now. Containers check it before building the record, so
+// the not-logging fast paths never box old values into interfaces.
+func (s *Store) shouldLog() bool {
 	switch s.mode {
-	case Baseline:
-		return
 	case Unoptimized:
-		s.append(rec)
-		s.chargeCycles(CostLoggedStore)
+		return true
 	case Optimized:
-		if s.logging {
-			s.append(rec)
-			s.chargeCycles(CostLoggedStore)
-		} else {
-			s.chargeCycles(CostCheckStore)
-		}
+		return s.logging
+	default: // Baseline, FullCopy
+		return false
+	}
+}
+
+// appendLogged appends rec and charges the logged-store cost. Callers
+// must have checked shouldLog.
+func (s *Store) appendLogged(rec undoRec) {
+	s.append(rec)
+	s.chargeCycles(CostLoggedStore)
+}
+
+// noteUnloggedStore charges the cost of an instrumented store that did
+// not log: nothing in Baseline/FullCopy, the cloned fast path's window
+// check in Optimized mode. (Unoptimized always logs and never gets
+// here.)
+func (s *Store) noteUnloggedStore() {
+	if s.mode == Optimized {
+		s.chargeCycles(CostCheckStore)
 	}
 }
 
 func (s *Store) append(rec undoRec) {
+	if s.log == nil {
+		s.grabSlab(1)
+	}
 	s.log = append(s.log, rec)
+	if len(s.log) > s.maxLogLen {
+		s.maxLogLen = len(s.log)
+	}
 	s.logBytes += rec.bytes + recOverheadBytes
 	if s.logBytes > s.maxLogBytes {
 		s.maxLogBytes = s.logBytes
@@ -349,6 +380,53 @@ func (s *Store) append(rec undoRec) {
 	if s.counters != nil {
 		s.counters.Add("memlog.stores_logged", 1)
 	}
+}
+
+// slabRecords is the capacity of pooled undo-log slabs. Component logs
+// are short in the common case (one request's worth of stores); larger
+// logs fall back to a dedicated allocation sized to the store's
+// high-water mark.
+const slabRecords = 512
+
+// slabPool recycles undo-log backing arrays across component restarts
+// and simulated boots. Entries are slice pointers so Put/Get stay
+// allocation-free.
+var slabPool = sync.Pool{New: func() any {
+	s := make([]undoRec, 0, slabRecords)
+	return &s
+}}
+
+// grabSlab attaches a backing array able to hold at least n records:
+// the pooled slab when the store's high-water mark fits in one,
+// otherwise a fresh array preallocated to that mark.
+func (s *Store) grabSlab(n int) {
+	want := s.maxLogLen
+	if want < n {
+		want = n
+	}
+	if want <= slabRecords {
+		s.log = *slabPool.Get().(*[]undoRec)
+		return
+	}
+	s.log = make([]undoRec, 0, want)
+}
+
+// ReleaseLog detaches the store's undo-log backing array, returning
+// pooled slabs for reuse by later boots. Record contents are zeroed so
+// the pool retains no references to logged values. The store remains
+// usable afterwards: the next logged store acquires a fresh backing
+// array.
+func (s *Store) ReleaseLog() {
+	if cap(s.log) == slabRecords {
+		slab := s.log[:cap(s.log)]
+		for i := range slab {
+			slab[i] = undoRec{}
+		}
+		slab = slab[:0]
+		slabPool.Put(&slab)
+	}
+	s.log = nil
+	s.logBytes = 0
 }
 
 func (s *Store) chargeCycles(n sim.Cycles) {

@@ -1,0 +1,115 @@
+// Package parallel is the deterministic experiment engine: a bounded
+// worker pool that fans independent simulation runs out across OS
+// threads while guaranteeing bit-identical aggregate results regardless
+// of worker count.
+//
+// The contract mirrors how the evaluation harness is built: every run
+// (one simulated boot) is a pure function of its run index — it owns
+// its seeded PRNG and virtual clock, and shares no mutable state with
+// other runs. Map therefore executes fn(i) for every index on up to
+// `workers` goroutines, collects results by index, and leaves all
+// reduction to the caller, who folds the indexed results in plain
+// deterministic order. With workers <= 1 (or a single item) Map runs
+// inline on the calling goroutine in index order, reproducing the
+// historical serial path exactly — including panic propagation.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes 0 or a
+// negative count: one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Resolve normalizes a configured worker count: values <= 0 select
+// DefaultWorkers.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// indexedPanic carries a worker panic back to the Map caller so the
+// parallel path fails identically to the serial one.
+type indexedPanic struct {
+	index int
+	value any
+}
+
+// Map runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// and returns the results indexed by i. The result slice is identical
+// for every worker count as long as fn is a pure function of its index.
+// Workers pull indices from a shared counter, so uneven run times load-
+// balance automatically. If any fn panics, Map re-panics with the
+// lowest-index panic value — the same one the serial path would have
+// surfaced first.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panics  []indexedPanic
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							panics = append(panics, indexedPanic{index: i, value: r})
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(panics) > 0 {
+		first := panics[0]
+		for _, p := range panics[1:] {
+			if p.index < first.index {
+				first = p
+			}
+		}
+		panic(first.value)
+	}
+	return out
+}
+
+// Do runs every task on at most `workers` goroutines and waits for all
+// of them. It is Map for heterogeneous task lists that write their
+// results through closures.
+func Do(workers int, tasks ...func()) {
+	Map(workers, len(tasks), func(i int) struct{} {
+		tasks[i]()
+		return struct{}{}
+	})
+}

@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapIdenticalAcrossWorkerCounts is the engine's core guarantee:
+// the result slice is bit-identical regardless of worker count.
+func TestMapIdenticalAcrossWorkerCounts(t *testing.T) {
+	fn := func(i int) uint64 {
+		// A run-index-seeded xorshift step stands in for one boot.
+		x := uint64(i)*0x9E3779B97F4A7C15 + 1
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		return x * 0x2545F4914F6CDD1D
+	}
+	want := Map(1, 1000, fn)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := Map(workers, 1000, fn)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Map with %d workers diverged from serial result", workers)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out := Map(4, 0, func(i int) int { return i })
+	if len(out) != 0 {
+		t.Fatalf("Map over zero items returned %d results", len(out))
+	}
+}
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	Map(8, n, func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, c)
+		}
+	}
+}
+
+// TestMapBoundsConcurrency checks the pool never runs more than
+// `workers` fns at once.
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	Map(workers, 100, func(i int) struct{} {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent fns, want <= %d", p, workers)
+	}
+}
+
+// TestMapPanicPropagatesLowestIndex: the parallel path must fail with
+// the same panic the serial path would surface first.
+func TestMapPanicPropagatesLowestIndex(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "boom-3" {
+			t.Fatalf("recovered %v, want boom-3", r)
+		}
+	}()
+	Map(8, 100, func(i int) int {
+		if i == 3 || i == 77 {
+			panic("boom-" + string(rune('0'+i%10)))
+		}
+		return i
+	})
+	t.Fatal("Map did not panic")
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve(0) != DefaultWorkers() || Resolve(-5) != DefaultWorkers() {
+		t.Fatal("Resolve of non-positive counts must select DefaultWorkers")
+	}
+	if Resolve(7) != 7 {
+		t.Fatal("Resolve must pass positive counts through")
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Int32
+	Do(2, func() { a.Store(1) }, func() { b.Store(2) })
+	if a.Load() != 1 || b.Load() != 2 {
+		t.Fatal("Do did not run every task")
+	}
+}

@@ -124,6 +124,9 @@ func (p Policy) String() string {
 	}
 }
 
+// MarshalText renders the policy by name in JSON reports.
+func (p Policy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
 // Checkpointing reports whether the policy maintains checkpoints and
 // recovery windows at all.
 func (p Policy) Checkpointing() bool {

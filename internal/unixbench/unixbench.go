@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/memlog"
+	"repro/internal/parallel"
 	"repro/internal/seep"
 	"repro/internal/sim"
 	"repro/internal/usr"
@@ -55,6 +56,14 @@ func ByName(name string) (Benchmark, bool) {
 		}
 	}
 	return Benchmark{}, false
+}
+
+// All returns the benchmarks in table order (a copy; callers may not
+// mutate the canonical set).
+func All() []Benchmark {
+	out := make([]Benchmark, len(all))
+	copy(out, all)
+	return out
 }
 
 // all lists the twelve workloads in the paper's table order.
@@ -105,6 +114,11 @@ type Config struct {
 	// service-disruption experiment injects faults through it). It
 	// receives the booted system before the run starts.
 	Hook func(sys *boot.System)
+	// Workers bounds how many benchmarks RunAll executes concurrently
+	// (each on its own simulated machine). Zero selects one worker per
+	// CPU; 1 reproduces the serial path. Scores are bit-identical for
+	// any worker count.
+	Workers int
 }
 
 func (c Config) iters(b Benchmark) int {
@@ -171,13 +185,12 @@ func RunOne(b Benchmark, cfg Config) Result {
 	return out
 }
 
-// RunAll executes every benchmark under cfg.
+// RunAll executes every benchmark under cfg, fanning the independent
+// machines out across cfg.Workers goroutines.
 func RunAll(cfg Config) []Result {
-	results := make([]Result, 0, len(all))
-	for _, b := range all {
-		results = append(results, RunOne(b, cfg))
-	}
-	return results
+	return parallel.Map(cfg.Workers, len(all), func(i int) Result {
+		return RunOne(all[i], cfg)
+	})
 }
 
 // Geomean returns the geometric mean of the positive scores.
