@@ -1,0 +1,93 @@
+// Micro-benchmarks of the simulation hot loop: scheduler dispatch,
+// synchronous IPC round trips, and end-to-end fault-campaign
+// throughput. These are the numbers the hot-loop overhaul (ready
+// queue, slot-indexed counters, fused dispatch) is measured against:
+//
+//	go test -bench 'Dispatch|IPCRoundTrip|CampaignThroughput' -benchmem
+package osiris
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+)
+
+// BenchmarkDispatch measures one scheduler dispatch: a lone process
+// that yields in a loop, so every iteration is exactly one pick plus
+// one context switch with no IPC and no clock advance.
+func BenchmarkDispatch(b *testing.B) {
+	const batch = 10000
+	boots := b.N/batch + 1
+	b.ResetTimer()
+	for i := 0; i < boots; i++ {
+		k := kernel.New(kernel.DefaultCostModel(), uint64(i+1))
+		p := k.SpawnUser("yielder", func(ctx *kernel.Context) {
+			for j := 0; j < batch; j++ {
+				ctx.Yield()
+			}
+		})
+		k.SetRootProcess(p.Endpoint())
+		if res := k.Run(1 << 62); res.Outcome != kernel.OutcomeCompleted {
+			b.Fatalf("outcome %v (%s)", res.Outcome, res.Reason)
+		}
+	}
+}
+
+// BenchmarkIPCRoundTrip measures one synchronous request/reply cycle
+// between a user process and a single server — the sendrec ping-pong
+// that dominates every simulated workload. Each iteration is two
+// dispatches, one SendRec, one Receive and one Reply.
+func BenchmarkIPCRoundTrip(b *testing.B) {
+	const batch = 10000
+	boots := b.N/batch + 1
+	b.ResetTimer()
+	for i := 0; i < boots; i++ {
+		k := kernel.New(kernel.DefaultCostModel(), uint64(i+1))
+		const epEcho = kernel.Endpoint(10)
+		k.AddServer(epEcho, "echo", func(ctx *kernel.Context) {
+			for {
+				m := ctx.Receive()
+				ctx.Reply(m.From, kernel.Message{A: m.A})
+			}
+		}, kernel.ServerConfig{})
+		p := k.SpawnUser("client", func(ctx *kernel.Context) {
+			for j := 0; j < batch; j++ {
+				ctx.SendRec(epEcho, kernel.Message{A: int64(j)})
+			}
+		})
+		k.SetRootProcess(p.Endpoint())
+		if res := k.Run(1 << 62); res.Outcome != kernel.OutcomeCompleted {
+			b.Fatalf("outcome %v (%s)", res.Outcome, res.Reason)
+		}
+	}
+}
+
+// BenchmarkCampaignThroughput measures end-to-end fault-injection
+// campaign throughput in boots per second on the serial path
+// (workers=1), the unit of work behind Tables II/III.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	profile, err := faultinject.Profile(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := faultinject.RunCampaign(faultinject.CampaignConfig{
+			Policy:         seep.PolicyEnhanced,
+			Model:          faultinject.FailStop,
+			Seed:           42,
+			SamplesPerSite: 1,
+			MaxRuns:        24,
+			Workers:        1,
+		}, profile)
+		runs = res.Runs + res.Untriggered
+	}
+	b.StopTimer()
+	if runs == 0 {
+		b.Fatal("campaign executed no runs")
+	}
+	b.ReportMetric(float64(runs)*float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}

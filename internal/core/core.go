@@ -18,6 +18,16 @@ import (
 	"repro/internal/sim"
 )
 
+// Fixed counter slots for recovery-engine statistics.
+var (
+	ctrRestartsDeferred      = sim.RegisterCounter("core.restarts_deferred")
+	ctrCoreQuarantines       = sim.RegisterCounter("core.quarantines")
+	ctrReconcileReplyDropped = sim.RegisterCounter("core.reconcile_reply_dropped")
+	ctrRequestersKilled      = sim.RegisterCounter("core.requesters_killed")
+	ctrRecoveries            = sim.RegisterCounter("core.recoveries")
+	ctrUserCrashes           = sim.RegisterCounter("core.user_crashes")
+)
+
 // Component is one recoverable OS server. It must additionally
 // implement either Handler (generic event loop, paper Fig. 1) or
 // Looper (custom loop, e.g. the multithreaded VFS).
@@ -441,7 +451,7 @@ func (o *OS) handleCrash(info kernel.CrashInfo) error {
 			// Repeat offender: cool down before restarting. The crash
 			// re-arrives with Deferred set; meanwhile the component stays
 			// detached and IPC to it queues in its surviving inbox.
-			o.k.Counters().Add("core.restarts_deferred", 1)
+			o.k.Counters().AddID(ctrRestartsDeferred, 1)
 			o.k.DeferCrash(info, delay)
 			return nil
 		}
@@ -551,7 +561,7 @@ func (o *OS) quarantine(s *slot, reason string) error {
 		return fmt.Errorf("quarantine %s: %w", s.name, err)
 	}
 	o.Quarantines++
-	o.k.Counters().Add("core.quarantines", 1)
+	o.k.Counters().AddID(ctrCoreQuarantines, 1)
 	if s.ep != kernel.EpRS {
 		// Tell RS so it accounts the degraded configuration (ignore if
 		// RS is down or itself quarantined).
@@ -714,7 +724,7 @@ func (o *OS) restart(s *slot, info kernel.CrashInfo, mode restartMode, reconcile
 	case reconcileVirtualize:
 		if info.CurNeedsReply && info.CurSender != kernel.EpNone {
 			if err := o.k.DeliverReply(s.ep, info.CurSender, kernel.Message{Errno: kernel.ECRASH}); err != nil {
-				o.k.Counters().Add("core.reconcile_reply_dropped", 1)
+				o.k.Counters().AddID(ctrReconcileReplyDropped, 1)
 			}
 		}
 	case reconcileKillRequester:
@@ -726,11 +736,11 @@ func (o *OS) restart(s *slot, info kernel.CrashInfo, mode restartMode, reconcile
 		// this even when PM itself was the victim).
 		_ = o.k.PostMessage(kernel.EpKernel, kernel.EpPM,
 			kernel.Message{Type: proto.PMUserCrashed, A: int64(info.CurSender)})
-		o.k.Counters().Add("core.requesters_killed", 1)
+		o.k.Counters().AddID(ctrRequestersKilled, 1)
 	}
 
 	o.Recoveries++
-	o.k.Counters().Add("core.recoveries", 1)
+	o.k.Counters().AddID(ctrRecoveries, 1)
 	if s.ep != kernel.EpRS {
 		// Tell RS so it accounts the event (ignore if RS is down).
 		_ = o.k.PostMessage(kernel.EpKernel, kernel.EpRS,
@@ -746,7 +756,7 @@ func (o *OS) handleUserCrash(info kernel.CrashInfo) error {
 	if info.Victim == o.initEP {
 		return fmt.Errorf("root workload process crashed: %v", info.PanicValue)
 	}
-	o.k.Counters().Add("core.user_crashes", 1)
+	o.k.Counters().AddID(ctrUserCrashes, 1)
 	// PM may itself be dead; that will surface elsewhere.
 	_ = o.k.PostMessage(kernel.EpKernel, kernel.EpPM,
 		kernel.Message{Type: proto.PMUserCrashed, A: int64(info.Victim)})

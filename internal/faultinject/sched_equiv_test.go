@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/testsuite"
+	"repro/internal/usr"
+)
+
+// The hot-loop overhaul (indexed ready queue + fused dispatch) must be
+// bit-identical to the legacy O(n) scheduler scan: same outcomes, same
+// cycle counts, same counter snapshots, for the whole seed corpus.
+// These tests run every workload twice — once per scheduler path — and
+// compare exhaustively. They are part of the -race CI run, so the
+// fused baton handoff is also exercised under the race detector.
+
+// withScheduler runs fn with the given scheduler path as the boot
+// default, restoring the previous default afterwards.
+func withScheduler(legacy bool, fn func()) {
+	prev := kernel.SetLegacySchedulerDefault(legacy)
+	defer kernel.SetLegacySchedulerDefault(prev)
+	fn()
+}
+
+// runSuiteBoot boots the full prototype test suite (the Table 1
+// workload) and returns the run result plus the complete counter
+// snapshot.
+func runSuiteBoot(policy seep.Policy, seed uint64) (kernel.Result, map[string]uint64, testsuite.Report) {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	var report testsuite.Report
+	sys := boot.Boot(boot.Options{
+		Config:     core.Config{Policy: policy, Seed: seed},
+		Registry:   reg,
+		Heartbeats: true,
+	}, testsuite.RunnerInit(&report))
+	res := sys.Run(RunLimit)
+	return res, sys.Kernel().Counters().Snapshot(), report
+}
+
+func TestSchedulerEquivalenceSuiteWorkload(t *testing.T) {
+	for _, policy := range []seep.Policy{seep.PolicyEnhanced, seep.PolicyPessimistic, seep.PolicyStateless} {
+		for _, seed := range []uint64{1, 7, 42} {
+			var oldRes, newRes kernel.Result
+			var oldCtr, newCtr map[string]uint64
+			var oldRep, newRep testsuite.Report
+			withScheduler(true, func() { oldRes, oldCtr, oldRep = runSuiteBoot(policy, seed) })
+			withScheduler(false, func() { newRes, newCtr, newRep = runSuiteBoot(policy, seed) })
+			if oldRes != newRes {
+				t.Errorf("%v seed %d: result diverged: legacy %+v, new %+v", policy, seed, oldRes, newRes)
+			}
+			if !reflect.DeepEqual(oldCtr, newCtr) {
+				t.Errorf("%v seed %d: counter snapshots diverged:\nlegacy: %v\nnew:    %v", policy, seed, oldCtr, newCtr)
+			}
+			if !reflect.DeepEqual(oldRep, newRep) {
+				t.Errorf("%v seed %d: suite report diverged: legacy %+v, new %+v", policy, seed, oldRep, newRep)
+			}
+		}
+	}
+}
+
+func TestSchedulerEquivalenceSingleFaultCampaign(t *testing.T) {
+	profile, err := Profile(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []Model{FailStop, FullEDFI} {
+		for _, workers := range []int{1, 2, 8} {
+			cfg := CampaignConfig{
+				Policy:         seep.PolicyEnhanced,
+				Model:          model,
+				Seed:           42,
+				SamplesPerSite: 1,
+				MaxRuns:        16,
+				Workers:        workers,
+			}
+			var oldRes, newRes CampaignResult
+			withScheduler(true, func() { oldRes = RunCampaign(cfg, profile) })
+			withScheduler(false, func() { newRes = RunCampaign(cfg, profile) })
+			if !reflect.DeepEqual(oldRes, newRes) {
+				t.Errorf("%v workers=%d: campaign diverged:\nlegacy: %+v\nnew:    %+v", model, workers, oldRes, newRes)
+			}
+		}
+	}
+}
+
+func TestSchedulerEquivalenceMultiFaultCampaign(t *testing.T) {
+	profile, err := Profile(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		cfg := MultiCampaignConfig{
+			Policy:  seep.PolicyEnhanced,
+			Model:   FullEDFI,
+			Faults:  3,
+			Runs:    12,
+			Seed:    42,
+			Workers: workers,
+		}
+		var oldRes, newRes MultiCampaignResult
+		withScheduler(true, func() { oldRes = RunMultiCampaign(cfg, profile) })
+		withScheduler(false, func() { newRes = RunMultiCampaign(cfg, profile) })
+		if !reflect.DeepEqual(oldRes, newRes) {
+			t.Errorf("workers=%d: multi-fault campaign diverged:\nlegacy: %+v\nnew:    %+v", workers, oldRes, newRes)
+		}
+	}
+}
+
+// Per-run equivalence at full detail: outcome classification, trigger
+// flag, failure counts and reason strings of individual injection runs
+// must match across scheduler paths.
+func TestSchedulerEquivalenceRunDetail(t *testing.T) {
+	profile, err := Profile(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanCampaign(CampaignConfig{
+		Policy: seep.PolicyEnhanced, Model: FullEDFI, Seed: 42,
+		SamplesPerSite: 1, MaxRuns: 8,
+	}, profile)
+	for i, inj := range plan {
+		var oldRR, newRR RunResult
+		withScheduler(true, func() { oldRR = RunOne(seep.PolicyEnhanced, 42+uint64(i)*7919, inj) })
+		withScheduler(false, func() { newRR = RunOne(seep.PolicyEnhanced, 42+uint64(i)*7919, inj) })
+		if oldRR != newRR {
+			t.Errorf("run %d (%+v): diverged:\nlegacy: %+v\nnew:    %+v", i, inj, oldRR, newRR)
+		}
+	}
+}

@@ -82,5 +82,5 @@ func (k *Kernel) deliverAlarm(a alarm) {
 		return
 	}
 	p.pushMsg(Message{Type: MsgAlarm, From: EpKernel, To: a.ep})
-	k.counters.Add("kernel.alarms_fired", 1)
+	k.counters.AddID(ctrAlarmsFired, 1)
 }

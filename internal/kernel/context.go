@@ -75,6 +75,7 @@ func (c *Context) Tick(n sim.Cycles) {
 // Yield hands the CPU to the scheduler, staying runnable.
 func (c *Context) Yield() {
 	c.p.state = stateRunnable
+	c.k.markSched(c.p)
 	c.p.yieldToKernel()
 }
 
@@ -90,10 +91,12 @@ func (c *Context) Point(site string) {
 func (c *Context) Receive() Message {
 	for c.p.queueLen() == 0 {
 		c.p.state = stateReceiving
+		c.k.markSched(c.p)
 		c.p.yieldToKernel()
 	}
 	m := c.p.popMsg()
 	c.p.state = stateRunnable
+	c.k.markSched(c.p)
 	c.k.chargeIPC()
 	if c.p.isServer {
 		c.p.curSender = m.From
@@ -125,7 +128,7 @@ func (c *Context) SendRec(dst Endpoint, m Message) Message {
 		// Error virtualization for detached components: the request
 		// fails exactly as if the component had crashed serving it.
 		c.k.chargeIPC()
-		c.k.counters.Add("kernel.quarantine_ecrash", 1)
+		c.k.counters.AddID(ctrQuarantineECrash, 1)
 		return Message{From: dst, To: c.p.ep, Errno: ECRASH}
 	}
 	target := c.k.procs[dst]
@@ -147,6 +150,7 @@ func (c *Context) SendRec(dst Endpoint, m Message) Message {
 	c.p.state = stateSendRec
 	c.p.waitFrom = dst
 	c.p.reply = nil
+	c.k.markSched(c.p)
 	for c.p.reply == nil {
 		c.p.yieldToKernel()
 	}
@@ -154,6 +158,7 @@ func (c *Context) SendRec(dst Endpoint, m Message) Message {
 	c.p.reply = nil
 	c.p.waitFrom = EpNone
 	c.p.state = stateRunnable
+	c.k.markSched(c.p)
 	return reply
 }
 
@@ -170,7 +175,7 @@ func (c *Context) Call(p seep.Passage, dst Endpoint, m Message) Message {
 // Send delivers m to dst asynchronously (no reply expected).
 func (c *Context) Send(dst Endpoint, m Message) Errno {
 	if c.k.IsQuarantined(dst) {
-		c.k.counters.Add("kernel.quarantine_ecrash", 1)
+		c.k.counters.AddID(ctrQuarantineECrash, 1)
 		return ECRASH
 	}
 	target := c.k.procs[dst]
@@ -210,7 +215,7 @@ func (c *Context) Reply(to Endpoint, m Message) {
 	c.k.chargeIPC()
 	if err := c.k.DeliverReply(c.p.ep, to, m); err != nil {
 		// The caller died while we processed its request; drop the reply.
-		c.k.counters.Add("kernel.replies_dropped", 1)
+		c.k.counters.AddID(ctrRepliesDropped, 1)
 	}
 }
 

@@ -1,0 +1,23 @@
+package kernel
+
+import "repro/internal/sim"
+
+// Fixed counter slots for the kernel's statistics. Registered once at
+// init; hot paths (dispatch, message hops) increment by ID — an array
+// store — instead of a string-keyed map operation. Names appear only
+// in snapshots and reports.
+var (
+	ctrDispatches       = sim.RegisterCounter("kernel.dispatches")
+	ctrMsgHops          = sim.RegisterCounter("kernel.msg_hops")
+	ctrAlarmsFired      = sim.RegisterCounter("kernel.alarms_fired")
+	ctrQuarantineECrash = sim.RegisterCounter("kernel.quarantine_ecrash")
+	ctrRepliesDropped   = sim.RegisterCounter("kernel.replies_dropped")
+	ctrProcsCreated     = sim.RegisterCounter("kernel.procs_created")
+	ctrPanicsTrapped    = sim.RegisterCounter("kernel.panics_trapped")
+	ctrProcsReplaced    = sim.RegisterCounter("kernel.procs_replaced")
+	ctrFailstops        = sim.RegisterCounter("kernel.failstops")
+	ctrCrashesDeferred  = sim.RegisterCounter("kernel.crashes_deferred")
+	ctrCrashes          = sim.RegisterCounter("kernel.crashes")
+	ctrRecoveryPanics   = sim.RegisterCounter("kernel.recovery_panics")
+	ctrQuarantines      = sim.RegisterCounter("kernel.quarantines")
+)

@@ -18,6 +18,7 @@ package kernel
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/seep"
 	"repro/internal/sim"
@@ -303,13 +304,25 @@ type Kernel struct {
 	procs  map[Endpoint]*Process
 	order  []Endpoint
 	rrNext int
+	// ready indexes schedulable processes by order position; the
+	// round-robin pick is a find-first-set instead of a table scan.
+	ready readySet
+	// legacySched selects the pre-ready-queue O(n) scan without fused
+	// dispatch (equivalence testing only).
+	legacySched bool
+	// cycleLimit is the Run bound, latched so the fused-dispatch fast
+	// path can honor it without a kernel round trip.
+	cycleLimit sim.Cycles
 
 	kernelCh chan struct{}
 	running  *Process
 
 	pendingCrashes []queuedCrash
-	inRecovery     bool
-	crashHandler   CrashHandler
+	// pendingByEp counts queued crashes per victim so RecoveryPending
+	// is O(1) on the IPC path.
+	pendingByEp  map[Endpoint]int
+	inRecovery   bool
+	crashHandler CrashHandler
 	// recoveryPanics counts consecutive crash-handler panics per victim;
 	// it backstops handlers that fail the same way forever.
 	recoveryPanics map[Endpoint]int
@@ -348,6 +361,8 @@ func New(cost CostModel, seed uint64) *Kernel {
 		replyErrnoOverride: make(map[Endpoint]Errno),
 		recoveryPanics:     make(map[Endpoint]int),
 		quarantined:        make(map[Endpoint]string),
+		pendingByEp:        make(map[Endpoint]int),
+		legacySched:        legacySchedDefault,
 	}
 }
 
@@ -425,6 +440,7 @@ func (k *Kernel) OverrideNextReplyErrno(ep Endpoint, e Errno) {
 // crash occurs, deadlock is detected, or cycleLimit is exceeded. It
 // always tears down every process goroutine before returning.
 func (k *Kernel) Run(cycleLimit sim.Cycles) Result {
+	k.cycleLimit = cycleLimit
 	defer k.killAll()
 	for !k.done {
 		if k.handleDueCrash() {
@@ -457,6 +473,7 @@ func (k *Kernel) Run(cycleLimit sim.Cycles) Result {
 // wait their turn instead of aborting the run.
 func (k *Kernel) queueCrash(info CrashInfo, due sim.Cycles) {
 	k.pendingCrashes = append(k.pendingCrashes, queuedCrash{info: info, due: due})
+	k.pendingByEp[info.Victim]++
 }
 
 // DeferCrash re-queues a crash for handling after delay cycles. The
@@ -465,20 +482,16 @@ func (k *Kernel) queueCrash(info CrashInfo, due sim.Cycles) {
 // inbox intact) until then.
 func (k *Kernel) DeferCrash(info CrashInfo, delay sim.Cycles) {
 	info.Deferred = true
-	k.counters.Add("kernel.crashes_deferred", 1)
+	k.counters.AddID(ctrCrashesDeferred, 1)
 	k.queueCrash(info, k.clock.Now()+delay)
 }
 
 // RecoveryPending reports whether a trapped crash of ep is queued
 // awaiting recovery. IPC to such an endpoint blocks (the inbox survives
-// the restart) instead of failing with EDEADSRCDST.
+// the restart) instead of failing with EDEADSRCDST. O(1) via the
+// per-endpoint pending index.
 func (k *Kernel) RecoveryPending(ep Endpoint) bool {
-	for _, qc := range k.pendingCrashes {
-		if qc.info.Victim == ep {
-			return true
-		}
-	}
-	return false
+	return k.pendingByEp[ep] > 0
 }
 
 // handleDueCrash pops and handles the first queued crash whose due time
@@ -489,6 +502,11 @@ func (k *Kernel) handleDueCrash() bool {
 			continue
 		}
 		k.pendingCrashes = append(k.pendingCrashes[:i], k.pendingCrashes[i+1:]...)
+		if n := k.pendingByEp[qc.info.Victim] - 1; n > 0 {
+			k.pendingByEp[qc.info.Victim] = n
+		} else {
+			delete(k.pendingByEp, qc.info.Victim)
+		}
 		k.handleCrash(qc.info)
 		return true
 	}
@@ -505,6 +523,7 @@ func (k *Kernel) dropQueuedCrashes(ep Endpoint) {
 		}
 	}
 	k.pendingCrashes = kept
+	delete(k.pendingByEp, ep)
 }
 
 // maxRecoveryPanics bounds consecutive crash-handler panics for one
@@ -519,7 +538,7 @@ func (k *Kernel) handleCrash(info CrashInfo) {
 		info.Name, info.Victim, info.CurSender, info.CurNeedsReply, info.PanicValue,
 		info.Deferred, info.DuringRecovery)
 	if !info.Deferred {
-		k.counters.Add("kernel.crashes", 1)
+		k.counters.AddID(ctrCrashes, 1)
 	}
 	if k.crashHandler == nil {
 		k.Abort(fmt.Sprintf("component %s crashed with no recovery handler: %v", info.Name, info.PanicValue))
@@ -539,7 +558,7 @@ func (k *Kernel) handleCrash(info CrashInfo) {
 			k.Abort(fmt.Sprintf("recovery of %s failed: %v", info.Name, err))
 			return
 		}
-		k.counters.Add("kernel.recovery_panics", 1)
+		k.counters.AddID(ctrRecoveryPanics, 1)
 		next := info
 		next.DuringRecovery = true
 		next.Deferred = false
@@ -607,10 +626,11 @@ func (k *Kernel) QuarantineProcess(ep Endpoint, reason string) error {
 		p.onKill = nil
 	}
 	p.releaseInbox()
+	k.markSched(p)
 	k.quarantined[ep] = reason
 	k.dropQueuedCrashes(ep)
 	k.FailPendingCallers(ep, ECRASH)
-	k.counters.Add("kernel.quarantines", 1)
+	k.counters.AddID(ctrQuarantines, 1)
 	k.trace("quarantine: %s(%d): %s", p.name, ep, reason)
 	return nil
 }
@@ -618,7 +638,7 @@ func (k *Kernel) QuarantineProcess(ep Endpoint, reason string) error {
 // chargeIPC advances the clock by one message-transfer cost.
 func (k *Kernel) chargeIPC() {
 	k.clock.Advance(k.cost.ipcCost())
-	k.counters.Add("kernel.msg_hops", 1)
+	k.counters.AddID(ctrMsgHops, 1)
 }
 
 // Point is invoked by Context.Point; it also serves the recovery
@@ -633,27 +653,30 @@ func (k *Kernel) point(p *Process, site string) {
 }
 
 // describeBlocked summarizes the non-dead processes for deadlock
-// diagnostics.
+// diagnostics. It is only invoked on the deadlock path, never during
+// normal scheduling, and builds its output in a single pass over a
+// strings.Builder rather than repeated string concatenation.
 func (k *Kernel) describeBlocked() string {
-	out := ""
+	var out strings.Builder
 	for _, ep := range k.order {
 		p := k.procs[ep]
 		if p == nil || !p.Alive() {
 			continue
 		}
-		state := "runnable"
+		if out.Len() > 0 {
+			out.WriteString(", ")
+		}
+		fmt.Fprintf(&out, "%s(%d):", p.name, ep)
 		switch p.state {
 		case stateReceiving:
-			state = "receiving"
+			out.WriteString("receiving")
 		case stateSendRec:
-			state = fmt.Sprintf("sendrec->%d", p.waitFrom)
+			fmt.Fprintf(&out, "sendrec->%d", p.waitFrom)
+		default:
+			out.WriteString("runnable")
 		}
-		if out != "" {
-			out += ", "
-		}
-		out += fmt.Sprintf("%s(%d):%s", p.name, ep, state)
 	}
-	return out
+	return out.String()
 }
 
 // windowOf returns the seep window of ep, or nil.

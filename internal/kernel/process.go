@@ -51,6 +51,10 @@ type Process struct {
 	baton chan token
 	gone  chan struct{}
 
+	// orderIdx is the process's position in k.order (and its bit index
+	// in the readiness bitmap). Maintained by insertIntoOrder.
+	orderIdx int
+
 	// inbox is a head-indexed FIFO over a pooled backing array:
 	// inbox[inboxHead:] are the queued messages. Access goes through
 	// pushMsg/popMsg/queueLen so the slab can be recycled across boots.
@@ -93,7 +97,9 @@ var inboxPool = sync.Pool{New: func() any {
 }}
 
 // pushMsg enqueues m, lazily attaching a pooled backing array and
-// rewinding consumed headroom once the queue drains.
+// rewinding consumed headroom once the queue drains. A message arrival
+// can make a receiving process schedulable, so the readiness bit is
+// re-derived here.
 func (p *Process) pushMsg(m Message) {
 	if p.inbox == nil {
 		p.inbox = *inboxPool.Get().(*[]Message)
@@ -104,6 +110,9 @@ func (p *Process) pushMsg(m Message) {
 		p.inboxHead = 0
 	}
 	p.inbox = append(p.inbox, m)
+	if p.k != nil {
+		p.k.markSched(p)
+	}
 }
 
 // popMsg dequeues the oldest message; callers must check queueLen.
@@ -185,18 +194,28 @@ func (k *Kernel) addProcess(ep Endpoint, name string, body Body, isServer bool) 
 	p.ctx = &Context{k: k, p: p}
 	k.procs[ep] = p
 	k.insertIntoOrder(ep)
+	k.markSched(p)
 	p.start()
-	k.counters.Add("kernel.procs_created", 1)
+	k.counters.AddID(ctrProcsCreated, 1)
 	return p
 }
 
 // insertIntoOrder keeps the scheduling order sorted by endpoint so that
-// runs are deterministic regardless of creation interleaving.
+// runs are deterministic regardless of creation interleaving. Order
+// positions of displaced processes (and their readiness bits) shift up
+// with the insertion.
 func (k *Kernel) insertIntoOrder(ep Endpoint) {
 	i := sort.Search(len(k.order), func(i int) bool { return k.order[i] >= ep })
 	k.order = append(k.order, 0)
 	copy(k.order[i+1:], k.order[i:])
 	k.order[i] = ep
+	for _, moved := range k.order[i+1:] {
+		if mp := k.procs[moved]; mp != nil {
+			mp.orderIdx++
+		}
+	}
+	k.ready.insert(i, len(k.order))
+	k.procs[ep].orderIdx = i
 }
 
 // start launches the process goroutine, parked on the baton.
@@ -228,13 +247,15 @@ func (p *Process) runBody() (killed bool) {
 		if _, isKill := r.(killedSignal); isKill {
 			killed = true
 			p.state = stateDead
+			p.k.markSched(p)
 			return
 		}
 		// Fail-stop crash: queue it for the kernel loop. Crashes that
 		// arrive while another recovery is queued or active are handled
 		// serially, in trap order.
 		p.state = stateCrashed
-		p.k.counters.Add("kernel.panics_trapped", 1)
+		p.k.markSched(p)
+		p.k.counters.AddID(ctrPanicsTrapped, 1)
 		p.k.queueCrash(CrashInfo{
 			Victim:         p.ep,
 			Name:           p.name,
@@ -246,14 +267,38 @@ func (p *Process) runBody() (killed bool) {
 	}()
 	p.body(p.ctx)
 	p.state = stateDead
+	p.k.markSched(p)
 	p.k.noteExit(p)
 	return false
 }
 
-// yieldToKernel hands the baton back and blocks until re-dispatched.
-// It panics with killedSignal when the kernel tears the process down.
+// yieldToKernel hands the CPU back and blocks until re-dispatched. It
+// panics with killedSignal when the kernel tears the process down.
+//
+// Fast path (fused dispatch): when a full trip through the kernel loop
+// would do nothing but pick the next process — no due crash or alarm,
+// run not done, cycle limit not reached — the baton is handed directly
+// to that process, skipping the kernel-goroutine round trip and
+// halving the channel operations per context switch. Handing off to
+// ourselves degenerates to not switching at all.
 func (p *Process) yieldToKernel() {
-	p.k.kernelCh <- struct{}{}
+	k := p.k
+	if !k.legacySched {
+		if next := k.fusedNext(); next != nil {
+			k.counters.AddID(ctrDispatches, 1)
+			k.running = next
+			if next == p {
+				return
+			}
+			next.baton <- token{}
+			tok := <-p.baton
+			if tok.kill {
+				panic(killedSignal{})
+			}
+			return
+		}
+	}
+	k.kernelCh <- struct{}{}
 	tok := <-p.baton
 	if tok.kill {
 		panic(killedSignal{})
@@ -274,27 +319,13 @@ func (p *Process) schedulable() bool {
 	}
 }
 
-// pickRunnable selects the next schedulable process round-robin.
-func (k *Kernel) pickRunnable() *Process {
-	n := len(k.order)
-	if n == 0 {
-		return nil
-	}
-	for i := 0; i < n; i++ {
-		idx := (k.rrNext + i) % n
-		p := k.procs[k.order[idx]]
-		if p != nil && p.schedulable() {
-			k.rrNext = (idx + 1) % n
-			return p
-		}
-	}
-	return nil
-}
-
-// dispatch hands the baton to p and waits for it to yield back.
+// dispatch hands the baton to p and waits for the baton to come back
+// to the kernel. Fused handoffs may pass the baton between processes
+// many times before some process finally signals kernelCh; k.running
+// always names the current holder.
 func (k *Kernel) dispatch(p *Process) {
 	k.running = p
-	k.counters.Add("kernel.dispatches", 1)
+	k.counters.AddID(ctrDispatches, 1)
 	p.baton <- token{}
 	<-k.kernelCh
 	k.running = nil
@@ -353,6 +384,7 @@ func (k *Kernel) killProcess(p *Process) {
 		p.onKill = nil
 	}
 	p.releaseInbox()
+	k.markSched(p)
 }
 
 // killAll tears down every process at the end of Run. As in
@@ -380,6 +412,7 @@ func (k *Kernel) killAll() {
 			p.onKill = nil
 		}
 		p.releaseInbox()
+		k.markSched(p)
 	}
 }
 
@@ -438,9 +471,11 @@ func (k *Kernel) replaceProcess(ep Endpoint, name string, body Body, cfg ServerC
 	p.inbox, p.inboxHead = savedInbox, savedHead
 	p.ctx = &Context{k: k, p: p}
 	k.procs[ep] = p
-	// Endpoint already present in k.order: keep position.
+	// Endpoint already present in k.order: keep position (and bit index).
+	p.orderIdx = old.orderIdx
+	k.markSched(p)
 	p.start()
-	k.counters.Add("kernel.procs_replaced", 1)
+	k.counters.AddID(ctrProcsReplaced, 1)
 	return p, nil
 }
 
@@ -478,7 +513,8 @@ func (k *Kernel) FailStopProcess(ep Endpoint, reason string) Errno {
 	// Mark the endpoint as crashed-awaiting-recovery (Alive() is false;
 	// ReplaceProcess treats the unwound goroutine correctly).
 	p.state = stateCrashed
-	k.counters.Add("kernel.failstops", 1)
+	k.markSched(p)
+	k.counters.AddID(ctrFailstops, 1)
 	k.trace("failstop: %s(%d): %s", p.name, ep, reason)
 	k.queueCrash(info, k.clock.Now())
 	return OK
@@ -496,6 +532,7 @@ func (k *Kernel) FailPendingCallers(ep Endpoint, errno Errno) int {
 		}
 		m := Message{Type: 0, From: ep, To: p.ep, Errno: errno}
 		p.reply = &m
+		k.markSched(p)
 		failed++
 	}
 	return failed
@@ -514,6 +551,7 @@ func (k *Kernel) DeliverReply(from, to Endpoint, m Message) error {
 	if p.state == stateSendRec && p.waitFrom == from {
 		mm := m
 		p.reply = &mm
+		k.markSched(p)
 		k.trace("reply: %d -> %s(%d) errno=%v", from, p.name, to, m.Errno)
 		return nil
 	}

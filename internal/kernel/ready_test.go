@@ -1,0 +1,128 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// referenceNextFrom is the obvious O(n) spec of readySet.nextFrom.
+func referenceNextFrom(bits []bool, start int) int {
+	n := len(bits)
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if bits[idx] {
+			return idx
+		}
+	}
+	return -1
+}
+
+func TestReadySetNextFromMatchesReference(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for _, n := range []int{1, 3, 63, 64, 65, 130, 200} {
+		var rs readySet
+		rs.ensure(n)
+		bits := make([]bool, n)
+		for trial := 0; trial < 200; trial++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				rs.set(i)
+				bits[i] = true
+			} else {
+				rs.clear(i)
+				bits[i] = false
+			}
+			start := rng.Intn(n)
+			want := referenceNextFrom(bits, start)
+			if got := rs.nextFrom(start, n); got != want {
+				t.Fatalf("n=%d trial=%d: nextFrom(%d) = %d, want %d (bits %v)", n, trial, start, got, want, bits)
+			}
+		}
+	}
+}
+
+func TestReadySetInsertShiftsBits(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for _, n := range []int{1, 5, 64, 100} {
+		var rs readySet
+		rs.ensure(n)
+		bits := make([]bool, n)
+		for i := range bits {
+			if rng.Intn(2) == 0 {
+				rs.set(i)
+				bits[i] = true
+			}
+		}
+		for grow := 0; grow < 70; grow++ {
+			at := rng.Intn(len(bits) + 1)
+			rs.insert(at, len(bits)+1)
+			bits = append(bits[:at], append([]bool{false}, bits[at:]...)...)
+			for start := 0; start < len(bits); start += 1 + len(bits)/7 {
+				want := referenceNextFrom(bits, start)
+				if got := rs.nextFrom(start, len(bits)); got != want {
+					t.Fatalf("n=%d after insert at %d: nextFrom(%d) = %d, want %d", len(bits), at, start, got, want)
+				}
+			}
+		}
+	}
+}
+
+// A machine with more processes than one bitmap word must still
+// schedule deterministically through the multi-word wrap paths.
+func TestManyProcessScheduling(t *testing.T) {
+	run := func() (sim.Cycles, uint64) {
+		k := New(DefaultCostModel(), 3)
+		var total int
+		for i := 0; i < 100; i++ {
+			k.SpawnUser("w", func(ctx *Context) {
+				for j := 0; j < 10; j++ {
+					ctx.Tick(5)
+					ctx.Yield()
+				}
+				total++
+			})
+		}
+		root := k.SpawnUser("root", func(ctx *Context) {
+			for total < 100 {
+				ctx.Tick(5)
+				ctx.Yield()
+			}
+		})
+		k.SetRootProcess(root.Endpoint())
+		res := k.Run(testLimit)
+		if res.Outcome != OutcomeCompleted {
+			t.Fatalf("outcome %v (%s)", res.Outcome, res.Reason)
+		}
+		return res.Cycles, k.Counters().Get("kernel.dispatches")
+	}
+	c1, d1 := run()
+	c2, d2 := run()
+	if c1 != c2 || d1 != d2 {
+		t.Fatalf("non-deterministic: (%d, %d) vs (%d, %d)", c1, d1, c2, d2)
+	}
+}
+
+// describeBlocked renders the non-dead processes with their block
+// states; it is only consulted on the deadlock path.
+func TestDescribeBlockedOutput(t *testing.T) {
+	k := New(DefaultCostModel(), 1)
+	k.AddServer(Endpoint(10), "srv", func(ctx *Context) {
+		for {
+			ctx.Receive() // never replies
+		}
+	}, ServerConfig{})
+	root := k.SpawnUser("root", func(ctx *Context) {
+		ctx.SendRec(Endpoint(10), Message{A: 1})
+	})
+	k.SetRootProcess(root.Endpoint())
+	res := k.Run(testLimit)
+	if res.Outcome != OutcomeDeadlock {
+		t.Fatalf("outcome = %v (%s), want deadlock", res.Outcome, res.Reason)
+	}
+	const want = "srv(10):receiving, root(100):sendrec->10"
+	if !strings.Contains(res.Reason, want) {
+		t.Fatalf("deadlock reason %q does not contain %q", res.Reason, want)
+	}
+}

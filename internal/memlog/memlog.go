@@ -25,6 +25,13 @@ import (
 	"repro/internal/sim"
 )
 
+// Fixed counter slots: store instrumentation fires on every logged
+// write, so these are incremented by ID rather than by name.
+var (
+	ctrStoresLogged = sim.RegisterCounter("memlog.stores_logged")
+	ctrStoresTotal  = sim.RegisterCounter("memlog.stores_total")
+)
+
 // Instrumentation selects how stores are instrumented, mirroring the
 // build modes evaluated in the paper (§VI-C, Table V).
 type Instrumentation int
@@ -378,7 +385,7 @@ func (s *Store) append(rec undoRec) {
 		s.maxLogBytes = s.logBytes
 	}
 	if s.counters != nil {
-		s.counters.Add("memlog.stores_logged", 1)
+		s.counters.AddID(ctrStoresLogged, 1)
 	}
 }
 
@@ -431,7 +438,7 @@ func (s *Store) ReleaseLog() {
 
 func (s *Store) chargeCycles(n sim.Cycles) {
 	if s.counters != nil {
-		s.counters.Add("memlog.stores_total", 1)
+		s.counters.AddID(ctrStoresTotal, 1)
 	}
 	if s.charge != nil {
 		s.charge(n)

@@ -19,6 +19,10 @@ import (
 	"repro/internal/sim"
 )
 
+// ctrStaleCompletions counts driver completions that arrive after their
+// worker thread is gone (restart races).
+var ctrStaleCompletions = sim.RegisterCounter("vfs.stale_completions")
+
 // Configuration of the VFS.
 const (
 	// NumThreads is the worker-thread pool size.
@@ -201,7 +205,7 @@ func (v *VFS) routeCompletion(ctx *kernel.Context, win *seep.Window, m kernel.Me
 			return
 		}
 	}
-	ctx.Kernel().Counters().Add("vfs.stale_completions", 1)
+	ctx.Kernel().Counters().AddID(ctrStaleCompletions, 1)
 }
 
 // threadDevice is the fs.BlockDevice used inside a worker thread:

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegisterCounterIdempotent(t *testing.T) {
+	a := RegisterCounter("test.slot_a")
+	b := RegisterCounter("test.slot_b")
+	if a == b {
+		t.Fatalf("distinct names share slot %d", a)
+	}
+	if again := RegisterCounter("test.slot_a"); again != a {
+		t.Fatalf("re-registration moved the slot: %d != %d", again, a)
+	}
+}
+
+func TestCountersSlotAndFallbackPaths(t *testing.T) {
+	id := RegisterCounter("test.slotted")
+	c := NewCounters()
+	c.AddID(id, 3)
+	c.Add("test.slotted", 2) // string compat layer routes to the slot
+	if got := c.GetID(id); got != 5 {
+		t.Fatalf("GetID = %d, want 5", got)
+	}
+	if got := c.Get("test.slotted"); got != 5 {
+		t.Fatalf("Get = %d, want 5", got)
+	}
+
+	c.Add("test.adhoc", 7) // unregistered name: fallback map
+	if got := c.Get("test.adhoc"); got != 7 {
+		t.Fatalf("ad-hoc Get = %d, want 7", got)
+	}
+
+	snap := c.Snapshot()
+	want := map[string]uint64{"test.slotted": 5, "test.adhoc": 7}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("Snapshot = %v, want %v", snap, want)
+	}
+	if got := c.String(); got != "test.adhoc=7\ntest.slotted=5\n" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCountersNamesCacheInvalidation(t *testing.T) {
+	idA := RegisterCounter("test.cache_a")
+	idB := RegisterCounter("test.cache_b")
+	c := NewCounters()
+	c.AddID(idB, 1)
+	first := c.Names()
+	if !reflect.DeepEqual(first, []string{"test.cache_b"}) {
+		t.Fatalf("Names = %v", first)
+	}
+	// Re-touching an already-seen counter must not invalidate: the
+	// cached slice is returned as-is.
+	c.AddID(idB, 1)
+	if again := c.Names(); &again[0] != &first[0] {
+		t.Fatal("cache was rebuilt without a first-touch")
+	}
+	// First touch of a new counter (slot or ad-hoc) invalidates.
+	c.AddID(idA, 1)
+	c.Add("test.cache_extra", 1)
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"test.cache_a", "test.cache_b", "test.cache_extra"}) {
+		t.Fatalf("Names after invalidation = %v", got)
+	}
+}
+
+func TestCountersLateRegistrationGrows(t *testing.T) {
+	c := NewCounters()
+	id := RegisterCounter("test.late_registered")
+	c.AddID(id, 4) // slot beyond the creation-time size: must grow
+	if got := c.Get("test.late_registered"); got != 4 {
+		t.Fatalf("late-registered Get = %d, want 4", got)
+	}
+}

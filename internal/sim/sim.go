@@ -9,6 +9,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // Cycles is a quantity of virtual CPU cycles. All simulated costs —
@@ -74,37 +76,170 @@ func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64() | 1)
 }
 
+// CounterID is the fixed slot index of a counter registered with
+// RegisterCounter. Hot paths increment counters by ID — one array
+// store — instead of a string-keyed map operation; the name is only
+// consulted at Snapshot/Names/String time.
+type CounterID int32
+
+// counterRegistry is the process-wide name→slot table. Registration
+// happens at package init time (each package registers the counters it
+// owns as package-level vars), so the lock is uncontended at runtime;
+// hot-path AddID never touches it.
+var counterRegistry = struct {
+	sync.RWMutex
+	ids   map[string]CounterID
+	names []string
+}{ids: make(map[string]CounterID)}
+
+// RegisterCounter allocates (or returns the existing) fixed slot for a
+// counter name. Intended for package-level var initialization; it is
+// safe for concurrent use.
+func RegisterCounter(name string) CounterID {
+	counterRegistry.Lock()
+	defer counterRegistry.Unlock()
+	if id, ok := counterRegistry.ids[name]; ok {
+		return id
+	}
+	id := CounterID(len(counterRegistry.names))
+	counterRegistry.ids[name] = id
+	counterRegistry.names = append(counterRegistry.names, name)
+	return id
+}
+
+// counterID resolves a name to its registered slot.
+func counterID(name string) (CounterID, bool) {
+	counterRegistry.RLock()
+	id, ok := counterRegistry.ids[name]
+	counterRegistry.RUnlock()
+	return id, ok
+}
+
+// registeredCounterName returns the name of slot id.
+func registeredCounterName(id CounterID) string {
+	counterRegistry.RLock()
+	defer counterRegistry.RUnlock()
+	return counterRegistry.names[id]
+}
+
 // Counters is a set of named uint64 counters used for simulation
 // statistics (messages sent, stores logged, faults injected, ...).
+// Registered counters live in a fixed-slot array (the hot path);
+// unregistered names — ad-hoc test counters — fall back to a map. Like
+// the rest of the simulation substrate it is not safe for concurrent
+// use; each simulated machine owns one instance.
 type Counters struct {
-	m map[string]uint64
+	slots   []uint64
+	touched []bool
+	// extra holds counters whose names were never registered, created
+	// lazily on first use.
+	extra map[string]uint64
+	// names caches the sorted list of touched counter names. It is
+	// invalidated only when a counter is touched for the first time,
+	// so repeated Names()/String() calls do not re-sort.
+	names      []string
+	namesValid bool
 }
 
-// NewCounters returns an empty counter set.
+// NewCounters returns an empty counter set sized to the registered
+// slots.
 func NewCounters() *Counters {
-	return &Counters{m: make(map[string]uint64)}
+	counterRegistry.RLock()
+	n := len(counterRegistry.names)
+	counterRegistry.RUnlock()
+	return &Counters{
+		slots:   make([]uint64, n),
+		touched: make([]bool, n),
+	}
 }
 
-// Add increments counter name by n, creating it if necessary.
-func (c *Counters) Add(name string, n uint64) { c.m[name] += n }
+// AddID increments the registered counter id by n. This is the hot
+// path: an array store with no hashing or locking.
+func (c *Counters) AddID(id CounterID, n uint64) {
+	if int(id) >= len(c.slots) {
+		c.growTo(int(id) + 1)
+	}
+	c.slots[id] += n
+	if !c.touched[id] {
+		c.touched[id] = true
+		c.namesValid = false
+	}
+}
+
+// GetID reports the current value of the registered counter id.
+func (c *Counters) GetID(id CounterID) uint64 {
+	if int(id) >= len(c.slots) {
+		return 0
+	}
+	return c.slots[id]
+}
+
+// growTo extends the slot arrays for counters registered after this
+// set was created (only possible when a package registers counters
+// lazily instead of at init; kept for safety).
+func (c *Counters) growTo(n int) {
+	slots := make([]uint64, n)
+	copy(slots, c.slots)
+	c.slots = slots
+	touched := make([]bool, n)
+	copy(touched, c.touched)
+	c.touched = touched
+}
+
+// Add increments counter name by n, creating it if necessary. This is
+// the string-keyed compatibility layer: registered names route to
+// their slot, unknown names to the fallback map.
+func (c *Counters) Add(name string, n uint64) {
+	if id, ok := counterID(name); ok {
+		c.AddID(id, n)
+		return
+	}
+	if c.extra == nil {
+		c.extra = make(map[string]uint64)
+	}
+	if _, seen := c.extra[name]; !seen {
+		c.namesValid = false
+	}
+	c.extra[name] += n
+}
 
 // Get reports the current value of counter name (zero if never set).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
-
-// Names returns the counter names in sorted order.
-func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.m))
-	for name := range c.m {
-		names = append(names, name)
+func (c *Counters) Get(name string) uint64 {
+	if id, ok := counterID(name); ok {
+		return c.GetID(id)
 	}
-	sort.Strings(names)
-	return names
+	return c.extra[name]
+}
+
+// Names returns the counter names in sorted order. The list is cached
+// and only recomputed after a counter is touched for the first time.
+func (c *Counters) Names() []string {
+	if !c.namesValid {
+		names := make([]string, 0, len(c.extra)+len(c.slots))
+		for id, t := range c.touched {
+			if t {
+				names = append(names, registeredCounterName(CounterID(id)))
+			}
+		}
+		for name := range c.extra {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		c.names = names
+		c.namesValid = true
+	}
+	return c.names
 }
 
 // Snapshot returns a copy of all counters.
 func (c *Counters) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(c.m))
-	for k, v := range c.m {
+	out := make(map[string]uint64, len(c.extra)+len(c.slots))
+	for id, t := range c.touched {
+		if t {
+			out[registeredCounterName(CounterID(id))] = c.slots[id]
+		}
+	}
+	for k, v := range c.extra {
 		out[k] = v
 	}
 	return out
@@ -112,9 +247,9 @@ func (c *Counters) Snapshot() map[string]uint64 {
 
 // String renders the counters deterministically, one per line.
 func (c *Counters) String() string {
-	var out string
+	var out strings.Builder
 	for _, name := range c.Names() {
-		out += fmt.Sprintf("%s=%d\n", name, c.m[name])
+		fmt.Fprintf(&out, "%s=%d\n", name, c.Get(name))
 	}
-	return out
+	return out.String()
 }
