@@ -9,10 +9,22 @@
 //
 // Usage:
 //
-//	faultcampaign [-policy all|enhanced|...] [-model failstop|edfi]
+//	faultcampaign [-policy all|enhanced|...] [-model failstop|edfi|ipcmix]
 //	              [-samples N] [-maxruns N] [-seed N] [-profile]
 //	              [-faults N] [-runs N] [-workers N]
+//	              [-ipcfaults] [-droprate BP] [-duprate BP] [-delayrate BP]
+//	              [-reorderrate BP] [-corruptrate BP] [-ipcseed N]
+//	              [-ipctimeout CYCLES] [-ipcretry N]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// The -model ipcmix campaign arms one transport fault (drop, duplicate,
+// delay, reorder or payload corruption of a component's next outgoing
+// message) per boot. Independently, -ipcfaults / -*rate add background
+// transport faults (basis points per transmission) to every run of any
+// campaign; both force the end-to-end reliability layer on, and every
+// run is audited for cross-server consistency — the Consistent column
+// reports the share of runs with no invariant violation, and the seeds
+// of inconsistent runs are printed for exact replay.
 //
 // Campaign boots are independent simulated machines and fan out across
 // -workers threads; results are bit-identical for every worker count
@@ -27,13 +39,14 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/faultinject"
+	"repro/internal/kernel"
 	"repro/internal/seep"
 )
 
 func main() {
 	var (
 		policyName = flag.String("policy", "all", "policy: all, enhanced, extended, pessimistic, stateless or naive")
-		modelName  = flag.String("model", "failstop", "fault model: failstop or edfi")
+		modelName  = flag.String("model", "failstop", "fault model: failstop, edfi or ipcmix")
 		samples    = flag.Int("samples", 4, "injection occurrences sampled per candidate site")
 		maxRuns    = flag.Int("maxruns", 0, "cap on total runs per policy (0 = no cap)")
 		seed       = flag.Uint64("seed", 42, "simulation seed")
@@ -41,10 +54,32 @@ func main() {
 		faults     = flag.Int("faults", 1, "faults armed per boot; >= 2 selects the multi-fault cascade campaign")
 		runs       = flag.Int("runs", 40, "boots per policy in the multi-fault campaign")
 		workers    = flag.Int("workers", 0, "concurrent boots (0 = one per CPU, 1 = serial)")
+		ipcFaults  = flag.Bool("ipcfaults", false, "background transport faults at default rates (50 bp per class)")
+		dropRate   = flag.Int("droprate", 0, "background message drop rate, basis points per transmission")
+		dupRate    = flag.Int("duprate", 0, "background duplication rate, basis points")
+		delayRate  = flag.Int("delayrate", 0, "background delay rate, basis points")
+		reordRate  = flag.Int("reorderrate", 0, "background reorder rate, basis points")
+		corrRate   = flag.Int("corruptrate", 0, "background payload-corruption rate, basis points")
+		ipcSeed    = flag.Uint64("ipcseed", 0, "perturbation of the per-run transport fault stream")
+		ipcTimeout = flag.Int64("ipctimeout", 0, "sender retransmission timeout in cycles (0 = default when faults are on)")
+		ipcRetry   = flag.Int("ipcretry", 0, "retransmission budget per request (0 = kernel default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	ipc := faultinject.IPCOptions{
+		Faults: kernel.IPCFaultConfig{
+			DropBP: *dropRate, DupBP: *dupRate, DelayBP: *delayRate,
+			ReorderBP: *reordRate, CorruptBP: *corrRate,
+		},
+		Seed:          *ipcSeed,
+		TimeoutCycles: *ipcTimeout,
+		RetryMax:      *ipcRetry,
+	}
+	if *ipcFaults && !ipc.Faults.Enabled() {
+		ipc.Faults = kernel.IPCFaultConfig{DropBP: 50, DupBP: 50, DelayBP: 50, ReorderBP: 50, CorruptBP: 50}
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -58,7 +93,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile, *faults, *runs, *workers)
+	err := run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile, *faults, *runs, *workers, ipc)
 	if *memProfile != "" {
 		if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
 			err = werr
@@ -80,7 +115,7 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func run(policyName, modelName string, samples, maxRuns int, seed uint64, profileOnly bool, faults, runs, workers int) error {
+func run(policyName, modelName string, samples, maxRuns int, seed uint64, profileOnly bool, faults, runs, workers int, ipc faultinject.IPCOptions) error {
 	prof, err := faultinject.Profile(seed)
 	if err != nil {
 		return err
@@ -99,6 +134,8 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 		model = faultinject.FailStop
 	case "edfi":
 		model = faultinject.FullEDFI
+	case "ipcmix":
+		model = faultinject.IPCMix
 	default:
 		return fmt.Errorf("unknown model %q", modelName)
 	}
@@ -123,8 +160,8 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 
 	if faults >= 2 {
 		fmt.Printf("model: %v, %d faults per boot, %d candidate sites\n\n", model, faults, countCandidates(prof))
-		fmt.Printf("%-12s %8s %9s %8s %10s %8s %8s %12s\n",
-			"Recovery", "Pass", "Degraded", "Fail", "Shutdown", "Crash", "Runs", "Untriggered")
+		fmt.Printf("%-12s %8s %9s %8s %10s %8s %11s %8s %12s\n",
+			"Recovery", "Pass", "Degraded", "Fail", "Shutdown", "Crash", "Consistent", "Runs", "Untriggered")
 		for _, policy := range policies {
 			res := faultinject.RunMultiCampaign(faultinject.MultiCampaignConfig{
 				Policy:  policy,
@@ -133,22 +170,25 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 				Runs:    runs,
 				Seed:    seed,
 				Workers: workers,
+				IPC:     ipc,
 			}, prof)
-			fmt.Printf("%-12s %7.1f%% %8.1f%% %7.1f%% %9.1f%% %7.1f%% %8d %12d\n",
+			fmt.Printf("%-12s %7.1f%% %8.1f%% %7.1f%% %9.1f%% %7.1f%% %10.1f%% %8d %12d\n",
 				res.Policy,
 				res.Percent(faultinject.OutcomePass),
 				res.Percent(faultinject.OutcomeDegradedPass),
 				res.Percent(faultinject.OutcomeFail),
 				res.Percent(faultinject.OutcomeShutdown),
 				res.Percent(faultinject.OutcomeCrash),
+				res.ConsistentPercent(),
 				res.Runs, res.Untriggered)
+			printInconsistent(res.InconsistentSeeds)
 		}
 		return nil
 	}
 
 	fmt.Printf("model: %v, %d candidate sites\n\n", model, countCandidates(prof))
-	fmt.Printf("%-12s %8s %8s %10s %8s %8s %12s\n",
-		"Recovery", "Pass", "Fail", "Shutdown", "Crash", "Runs", "Untriggered")
+	fmt.Printf("%-12s %8s %8s %10s %8s %11s %8s %12s\n",
+		"Recovery", "Pass", "Fail", "Shutdown", "Crash", "Consistent", "Runs", "Untriggered")
 	for _, policy := range policies {
 		res := faultinject.RunCampaign(faultinject.CampaignConfig{
 			Policy:         policy,
@@ -157,16 +197,33 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 			SamplesPerSite: samples,
 			MaxRuns:        maxRuns,
 			Workers:        workers,
+			IPC:            ipc,
 		}, prof)
-		fmt.Printf("%-12s %7.1f%% %7.1f%% %9.1f%% %7.1f%% %8d %12d\n",
+		fmt.Printf("%-12s %7.1f%% %7.1f%% %9.1f%% %7.1f%% %10.1f%% %8d %12d\n",
 			res.Policy,
 			res.Percent(faultinject.OutcomePass),
 			res.Percent(faultinject.OutcomeFail),
 			res.Percent(faultinject.OutcomeShutdown),
 			res.Percent(faultinject.OutcomeCrash),
+			res.ConsistentPercent(),
 			res.Runs, res.Untriggered)
+		printInconsistent(res.InconsistentSeeds)
 	}
 	return nil
+}
+
+// printInconsistent lists the per-run seeds of audit-inconsistent runs;
+// re-running the same campaign command narrowed to such a seed replays
+// the run exactly.
+func printInconsistent(seeds []uint64) {
+	if len(seeds) == 0 {
+		return
+	}
+	fmt.Printf("  inconsistent run seeds:")
+	for _, s := range seeds {
+		fmt.Printf(" %d", s)
+	}
+	fmt.Println()
 }
 
 func countCandidates(prof []faultinject.SiteProfile) int {

@@ -1,0 +1,366 @@
+// Package audit implements the OSIRIS runtime consistency auditor: a
+// set of cross-server invariant oracles evaluated after every completed
+// recovery and at the end of a run. The paper's central claim is that
+// recovery leaves the multiserver system in a state indistinguishable
+// from one where the in-flight request never happened or fully
+// completed (§III); the auditor makes that claim checkable at runtime
+// instead of asserting it offline.
+//
+// Oracles:
+//
+//   - pm-vm-agreement: every running process in PM's table owns exactly
+//     one VM address space, and every address space belongs to a
+//     running process — no half-applied fork/spawn/exit transactions.
+//   - vfs-owner: every open file descriptor belongs to a running
+//     process or a server.
+//   - ds-owner: every Data Store subscription belongs to a running
+//     process or a server.
+//   - undo-log: a component's undo log is empty whenever its recovery
+//     window is closed (logs must not leak outside windows).
+//   - ipc-conservation: the transport ledger balances — every
+//     transmission was delivered, consumed by a fault, suppressed as a
+//     duplicate, or is still held in the delay queue.
+//   - quarantine-consistency: the recovery engine and the kernel agree
+//     on which components are detached.
+//
+// A component that is mid-request (or a multithreaded server with jobs
+// in flight) may legitimately disagree with its peers about the
+// in-flight operation, so table-agreement oracles skip audits involving
+// busy components; the disagreement is caught by a later pass once the
+// transaction has either completed or been rolled back. Quarantined
+// components are exempt: their service is gone by design and their
+// frozen tables no longer participate in the system state.
+//
+// Violations are expected — and demonstrate the paper's point — under
+// the stateless and naive baseline policies, which discard or keep
+// half-applied state across restarts.
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Violation is one failed oracle.
+type Violation struct {
+	// Oracle names the invariant that failed.
+	Oracle string
+	// Detail describes the concrete disagreement.
+	Detail string
+	// At is the virtual time of the audit pass.
+	At sim.Cycles
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[t=%d] %s: %s", v.At, v.Oracle, v.Detail)
+}
+
+// Report is the result of one audit pass.
+type Report struct {
+	At         sim.Cycles
+	Final      bool
+	Violations []Violation
+}
+
+// Consistent reports whether the pass found no violations.
+func (r Report) Consistent() bool { return len(r.Violations) == 0 }
+
+// ComponentState is the audited view of one recoverable component.
+// The Has* flags distinguish "no table of this kind" from "empty
+// table".
+type ComponentState struct {
+	EP   kernel.Endpoint
+	Name string
+	// Busy marks a component mid-request (generic loop between Receive
+	// and EndRequest, or a Looper with jobs in flight).
+	Busy bool
+	// QuarantinedCore / QuarantinedKernel report the detached flag as
+	// seen by the recovery engine and by the kernel.
+	QuarantinedCore   bool
+	QuarantinedKernel bool
+	// WindowOpen and LogLen feed the undo-log oracle.
+	WindowOpen bool
+	LogLen     int
+
+	// Table contents, present when the component implements the
+	// matching audit accessor.
+	UserEPs     []int64
+	SpaceOwners []int64
+	FDOwners    []int64
+	Subscribers []int64
+	HasUsers    bool
+	HasSpaces   bool
+	HasFDs      bool
+	HasSubs     bool
+}
+
+// Snapshot is the cross-server state picture one audit pass works on.
+// It is plain data, so oracle behaviour is unit-testable against
+// hand-built (deliberately broken) fixtures.
+type Snapshot struct {
+	At         sim.Cycles
+	Components []ComponentState
+	// IPC is the transport conservation ledger; nil when the
+	// interposition plane is disabled.
+	IPC *kernel.IPCStats
+}
+
+// userTable, spaceTable, fdTable and subTable are the audit accessors a
+// component can implement to participate in table-agreement oracles.
+// They are declared here (not in the servers) so servers do not import
+// the auditor.
+type userTable interface{ AuditUserEndpoints() []int64 }
+type spaceTable interface{ AuditSpaceOwners() []int64 }
+type fdTable interface{ AuditFDOwners() []int64 }
+type subTable interface{ AuditSubscribers() []int64 }
+
+// Capture builds a Snapshot of the booted machine.
+func Capture(os *core.OS) Snapshot {
+	k := os.Kernel()
+	snap := Snapshot{At: k.Now()}
+	if st, ok := k.IPCStats(); ok {
+		snap.IPC = &st
+	}
+	for _, ep := range os.ComponentOrder() {
+		cs := ComponentState{
+			EP:                ep,
+			Busy:              os.ComponentBusy(ep),
+			QuarantinedCore:   os.Quarantined(ep),
+			QuarantinedKernel: k.IsQuarantined(ep),
+		}
+		if names := os.ComponentNames(); names != nil {
+			cs.Name = names[ep]
+		}
+		if w := os.ComponentWindow(ep); w != nil {
+			cs.WindowOpen = w.Open()
+		}
+		if st := os.ComponentStore(ep); st != nil {
+			cs.LogLen = st.LogLen()
+		}
+		comp := os.ComponentInstance(ep)
+		if t, ok := comp.(userTable); ok {
+			cs.UserEPs = t.AuditUserEndpoints()
+			cs.HasUsers = true
+		}
+		if t, ok := comp.(spaceTable); ok {
+			cs.SpaceOwners = t.AuditSpaceOwners()
+			cs.HasSpaces = true
+		}
+		if t, ok := comp.(fdTable); ok {
+			cs.FDOwners = t.AuditFDOwners()
+			cs.HasFDs = true
+		}
+		if t, ok := comp.(subTable); ok {
+			cs.Subscribers = t.AuditSubscribers()
+			cs.HasSubs = true
+		}
+		snap.Components = append(snap.Components, cs)
+	}
+	return snap
+}
+
+// Check evaluates every oracle against the snapshot.
+func Check(s Snapshot) []Violation {
+	var out []Violation
+	out = append(out, checkPMVMAgreement(s)...)
+	out = append(out, checkOwners(s)...)
+	out = append(out, checkUndoLogs(s)...)
+	out = append(out, checkIPCConservation(s)...)
+	out = append(out, checkQuarantine(s)...)
+	return out
+}
+
+// find returns the first component exposing the wanted table.
+func find(s Snapshot, want func(ComponentState) bool) *ComponentState {
+	for i := range s.Components {
+		if want(s.Components[i]) {
+			return &s.Components[i]
+		}
+	}
+	return nil
+}
+
+// usable reports whether a component's tables may participate in an
+// agreement oracle right now.
+func usable(c *ComponentState) bool {
+	return c != nil && !c.Busy && !c.QuarantinedCore && !c.QuarantinedKernel
+}
+
+// checkPMVMAgreement cross-checks the process table against the address
+// spaces, in both directions.
+func checkPMVMAgreement(s Snapshot) []Violation {
+	pm := find(s, func(c ComponentState) bool { return c.HasUsers })
+	vm := find(s, func(c ComponentState) bool { return c.HasSpaces })
+	if !usable(pm) || !usable(vm) {
+		return nil
+	}
+	var out []Violation
+	spaces := toSet(vm.SpaceOwners)
+	procs := toSet(pm.UserEPs)
+	for _, ep := range pm.UserEPs {
+		if !spaces[ep] {
+			out = append(out, Violation{
+				Oracle: "pm-vm-agreement", At: s.At,
+				Detail: fmt.Sprintf("process at endpoint %d is running in PM but owns no VM address space", ep),
+			})
+		}
+	}
+	for _, ep := range vm.SpaceOwners {
+		if !procs[ep] {
+			out = append(out, Violation{
+				Oracle: "pm-vm-agreement", At: s.At,
+				Detail: fmt.Sprintf("VM address space owned by endpoint %d has no running process in PM", ep),
+			})
+		}
+	}
+	return out
+}
+
+// checkOwners verifies that file descriptors and DS subscriptions
+// belong to running processes (or to servers, which live below
+// EpUserBase and are not tracked by PM).
+func checkOwners(s Snapshot) []Violation {
+	pm := find(s, func(c ComponentState) bool { return c.HasUsers })
+	if !usable(pm) {
+		return nil
+	}
+	procs := toSet(pm.UserEPs)
+	var out []Violation
+	if vfs := find(s, func(c ComponentState) bool { return c.HasFDs }); usable(vfs) {
+		for _, ep := range vfs.FDOwners {
+			if ep >= int64(kernel.EpUserBase) && !procs[ep] {
+				out = append(out, Violation{
+					Oracle: "vfs-owner", At: s.At,
+					Detail: fmt.Sprintf("open file descriptor owned by endpoint %d, which is not a running process", ep),
+				})
+			}
+		}
+	}
+	if ds := find(s, func(c ComponentState) bool { return c.HasSubs }); usable(ds) {
+		for _, ep := range ds.Subscribers {
+			if ep >= int64(kernel.EpUserBase) && !procs[ep] {
+				out = append(out, Violation{
+					Oracle: "ds-owner", At: s.At,
+					Detail: fmt.Sprintf("DS subscription owned by endpoint %d, which is not a running process", ep),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkUndoLogs verifies that no component carries undo-log records
+// while its recovery window is closed.
+func checkUndoLogs(s Snapshot) []Violation {
+	var out []Violation
+	for i := range s.Components {
+		c := &s.Components[i]
+		if c.QuarantinedCore || c.QuarantinedKernel {
+			continue
+		}
+		if c.LogLen > 0 && !c.WindowOpen {
+			out = append(out, Violation{
+				Oracle: "undo-log", At: s.At,
+				Detail: fmt.Sprintf("component %s holds %d undo-log records outside a recovery window", c.Name, c.LogLen),
+			})
+		}
+	}
+	return out
+}
+
+// checkIPCConservation verifies the transport ledger: every
+// transmission must be delivered, consumed by a fault, suppressed as a
+// duplicate, or still pending in the delay queue.
+func checkIPCConservation(s Snapshot) []Violation {
+	st := s.IPC
+	if st == nil {
+		return nil
+	}
+	accounted := st.Delivered + st.Dropped + st.DupSuppressed + st.PendingDelayed
+	if st.Sent != accounted {
+		return []Violation{{
+			Oracle: "ipc-conservation", At: s.At,
+			Detail: fmt.Sprintf("sent=%d but delivered=%d + dropped=%d + dup-suppressed=%d + pending=%d = %d",
+				st.Sent, st.Delivered, st.Dropped, st.DupSuppressed, st.PendingDelayed, accounted),
+		}}
+	}
+	return nil
+}
+
+// checkQuarantine verifies that the recovery engine and the kernel
+// agree on which components are detached.
+func checkQuarantine(s Snapshot) []Violation {
+	var out []Violation
+	for i := range s.Components {
+		c := &s.Components[i]
+		if c.QuarantinedCore != c.QuarantinedKernel {
+			out = append(out, Violation{
+				Oracle: "quarantine-consistency", At: s.At,
+				Detail: fmt.Sprintf("component %s: engine quarantined=%v but kernel quarantined=%v",
+					c.Name, c.QuarantinedCore, c.QuarantinedKernel),
+			})
+		}
+	}
+	return out
+}
+
+func toSet(eps []int64) map[int64]bool {
+	set := make(map[int64]bool, len(eps))
+	for _, ep := range eps {
+		set[ep] = true
+	}
+	return set
+}
+
+// Auditor accumulates audit passes over one run. Attach it before
+// os.Run; it checks after every completed recovery, and Final runs the
+// end-of-run pass.
+type Auditor struct {
+	os      *core.OS
+	reports []Report
+}
+
+// Attach creates an auditor and hooks it into the recovery engine.
+func Attach(os *core.OS) *Auditor {
+	a := &Auditor{os: os}
+	os.SetAuditHook(func() { a.check(false) })
+	return a
+}
+
+// check runs one audit pass and records its report.
+func (a *Auditor) check(final bool) Report {
+	snap := Capture(a.os)
+	rep := Report{At: snap.At, Final: final, Violations: Check(snap)}
+	a.reports = append(a.reports, rep)
+	return rep
+}
+
+// Final runs the end-of-run audit pass. Call it after os.Run returns;
+// component tables, stores and windows remain accessible after the
+// machine stops.
+func (a *Auditor) Final() Report { return a.check(true) }
+
+// Reports returns every recorded audit pass in order.
+func (a *Auditor) Reports() []Report { return a.reports }
+
+// Consistent reports whether no pass recorded a violation.
+func (a *Auditor) Consistent() bool {
+	for _, r := range a.reports {
+		if !r.Consistent() {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns all recorded violations in pass order.
+func (a *Auditor) Violations() []Violation {
+	var out []Violation
+	for _, r := range a.reports {
+		out = append(out, r.Violations...)
+	}
+	return out
+}

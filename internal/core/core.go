@@ -118,7 +118,32 @@ type Config struct {
 	// rounds after which RS declares a component hung and fail-stops it.
 	// Zero = the RS default; the minimum meaningful value is 2.
 	HangMisses int
+
+	// IPCFaults sets background fault rates for the kernel's message
+	// interposition plane (drop/dup/delay/reorder/corrupt, in basis
+	// points). The zero value — the default — injects nothing and keeps
+	// runs bit-identical to builds without the plane.
+	IPCFaults kernel.IPCFaultConfig
+	// IPCFaultSeed decorrelates the IPC fault stream from Seed. Zero
+	// derives the stream from a fixed constant.
+	IPCFaultSeed uint64
+	// IPCTimeoutCycles enables the end-to-end IPC reliability layer
+	// (sequence numbers, checksums, dedup, sender-side timeout/retry
+	// with bounded backoff, dead-lettering): it is the base sender
+	// timeout in virtual cycles. Zero — the default — disables the
+	// layer.
+	IPCTimeoutCycles int64
+	// IPCRetryMax bounds retransmissions per message before it is
+	// abandoned to the dead-letter counter. Zero = default (4).
+	// Requires IPCTimeoutCycles > 0.
+	IPCRetryMax int
 }
+
+// DefaultIPCTimeoutCycles is the recommended base sender timeout when
+// enabling the IPC reliability layer: long enough that slow multi-hop
+// requests (fork, exec, device I/O) do not time out spuriously, short
+// enough that several retries fit into a run.
+const DefaultIPCTimeoutCycles int64 = 400_000
 
 // Validate rejects nonsensical configurations. NewOS panics on invalid
 // configs, so misconfiguration surfaces at boot, not mid-run.
@@ -144,6 +169,18 @@ func (c Config) Validate() error {
 	if c.RestartBackoffBase > 0 && c.RestartBackoffCap > 0 && c.RestartBackoffCap < c.RestartBackoffBase {
 		return fmt.Errorf("core: RestartBackoffCap (%d) below RestartBackoffBase (%d)",
 			c.RestartBackoffCap, c.RestartBackoffBase)
+	}
+	if err := c.IPCFaults.Validate(); err != nil {
+		return err
+	}
+	if c.IPCTimeoutCycles < 0 {
+		return fmt.Errorf("core: IPCTimeoutCycles must be >= 0, got %d", c.IPCTimeoutCycles)
+	}
+	if c.IPCRetryMax < 0 {
+		return fmt.Errorf("core: IPCRetryMax must be >= 0, got %d", c.IPCRetryMax)
+	}
+	if c.IPCRetryMax > 0 && c.IPCTimeoutCycles == 0 {
+		return fmt.Errorf("core: IPCRetryMax requires IPCTimeoutCycles > 0 (retries are driven by the sender timeout)")
 	}
 	return nil
 }
@@ -183,6 +220,14 @@ type slot struct {
 	attempts    int
 	incidentAt  sim.Cycles
 	quarantined bool
+
+	// inRequest is true while the generic event loop is between
+	// Receive and EndRequest — the component's tables may legitimately
+	// be mid-transaction, so the consistency auditor must not treat
+	// cross-server disagreement about the in-flight request as a
+	// violation. Loopers (VFS) report business through their own Busy
+	// accessor instead.
+	inRequest bool
 }
 
 // OS is one booted machine.
@@ -203,6 +248,10 @@ type OS struct {
 	// phase builds the replacement state (SetRestartHook). Fault
 	// campaigns inject recovery-phase faults through it.
 	restartHook func(ep kernel.Endpoint, attempt int)
+	// auditHook runs after every successfully completed recovery
+	// (SetAuditHook). The consistency auditor checks its cross-server
+	// oracles through it.
+	auditHook func()
 	// ShutdownDump is the post-mortem report produced when the engine
 	// performs a controlled shutdown — the §VII "controlled shutdown"
 	// improvement: the system stops consistently AND leaves a record of
@@ -293,6 +342,12 @@ func NewOS(cfg Config) *OS {
 		slots: make(map[kernel.Endpoint]*slot),
 	}
 	o.k.SetCrashHandler(o.handleCrash)
+	if cfg.IPCFaults.Enabled() || cfg.IPCTimeoutCycles > 0 {
+		o.k.SetIPCFaultPlane(cfg.IPCFaults, kernel.IPCReliability{
+			TimeoutCycles: sim.Cycles(cfg.IPCTimeoutCycles),
+			RetryMax:      cfg.IPCRetryMax,
+		}, cfg.IPCFaultSeed)
+	}
 	return o
 }
 
@@ -392,12 +447,14 @@ func (o *OS) serverBody(s *slot) kernel.Body {
 		for {
 			m := ctx.Receive()
 			s.window.BeginRequest(m.NeedsReply)
+			s.inRequest = true
 			ctx.Point(s.name + ".loop.top")
 			h.Handle(ctx, m)
 			// Bottom-of-loop bookkeeping runs after the reply passage
 			// closed the window.
 			ctx.Point(s.name + ".loop.bottom")
 			ctx.Tick(10)
+			s.inRequest = false
 			s.window.EndRequest()
 			// A completed request resets the consecutive-crash streak:
 			// restart backoff targets components that crash again before
@@ -715,6 +772,10 @@ func (o *OS) restart(s *slot, info kernel.CrashInfo, mode restartMode, reconcile
 	}
 	s.store = store
 	s.window = win
+	// The replacement instance starts at the top of its loop: no
+	// request is in flight regardless of what the crashed instance was
+	// doing.
+	s.inRequest = false
 	if _, err := o.k.ReplaceProcess(s.ep, s.name, o.serverBody(s), kernel.ServerConfig{Window: win, Store: store}); err != nil {
 		return fmt.Errorf("restart %s: %w", s.name, err)
 	}
@@ -745,6 +806,11 @@ func (o *OS) restart(s *slot, info kernel.CrashInfo, mode restartMode, reconcile
 		// Tell RS so it accounts the event (ignore if RS is down).
 		_ = o.k.PostMessage(kernel.EpKernel, kernel.EpRS,
 			kernel.Message{Type: kernel.MsgCrashNotify, A: int64(s.ep)})
+	}
+	if o.auditHook != nil {
+		// The recovery completed: let the consistency auditor check its
+		// cross-server oracles against the post-recovery state.
+		o.auditHook()
 	}
 	return nil
 }
@@ -828,4 +894,58 @@ func (o *OS) ComponentNames() map[kernel.Endpoint]string {
 		out[ep] = o.slots[ep].name
 	}
 	return out
+}
+
+// SetAuditHook installs a hook run after every successfully completed
+// component recovery. The consistency auditor (internal/audit) attaches
+// here.
+func (o *OS) SetAuditHook(h func()) { o.auditHook = h }
+
+// ComponentOrder returns the recoverable component endpoints in
+// endpoint order.
+func (o *OS) ComponentOrder() []kernel.Endpoint {
+	out := make([]kernel.Endpoint, len(o.order))
+	copy(out, o.order)
+	return out
+}
+
+// ComponentInstance exposes the live component object at ep (nil if
+// none). The consistency auditor type-asserts its oracle accessors
+// against it.
+func (o *OS) ComponentInstance(ep kernel.Endpoint) Component {
+	if s := o.slots[ep]; s != nil {
+		return s.comp
+	}
+	return nil
+}
+
+// ComponentPolicy reports the effective recovery policy of ep.
+func (o *OS) ComponentPolicy(ep kernel.Endpoint) seep.Policy {
+	if s := o.slots[ep]; s != nil {
+		return s.policy
+	}
+	return o.cfg.Policy
+}
+
+// busyReporter is implemented by components that own their request loop
+// (Looper) and know when work is in flight (e.g. the VFS worker pool).
+type busyReporter interface {
+	Busy() bool
+}
+
+// ComponentBusy reports whether the component at ep is mid-request:
+// its tables may legitimately disagree with other compartments about
+// the in-flight operation, so consistency oracles must exempt it.
+func (o *OS) ComponentBusy(ep kernel.Endpoint) bool {
+	s := o.slots[ep]
+	if s == nil {
+		return false
+	}
+	if s.inRequest {
+		return true
+	}
+	if br, ok := s.comp.(busyReporter); ok && br.Busy() {
+		return true
+	}
+	return false
 }

@@ -247,14 +247,16 @@ func (t SurvivabilityTable) Render() string {
 		table = "III"
 	}
 	fmt.Fprintf(&b, "Table %s — Survivability under random injection of %s faults\n", table, t.Model)
-	fmt.Fprintf(&b, "%-12s %8s %8s %10s %8s %8s\n", "Recovery", "Pass", "Fail", "Shutdown", "Crash", "Runs")
+	fmt.Fprintf(&b, "%-12s %8s %8s %10s %8s %11s %8s\n",
+		"Recovery", "Pass", "Fail", "Shutdown", "Crash", "Consistent", "Runs")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%-12s %7.1f%% %7.1f%% %9.1f%% %7.1f%% %8d\n",
+		fmt.Fprintf(&b, "%-12s %7.1f%% %7.1f%% %9.1f%% %7.1f%% %10.1f%% %8d\n",
 			r.Policy,
 			r.Percent(faultinject.OutcomePass),
 			r.Percent(faultinject.OutcomeFail),
 			r.Percent(faultinject.OutcomeShutdown),
 			r.Percent(faultinject.OutcomeCrash),
+			r.ConsistentPercent(),
 			r.Runs)
 	}
 	return b.String()
@@ -310,10 +312,10 @@ func RunMultiFault(sc Scale) (MultiFaultTable, error) {
 func (t MultiFaultTable) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Cascade — Survivability under multi-fault injection (fail-stop faults, beyond the paper)\n")
-	fmt.Fprintf(&b, "%-12s %7s %8s %9s %8s %10s %8s %8s\n",
-		"Recovery", "Faults", "Pass", "Degraded", "Fail", "Shutdown", "Crash", "Runs")
+	fmt.Fprintf(&b, "%-12s %7s %8s %9s %8s %10s %8s %11s %8s\n",
+		"Recovery", "Faults", "Pass", "Degraded", "Fail", "Shutdown", "Crash", "Consistent", "Runs")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%-12s %7d %7.1f%% %8.1f%% %7.1f%% %9.1f%% %7.1f%% %8d\n",
+		fmt.Fprintf(&b, "%-12s %7d %7.1f%% %8.1f%% %7.1f%% %9.1f%% %7.1f%% %10.1f%% %8d\n",
 			r.Policy,
 			r.Faults,
 			r.Percent(faultinject.OutcomePass),
@@ -321,7 +323,53 @@ func (t MultiFaultTable) Render() string {
 			r.Percent(faultinject.OutcomeFail),
 			r.Percent(faultinject.OutcomeShutdown),
 			r.Percent(faultinject.OutcomeCrash),
+			r.ConsistentPercent(),
 			r.Runs)
+	}
+	return b.String()
+}
+
+// --- IPC reliability: survival vs transport fault rate (beyond the paper) ---
+
+// IPCSweepTable reports suite survival and audited consistency as the
+// background transport fault rate rises, with the end-to-end
+// reliability layer (sequence numbers, retransmission, reply
+// redelivery) absorbing the faults.
+type IPCSweepTable struct {
+	Policy seep.Policy
+	Points []faultinject.SweepPoint
+}
+
+// ipcSweepRatesBP are the sweep's per-class fault rates in basis points
+// per transmission: each of drop, duplicate, delay, reorder and corrupt
+// fires at this rate, so total interference is five times the figure.
+var ipcSweepRatesBP = []int{0, 25, 50, 100, 200}
+
+// RunIPCSweep regenerates the IPC reliability table under the enhanced
+// policy.
+func RunIPCSweep(sc Scale) IPCSweepTable {
+	runs := sc.SamplesPerSite*2 + 1
+	return IPCSweepTable{
+		Policy: seep.PolicyEnhanced,
+		Points: faultinject.SweepIPC(seep.PolicyEnhanced, sc.Seed, ipcSweepRatesBP, runs, sc.Workers),
+	}
+}
+
+// Render formats the IPC reliability table.
+func (t IPCSweepTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IPC — Survivability and audited consistency vs transport fault rate (%s policy)\n", t.Policy)
+	fmt.Fprintf(&b, "%-10s %8s %8s %10s %8s %11s %8s\n",
+		"Rate(bp)", "Pass", "Fail", "Shutdown", "Crash", "Consistent", "Runs")
+	for _, p := range t.Points {
+		fmt.Fprintf(&b, "%-10d %7.1f%% %7.1f%% %9.1f%% %7.1f%% %10.1f%% %8d\n",
+			p.RateBP,
+			p.Percent(faultinject.OutcomePass),
+			p.Percent(faultinject.OutcomeFail),
+			p.Percent(faultinject.OutcomeShutdown),
+			p.Percent(faultinject.OutcomeCrash),
+			p.ConsistentPercent(),
+			p.Runs)
 	}
 	return b.String()
 }

@@ -23,6 +23,19 @@ func TestTable5IdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestIPCSweepIdenticalAcrossWorkerCounts(t *testing.T) {
+	sc := QuickScale()
+	sc.Workers = 1
+	serial := RunIPCSweep(sc)
+	for _, workers := range []int{2, 8} {
+		sc.Workers = workers
+		got := RunIPCSweep(sc)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d IPC sweep diverged from serial:\n%+v\nvs\n%+v", workers, got, serial)
+		}
+	}
+}
+
 func TestFigure3IdenticalAcrossWorkerCounts(t *testing.T) {
 	sc := QuickScale()
 	intervals := []uint64{3_200_000}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/audit"
 	"repro/internal/boot"
 	"repro/internal/core"
 	"repro/internal/kernel"
@@ -36,14 +37,23 @@ const (
 	// fail-silent corruption, hangs, wrong error returns and faults
 	// that do not manifest.
 	FullEDFI
+	// IPCMix injects transport-level message faults: drops, duplicates,
+	// delays, reorders and payload corruption of the faulty component's
+	// next outgoing message. It exercises the unreliable-IPC tolerance
+	// layer rather than the component restart path.
+	IPCMix
 )
 
 // String names the model.
 func (m Model) String() string {
-	if m == FailStop {
+	switch m {
+	case FailStop:
 		return "fail-stop"
+	case IPCMix:
+		return "ipc-mix"
+	default:
+		return "full-EDFI"
 	}
-	return "full-EDFI"
 }
 
 // MarshalText renders the model by name in JSON reports.
@@ -67,54 +77,89 @@ const (
 	// FaultNoop models injected faults that never manifest (dead value
 	// corrupted, unreachable branch flipped).
 	FaultNoop
+	// FaultIPCDrop arms a one-shot drop of the component's next
+	// outgoing message at the transport.
+	FaultIPCDrop
+	// FaultIPCDup arms a one-shot duplication of the next outgoing
+	// message.
+	FaultIPCDup
+	// FaultIPCDelay arms a one-shot delay of the next outgoing message.
+	FaultIPCDelay
+	// FaultIPCReorder arms a one-shot queue-jump of the next outgoing
+	// message.
+	FaultIPCReorder
+	// FaultIPCCorrupt arms a one-shot payload corruption of the next
+	// outgoing message.
+	FaultIPCCorrupt
 )
 
-// String names the fault type.
+// IPC reports whether the fault manifests at the message transport
+// (rather than inside the component).
+func (t FaultType) IPC() bool { return t >= FaultIPCDrop && t <= FaultIPCCorrupt }
+
+// faultSpec is one entry of the fault-type registry: the type, its
+// display name, and its draw weight in each model's mix (a model absent
+// from Weights never draws the type).
+type faultSpec struct {
+	Type    FaultType
+	Name    string
+	Weights map[Model]int
+}
+
+// faultRegistry is the single source of truth for fault types: String
+// and pickType both read it, so a type added here can never fall
+// through to a stale name or be silently excluded from a mix. The
+// FullEDFI weights loosely follow the realistic software fault mix EDFI
+// draws from; order and weights of the pre-existing entries are frozen
+// — pickType's draw sequence, and therefore every planned campaign, is
+// bit-identical to the historical table-free code.
+var faultRegistry = []faultSpec{
+	{FaultCrash, "crash", map[Model]int{FailStop: 100, FullEDFI: 35}},
+	{FaultHang, "hang", map[Model]int{FullEDFI: 10}},
+	{FaultCorrupt, "corrupt", map[Model]int{FullEDFI: 25}},
+	{FaultWrongErrno, "wrong-errno", map[Model]int{FullEDFI: 15}},
+	{FaultNoop, "noop", map[Model]int{FullEDFI: 15}},
+	{FaultIPCDrop, "ipc-drop", map[Model]int{IPCMix: 30}},
+	{FaultIPCDup, "ipc-dup", map[Model]int{IPCMix: 15}},
+	{FaultIPCDelay, "ipc-delay", map[Model]int{IPCMix: 20}},
+	{FaultIPCReorder, "ipc-reorder", map[Model]int{IPCMix: 15}},
+	{FaultIPCCorrupt, "ipc-corrupt", map[Model]int{IPCMix: 20}},
+}
+
+// String names the fault type from the registry.
 func (t FaultType) String() string {
-	switch t {
-	case FaultCrash:
-		return "crash"
-	case FaultHang:
-		return "hang"
-	case FaultCorrupt:
-		return "corrupt"
-	case FaultWrongErrno:
-		return "wrong-errno"
-	case FaultNoop:
-		return "noop"
-	default:
-		return fmt.Sprintf("FaultType(%d)", int(t))
+	for _, s := range faultRegistry {
+		if s.Type == t {
+			return s.Name
+		}
 	}
+	return fmt.Sprintf("FaultType(%d)", int(t))
 }
 
-// edfiMix is the fault-type distribution of the full model, loosely
-// following the realistic software fault mix EDFI draws from.
-var edfiMix = []struct {
-	t      FaultType
-	weight int
-}{
-	{FaultCrash, 35},
-	{FaultHang, 10},
-	{FaultCorrupt, 25},
-	{FaultWrongErrno, 15},
-	{FaultNoop, 15},
-}
-
-// pickType draws a fault type for the model.
+// pickType draws a fault type for the model from the registry weights.
+// FailStop short-circuits without consuming entropy, preserving the
+// historical draw sequence of fail-stop campaigns.
 func pickType(m Model, r *sim.RNG) FaultType {
 	if m == FailStop {
 		return FaultCrash
 	}
 	total := 0
-	for _, e := range edfiMix {
-		total += e.weight
+	for _, s := range faultRegistry {
+		total += s.Weights[m]
+	}
+	if total == 0 {
+		return FaultCrash
 	}
 	roll := r.Intn(total)
-	for _, e := range edfiMix {
-		if roll < e.weight {
-			return e.t
+	for _, s := range faultRegistry {
+		w := s.Weights[m]
+		if w == 0 {
+			continue
 		}
-		roll -= e.weight
+		if roll < w {
+			return s.Type
+		}
+		roll -= w
 	}
 	return FaultCrash
 }
@@ -242,29 +287,45 @@ type RunResult struct {
 	// TestsFailed is the number of failing suite tests (Fail runs).
 	TestsFailed int
 	Reason      string
+	// Seed is the per-run seed; an inconsistent run replays exactly
+	// from it.
+	Seed uint64
+	// Consistent reports whether every audit pass (after each completed
+	// recovery, plus the final pass on completed runs) found the
+	// cross-server invariants intact. Violations lists the failures.
+	Consistent bool
+	Violations []string
 }
 
 // RunOne boots a fresh machine under policy, arms the injection, runs
-// the suite and classifies the outcome.
+// the suite and classifies the outcome. Transport interposition stays
+// off unless the injection itself is an IPC fault.
 func RunOne(policy seep.Policy, seed uint64, inj Injection) RunResult {
+	return RunOneWith(policy, seed, inj, IPCOptions{})
+}
+
+// RunOneWith is RunOne with transport fault options (background rates
+// and the reliability layer) applied to the run.
+func RunOneWith(policy seep.Policy, seed uint64, inj Injection, ipc IPCOptions) RunResult {
 	reg := usr.NewRegistry()
 	testsuite.Register(reg)
 	var report testsuite.Report
 
+	ipc = ipc.normalized(inj.Type.IPC())
 	sys := boot.Boot(boot.Options{
 		// Single-fault campaigns reproduce the paper's setup, which
 		// assumes one failure at a time: the cascade-tolerance sequencer
 		// (backoff, escalation, quarantine) is pinned off so Tables
 		// II/III keep the paper's outcome semantics. Multi-fault
 		// campaigns (RunMulti) run with the sequencer enabled.
-		Config: core.Config{
+		Config: ipc.apply(core.Config{
 			Policy:             policy,
 			Seed:               seed,
 			DisableQuarantine:  true,
 			RestartBackoffBase: -1,
 			RecoveryDecay:      -1,
 			MaxRestartAttempts: 1,
-		},
+		}, seed),
 		Registry:   reg,
 		Heartbeats: true,
 	}, testsuite.RunnerInit(&report))
@@ -285,14 +346,24 @@ func RunOne(policy seep.Policy, seed uint64, inj Injection) RunResult {
 		applyFault(sys, ep, inj.Type, rng)
 	})
 
+	aud := audit.Attach(sys.OS)
 	res := sys.Run(RunLimit)
-	return RunResult{
+	out := RunResult{
 		Injection:   inj,
 		Outcome:     classify(res, &report),
 		Triggered:   triggered,
 		TestsFailed: report.Failed,
 		Reason:      res.Reason,
+		Seed:        seed,
 	}
+	if res.Outcome == kernel.OutcomeCompleted {
+		aud.Final()
+	}
+	out.Consistent = aud.Consistent()
+	for _, v := range aud.Violations() {
+		out.Violations = append(out.Violations, v.String())
+	}
+	return out
 }
 
 // applyFault manifests one armed fault inside the faulty component's
@@ -316,6 +387,16 @@ func applyFault(sys *boot.System, ep kernel.Endpoint, t FaultType, rng *sim.RNG)
 		k.OverrideNextReplyErrno(ep, kernel.EIO)
 	case FaultNoop:
 		// Fault present but never manifests.
+	case FaultIPCDrop:
+		k.ArmIPCFault(ep, kernel.IPCDrop)
+	case FaultIPCDup:
+		k.ArmIPCFault(ep, kernel.IPCDup)
+	case FaultIPCDelay:
+		k.ArmIPCFault(ep, kernel.IPCDelay)
+	case FaultIPCReorder:
+		k.ArmIPCFault(ep, kernel.IPCReorder)
+	case FaultIPCCorrupt:
+		k.ArmIPCFault(ep, kernel.IPCCorrupt)
 	}
 }
 
@@ -340,6 +421,10 @@ type CampaignConfig struct {
 	Policy seep.Policy
 	Model  Model
 	Seed   uint64
+	// IPC configures transport fault interposition for every run of the
+	// campaign (zero value: off; forced on when the model injects IPC
+	// faults).
+	IPC IPCOptions
 	// SamplesPerSite is how many distinct occurrences are injected per
 	// candidate site (the paper injects each EDFI candidate once; sites
 	// here are coarser, so several occurrences approximate the same
@@ -365,6 +450,12 @@ type CampaignResult struct {
 	// excluded from Runs and Counts (paper: untriggered faults would
 	// inflate the statistics).
 	Untriggered int
+	// Consistent counts triggered runs whose every audit pass found the
+	// cross-server invariants intact; InconsistentSeeds lists the
+	// per-run seeds of the others, so any inconsistent run replays
+	// exactly.
+	Consistent        int
+	InconsistentSeeds []uint64
 }
 
 // Percent reports the share of runs with the given outcome.
@@ -373,6 +464,15 @@ func (c CampaignResult) Percent(o Outcome) float64 {
 		return 0
 	}
 	return 100 * float64(c.Counts[o]) / float64(c.Runs)
+}
+
+// ConsistentPercent reports the share of runs the auditor classified
+// consistent.
+func (c CampaignResult) ConsistentPercent() float64 {
+	if c.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(c.Consistent) / float64(c.Runs)
 }
 
 // PlanCampaign derives the injection list from a profile.
@@ -438,7 +538,7 @@ func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
 		Counts: make(map[Outcome]int),
 	}
 	results := parallel.Map(cfg.Workers, len(plan), func(i int) RunResult {
-		return RunOne(cfg.Policy, cfg.Seed+uint64(i)*7919, plan[i])
+		return RunOneWith(cfg.Policy, cfg.Seed+uint64(i)*7919, plan[i], cfg.IPC)
 	})
 	for _, rr := range results {
 		if !rr.Triggered {
@@ -447,6 +547,11 @@ func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
 		}
 		result.Runs++
 		result.Counts[rr.Outcome]++
+		if rr.Consistent {
+			result.Consistent++
+		} else {
+			result.InconsistentSeeds = append(result.InconsistentSeeds, rr.Seed)
+		}
 	}
 	return result
 }

@@ -45,9 +45,12 @@ func TestPickTypeDistribution(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		seen[pickType(FullEDFI, r)]++
 	}
-	for _, e := range edfiMix {
-		if seen[e.t] == 0 {
-			t.Errorf("EDFI mix never produced %v", e.t)
+	for _, s := range faultRegistry {
+		if s.Weights[FullEDFI] > 0 && seen[s.Type] == 0 {
+			t.Errorf("EDFI mix never produced %v", s.Type)
+		}
+		if s.Weights[FullEDFI] == 0 && seen[s.Type] != 0 {
+			t.Errorf("EDFI mix produced out-of-model type %v", s.Type)
 		}
 	}
 	if seen[FaultCrash] <= seen[FaultHang] {

@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/seep"
+)
+
+// The IPC fault plane draws every fate from a per-run stream seeded by
+// IPCFaultSeed ^ runSeed, so campaign outcomes, fault placements and
+// audit verdicts must be bit-identical for any worker count — and for
+// repeated executions with the same seed. These tests pin that down for
+// the three IPC-facing campaign surfaces: the ipc-mix single-fault
+// model, fail-stop injections with background transport noise, and the
+// background fault-rate sweep.
+
+func TestIPCMixCampaignIdenticalAcrossWorkerCounts(t *testing.T) {
+	profile, err := Profile(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := CampaignConfig{
+		Policy:         seep.PolicyEnhanced,
+		Model:          IPCMix,
+		Seed:           42,
+		SamplesPerSite: 1,
+		MaxRuns:        12,
+		Workers:        1,
+	}
+	serial := RunCampaign(base, profile)
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		if got := RunCampaign(cfg, profile); !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d: ipc-mix campaign diverged from serial:\nserial: %+v\ngot:    %+v", workers, serial, got)
+		}
+	}
+}
+
+func TestFailStopWithIPCNoiseIdenticalAcrossWorkerCounts(t *testing.T) {
+	profile, err := Profile(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := CampaignConfig{
+		Policy:         seep.PolicyEnhanced,
+		Model:          FailStop,
+		Seed:           42,
+		SamplesPerSite: 1,
+		MaxRuns:        10,
+		Workers:        1,
+		IPC: IPCOptions{
+			Faults: kernel.IPCFaultConfig{DropBP: 50, CorruptBP: 50},
+			Seed:   0xABCD,
+		},
+	}
+	serial := RunCampaign(base, profile)
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		if got := RunCampaign(cfg, profile); !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d: fail-stop+noise campaign diverged from serial:\nserial: %+v\ngot:    %+v", workers, serial, got)
+		}
+	}
+}
+
+func TestSweepIPCIdenticalAcrossWorkerCounts(t *testing.T) {
+	rates := []int{0, 50, 200}
+	serial := SweepIPC(seep.PolicyEnhanced, 42, rates, 3, 1)
+	for _, workers := range []int{2, 8} {
+		if got := SweepIPC(seep.PolicyEnhanced, 42, rates, 3, workers); !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d: IPC sweep diverged from serial:\nserial: %+v\ngot:    %+v", workers, serial, got)
+		}
+	}
+}
+
+// Replayability: the same seed must reproduce the same campaign twice,
+// counter for counter — the property the inconsistent-seed log relies
+// on.
+func TestIPCMixCampaignSameSeedRepeatable(t *testing.T) {
+	profile, err := Profile(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CampaignConfig{
+		Policy:         seep.PolicyEnhanced,
+		Model:          IPCMix,
+		Seed:           7,
+		SamplesPerSite: 1,
+		MaxRuns:        8,
+		Workers:        4,
+	}
+	first := RunCampaign(cfg, profile)
+	second := RunCampaign(cfg, profile)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("same-seed ipc-mix campaign not repeatable:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

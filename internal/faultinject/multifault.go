@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"repro/internal/audit"
 	"repro/internal/boot"
 	"repro/internal/core"
 	"repro/internal/kernel"
@@ -46,17 +47,38 @@ type MultiRunResult struct {
 	Recoveries  int
 	Quarantines int
 	Reason      string
+	// Seed is the per-run seed; an inconsistent run replays exactly
+	// from it.
+	Seed uint64
+	// Consistent reports whether every audit pass found the
+	// cross-server invariants intact; Violations lists the failures.
+	Consistent bool
+	Violations []string
 }
 
 // RunMulti boots a fresh machine with the cascade sequencer enabled,
 // arms every injection, runs the suite and classifies the outcome.
+// Transport interposition stays off unless one of the injections is an
+// IPC fault.
 func RunMulti(policy seep.Policy, seed uint64, injs []MultiInjection) MultiRunResult {
+	return RunMultiWith(policy, seed, injs, IPCOptions{})
+}
+
+// RunMultiWith is RunMulti with transport fault options applied.
+func RunMultiWith(policy seep.Policy, seed uint64, injs []MultiInjection, ipc IPCOptions) MultiRunResult {
 	reg := usr.NewRegistry()
 	testsuite.Register(reg)
 	var report testsuite.Report
 
+	armsIPC := false
+	for _, inj := range injs {
+		if inj.Type.IPC() {
+			armsIPC = true
+		}
+	}
+	ipc = ipc.normalized(armsIPC)
 	sys := boot.Boot(boot.Options{
-		Config:     core.Config{Policy: policy, Seed: seed},
+		Config:     ipc.apply(core.Config{Policy: policy, Seed: seed}, seed),
 		Registry:   reg,
 		Heartbeats: true,
 	}, testsuite.RunnerInit(&report))
@@ -116,6 +138,7 @@ func RunMulti(policy seep.Policy, seed uint64, injs []MultiInjection) MultiRunRe
 		}
 	})
 
+	aud := audit.Attach(sys.OS)
 	res := sys.Run(RunLimit)
 	nTriggered := 0
 	for _, tr := range triggered {
@@ -123,7 +146,7 @@ func RunMulti(policy seep.Policy, seed uint64, injs []MultiInjection) MultiRunRe
 			nTriggered++
 		}
 	}
-	return MultiRunResult{
+	out := MultiRunResult{
 		Injections:  injs,
 		Outcome:     classifyMulti(res, &report, sys.Quarantines),
 		Triggered:   nTriggered,
@@ -131,7 +154,16 @@ func RunMulti(policy seep.Policy, seed uint64, injs []MultiInjection) MultiRunRe
 		Recoveries:  sys.Recoveries,
 		Quarantines: sys.Quarantines,
 		Reason:      res.Reason,
+		Seed:        seed,
 	}
+	if res.Outcome == kernel.OutcomeCompleted {
+		aud.Final()
+	}
+	out.Consistent = aud.Consistent()
+	for _, v := range aud.Violations() {
+		out.Violations = append(out.Violations, v.String())
+	}
+	return out
 }
 
 // classifyMulti extends the paper's four classes with degraded-pass:
@@ -165,6 +197,10 @@ type MultiCampaignConfig struct {
 	// Workers bounds concurrent boots (0 = one per CPU, 1 = serial);
 	// results are bit-identical for any worker count.
 	Workers int
+	// IPC configures transport fault interposition for every run of the
+	// campaign (zero value: off; forced on when a plan arms IPC
+	// faults).
+	IPC IPCOptions
 }
 
 // MultiCampaignResult aggregates a multi-fault campaign: one row of the
@@ -178,6 +214,11 @@ type MultiCampaignResult struct {
 	// Untriggered counts runs where no armed fault fired at all; they
 	// are excluded from Runs and Counts.
 	Untriggered int
+	// Consistent counts triggered runs whose every audit pass found the
+	// cross-server invariants intact; InconsistentSeeds lists the
+	// per-run seeds of the others for exact replay.
+	Consistent        int
+	InconsistentSeeds []uint64
 }
 
 // Percent reports the share of runs with the given outcome.
@@ -186,6 +227,15 @@ func (c MultiCampaignResult) Percent(o Outcome) float64 {
 		return 0
 	}
 	return 100 * float64(c.Counts[o]) / float64(c.Runs)
+}
+
+// ConsistentPercent reports the share of runs the auditor classified
+// consistent.
+func (c MultiCampaignResult) ConsistentPercent() float64 {
+	if c.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(c.Consistent) / float64(c.Runs)
 }
 
 // PlanMultiCampaign derives the per-run injection lists from a profile.
@@ -266,7 +316,7 @@ func RunMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) MultiCampa
 		result.Faults = 2
 	}
 	results := parallel.Map(cfg.Workers, len(plans), func(i int) MultiRunResult {
-		return RunMulti(cfg.Policy, cfg.Seed+uint64(i)*104729, plans[i])
+		return RunMultiWith(cfg.Policy, cfg.Seed+uint64(i)*104729, plans[i], cfg.IPC)
 	})
 	for _, rr := range results {
 		if rr.Triggered == 0 {
@@ -275,6 +325,11 @@ func RunMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) MultiCampa
 		}
 		result.Runs++
 		result.Counts[rr.Outcome]++
+		if rr.Consistent {
+			result.Consistent++
+		} else {
+			result.InconsistentSeeds = append(result.InconsistentSeeds, rr.Seed)
+		}
 	}
 	return result
 }

@@ -128,7 +128,7 @@ func TestSchedulerEquivalenceRunDetail(t *testing.T) {
 		var oldRR, newRR RunResult
 		withScheduler(true, func() { oldRR = RunOne(seep.PolicyEnhanced, 42+uint64(i)*7919, inj) })
 		withScheduler(false, func() { newRR = RunOne(seep.PolicyEnhanced, 42+uint64(i)*7919, inj) })
-		if oldRR != newRR {
+		if !reflect.DeepEqual(oldRR, newRR) {
 			t.Errorf("run %d (%+v): diverged:\nlegacy: %+v\nnew:    %+v", i, inj, oldRR, newRR)
 		}
 	}

@@ -67,6 +67,10 @@ func (k *Kernel) advanceToNextEvent() bool {
 			have = true
 		}
 	}
+	if k.ipcNextDue != ipcNone && (!have || k.ipcNextDue < next) {
+		next = k.ipcNextDue
+		have = true
+	}
 	if !have {
 		return false
 	}

@@ -102,6 +102,9 @@ func (c *Context) Receive() Message {
 		c.p.curSender = m.From
 		c.p.curNeedsReply = m.NeedsReply
 	}
+	if c.k.ipc != nil {
+		c.k.ipc.noteReceive(c.p, m)
+	}
 	c.k.trace("recv: %s(%d) <- %d type=%d t=%d", c.p.name, c.p.ep, m.From, m.Type, c.k.clock.Now())
 	return m
 }
@@ -116,6 +119,9 @@ func (c *Context) TryReceive() (Message, bool) {
 	if c.p.isServer {
 		c.p.curSender = m.From
 		c.p.curNeedsReply = m.NeedsReply
+	}
+	if c.k.ipc != nil {
+		c.k.ipc.noteReceive(c.p, m)
 	}
 	return m, true
 }
@@ -145,7 +151,20 @@ func (c *Context) SendRec(dst Endpoint, m Message) Message {
 	m.From = c.p.ep
 	m.To = dst
 	m.NeedsReply = true
-	target.pushMsg(m)
+	if ipc := c.k.ipc; ipc != nil {
+		// Interposed transmission: sequence/checksum the request, keep
+		// a copy for retransmission, and arm the sender-side deadline.
+		ipc.prepare(&m)
+		c.p.pendingReq = m
+		c.p.sendAttempts = 1
+		c.p.sendRearms = 0
+		ipc.xmit(m, 1)
+		if ipc.relOn() {
+			c.k.armSendDeadline(c.p)
+		}
+	} else {
+		target.pushMsg(m)
+	}
 
 	c.p.state = stateSendRec
 	c.p.waitFrom = dst
@@ -158,6 +177,10 @@ func (c *Context) SendRec(dst Endpoint, m Message) Message {
 	c.p.reply = nil
 	c.p.waitFrom = EpNone
 	c.p.state = stateRunnable
+	if c.k.ipc != nil {
+		c.p.sendDeadline = 0
+		c.p.pendingReq = Message{}
+	}
 	c.k.markSched(c.p)
 	return reply
 }
@@ -190,6 +213,11 @@ func (c *Context) Send(dst Endpoint, m Message) Errno {
 	m.From = c.p.ep
 	m.To = dst
 	m.NeedsReply = false
+	if ipc := c.k.ipc; ipc != nil {
+		ipc.prepare(&m)
+		ipc.xmit(m, 1)
+		return OK
+	}
 	target.pushMsg(m)
 	return OK
 }
@@ -213,6 +241,10 @@ func (c *Context) Reply(to Endpoint, m Message) {
 		m.Errno = override
 	}
 	c.k.chargeIPC()
+	if ipc := c.k.ipc; ipc != nil {
+		ipc.xmitReply(c.p, to, m)
+		return
+	}
 	if err := c.k.DeliverReply(c.p.ep, to, m); err != nil {
 		// The caller died while we processed its request; drop the reply.
 		c.k.counters.AddID(ctrRepliesDropped, 1)

@@ -1,0 +1,843 @@
+package kernel
+
+// This file implements the IPC fault-injection plane and the end-to-end
+// request reliability layer (EDFI-style interposition on the message
+// fabric). Every Context-level send — SendRec requests, asynchronous
+// Send/Notify messages, and server replies — passes through the plane,
+// which can deterministically drop, duplicate, delay, reorder, or
+// corrupt the message. Kernel-internal deliveries (PostMessage, alarm
+// delivery, recovery-engine error virtualization) are part of the
+// Reliable Computing Base and are never interposed.
+//
+// When reliability is enabled (IPCReliability.TimeoutCycles > 0) the
+// transport additionally provides at-most-once request semantics:
+//
+//   - every interposed message carries a per-(src,dst) sequence number
+//     and a payload checksum;
+//   - corrupted payloads are discarded at delivery (link-layer CRC) and
+//     treated as loss;
+//   - duplicate deliveries are suppressed at the destination inbox;
+//   - a sender blocked in SendRec is watched by the kernel: on timeout
+//     the transport redelivers the cached reply (lost-reply case),
+//     re-arms the deadline if the request was delivered and is still
+//     being served (slow-server case — this never consumes a retry),
+//     or retransmits with bounded exponential backoff (lost-request
+//     case) until RetryMax is exhausted and the request is abandoned
+//     with a dead-letter ETIMEDOUT reply;
+//   - asynchronous sends get link-layer ARQ: a dropped or corrupted
+//     async message is scheduled for retransmission after the timeout,
+//     bounded by the same retry budget, then dead-lettered.
+//
+// Everything is a pure function of the plane's seed: the kernel runs
+// one process at a time, so fault decisions are drawn in a fixed order
+// from a dedicated RNG that never touches the machine's root RNG. With
+// the plane disabled (the default) no state is allocated and runs are
+// bit-identical to builds without this file.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// IPCFaultKind is one interposition fault behaviour.
+type IPCFaultKind int
+
+const (
+	// IPCDrop silently discards the message.
+	IPCDrop IPCFaultKind = iota + 1
+	// IPCDup delivers the message twice.
+	IPCDup
+	// IPCDelay holds the message for DelayCycles before delivery.
+	IPCDelay
+	// IPCReorder delivers the message ahead of messages already queued
+	// at the destination.
+	IPCReorder
+	// IPCCorrupt scrambles the payload registers before delivery.
+	IPCCorrupt
+)
+
+// String names the fault kind.
+func (k IPCFaultKind) String() string {
+	switch k {
+	case IPCDrop:
+		return "ipc-drop"
+	case IPCDup:
+		return "ipc-dup"
+	case IPCDelay:
+		return "ipc-delay"
+	case IPCReorder:
+		return "ipc-reorder"
+	case IPCCorrupt:
+		return "ipc-corrupt"
+	default:
+		return fmt.Sprintf("IPCFaultKind(%d)", int(k))
+	}
+}
+
+// IPCFaultConfig sets the background fault rates of the interposition
+// plane, in basis points (1 bp = 0.01% of interposed messages). The
+// zero value injects nothing; armed one-shot faults (ArmIPCFault) work
+// regardless of the rates.
+type IPCFaultConfig struct {
+	DropBP, DupBP, DelayBP, ReorderBP, CorruptBP int
+	// DelayCycles is how long a delayed message is held (zero selects
+	// DefaultIPCDelayCycles).
+	DelayCycles sim.Cycles
+}
+
+// DefaultIPCDelayCycles is the hold time of delayed messages when
+// IPCFaultConfig.DelayCycles is zero.
+const DefaultIPCDelayCycles sim.Cycles = 25_000
+
+// Enabled reports whether any background fault rate is non-zero.
+func (c IPCFaultConfig) Enabled() bool {
+	return c.DropBP > 0 || c.DupBP > 0 || c.DelayBP > 0 || c.ReorderBP > 0 || c.CorruptBP > 0
+}
+
+// Validate rejects nonsensical rate configurations.
+func (c IPCFaultConfig) Validate() error {
+	rates := [...]struct {
+		name string
+		bp   int
+	}{
+		{"DropBP", c.DropBP}, {"DupBP", c.DupBP}, {"DelayBP", c.DelayBP},
+		{"ReorderBP", c.ReorderBP}, {"CorruptBP", c.CorruptBP},
+	}
+	total := 0
+	for _, r := range rates {
+		if r.bp < 0 || r.bp > 10000 {
+			return fmt.Errorf("kernel: IPC fault rate %s must be in [0, 10000] basis points, got %d", r.name, r.bp)
+		}
+		total += r.bp
+	}
+	if total > 10000 {
+		return fmt.Errorf("kernel: IPC fault rates sum to %d basis points (> 10000)", total)
+	}
+	return nil
+}
+
+// delay returns the effective hold time of delayed messages.
+func (c IPCFaultConfig) delay() sim.Cycles {
+	if c.DelayCycles > 0 {
+		return c.DelayCycles
+	}
+	return DefaultIPCDelayCycles
+}
+
+// IPCReliability configures the end-to-end reliability layer.
+// TimeoutCycles == 0 disables it (raw, unprotected transport).
+type IPCReliability struct {
+	// TimeoutCycles is the base sender-side timeout; retransmissions
+	// back off exponentially from it (bounded at 8x).
+	TimeoutCycles sim.Cycles
+	// RetryMax bounds retransmissions per message before it is
+	// abandoned to the dead-letter counter (zero selects 4).
+	RetryMax int
+}
+
+// retryMax resolves the effective retransmission budget.
+func (r IPCReliability) retryMax() int {
+	if r.RetryMax > 0 {
+		return r.RetryMax
+	}
+	return 4
+}
+
+// IPCStats is the transport's conservation ledger. With the plane
+// enabled the invariant
+//
+//	Sent == Delivered + Dropped + DupSuppressed + PendingDelayed
+//
+// holds at every kernel-loop boundary: every transmission is eventually
+// delivered to an inbox or reply slot, consumed by a fault (or lost to
+// a dead destination), suppressed as a duplicate, or still held in the
+// delay queue. The audit package checks exactly this equation.
+type IPCStats struct {
+	// Sent counts transmissions (retransmissions and duplicate copies
+	// count separately).
+	Sent uint64
+	// Delivered counts messages placed into a destination inbox or
+	// reply slot.
+	Delivered uint64
+	// Dropped counts transmissions consumed by a drop fault, discarded
+	// by the link-layer checksum, or lost because the destination died.
+	Dropped uint64
+	// DupSuppressed counts deliveries rejected by sequence-number
+	// deduplication.
+	DupSuppressed uint64
+	// PendingDelayed counts in-flight messages currently held in the
+	// delay queue. Scheduled link-layer retransmissions are NOT
+	// included: their transmission has not been rolled yet, so they are
+	// tracked in PendingARQ outside the conservation equation (the
+	// lost original was already accounted under Dropped).
+	PendingDelayed uint64
+	// PendingARQ counts link-layer retransmissions scheduled but not
+	// yet re-sent.
+	PendingARQ uint64
+
+	// Duplicated counts dup faults, Delayed delay faults, Reordered
+	// head-of-queue deliveries, CorruptInjected corruption faults.
+	Duplicated, Delayed, Reordered, CorruptInjected uint64
+	// CorruptDropped counts deliveries discarded by checksum mismatch
+	// (reliability layer on; also included in Dropped).
+	CorruptDropped uint64
+	// Timeouts counts sender-deadline expiries; Retransmits the
+	// retransmissions they (or the async ARQ) caused;
+	// ReplyRedeliveries the lost replies recovered from the reply
+	// cache.
+	Timeouts, Retransmits, ReplyRedeliveries uint64
+	// DeadLetters counts messages abandoned after RetryMax
+	// retransmissions.
+	DeadLetters uint64
+	// StaleReplies counts sequenced replies discarded because the
+	// sender had already moved past that request — the delayed or
+	// duplicated original of a reply that was meanwhile recovered from
+	// the reply cache. Also included in Dropped.
+	StaleReplies uint64
+}
+
+// ipcNone is the "no pending IPC event" sentinel of Kernel.ipcNextDue.
+const ipcNone = ^sim.Cycles(0)
+
+// epPair keys per-(destination, source) transport state.
+type epPair struct{ dst, src Endpoint }
+
+// seqWindow is a sliding anti-replay window over one pair's delivered
+// sequence numbers (the RFC 4303 bitmap scheme): top is the highest
+// delivered sequence, bit i of bits marks top-i as delivered. Sequences
+// more than 63 behind top are assumed duplicates — far older than
+// anything the bounded retry budget can still have in flight.
+type seqWindow struct {
+	top  uint32
+	bits uint64
+}
+
+// mark records seq as delivered and reports whether it already was (a
+// duplicate to suppress).
+func (w *seqWindow) mark(seq uint32) bool {
+	if seq > w.top {
+		if shift := seq - w.top; shift >= 64 {
+			w.bits = 1
+		} else {
+			w.bits = w.bits<<shift | 1
+		}
+		w.top = seq
+		return false
+	}
+	off := w.top - seq
+	if off >= 64 || w.bits&(1<<off) != 0 {
+		return true
+	}
+	w.bits |= 1 << off
+	return false
+}
+
+// has reports whether seq was delivered.
+func (w seqWindow) has(seq uint32) bool {
+	if seq > w.top {
+		return false
+	}
+	off := w.top - seq
+	return off >= 64 || w.bits&(1<<off) != 0
+}
+
+// ipcFate is the outcome of one fault roll.
+type ipcFate int
+
+const (
+	fateNone ipcFate = iota
+	fateDrop
+	fateDup
+	fateDelay
+	fateReorder
+	fateCorrupt
+)
+
+// heldMsg is one entry of the delay queue: a message to deliver or
+// retransmit at due. Queue order breaks due-time ties, so release
+// order is deterministic.
+type heldMsg struct {
+	due sim.Cycles
+	msg Message
+	// reply marks server replies (delivered through the reply path).
+	reply bool
+	// retransmit marks link-layer ARQ entries: at due the message is
+	// retransmitted through a fresh fault roll instead of delivered.
+	retransmit bool
+	// attempts counts transmissions of an ARQ entry so far.
+	attempts int
+}
+
+// cachedReply is the last reply a server produced for one client,
+// keyed by the request sequence number it answers.
+type cachedReply struct {
+	seq uint32
+	msg Message
+}
+
+// ipcPlane is the interposition plane of one machine. It exists only
+// when faults or reliability are enabled; a nil plane is the default
+// and leaves every IPC path untouched.
+type ipcPlane struct {
+	k   *Kernel
+	cfg IPCFaultConfig
+	rel IPCReliability
+	rng *sim.RNG
+
+	stats IPCStats
+
+	// nextSeq assigns per-(dst,src) sequence numbers; seen tracks which
+	// sequences were delivered to dst from src (exact anti-replay
+	// window — deduplication must not assume in-order arrival, because
+	// delay and reorder faults plus ARQ recovery deliver a pair's
+	// messages out of order); svcSeq tracks the request sequence a
+	// server is answering per client; replyCache holds the last reply
+	// per (server, client) for lost-reply redelivery. All keyed
+	// (dst, src). This state lives on the plane, not the process, so it
+	// survives ReplaceProcess: the transport is part of the Reliable
+	// Computing Base.
+	nextSeq    map[epPair]uint32
+	seen       map[epPair]seqWindow
+	svcSeq     map[epPair]uint32
+	replyCache map[epPair]cachedReply
+
+	held []heldMsg
+
+	// armed holds one-shot faults per sending endpoint (campaign
+	// injection); an armed fault fires on the endpoint's next
+	// interposed transmission, taking precedence over the rates.
+	armed map[Endpoint]IPCFaultKind
+}
+
+// relOn reports whether the reliability layer is active.
+func (ipc *ipcPlane) relOn() bool { return ipc.rel.TimeoutCycles > 0 }
+
+// plane returns the machine's interposition plane, creating it on first
+// use. seed == 0 derives the fault stream from the fixed constant alone.
+func (k *Kernel) plane(seed uint64) *ipcPlane {
+	if k.ipc == nil {
+		k.ipc = &ipcPlane{
+			k:          k,
+			rng:        sim.NewRNG(seed ^ 0x19C0FA17),
+			nextSeq:    make(map[epPair]uint32),
+			seen:       make(map[epPair]seqWindow),
+			svcSeq:     make(map[epPair]uint32),
+			replyCache: make(map[epPair]cachedReply),
+			armed:      make(map[Endpoint]IPCFaultKind),
+		}
+	}
+	return k.ipc
+}
+
+// SetIPCFaultPlane enables the interposition plane with the given
+// background fault rates, reliability configuration and fault seed.
+// Must be called before Run. Panics on an invalid config (mirrors how
+// the kernel surfaces misconfiguration at boot; core.Config.Validate
+// rejects bad rates before they reach here).
+func (k *Kernel) SetIPCFaultPlane(cfg IPCFaultConfig, rel IPCReliability, seed uint64) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := k.plane(seed)
+	p.cfg = cfg
+	p.rel = rel
+}
+
+// ArmIPCFault arms a one-shot fault on the next interposed message sent
+// by ep (EDFI campaign injection). It works with all background rates
+// at zero; the plane is created on demand.
+func (k *Kernel) ArmIPCFault(ep Endpoint, kind IPCFaultKind) {
+	p := k.plane(0)
+	p.armed[ep] = kind
+}
+
+// IPCStats returns the transport ledger and whether the plane exists.
+func (k *Kernel) IPCStats() (IPCStats, bool) {
+	if k.ipc == nil {
+		return IPCStats{}, false
+	}
+	return k.ipc.stats, true
+}
+
+// IPCReliabilityOn reports whether the reliability layer is active.
+func (k *Kernel) IPCReliabilityOn() bool {
+	return k.ipc != nil && k.ipc.relOn()
+}
+
+// ipcChecksum hashes the payload-bearing fields of m (FNV-1a over the
+// registers, strings and sequence number). The Sum field itself is
+// excluded. Zero is never returned, so Sum != 0 marks checked messages.
+func ipcChecksum(m Message) uint32 {
+	h := uint64(0xCBF29CE484222325)
+	step := func(v uint64) {
+		h ^= v
+		h *= 0x100000001B3
+	}
+	step(uint64(uint32(m.Type)))
+	step(uint64(uint32(m.From))<<32 | uint64(uint32(m.To)))
+	step(uint64(m.A))
+	step(uint64(m.B))
+	step(uint64(m.C))
+	step(uint64(m.D))
+	step(uint64(uint32(m.Errno)))
+	step(uint64(m.Seq))
+	for i := 0; i < len(m.Str); i++ {
+		step(uint64(m.Str[i]))
+	}
+	step(0xFF)
+	for i := 0; i < len(m.Str2); i++ {
+		step(uint64(m.Str2[i]))
+	}
+	step(uint64(len(m.Bytes)))
+	sum := uint32(h) ^ uint32(h>>32)
+	if sum == 0 {
+		sum = 1
+	}
+	return sum
+}
+
+// prepare assigns the sequence number and checksum of a first
+// transmission (reliability layer on; retransmissions keep theirs).
+func (ipc *ipcPlane) prepare(m *Message) {
+	if !ipc.relOn() {
+		return
+	}
+	pair := epPair{m.To, m.From}
+	seq := ipc.nextSeq[pair] + 1
+	ipc.nextSeq[pair] = seq
+	m.Seq = seq
+	m.Sum = ipcChecksum(*m)
+}
+
+// roll draws the fate of one transmission: the sender's armed one-shot
+// fault if present, else a single banded roll against the background
+// rates. Fates a reply cannot meaningfully suffer (dup would orphan a
+// stray message in the sender's inbox; reorder has no queue to jump)
+// degrade to plain delivery.
+func (ipc *ipcPlane) roll(sender Endpoint, isReply bool) ipcFate {
+	fate := fateNone
+	if kind, ok := ipc.armed[sender]; ok {
+		delete(ipc.armed, sender)
+		fate = fateForKind(kind)
+	} else if ipc.cfg.Enabled() {
+		r := ipc.rng.Intn(10000)
+		switch {
+		case r < ipc.cfg.DropBP:
+			fate = fateDrop
+		case r < ipc.cfg.DropBP+ipc.cfg.DupBP:
+			fate = fateDup
+		case r < ipc.cfg.DropBP+ipc.cfg.DupBP+ipc.cfg.DelayBP:
+			fate = fateDelay
+		case r < ipc.cfg.DropBP+ipc.cfg.DupBP+ipc.cfg.DelayBP+ipc.cfg.ReorderBP:
+			fate = fateReorder
+		case r < ipc.cfg.DropBP+ipc.cfg.DupBP+ipc.cfg.DelayBP+ipc.cfg.ReorderBP+ipc.cfg.CorruptBP:
+			fate = fateCorrupt
+		}
+	}
+	if isReply && (fate == fateDup || fate == fateReorder) {
+		return fateNone
+	}
+	return fate
+}
+
+// fateForKind maps an armed fault kind to a fate.
+func fateForKind(k IPCFaultKind) ipcFate {
+	switch k {
+	case IPCDrop:
+		return fateDrop
+	case IPCDup:
+		return fateDup
+	case IPCDelay:
+		return fateDelay
+	case IPCReorder:
+		return fateReorder
+	case IPCCorrupt:
+		return fateCorrupt
+	default:
+		return fateNone
+	}
+}
+
+// corrupt scrambles the payload registers deterministically. The
+// checksum is left as computed over the original payload, so the
+// corruption is detectable when the reliability layer is on.
+func (ipc *ipcPlane) corrupt(m *Message) {
+	x := ipc.rng.Uint64()
+	m.A ^= int64(x | 1)
+	m.B ^= int64(x>>7 | 1)
+	m.C ^= int64(x>>13 | 1)
+	m.D ^= int64(x>>23 | 1)
+	ipc.stats.CorruptInjected++
+}
+
+// xmit transmits one prepared message toward its destination through a
+// fault roll. Both first transmissions and retransmissions come here;
+// attempts is the transmission count so far (for async ARQ scheduling).
+func (ipc *ipcPlane) xmit(m Message, attempts int) {
+	ipc.stats.Sent++
+	switch ipc.roll(m.From, false) {
+	case fateDrop:
+		ipc.stats.Dropped++
+		ipc.scheduleARQ(m, attempts)
+	case fateDup:
+		ipc.stats.Duplicated++
+		ipc.deliver(m, false)
+		ipc.stats.Sent++
+		ipc.deliver(m, false)
+	case fateDelay:
+		ipc.stats.Delayed++
+		ipc.hold(heldMsg{due: ipc.k.clock.Now() + ipc.cfg.delay(), msg: m})
+	case fateReorder:
+		ipc.deliver(m, true)
+	case fateCorrupt:
+		orig := m
+		ipc.corrupt(&m)
+		ipc.deliver(m, false)
+		// With the reliability layer on, the corrupted copy is certain
+		// to be discarded by the link checksum: schedule the clean
+		// original for retransmission (async only; requests are
+		// recovered by the sender-side deadline).
+		ipc.scheduleARQ(orig, attempts)
+	default:
+		ipc.deliver(m, false)
+	}
+}
+
+// scheduleARQ schedules a link-layer retransmission of a lost
+// asynchronous message (reliability on). Requests awaiting a reply are
+// recovered by the sender-side deadline instead, and with the
+// reliability layer off a lost message stays lost.
+func (ipc *ipcPlane) scheduleARQ(m Message, attempts int) {
+	if !ipc.relOn() || m.NeedsReply || m.Seq == 0 {
+		return
+	}
+	if attempts > ipc.rel.retryMax() {
+		ipc.stats.DeadLetters++
+		return
+	}
+	ipc.hold(heldMsg{
+		due:        ipc.k.clock.Now() + ipc.rel.TimeoutCycles,
+		msg:        m,
+		retransmit: true,
+		attempts:   attempts,
+	})
+}
+
+// deliver places a message into the destination inbox, after link-layer
+// checksum verification and duplicate suppression. front selects
+// head-of-queue insertion (reorder fault).
+func (ipc *ipcPlane) deliver(m Message, front bool) {
+	if ipc.relOn() && m.Sum != 0 && ipcChecksum(m) != m.Sum {
+		ipc.stats.CorruptDropped++
+		ipc.stats.Dropped++
+		return
+	}
+	if ipc.relOn() && m.Seq != 0 {
+		pair := epPair{m.To, m.From}
+		w := ipc.seen[pair]
+		dup := w.mark(m.Seq)
+		ipc.seen[pair] = w
+		if dup {
+			ipc.stats.DupSuppressed++
+			return
+		}
+	}
+	target := ipc.k.procs[m.To]
+	if target == nil || ipc.k.IsQuarantined(m.To) ||
+		(!target.Alive() && !ipc.k.RecoveryPending(m.To)) {
+		// Destination is gone for good: transport-level loss.
+		ipc.stats.Dropped++
+		return
+	}
+	ipc.stats.Delivered++
+	if front && target.queueLen() > 0 {
+		ipc.stats.Reordered++
+		target.pushMsgFront(m)
+		return
+	}
+	target.pushMsg(m)
+}
+
+// xmitReply transmits a server reply through the plane. The reply
+// inherits the sequence number of the request it answers and is cached
+// for lost-reply redelivery.
+func (ipc *ipcPlane) xmitReply(from *Process, to Endpoint, m Message) {
+	m.From = from.ep
+	m.To = to
+	if ipc.relOn() {
+		pair := epPair{from.ep, to}
+		if seq := ipc.svcSeq[pair]; seq != 0 {
+			m.Seq = seq
+			m.Sum = ipcChecksum(m)
+			ipc.replyCache[pair] = cachedReply{seq: seq, msg: m}
+		}
+	}
+	ipc.stats.Sent++
+	switch ipc.roll(from.ep, true) {
+	case fateDrop:
+		// The sender's deadline recovers the reply from the cache.
+		ipc.stats.Dropped++
+	case fateDelay:
+		ipc.stats.Delayed++
+		ipc.hold(heldMsg{due: ipc.k.clock.Now() + ipc.cfg.delay(), msg: m, reply: true})
+	case fateCorrupt:
+		ipc.corrupt(&m)
+		ipc.deliverReply(m)
+	default:
+		ipc.deliverReply(m)
+	}
+}
+
+// deliverReply hands a reply to the kernel's reply path, after the
+// link-layer checksum, keeping the conservation ledger balanced when
+// the caller died meanwhile.
+func (ipc *ipcPlane) deliverReply(m Message) {
+	if ipc.relOn() && m.Sum != 0 && ipcChecksum(m) != m.Sum {
+		// Corrupt reply discarded at the link; the sender's deadline
+		// redelivers the clean copy from the reply cache.
+		ipc.stats.CorruptDropped++
+		ipc.stats.Dropped++
+		return
+	}
+	if ipc.relOn() && m.Seq != 0 {
+		if p := ipc.k.procs[m.To]; p != nil && p.state == stateSendRec &&
+			p.waitFrom == m.From && p.pendingReq.Seq != m.Seq {
+			// A reply to an older request reaching a sender now blocked
+			// on a later one: the original was already recovered from the
+			// reply cache, and accepting this copy would unblock the
+			// wrong call with the wrong payload. At-most-once demands it
+			// be discarded; the in-flight request is answered by its own
+			// reply or by the deadline machinery.
+			ipc.stats.StaleReplies++
+			ipc.stats.Dropped++
+			return
+		}
+	}
+	if err := ipc.k.DeliverReply(m.From, m.To, m); err != nil {
+		ipc.stats.Dropped++
+		ipc.k.counters.AddID(ctrRepliesDropped, 1)
+		return
+	}
+	ipc.stats.Delivered++
+}
+
+// hold enqueues a delayed (or ARQ) entry and pulls the kernel's
+// next-IPC-event horizon forward.
+func (ipc *ipcPlane) hold(h heldMsg) {
+	if h.retransmit {
+		ipc.stats.PendingARQ++
+	} else {
+		ipc.stats.PendingDelayed++
+	}
+	ipc.held = append(ipc.held, h)
+	if h.due < ipc.k.ipcNextDue {
+		ipc.k.ipcNextDue = h.due
+	}
+}
+
+// noteReceive runs at message pop time: it records which request
+// sequence the server is now answering, so the eventual reply can be
+// matched, checked and cached per client.
+func (ipc *ipcPlane) noteReceive(p *Process, m Message) {
+	if ipc.relOn() && m.NeedsReply && m.Seq != 0 {
+		ipc.svcSeq[epPair{p.ep, m.From}] = m.Seq
+	}
+}
+
+// retryTimeout is the deadline for the attempts-th transmission:
+// exponential backoff from the base timeout, bounded at 8x.
+func (ipc *ipcPlane) retryTimeout(attempts int) sim.Cycles {
+	t := ipc.rel.TimeoutCycles
+	for i := 1; i < attempts && i < 4; i++ {
+		t *= 2
+	}
+	return t
+}
+
+// armSendDeadline (re)arms the SendRec timeout of a blocked sender.
+func (k *Kernel) armSendDeadline(p *Process) {
+	due := k.clock.Now() + k.ipc.retryTimeout(p.sendAttempts)
+	p.sendDeadline = due
+	if due < k.ipcNextDue {
+		k.ipcNextDue = due
+	}
+}
+
+// senderStuck reports whether p's delivered-but-unanswered request can
+// no longer be served: following the waits-for chain from p either
+// reaches a destination that is gone for good (quarantined, or dead
+// with no recovery pending), or closes a cycle of processes all parked
+// in SendRec — none of them can run to serve the others, and parked
+// processes only unpark through a reply, so the cycle is permanent
+// unless the transport breaks it. Any chain member that is not parked
+// (serving, runnable, or dead-awaiting-recovery) can still make
+// progress, so the sender keeps waiting. The walk is bounded by the
+// process count: exceeding it means the chain revisited a node, which
+// is the same closed cycle.
+func (ipc *ipcPlane) senderStuck(p *Process) bool {
+	cur := p
+	for i := 0; i <= len(ipc.k.procs); i++ {
+		dst := cur.waitFrom
+		t := ipc.k.procs[dst]
+		if t == nil || ipc.k.IsQuarantined(dst) ||
+			(!t.Alive() && !ipc.k.RecoveryPending(dst)) {
+			return true
+		}
+		if t.state != stateSendRec {
+			return false
+		}
+		if t == p {
+			return true
+		}
+		cur = t
+	}
+	return true
+}
+
+// handleSendTimeout resolves one expired SendRec deadline: redeliver
+// the cached reply, re-arm for a delivered-but-slow request, or
+// retransmit / dead-letter a lost one.
+func (ipc *ipcPlane) handleSendTimeout(p *Process) {
+	ipc.stats.Timeouts++
+	dst := p.waitFrom
+	pair := epPair{dst, p.ep}
+	seq := p.pendingReq.Seq
+	if seq != 0 {
+		if rc, ok := ipc.replyCache[pair]; ok && rc.seq == seq {
+			// The reply exists but was lost in transit: redeliver it
+			// (reliably — the cache models the server-side send buffer).
+			ipc.stats.Sent++
+			ipc.stats.ReplyRedeliveries++
+			p.sendDeadline = 0
+			ipc.deliverReply(rc.msg)
+			return
+		}
+		if ipc.seen[pair].has(seq) {
+			// Delivered and still being served (slow server, postponed
+			// reply): keep waiting without consuming a retry. Long waits
+			// are legitimate — blocking process waits, writers parked on a
+			// full pipe — so the grace is unbounded, except when the
+			// waits-for graph proves the request can never be served: a
+			// crash can strand a cross-server transaction in a closed
+			// cycle of senders all parked in SendRec, which no reply will
+			// ever resolve. After retryMax quiet periods every further
+			// timeout probes for such a cycle (or a destination that died
+			// for good) and breaks it with a dead-letter ETIMEDOUT, so the
+			// failure stays locally recoverable instead of hanging the run
+			// to its cycle limit.
+			if p.sendRearms < ipc.rel.retryMax() || !ipc.senderStuck(p) {
+				p.sendRearms++
+				ipc.k.armSendDeadline(p)
+				return
+			}
+			ipc.stats.DeadLetters++
+			p.sendDeadline = 0
+			m := Message{From: dst, To: p.ep, Errno: ETIMEDOUT}
+			p.reply = &m
+			ipc.k.markSched(p)
+			return
+		}
+	}
+	// Lost in transit.
+	if p.sendAttempts > ipc.rel.retryMax() {
+		ipc.stats.DeadLetters++
+		p.sendDeadline = 0
+		m := Message{From: dst, To: p.ep, Errno: ETIMEDOUT}
+		p.reply = &m
+		ipc.k.markSched(p)
+		return
+	}
+	target := ipc.k.procs[dst]
+	if target == nil || ipc.k.IsQuarantined(dst) ||
+		(!target.Alive() && !ipc.k.RecoveryPending(dst)) {
+		p.sendDeadline = 0
+		m := Message{From: dst, To: p.ep, Errno: EDEADSRCDST}
+		p.reply = &m
+		ipc.k.markSched(p)
+		return
+	}
+	p.sendAttempts++
+	ipc.stats.Retransmits++
+	ipc.xmit(p.pendingReq, p.sendAttempts)
+	ipc.k.armSendDeadline(p)
+}
+
+// release resolves one due delay-queue entry: deliver a held message,
+// or push an ARQ entry back through a fresh transmission roll.
+func (ipc *ipcPlane) release(h heldMsg) {
+	switch {
+	case h.retransmit:
+		ipc.stats.PendingARQ--
+		ipc.stats.Retransmits++
+		ipc.xmit(h.msg, h.attempts+1)
+	case h.reply:
+		ipc.stats.PendingDelayed--
+		ipc.deliverReply(h.msg)
+	default:
+		ipc.stats.PendingDelayed--
+		ipc.deliver(h.msg, false)
+	}
+}
+
+// fireDueIPC processes every due IPC event: delay-queue releases and
+// SendRec timeouts, in deterministic order (queue order, then endpoint
+// order). It recomputes the next-event horizon afterwards.
+func (k *Kernel) fireDueIPC() {
+	ipc := k.ipc
+	if ipc == nil {
+		k.ipcNextDue = ipcNone
+		return
+	}
+	now := k.clock.Now()
+	if len(ipc.held) > 0 {
+		// Split due entries out before releasing any: a release can
+		// append new holds (ARQ re-drop), which must not be lost.
+		var due []heldMsg
+		kept := ipc.held[:0]
+		for _, h := range ipc.held {
+			if h.due > now {
+				kept = append(kept, h)
+			} else {
+				due = append(due, h)
+			}
+		}
+		ipc.held = kept
+		for _, h := range due {
+			ipc.release(h)
+		}
+	}
+	if ipc.relOn() {
+		for _, ep := range k.order {
+			p := k.procs[ep]
+			if p == nil || p.state != stateSendRec || p.reply != nil ||
+				p.sendDeadline == 0 || p.sendDeadline > now {
+				continue
+			}
+			ipc.handleSendTimeout(p)
+		}
+	}
+	k.ipcNextDue = ipc.nextDue()
+}
+
+// nextDue scans for the earliest pending IPC event.
+func (ipc *ipcPlane) nextDue() sim.Cycles {
+	next := ipcNone
+	for _, h := range ipc.held {
+		if h.due < next {
+			next = h.due
+		}
+	}
+	if ipc.relOn() {
+		for _, ep := range ipc.k.order {
+			p := ipc.k.procs[ep]
+			if p == nil || p.state != stateSendRec || p.reply != nil || p.sendDeadline == 0 {
+				continue
+			}
+			if p.sendDeadline < next {
+				next = p.sendDeadline
+			}
+		}
+	}
+	return next
+}

@@ -111,6 +111,10 @@ const (
 	EPERM
 	// ENOSYS reports an unimplemented request type.
 	ENOSYS
+	// ETIMEDOUT reports that a request was abandoned by the IPC
+	// reliability layer after exhausting its retransmission budget
+	// (dead-lettered).
+	ETIMEDOUT
 )
 
 // String renders the errno symbolically.
@@ -154,6 +158,8 @@ func (e Errno) String() string {
 		return "EPERM"
 	case ENOSYS:
 		return "ENOSYS"
+	case ETIMEDOUT:
+		return "ETIMEDOUT"
 	default:
 		return fmt.Sprintf("Errno(%d)", int32(e))
 	}
@@ -170,6 +176,11 @@ type Message struct {
 	Str, Str2  string
 	Bytes      []byte
 	Aux        any
+	// Seq and Sum are stamped by the IPC reliability layer: a
+	// per-(src,dst) sequence number for duplicate suppression and reply
+	// matching, and a payload checksum for corruption detection. Zero
+	// when the layer is off.
+	Seq, Sum uint32
 }
 
 // CostModel holds the virtual-cycle costs of kernel operations.
@@ -341,6 +352,13 @@ type Kernel struct {
 
 	nextUserEp Endpoint
 
+	// ipc is the fault-injection/reliability interposition plane; nil
+	// (the default) leaves every IPC path untouched. ipcNextDue is the
+	// earliest pending IPC event (delayed delivery, ARQ retransmission
+	// or SendRec deadline) so the hot paths pay a single compare.
+	ipc        *ipcPlane
+	ipcNextDue sim.Cycles
+
 	pointHook func(ep Endpoint, name, site string)
 	tracer    func(format string, args ...any)
 	// replyErrnoOverride forces the next reply sent by the given
@@ -363,6 +381,7 @@ func New(cost CostModel, seed uint64) *Kernel {
 		quarantined:        make(map[Endpoint]string),
 		pendingByEp:        make(map[Endpoint]int),
 		legacySched:        legacySchedDefault,
+		ipcNextDue:         ipcNone,
 	}
 }
 
@@ -453,6 +472,9 @@ func (k *Kernel) Run(cycleLimit sim.Cycles) Result {
 			break
 		}
 		k.fireDueAlarms()
+		if k.clock.Now() >= k.ipcNextDue {
+			k.fireDueIPC()
+		}
 		p := k.pickRunnable()
 		if p == nil {
 			if k.advanceToNextEvent() {
@@ -492,6 +514,21 @@ func (k *Kernel) DeferCrash(info CrashInfo, delay sim.Cycles) {
 // per-endpoint pending index.
 func (k *Kernel) RecoveryPending(ep Endpoint) bool {
 	return k.pendingByEp[ep] > 0
+}
+
+// IPCWaiting reports whether ep is blocked in a SendRec whose
+// completion the IPC reliability layer guarantees: the sender's
+// deadline is armed, so the kernel will retransmit, redeliver the
+// cached reply, or unblock it with a synthetic ETIMEDOUT. Such a
+// process is provably live — hang detection must not fail-stop it for
+// being silent while it waits out transport loss. Always false when
+// the reliability layer is off, so fault-free runs are unaffected.
+func (k *Kernel) IPCWaiting(ep Endpoint) bool {
+	if k.ipc == nil || !k.ipc.relOn() {
+		return false
+	}
+	p := k.procs[ep]
+	return p != nil && p.state == stateSendRec && p.sendDeadline != 0
 }
 
 // handleDueCrash pops and handles the first queued crash whose due time

@@ -64,6 +64,14 @@ type Process struct {
 	waitFrom Endpoint
 	reply    *Message
 
+	// SendRec reliability state (IPC plane enabled only): the prepared
+	// in-flight request for retransmission, the armed timeout deadline
+	// (0 = none) and the transmission count so far.
+	pendingReq   Message
+	sendDeadline sim.Cycles
+	sendAttempts int
+	sendRearms   int
+
 	quantumUsed sim.Cycles
 
 	// Recovery attachments (servers only; nil for user processes).
@@ -110,6 +118,26 @@ func (p *Process) pushMsg(m Message) {
 		p.inboxHead = 0
 	}
 	p.inbox = append(p.inbox, m)
+	if p.k != nil {
+		p.k.markSched(p)
+	}
+}
+
+// pushMsgFront enqueues m at the head of the queue, ahead of messages
+// already waiting (IPC reorder fault). Consumed headroom is reused when
+// available; otherwise the queue shifts right by one.
+func (p *Process) pushMsgFront(m Message) {
+	if p.inbox == nil {
+		p.inbox = *inboxPool.Get().(*[]Message)
+	}
+	if p.inboxHead > 0 {
+		p.inboxHead--
+		p.inbox[p.inboxHead] = m
+	} else {
+		p.inbox = append(p.inbox, Message{})
+		copy(p.inbox[1:], p.inbox)
+		p.inbox[0] = m
+	}
 	if p.k != nil {
 		p.k.markSched(p)
 	}

@@ -172,5 +172,12 @@ func (k *Kernel) fusedNext() *Process {
 	if len(k.alarms) > 0 && k.alarms[0].deadline <= k.clock.Now() {
 		return nil
 	}
+	if k.clock.Now() >= k.ipcNextDue {
+		// A delayed IPC delivery, ARQ retransmission or SendRec
+		// deadline is due: take the full loop. ipcNextDue is the max
+		// sentinel whenever no IPC event is pending (plane disabled),
+		// so this is a single always-false compare on the fast path.
+		return nil
+	}
 	return k.pickRunnable()
 }

@@ -145,3 +145,15 @@ func (d *DS) publish(ctx *kernel.Context, key string) {
 		return true
 	})
 }
+
+// AuditSubscribers returns the endpoints holding a live subscription,
+// in table order. The consistency auditor checks that none of them
+// belongs to a dead process.
+func (d *DS) AuditSubscribers() []int64 {
+	var out []int64
+	d.subs.ForEach(func(ep int64, _ string) bool {
+		out = append(out, ep)
+		return true
+	})
+	return out
+}

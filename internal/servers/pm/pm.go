@@ -413,3 +413,17 @@ func (p *PM) alarm(ctx *kernel.Context) {
 func (p *PM) Stats() (procs int, forks int64) {
 	return p.procs.Len(), p.forks.Get()
 }
+
+// AuditUserEndpoints returns the endpoints of every running (non-zombie)
+// process in PM's table, in table order. The consistency auditor
+// cross-checks them against VM's address spaces and kernel liveness.
+func (p *PM) AuditUserEndpoints() []int64 {
+	var out []int64
+	p.procs.ForEach(func(_ int64, e procEntry) bool {
+		if e.State == stateRunning {
+			out = append(out, e.EP)
+		}
+		return true
+	})
+	return out
+}

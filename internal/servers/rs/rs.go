@@ -155,6 +155,14 @@ func (r *RS) heartbeat(ctx *kernel.Context) {
 			continue
 		}
 		if r.outstanding[target] >= r.cfg.hangMisses() {
+			if ctx.Kernel().IPCWaiting(target) {
+				// Silent but blocked in a kernel-managed reliable send:
+				// the reliability layer will unblock it (retransmission,
+				// cached-reply redelivery or a synthetic timeout), so the
+				// component is live. Hold the count and re-judge next
+				// round instead of fail-stopping a waiting sender.
+				continue
+			}
 			r.declareHung(ctx, target)
 			continue
 		}

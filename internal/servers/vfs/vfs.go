@@ -735,3 +735,31 @@ func (v *VFS) pipeWrite(ctx *kernel.Context, m kernel.Message, e fdEnt) {
 	v.pipes.Set(e.Pipe, p)
 	ctx.Reply(m.From, kernel.Message{A: int64(len(m.Bytes))})
 }
+
+// AuditFDOwners returns the unique endpoints owning at least one open
+// file descriptor, in first-appearance order. The consistency auditor
+// checks that every owner is a live process (or a server).
+func (v *VFS) AuditFDOwners() []int64 {
+	var out []int64
+	seen := make(map[int64]bool)
+	v.fds.ForEach(func(key int64, _ fdEnt) bool {
+		ep := key >> 16
+		if !seen[ep] {
+			seen[ep] = true
+			out = append(out, ep)
+		}
+		return true
+	})
+	return out
+}
+
+// Busy reports whether VFS has work in flight outside the main loop:
+// worker threads running file I/O jobs, or pipe ends suspended with a
+// postponed reply. The consistency auditor exempts a busy VFS from
+// idle-state oracles.
+func (v *VFS) Busy() bool {
+	if v.pool != nil && v.pool.BusyCount() > 0 {
+		return true
+	}
+	return v.waiters.Len() > 0 || v.writers.Len() > 0
+}

@@ -288,3 +288,15 @@ func (v *VM) query(ctx *kernel.Context, m kernel.Message) {
 	}
 	ctx.Reply(m.From, kernel.Message{A: s.Pages, B: v.used.Get()})
 }
+
+// AuditSpaceOwners returns the endpoints owning an address space, in
+// table order. The consistency auditor cross-checks them against PM's
+// process table.
+func (v *VM) AuditSpaceOwners() []int64 {
+	var out []int64
+	v.spaces.ForEach(func(ep int64, _ space) bool {
+		out = append(out, ep)
+		return true
+	})
+	return out
+}
