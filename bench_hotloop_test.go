@@ -7,10 +7,13 @@
 package osiris
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/faultinject"
 	"repro/internal/kernel"
+	"repro/internal/memlog"
 	"repro/internal/seep"
 )
 
@@ -90,4 +93,77 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		b.Fatal("campaign executed no runs")
 	}
 	b.ReportMetric(float64(runs)*float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
+
+// checkpointBenchStore builds a FullCopy store with 64 string cells of
+// ~1 KiB each — a component whose resident state is much larger than a
+// typical request's write set — and returns the cells for dirtying.
+func checkpointBenchStore(legacy bool) (*memlog.Store, []*memlog.Cell[string]) {
+	s := memlog.NewStore("bench", memlog.FullCopy)
+	s.SetLegacyCheckpoint(legacy)
+	payload := strings.Repeat("x", 1024)
+	cells := make([]*memlog.Cell[string], 64)
+	for i := range cells {
+		cells[i] = memlog.NewCell(s, fmt.Sprintf("cell-%02d", i), payload)
+	}
+	s.SetLogging(true)
+	s.Checkpoint() // build the initial image outside the timed loop
+	return s, cells
+}
+
+// benchCheckpoint measures one per-request checkpoint with a given
+// fraction of the state dirtied between checkpoints.
+func benchCheckpoint(b *testing.B, legacy bool, dirtyFrac float64) {
+	s, cells := checkpointBenchStore(legacy)
+	dirty := int(float64(len(cells)) * dirtyFrac)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < dirty; j++ {
+			cells[j].Set(cells[j].Get())
+		}
+		s.Checkpoint()
+	}
+}
+
+// BenchmarkCheckpointFullCopy is the legacy clone-everything path: the
+// cost is the same no matter how little of the state changed.
+func BenchmarkCheckpointFullCopy(b *testing.B) {
+	for _, pct := range []int{10, 50, 100} {
+		b.Run(fmt.Sprintf("dirty=%d%%", pct), func(b *testing.B) {
+			benchCheckpoint(b, true, float64(pct)/100)
+		})
+	}
+}
+
+// BenchmarkCheckpointIncremental is the dirty-set path: cost tracks the
+// fraction of containers written since the last checkpoint.
+func BenchmarkCheckpointIncremental(b *testing.B) {
+	for _, pct := range []int{10, 50, 100} {
+		b.Run(fmt.Sprintf("dirty=%d%%", pct), func(b *testing.B) {
+			benchCheckpoint(b, false, float64(pct)/100)
+		})
+	}
+}
+
+// BenchmarkRollbackDirty measures restoring a checkpoint after a
+// request dirtied 10% of the state: the incremental path restores only
+// the dirty containers instead of every container.
+func BenchmarkRollbackDirty(b *testing.B) {
+	for _, legacy := range []bool{true, false} {
+		name := "incremental"
+		if legacy {
+			name = "legacy"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, cells := checkpointBenchStore(legacy)
+			dirty := len(cells) / 10
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < dirty; j++ {
+					cells[j].Set(cells[j].Get())
+				}
+				s.Rollback()
+			}
+		})
+	}
 }

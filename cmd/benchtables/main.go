@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc]
+//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt]
 //	            [-workers N] [-json out.json]
 //	            [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
@@ -112,12 +112,12 @@ func run(scaleName string, seed uint64, only string, workers int, jsonPath strin
 
 	valid := map[string]bool{
 		"1": true, "2": true, "3": true, "4": true, "5": true, "6": true,
-		"f3": true, "mf": true, "ablation": true, "ipc": true,
+		"f3": true, "mf": true, "ablation": true, "ipc": true, "ckpt": true,
 	}
 	if only != "" {
 		for _, k := range strings.Split(only, ",") {
 			if k = strings.TrimSpace(k); !valid[k] {
-				return fmt.Errorf("unknown table %q (valid: 1,2,3,4,5,6,f3,mf,ablation,ipc)", k)
+				return fmt.Errorf("unknown table %q (valid: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt)", k)
 			}
 		}
 	}
@@ -212,6 +212,10 @@ func run(scaleName string, seed uint64, only string, workers int, jsonPath strin
 	if want("ipc") {
 		t0 := time.Now()
 		emit("ipc_reliability", eval.RunIPCSweep(sc), time.Since(t0))
+	}
+	if want("ckpt") {
+		t0 := time.Now()
+		emit("checkpointing_incremental", eval.RunCheckpointing(sc), time.Since(t0))
 	}
 
 	if jsonPath != "" {

@@ -77,6 +77,13 @@ type Config struct {
 	// recovery policies of the paper's §VII: different components may
 	// run different strategies in the same system.
 	ComponentPolicies map[kernel.Endpoint]seep.Policy
+	// LegacyCheckpoint forces the legacy FullCopy checkpoint path that
+	// clones the whole data section on every Checkpoint, instead of the
+	// incremental dirty-set snapshots that are the default. The §IV-C
+	// checkpointing ablation pins this to reproduce the paper's
+	// full-copy cost profile; it is also the per-boot form of the
+	// OSIRIS_LEGACY_CHECKPOINT equivalence oracle.
+	LegacyCheckpoint bool
 
 	// RecoveryDecay is the crash-free interval (in virtual cycles) after
 	// which one unit of a component's crash-storm budget is forgiven
@@ -383,6 +390,9 @@ func (o *OS) AddComponent(ep kernel.Endpoint, factory Factory) {
 func (o *OS) newStore(ep kernel.Endpoint, policy seep.Policy) *memlog.Store {
 	st := memlog.NewStore(fmt.Sprintf("comp-%d", ep), o.cfg.instrumentation(policy))
 	st.SetCounters(o.k.Counters())
+	if o.cfg.LegacyCheckpoint {
+		st.SetLegacyCheckpoint(true)
+	}
 	return st
 }
 
@@ -739,9 +749,13 @@ func (o *OS) restart(s *slot, info kernel.CrashInfo, mode restartMode, reconcile
 		recoveryCost += sim.Cycles(s.store.BaseBytes()) >> cloneCostByteShift * cloneCostPerByte
 		if s.store.Mode() == memlog.FullCopy {
 			// Snapshot checkpointing: restore in place from the
-			// snapshot, then copy the restored data section.
+			// snapshot, then copy the restored data section. The
+			// incremental path also hands its snapshot image to the
+			// replacement store so the first post-recovery checkpoint
+			// syncs only what the new instance writes.
 			s.store.Rollback()
 			store = s.store.Clone()
+			s.store.TransferSnapshot(store)
 		} else {
 			// Data-section copy into the spare, then log transfer.
 			store = s.store.Clone()

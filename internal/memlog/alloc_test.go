@@ -170,3 +170,79 @@ func benchSlice(b *testing.B, mode Instrumentation, logging bool) {
 func BenchmarkSliceSetBaseline(b *testing.B)        { benchSlice(b, Baseline, false) }
 func BenchmarkSliceSetOptimizedClosed(b *testing.B) { benchSlice(b, Optimized, false) }
 func BenchmarkSliceSetOptimizedLogged(b *testing.B) { benchSlice(b, Optimized, true) }
+
+// BaseBytes is served from a cached aggregate: steady-state calls — and
+// the write+re-query cycle that dirties exactly one container — must
+// not allocate. This pins the O(1) sizing the recovery-cost accounting
+// in core relies on.
+func TestBaseBytesSteadyStateDoesNotAllocate(t *testing.T) {
+	s := NewStore("sizecache", FullCopy)
+	cells := make([]*Cell[int], 16)
+	for i := range cells {
+		cells[i] = NewCell(s, string(rune('a'+i)), i)
+	}
+	var sink int
+	sink = s.BaseBytes() // warm the cache and the tracking slices
+	cells[0].Set(42)
+	sink = s.BaseBytes()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = s.BaseBytes()
+	})
+	if allocs != 0 {
+		t.Errorf("clean BaseBytes allocated %.1f times per run, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		cells[3].Set(42)
+		sink = s.BaseBytes()
+	})
+	if allocs != 0 {
+		t.Errorf("dirty-one BaseBytes allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// Keys returns the maintained insertion-order index, not a fresh copy.
+func TestMapKeysDoesNotAllocate(t *testing.T) {
+	s := NewStore("keys", Baseline)
+	m := NewMap[int, int](s, "m")
+	for i := 0; i < 32; i++ {
+		m.Set(i, i)
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = len(m.Keys())
+	})
+	if allocs != 0 {
+		t.Errorf("Keys allocated %.1f times per run, want 0", allocs)
+	}
+	if sink != 32 {
+		t.Fatalf("Keys length %d, want 32", sink)
+	}
+}
+
+// An incremental checkpoint round over a warm store — a few writes,
+// then the dirty-set sync into the retained image — must be
+// allocation-free: the tracking slices are reused and container
+// restores copy in place.
+func TestIncrementalCheckpointSteadyStateDoesNotAllocate(t *testing.T) {
+	s := NewStore("ckptalloc", FullCopy)
+	s.SetLegacyCheckpoint(false)
+	cells := make([]*Cell[int], 16)
+	for i := range cells {
+		cells[i] = NewCell(s, string(rune('a'+i)), i)
+	}
+	s.SetLogging(true)
+	s.Checkpoint() // builds the image
+	cells[0].Set(1)
+	s.Checkpoint() // warm delta round
+
+	allocs := testing.AllocsPerRun(200, func() {
+		cells[0].Set(7)
+		cells[1].Set(9)
+		s.Checkpoint()
+	})
+	if allocs != 0 {
+		t.Errorf("incremental checkpoint allocated %.1f times per run, want 0", allocs)
+	}
+}

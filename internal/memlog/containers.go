@@ -12,6 +12,7 @@ import (
 type Cell[T any] struct {
 	store *Store
 	id    string
+	cm    contMeta
 	v     T
 }
 
@@ -50,9 +51,12 @@ func (c *Cell[T]) Set(v T) {
 		c.store.noteUnloggedStore()
 	}
 	c.v = v
+	c.store.touch(c, &c.cm)
 }
 
 func (c *Cell[T]) name() string { return c.id }
+
+func (c *Cell[T]) meta() *contMeta { return &c.cm }
 
 func (c *Cell[T]) bytes() int { return approxSize(c.v) }
 
@@ -67,6 +71,7 @@ func (c *Cell[T]) undo(rec undoRec) {
 		panic(fmt.Sprintf("memlog: undo type mismatch for cell %q", c.id))
 	}
 	c.v = old
+	c.store.touch(c, &c.cm)
 }
 
 func (c *Cell[T]) restoreFrom(src container) {
@@ -75,6 +80,7 @@ func (c *Cell[T]) restoreFrom(src container) {
 		panic(fmt.Sprintf("memlog: snapshot type mismatch for cell %q", c.id))
 	}
 	c.v = other.v
+	c.store.touch(c, &c.cm)
 }
 
 func (c *Cell[T]) corrupt(r *sim.RNG) bool {
@@ -83,15 +89,20 @@ func (c *Cell[T]) corrupt(r *sim.RNG) bool {
 		return false
 	}
 	c.v = nv.(T)
+	c.store.touch(c, &c.cm)
 	return true
 }
 
 // Map is an instrumented, insertion-ordered map. Iteration order is the
 // order keys were first inserted, which keeps the simulation
 // deterministic without sorting.
+//
+// Invariant: order holds exactly the present keys, in insertion order —
+// every path that deletes a key also removes it from order.
 type Map[K comparable, V any] struct {
 	store *Store
 	id    string
+	cm    contMeta
 	m     map[K]V
 	order []K
 }
@@ -149,6 +160,7 @@ func (m *Map[K, V]) Set(key K, v V) {
 		m.order = append(m.order, key)
 	}
 	m.m[key] = v
+	m.store.touch(m, &m.cm)
 }
 
 // Delete removes key if present, logging the removed value.
@@ -170,18 +182,15 @@ func (m *Map[K, V]) Delete(key K) {
 	}
 	delete(m.m, key)
 	m.removeFromOrder(key)
+	m.store.touch(m, &m.cm)
 }
 
-// Keys returns the present keys in insertion order.
-func (m *Map[K, V]) Keys() []K {
-	out := make([]K, 0, len(m.m))
-	for _, k := range m.order {
-		if _, ok := m.m[k]; ok {
-			out = append(out, k)
-		}
-	}
-	return out
-}
+// Keys returns the present keys in insertion order. The result is the
+// map's internally maintained order index — a borrowed, read-only view:
+// callers must not mutate it and must not hold it across subsequent
+// Set/Delete calls (which update it in place). This keeps Keys
+// allocation-free.
+func (m *Map[K, V]) Keys() []K { return m.order }
 
 // ForEach calls fn for each key/value pair in insertion order. It stops
 // early if fn returns false. fn must not mutate the map.
@@ -206,12 +215,12 @@ func (m *Map[K, V]) removeFromOrder(key K) {
 
 func (m *Map[K, V]) name() string { return m.id }
 
+func (m *Map[K, V]) meta() *contMeta { return &m.cm }
+
 func (m *Map[K, V]) bytes() int {
 	total := 0
 	for _, k := range m.order {
-		if v, ok := m.m[k]; ok {
-			total += approxSize(k) + approxSize(v)
-		}
+		total += approxSize(k) + approxSize(m.m[k])
 	}
 	return total
 }
@@ -219,10 +228,8 @@ func (m *Map[K, V]) bytes() int {
 func (m *Map[K, V]) cloneInto(dst *Store) {
 	clone := &Map[K, V]{store: dst, id: m.id, m: make(map[K]V, len(m.m))}
 	for _, k := range m.order {
-		if v, ok := m.m[k]; ok {
-			clone.m[k] = v
-			clone.order = append(clone.order, k)
-		}
+		clone.m[k] = m.m[k]
+		clone.order = append(clone.order, k)
 	}
 	dst.register(clone)
 }
@@ -237,6 +244,7 @@ func (m *Map[K, V]) undo(rec undoRec) {
 		if _, absent := rec.old.(oldAbsent); absent {
 			delete(m.m, key)
 			m.removeFromOrder(key)
+			m.store.touch(m, &m.cm)
 			return
 		}
 		m.m[key] = rec.old.(V)
@@ -248,6 +256,7 @@ func (m *Map[K, V]) undo(rec undoRec) {
 	default:
 		panic(fmt.Sprintf("memlog: bad undo kind %d for map %q", rec.kind, m.id))
 	}
+	m.store.touch(m, &m.cm)
 }
 
 func (m *Map[K, V]) restoreFrom(src container) {
@@ -255,14 +264,15 @@ func (m *Map[K, V]) restoreFrom(src container) {
 	if !ok {
 		panic(fmt.Sprintf("memlog: snapshot type mismatch for map %q", m.id))
 	}
-	m.m = make(map[K]V, len(other.m))
+	// Reuse the existing map and order backing so snapshot syncs do not
+	// reallocate in steady state.
+	clear(m.m)
 	m.order = m.order[:0]
 	for _, k := range other.order {
-		if v, present := other.m[k]; present {
-			m.m[k] = v
-			m.order = append(m.order, k)
-		}
+		m.m[k] = other.m[k]
+		m.order = append(m.order, k)
 	}
+	m.store.touch(m, &m.cm)
 }
 
 func (m *Map[K, V]) corrupt(r *sim.RNG) bool {
@@ -270,20 +280,20 @@ func (m *Map[K, V]) corrupt(r *sim.RNG) bool {
 		return false
 	}
 	// Pick a random present key deterministically via insertion order.
-	keys := m.Keys()
-	if len(keys) == 0 {
-		return false
-	}
-	k := keys[r.Intn(len(keys))]
+	// order holds exactly the present keys, so indexing it directly
+	// consumes the same RNG draw the old Keys()-copy did.
+	k := m.order[r.Intn(len(m.order))]
 	nv, ok := corruptValue(any(m.m[k]), r)
 	if !ok {
 		// Corrupt by dropping the entry instead: a lost record is a
 		// realistic silent-corruption outcome.
 		delete(m.m, k)
 		m.removeFromOrder(k)
+		m.store.touch(m, &m.cm)
 		return true
 	}
 	m.m[k] = nv.(V)
+	m.store.touch(m, &m.cm)
 	return true
 }
 
@@ -291,6 +301,7 @@ func (m *Map[K, V]) corrupt(r *sim.RNG) bool {
 type Slice[T any] struct {
 	store *Store
 	id    string
+	cm    contMeta
 	v     []T
 }
 
@@ -329,6 +340,7 @@ func (s *Slice[T]) Set(i int, v T) {
 		s.store.noteUnloggedStore()
 	}
 	s.v[i] = v
+	s.store.touch(s, &s.cm)
 }
 
 // Append adds v at the end.
@@ -343,6 +355,7 @@ func (s *Slice[T]) Append(v T) {
 		s.store.noteUnloggedStore()
 	}
 	s.v = append(s.v, v)
+	s.store.touch(s, &s.cm)
 }
 
 // Truncate shortens the slice to length n, logging the removed tail.
@@ -371,6 +384,7 @@ func (s *Slice[T]) Truncate(n int) {
 		s.store.noteUnloggedStore()
 	}
 	s.v = s.v[:n]
+	s.store.touch(s, &s.cm)
 }
 
 // ForEach calls fn for each element in order; it stops early if fn
@@ -384,6 +398,8 @@ func (s *Slice[T]) ForEach(fn func(int, T) bool) {
 }
 
 func (s *Slice[T]) name() string { return s.id }
+
+func (s *Slice[T]) meta() *contMeta { return &s.cm }
 
 func (s *Slice[T]) bytes() int {
 	total := 0
@@ -410,6 +426,7 @@ func (s *Slice[T]) undo(rec undoRec) {
 	default:
 		panic(fmt.Sprintf("memlog: bad undo kind %d for slice %q", rec.kind, s.id))
 	}
+	s.store.touch(s, &s.cm)
 }
 
 func (s *Slice[T]) restoreFrom(src container) {
@@ -418,6 +435,7 @@ func (s *Slice[T]) restoreFrom(src container) {
 		panic(fmt.Sprintf("memlog: snapshot type mismatch for slice %q", s.id))
 	}
 	s.v = append(s.v[:0], other.v...)
+	s.store.touch(s, &s.cm)
 }
 
 func (s *Slice[T]) corrupt(r *sim.RNG) bool {
@@ -430,5 +448,6 @@ func (s *Slice[T]) corrupt(r *sim.RNG) bool {
 		return false
 	}
 	s.v[i] = nv.(T)
+	s.store.touch(s, &s.cm)
 	return true
 }

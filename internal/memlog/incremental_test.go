@@ -1,0 +1,273 @@
+package memlog
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// rawBytes recomputes the resident size the slow way, bypassing the
+// cached aggregate — the oracle for BaseBytes' cache coherence.
+func rawBytes(s *Store) int {
+	total := 0
+	for _, name := range s.order {
+		total += s.containers[name].bytes()
+	}
+	return total
+}
+
+// buildFullCopyStore returns a FullCopy store holding a cell, a map and
+// a slice with some initial state, plus a charge accumulator.
+func buildFullCopyStore(legacy bool) (*Store, *Cell[int], *Map[int, int], *Slice[int], *sim.Cycles) {
+	s := NewStore("inc", FullCopy)
+	s.SetLegacyCheckpoint(legacy)
+	charged := new(sim.Cycles)
+	s.SetCostSink(func(n sim.Cycles) { *charged += n })
+	c := NewCell(s, "c", 1)
+	m := NewMap[int, int](s, "m")
+	sl := NewSlice[int](s, "sl")
+	for i := 0; i < 64; i++ {
+		m.Set(i, i*3)
+		sl.Append(i)
+	}
+	return s, c, m, sl, charged
+}
+
+func TestIncrementalCheckpointChargesDeltaOnly(t *testing.T) {
+	s, c, _, _, charged := buildFullCopyStore(false)
+	s.SetLogging(true)
+
+	s.Checkpoint() // first checkpoint builds the image: full charge
+	full := *charged
+	wantFull := sim.Cycles(s.BaseBytes()) >> fullCopyCheckpointShift
+	if full != wantFull {
+		t.Fatalf("first checkpoint charged %d, want full copy %d", full, wantFull)
+	}
+
+	*charged = 0
+	c.Set(7)
+	s.Checkpoint() // only the cell changed: delta charge
+	wantDelta := sim.Cycles(approxSize(7)) >> fullCopyCheckpointShift
+	if *charged != wantDelta {
+		t.Fatalf("delta checkpoint charged %d, want %d", *charged, wantDelta)
+	}
+	if *charged >= full {
+		t.Fatalf("delta charge %d not below full charge %d", *charged, full)
+	}
+
+	*charged = 0
+	s.Checkpoint() // nothing changed: free
+	if *charged != 0 {
+		t.Fatalf("no-op checkpoint charged %d, want 0", *charged)
+	}
+}
+
+func TestLegacyCheckpointStillChargesFullState(t *testing.T) {
+	s, c, _, _, charged := buildFullCopyStore(true)
+	s.SetLogging(true)
+	s.Checkpoint()
+	full := *charged
+	*charged = 0
+	c.Set(7)
+	s.Checkpoint()
+	if *charged != full {
+		t.Fatalf("legacy second checkpoint charged %d, want full %d", *charged, full)
+	}
+}
+
+func TestIncrementalRollbackRestoresCheckpointState(t *testing.T) {
+	s, c, m, sl, _ := buildFullCopyStore(false)
+	s.SetLogging(true)
+	s.Checkpoint()
+	want := snapshotModel(c, m, sl)
+
+	c.Set(99)
+	m.Set(3, -1)
+	m.Delete(5)
+	m.Set(200, 200)
+	sl.Set(0, -7)
+	sl.Truncate(10)
+	s.Rollback()
+	if got := snapshotModel(c, m, sl); !equalModel(got, want) {
+		t.Fatalf("rollback state %+v, want checkpoint state %+v", got, want)
+	}
+	// Rollback is idempotent, like the legacy full restore.
+	s.Rollback()
+	if got := snapshotModel(c, m, sl); !equalModel(got, want) {
+		t.Fatalf("second rollback diverged: %+v, want %+v", got, want)
+	}
+	if s.BaseBytes() != rawBytes(s) {
+		t.Fatalf("cached BaseBytes %d, raw %d", s.BaseBytes(), rawBytes(s))
+	}
+}
+
+func TestIncrementalRollbackUndoesSilentCorruption(t *testing.T) {
+	s, c, m, sl, _ := buildFullCopyStore(false)
+	s.SetLogging(true)
+	s.Checkpoint()
+	want := snapshotModel(c, m, sl)
+	r := sim.NewRNG(11)
+	if !s.CorruptRandom(r) {
+		t.Fatal("corruption did not land")
+	}
+	s.Rollback()
+	if got := snapshotModel(c, m, sl); !equalModel(got, want) {
+		t.Fatalf("rollback did not undo corruption: %+v, want %+v", got, want)
+	}
+}
+
+func TestIncrementalDiscardRetainsDeltaBase(t *testing.T) {
+	s, c, _, _, charged := buildFullCopyStore(false)
+	s.SetLogging(true)
+	s.Checkpoint()
+
+	c.Set(42)
+	s.DiscardLog() // window closed: image stays as delta base
+	s.Rollback()   // must be a no-op now
+	if c.Get() != 42 {
+		t.Fatalf("rollback after discard restored state: cell %d, want 42", c.Get())
+	}
+
+	*charged = 0
+	c.Set(43)
+	s.Checkpoint() // next window: sync only the dirty cell
+	wantDelta := sim.Cycles(approxSize(43)) >> fullCopyCheckpointShift
+	if *charged != wantDelta {
+		t.Fatalf("post-discard checkpoint charged %d, want delta %d", *charged, wantDelta)
+	}
+	c.Set(44)
+	s.Rollback()
+	if c.Get() != 43 {
+		t.Fatalf("rollback restored cell to %d, want 43", c.Get())
+	}
+}
+
+func TestTransferSnapshotWarmStartsClone(t *testing.T) {
+	s, c, m, _, _ := buildFullCopyStore(false)
+	s.SetLogging(true)
+	s.Checkpoint()
+	c.Set(1234)
+	m.Set(0, -5)
+
+	// The recovery flow: restore in place, deep-copy, hand the image
+	// to the replacement store.
+	s.Rollback()
+	clone := s.Clone()
+	s.TransferSnapshot(clone)
+
+	charged := new(sim.Cycles)
+	clone.SetCostSink(func(n sim.Cycles) { *charged += n })
+	clone.SetLogging(true)
+	clone.Checkpoint() // warm delta base: nothing to copy
+	if *charged != 0 {
+		t.Fatalf("first checkpoint after transfer charged %d, want 0", *charged)
+	}
+
+	c2 := NewCell(clone, "c", 0) // adopts the cloned cell
+	want := c2.Get()
+	c2.Set(want + 1)
+	clone.Rollback()
+	if c2.Get() != want {
+		t.Fatalf("clone rollback restored %d, want %d", c2.Get(), want)
+	}
+}
+
+func TestTransferSnapshotNoOpUnderLegacy(t *testing.T) {
+	s, _, _, _, _ := buildFullCopyStore(true)
+	s.SetLogging(true)
+	s.Checkpoint()
+	clone := s.Clone()
+	s.TransferSnapshot(clone)
+	charged := new(sim.Cycles)
+	clone.SetCostSink(func(n sim.Cycles) { *charged += n })
+	clone.SetLogging(true)
+	clone.Checkpoint()
+	// Legacy clones receive no image: the checkpoint pays full price.
+	if want := sim.Cycles(clone.BaseBytes()) >> fullCopyCheckpointShift; *charged != want {
+		t.Fatalf("legacy clone checkpoint charged %d, want %d", *charged, want)
+	}
+}
+
+func TestRollbackPanicsOnContainerRegisteredAfterCheckpoint(t *testing.T) {
+	for _, legacy := range []bool{true, false} {
+		t.Run(fmt.Sprintf("legacy=%v", legacy), func(t *testing.T) {
+			s, _, _, _, _ := buildFullCopyStore(legacy)
+			s.SetLogging(true)
+			s.Checkpoint()
+			late := NewCell(s, "late", 1)
+			late.Set(2)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("rollback over a late-registered container did not panic")
+				}
+			}()
+			s.Rollback()
+		})
+	}
+}
+
+// driveFullCopy runs one deterministic script of mutations, window
+// transitions, corruptions, checkpoints and rollbacks against a
+// FullCopy store and returns the final state. Both checkpoint
+// implementations consume the RNG identically, so the same seed must
+// yield the same state under either.
+func driveFullCopy(legacy bool, seed uint64) (modelState, int) {
+	s := NewStore("drive", FullCopy)
+	s.SetLegacyCheckpoint(legacy)
+	c := NewCell(s, "c", 0)
+	m := NewMap[int, int](s, "m")
+	sl := NewSlice[int](s, "sl")
+	r := sim.NewRNG(seed)
+	s.SetLogging(true)
+	for i := 0; i < 60; i++ {
+		switch r.Intn(6) {
+		case 0:
+			s.Checkpoint()
+		case 1:
+			s.Rollback()
+		case 2:
+			// Window close/reopen, as seep drives it.
+			s.SetLogging(false)
+			s.DiscardLog()
+			s.SetLogging(true)
+		case 3:
+			s.CorruptRandom(r)
+		default:
+			applyRandomOps(r, 1+r.Intn(5), c, m, sl)
+		}
+	}
+	s.Rollback()
+	return snapshotModel(c, m, sl), s.BaseBytes()
+}
+
+func TestPropertyIncrementalMatchesLegacyFullCopy(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		legacyState, legacyBytes := driveFullCopy(true, seed)
+		incState, incBytes := driveFullCopy(false, seed)
+		if !equalModel(legacyState, incState) {
+			t.Fatalf("seed %d: states diverged\nlegacy:      %+v\nincremental: %+v",
+				seed, legacyState, incState)
+		}
+		if legacyBytes != incBytes {
+			t.Fatalf("seed %d: BaseBytes diverged: legacy %d incremental %d",
+				seed, legacyBytes, incBytes)
+		}
+	}
+}
+
+func TestBaseBytesCacheCoherent(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		s := NewStore("cache", Optimized)
+		c := NewCell(s, "c", 0)
+		m := NewMap[int, int](s, "m")
+		sl := NewSlice[int](s, "sl")
+		r := sim.NewRNG(seed)
+		for i := 0; i < 10; i++ {
+			applyRandomOps(r, 10, c, m, sl)
+			if got, want := s.BaseBytes(), rawBytes(s); got != want {
+				t.Fatalf("seed %d round %d: cached BaseBytes %d, raw %d", seed, i, got, want)
+			}
+		}
+	}
+}

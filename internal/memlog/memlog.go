@@ -20,6 +20,7 @@ package memlog
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/sim"
@@ -99,6 +100,39 @@ type container interface {
 	// restoreFrom overwrites this container's contents from a snapshot
 	// container of the same name and type (FullCopy rollback).
 	restoreFrom(src container)
+	// meta exposes the per-container dirty/size bookkeeping.
+	meta() *contMeta
+}
+
+// contMeta is the per-container bookkeeping embedded in Cell, Map and
+// Slice: the checkpoint-epoch stamp that implements dirty tracking and
+// the cached resident size that makes BaseBytes O(1).
+type contMeta struct {
+	// writeGen is the store checkpoint epoch the container last joined
+	// the dirty set in; it equals Store.chkGen exactly while the
+	// container is listed in Store.dirty.
+	writeGen uint64
+	// size caches the container's approxSize sum; sizeStale marks it
+	// invalid (the container is then listed in Store.sizeDirty).
+	size      int
+	sizeStale bool
+}
+
+// Incremental (dirty-set) full-copy checkpointing is the default; the
+// legacy clone-everything path is kept behind this flag as an
+// equivalence oracle and for before/after benchmarking, mirroring
+// OSIRIS_LEGACY_SCHED from the scheduler overhaul.
+var legacyCheckpointDefault = os.Getenv("OSIRIS_LEGACY_CHECKPOINT") != ""
+
+// SetLegacyCheckpointDefault selects the checkpoint implementation used
+// by stores created afterwards: true restores the legacy whole-data-
+// section clone per Checkpoint, false (the default) uses incremental
+// dirty-set snapshots. It returns the previous default so tests can
+// flip and restore it.
+func SetLegacyCheckpointDefault(on bool) bool {
+	prev := legacyCheckpointDefault
+	legacyCheckpointDefault = on
+	return prev
 }
 
 // Store is the instrumented data section of one simulated OS component.
@@ -122,8 +156,32 @@ type Store struct {
 	charge   func(sim.Cycles)
 	counters *sim.Counters
 
-	// snapshot is the FullCopy-mode checkpoint image.
+	// snapshot is the FullCopy-mode checkpoint image. With incremental
+	// checkpointing it is retained across window closes as the delta
+	// base: each Checkpoint syncs only the containers written since the
+	// image was last brought up to date.
 	snapshot *Store
+	// restorable reports whether snapshot is a valid rollback target
+	// (incremental mode only): true between Checkpoint and the next
+	// DiscardLog, false while the image is merely a delta base.
+	restorable bool
+	// legacyCheckpoint selects the legacy clone-everything FullCopy
+	// path instead of incremental dirty-set snapshots.
+	legacyCheckpoint bool
+
+	// chkGen is the checkpoint epoch; a container whose writeGen equals
+	// it is in the dirty set. It starts at 1 so zero-valued contMeta is
+	// always "not yet dirty this epoch".
+	chkGen uint64
+	// dirty lists the containers written since the last epoch reset, in
+	// first-write order (deterministic).
+	dirty []container
+	// sizeDirty lists containers whose cached size is stale; BaseBytes
+	// drains it to keep the baseBytes aggregate exact.
+	sizeDirty []container
+	// baseBytes aggregates the cached sizes of all containers whose
+	// cache is fresh; BaseBytes() returns it after draining sizeDirty.
+	baseBytes int
 
 	// generation counts how many times the owning component has been
 	// restarted: 0 for the boot-time store. Component constructors use
@@ -137,11 +195,22 @@ type Store struct {
 // given instrumentation mode.
 func NewStore(label string, mode Instrumentation) *Store {
 	return &Store{
-		label:      label,
-		mode:       mode,
-		containers: make(map[string]container),
+		label:            label,
+		mode:             mode,
+		containers:       make(map[string]container),
+		chkGen:           1,
+		legacyCheckpoint: legacyCheckpointDefault,
 	}
 }
+
+// SetLegacyCheckpoint switches this store between the legacy
+// clone-everything FullCopy checkpoint path (true) and the incremental
+// dirty-set path (false). Only meaningful in FullCopy mode.
+func (s *Store) SetLegacyCheckpoint(on bool) { s.legacyCheckpoint = on }
+
+// LegacyCheckpointing reports whether the legacy full-copy path is
+// active on this store.
+func (s *Store) LegacyCheckpointing() bool { return s.legacyCheckpoint }
 
 // Label reports the component name this store belongs to.
 func (s *Store) Label() string { return s.label }
@@ -186,13 +255,18 @@ const fullCopyCheckpointShift = 2
 
 // Checkpoint establishes the current state as the rollback target.
 // Called at the top of the request-processing loop. With undo-log
-// instrumentation it just discards the log; in FullCopy mode it clones
-// the entire data section (and charges accordingly) — the expensive
-// alternative the paper's undo log replaces.
+// instrumentation it just discards the log. In FullCopy mode it brings
+// the snapshot image up to date: the legacy path clones the entire data
+// section every time, the incremental path syncs only the containers
+// written since the image was last current, charging virtual cycles for
+// the delta bytes actually copied.
 func (s *Store) Checkpoint() {
 	s.log = s.log[:0]
 	s.logBytes = 0
-	if s.mode == FullCopy && s.logging {
+	if s.mode != FullCopy || !s.logging {
+		return
+	}
+	if s.legacyCheckpoint {
 		s.snapshot = s.Clone()
 		bytes := s.BaseBytes()
 		if bytes > s.maxLogBytes {
@@ -200,16 +274,46 @@ func (s *Store) Checkpoint() {
 			s.maxLogBytes = bytes
 		}
 		s.chargeCycles(sim.Cycles(bytes) >> fullCopyCheckpointShift)
+		return
 	}
+	bytes := s.BaseBytes() // refreshes every stale per-container size
+	copied := 0
+	if s.snapshot == nil {
+		s.snapshot = s.Clone()
+		copied = bytes
+	} else {
+		for _, c := range s.dirty {
+			if snap := s.snapshot.lookup(c.name()); snap != nil {
+				snap.restoreFrom(c)
+			} else {
+				// Registered after the image was built.
+				c.cloneInto(s.snapshot)
+			}
+			copied += c.meta().size
+		}
+	}
+	s.resetDirty()
+	s.restorable = true
+	if bytes > s.maxLogBytes {
+		// The resident snapshot plays the undo log's memory role.
+		s.maxLogBytes = bytes
+	}
+	s.chargeCycles(sim.Cycles(copied) >> fullCopyCheckpointShift)
 }
 
-// DiscardLog drops the undo log (and any FullCopy snapshot) without
-// rolling back. Called when the recovery window closes: the checkpoint
-// can no longer be restored.
+// DiscardLog drops the undo log without rolling back. Called when the
+// recovery window closes: the checkpoint can no longer be restored.
+// The legacy FullCopy path drops its snapshot too; the incremental path
+// retains the image as the delta base for the next Checkpoint but marks
+// it non-restorable.
 func (s *Store) DiscardLog() {
 	s.log = s.log[:0]
 	s.logBytes = 0
-	s.snapshot = nil
+	if s.legacyCheckpoint {
+		s.snapshot = nil
+		return
+	}
+	s.restorable = false
 }
 
 // LogLen reports the number of records currently in the undo log.
@@ -223,29 +327,57 @@ func (s *Store) LogBytes() int { return s.logBytes }
 func (s *Store) MaxLogBytes() int { return s.maxLogBytes }
 
 // BaseBytes reports the approximate resident size of all containers
-// (Table VI's base memory usage).
+// (Table VI's base memory usage). The value is served from a cached
+// aggregate: only containers written since the last call are re-sized,
+// so the steady-state cost is O(1) instead of O(containers).
 func (s *Store) BaseBytes() int {
-	total := 0
-	for _, name := range s.order {
-		total += s.containers[name].bytes()
+	if len(s.sizeDirty) > 0 {
+		for _, c := range s.sizeDirty {
+			m := c.meta()
+			if !m.sizeStale {
+				continue
+			}
+			n := c.bytes()
+			s.baseBytes += n - m.size
+			m.size = n
+			m.sizeStale = false
+		}
+		s.sizeDirty = s.sizeDirty[:0]
 	}
-	return total
+	return s.baseBytes
 }
 
 // Rollback restores the state at the last Checkpoint: by undoing all
-// logged stores in reverse order (undo-log modes), or by restoring the
-// snapshot (FullCopy).
+// logged stores in reverse order (undo-log modes), or by restoring
+// from the snapshot (FullCopy). The incremental path restores only the
+// containers written since the snapshot was last synced — O(dirty set)
+// instead of O(all containers).
 func (s *Store) Rollback() {
 	if s.mode == FullCopy {
-		if s.snapshot != nil {
-			for _, name := range s.order {
-				src := s.snapshot.lookup(name)
-				if src == nil {
-					panic(fmt.Sprintf("memlog: snapshot missing container %q", name))
+		if s.legacyCheckpoint {
+			if s.snapshot != nil {
+				for _, name := range s.order {
+					src := s.snapshot.lookup(name)
+					if src == nil {
+						panic(fmt.Sprintf("memlog: snapshot missing container %q", name))
+					}
+					s.containers[name].restoreFrom(src)
 				}
-				s.containers[name].restoreFrom(src)
 			}
+			return
 		}
+		if s.snapshot == nil || !s.restorable {
+			return
+		}
+		for _, c := range s.dirty {
+			src := s.snapshot.lookup(c.name())
+			if src == nil {
+				panic(fmt.Sprintf("memlog: snapshot missing container %q", c.name()))
+			}
+			c.restoreFrom(src)
+		}
+		// The live state now equals the image again: empty dirty set.
+		s.resetDirty()
 		return
 	}
 	for i := len(s.log) - 1; i >= 0; i-- {
@@ -282,12 +414,14 @@ func (s *Store) TransferLog(dst *Store) {
 // Clone produces a fresh Store with a deep copy of every container —
 // the "data section copy" performed during the restart phase. The clone
 // shares no mutable state with the original; its undo log starts empty.
-// The clone inherits the instrumentation mode and label.
+// The clone inherits the instrumentation mode, label and checkpoint
+// implementation.
 func (s *Store) Clone() *Store {
 	dst := NewStore(s.label, s.mode)
 	dst.charge = s.charge
 	dst.counters = s.counters
 	dst.generation = s.generation
+	dst.legacyCheckpoint = s.legacyCheckpoint
 	// Carry the undo-log high-water mark so the clone preallocates its
 	// log to the size the component has already demonstrated it needs.
 	dst.maxLogLen = s.maxLogLen
@@ -295,6 +429,47 @@ func (s *Store) Clone() *Store {
 		s.containers[name].cloneInto(dst)
 	}
 	return dst
+}
+
+// TransferSnapshot hands this store's retained snapshot image to dst,
+// which must hold a deep copy of the same state (the recovery flow:
+// Rollback, then Clone). The replacement store then starts with a warm
+// delta base — its first FullCopy checkpoint syncs only what the new
+// instance has written instead of re-cloning the whole data section.
+// No-op under legacy checkpointing or without a snapshot.
+func (s *Store) TransferSnapshot(dst *Store) {
+	if s.legacyCheckpoint || dst.legacyCheckpoint || s.snapshot == nil {
+		return
+	}
+	dst.snapshot = s.snapshot
+	dst.restorable = false
+	// dst's containers were stamped dirty at registration, but its
+	// state equals the image by construction: start with a clean slate.
+	dst.resetDirty()
+	s.snapshot = nil
+	s.restorable = false
+}
+
+// touch records a mutation of c: the container joins the dirty set on
+// its first write of the current checkpoint epoch and its cached size
+// is invalidated. Amortized O(1) and allocation-free once the tracking
+// slices have grown to the store's working set.
+func (s *Store) touch(c container, m *contMeta) {
+	if m.writeGen != s.chkGen {
+		m.writeGen = s.chkGen
+		s.dirty = append(s.dirty, c)
+	}
+	if !m.sizeStale {
+		m.sizeStale = true
+		s.sizeDirty = append(s.sizeDirty, c)
+	}
+}
+
+// resetDirty empties the dirty set and advances the checkpoint epoch,
+// so stale writeGen stamps can never alias a future epoch.
+func (s *Store) resetDirty() {
+	s.dirty = s.dirty[:0]
+	s.chkGen++
 }
 
 // CloneBytes reports the approximate memory cost of keeping a clone of
@@ -327,13 +502,15 @@ func (s *Store) CorruptRandom(r *sim.RNG) bool {
 	return false
 }
 
-// register adds a container under its unique name.
+// register adds a container under its unique name. A new container is
+// dirty by definition: it does not exist in any earlier snapshot image.
 func (s *Store) register(c container) {
 	if _, dup := s.containers[c.name()]; dup {
 		panic(fmt.Sprintf("memlog: duplicate container %q in store %q", c.name(), s.label))
 	}
 	s.containers[c.name()] = c
 	s.order = append(s.order, c.name())
+	s.touch(c, c.meta())
 }
 
 // lookup returns the container registered under name, or nil.
