@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt]
+//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster]
 //	            [-workers N] [-json out.json]
 //	            [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
@@ -33,7 +33,7 @@ func main() {
 	var (
 		scaleName  = flag.String("scale", "quick", "evaluation scale: quick or full")
 		seed       = flag.Uint64("seed", 42, "simulation seed")
-		only       = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation (default all)")
+		only       = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster (default all)")
 		workers    = flag.Int("workers", 0, "concurrent simulated machines (0 = one per CPU, 1 = serial)")
 		jsonPath   = flag.String("json", "", "write a machine-readable report to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -113,11 +113,12 @@ func run(scaleName string, seed uint64, only string, workers int, jsonPath strin
 	valid := map[string]bool{
 		"1": true, "2": true, "3": true, "4": true, "5": true, "6": true,
 		"f3": true, "mf": true, "ablation": true, "ipc": true, "ckpt": true,
+		"cluster": true,
 	}
 	if only != "" {
 		for _, k := range strings.Split(only, ",") {
 			if k = strings.TrimSpace(k); !valid[k] {
-				return fmt.Errorf("unknown table %q (valid: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt)", k)
+				return fmt.Errorf("unknown table %q (valid: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster)", k)
 			}
 		}
 	}
@@ -216,6 +217,14 @@ func run(scaleName string, seed uint64, only string, workers int, jsonPath strin
 	if want("ckpt") {
 		t0 := time.Now()
 		emit("checkpointing_incremental", eval.RunCheckpointing(sc), time.Since(t0))
+	}
+	if want("cluster") {
+		t0 := time.Now()
+		t, err := eval.RunCluster(sc)
+		if err != nil {
+			return fmt.Errorf("cluster table: %w", err)
+		}
+		emit("cluster_availability", t, time.Since(t0))
 	}
 
 	if jsonPath != "" {

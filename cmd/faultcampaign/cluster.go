@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// The cluster campaign: -nodes N composes N machines behind the
+// load balancer and replays `-runs` independent seeded fault storms
+// (node crashes, randomized partition windows, flaky links on every
+// node), checking the cluster-level invariants on each — zero lost
+// requests, cluster-wide audit consistency, goodput never fully dark.
+
+const (
+	// clusterRequests is the per-storm request count.
+	clusterRequests = 1000
+	// clusterHorizon bounds each storm schedule: the arrival window of
+	// clusterRequests requests at the default interarrival gap, plus
+	// the request deadline.
+	clusterHorizon sim.Cycles = 12_000_000
+	// clusterFlakyBP is the per-class flaky-link extra applied to every
+	// node for the whole storm.
+	clusterFlakyBP = 100
+)
+
+func runClusterCampaign(nodes int, seed uint64, runs, workers int, net kernel.IPCFaultConfig, partitionBP int) error {
+	if nodes < 1 {
+		return fmt.Errorf("-nodes %d: need at least 1", nodes)
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	fmt.Printf("cluster campaign: %d nodes, %d storm runs, seed %d (partitions %d bp/slot, flaky links +%d bp/class)\n\n",
+		nodes, runs, seed, partitionBP, clusterFlakyBP)
+
+	var (
+		clean, lostRuns, inconsistentRuns, darkRuns int
+		succeeded, degraded, timedOut               int
+		retries, failovers, reboots                 int
+		p50s, p99s                                  []uint64
+		worstP999                                   uint64
+		badSeeds                                    []uint64
+	)
+	for i := 0; i < runs; i++ {
+		runSeed := seed + uint64(i)
+		storm, err := cluster.RandomStorm(cluster.RandomStormConfig{
+			Nodes:       nodes,
+			Seed:        runSeed,
+			Horizon:     clusterHorizon,
+			NodeCrashes: nodes,
+			PartitionBP: partitionBP,
+			FlakyBP:     clusterFlakyBP,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := cluster.Run(cluster.Config{
+			Nodes:    nodes,
+			Seed:     runSeed,
+			Workers:  workers,
+			Requests: clusterRequests,
+			Net:      net,
+			Storm:    storm,
+		})
+		if err != nil {
+			return err
+		}
+
+		succeeded += res.Succeeded
+		degraded += res.Degraded
+		timedOut += res.TimedOut
+		retries += res.Retries
+		failovers += res.Failovers
+		for _, ns := range res.NodeStats {
+			reboots += ns.Boots - 1
+		}
+		p50s = append(p50s, uint64(res.P50))
+		p99s = append(p99s, uint64(res.P99))
+		if uint64(res.P999) > worstP999 {
+			worstP999 = uint64(res.P999)
+		}
+		dark := false
+		for _, g := range res.Goodput {
+			if g == 0 {
+				dark = true
+			}
+		}
+		if dark {
+			darkRuns++
+		}
+		bad := false
+		if res.Lost > 0 {
+			lostRuns++
+			bad = true
+		}
+		if !res.Consistent {
+			inconsistentRuns++
+			bad = true
+		}
+		if bad {
+			badSeeds = append(badSeeds, runSeed)
+		} else {
+			clean++
+		}
+	}
+
+	total := runs * clusterRequests
+	pc := func(n int) float64 { return 100 * float64(n) / float64(total) }
+	fmt.Printf("runs %d: clean %d, with-lost %d, inconsistent %d, goodput-dark-window %d\n",
+		runs, clean, lostRuns, inconsistentRuns, darkRuns)
+	fmt.Printf("requests %d: success %.1f%%, degraded %.1f%%, timed-out %.1f%%\n",
+		total, pc(succeeded), pc(degraded), pc(timedOut))
+	fmt.Printf("latency (cycles): median-of-runs p50 %d, p99 %d; worst p999 %d\n",
+		median(p50s), median(p99s), worstP999)
+	fmt.Printf("retries %d, failovers %d, node reboots %d\n", retries, failovers, reboots)
+	printInconsistent(badSeeds)
+	return nil
+}
+
+// median of a slice (0 when empty); sorts a copy.
+func median(xs []uint64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}

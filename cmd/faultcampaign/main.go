@@ -15,7 +15,17 @@
 //	              [-ipcfaults] [-droprate BP] [-duprate BP] [-delayrate BP]
 //	              [-reorderrate BP] [-corruptrate BP] [-ipcseed N]
 //	              [-ipctimeout CYCLES] [-ipcretry N]
+//	              [-nodes N] [-partitionrate BP]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// With -nodes N (N >= 1) the command instead runs the cluster storm
+// campaign: N machines composed behind the load balancer, -runs
+// independent seeded fault storms (whole-node crashes, randomized
+// partition windows at -partitionrate basis points per slot, flaky
+// links on every node), each checked for the cluster invariants —
+// zero lost requests, cluster-wide audit consistency, goodput never
+// fully dark. The -*rate flags set the background network rates.
+// All basis-point rates must lie in [0, 10000].
 //
 // The -model ipcmix campaign arms one transport fault (drop, duplicate,
 // delay, reorder or payload corruption of a component's next outgoing
@@ -60,6 +70,8 @@ func main() {
 		delayRate  = flag.Int("delayrate", 0, "background delay rate, basis points")
 		reordRate  = flag.Int("reorderrate", 0, "background reorder rate, basis points")
 		corrRate   = flag.Int("corruptrate", 0, "background payload-corruption rate, basis points")
+		nodes      = flag.Int("nodes", 0, "compose N machines into a cluster and run the storm campaign (0 = classic single-machine campaign)")
+		partRate   = flag.Int("partitionrate", 100, "cluster campaign: per-node chance of a one-slot partition window, basis points per slot")
 		ipcSeed    = flag.Uint64("ipcseed", 0, "perturbation of the per-run transport fault stream")
 		ipcTimeout = flag.Int64("ipctimeout", 0, "sender retransmission timeout in cycles (0 = default when faults are on)")
 		ipcRetry   = flag.Int("ipcretry", 0, "retransmission budget per request (0 = kernel default)")
@@ -67,6 +79,14 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if err := validateBPFlags([]bpFlag{
+		{"droprate", *dropRate}, {"duprate", *dupRate}, {"delayrate", *delayRate},
+		{"reorderrate", *reordRate}, {"corruptrate", *corrRate}, {"partitionrate", *partRate},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(2)
+	}
 
 	ipc := faultinject.IPCOptions{
 		Faults: kernel.IPCFaultConfig{
@@ -93,7 +113,12 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile, *faults, *runs, *workers, ipc)
+	var err error
+	if *nodes > 0 {
+		err = runClusterCampaign(*nodes, *seed, *runs, *workers, ipc.Faults, *partRate)
+	} else {
+		err = run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile, *faults, *runs, *workers, ipc)
+	}
 	if *memProfile != "" {
 		if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
 			err = werr

@@ -1,0 +1,36 @@
+package main
+
+import "fmt"
+
+// Basis-point rate flags are user input, and a typo'd rate silently
+// warps a whole campaign (negative rates underflow the fate ladder,
+// rates past 10000 make every roll hit). Validate them all up front
+// and fail with the flag's name rather than a misbehaving run.
+
+// bpFlag pairs a rate flag's name with its parsed value.
+type bpFlag struct {
+	name  string
+	value int
+}
+
+// validateBP rejects a basis-point rate outside [0, 10000].
+func validateBP(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("-%s %d: rate is negative; basis points must be in [0, 10000]", name, v)
+	}
+	if v > 10000 {
+		return fmt.Errorf("-%s %d: rate exceeds 10000 basis points (100%%); must be in [0, 10000]", name, v)
+	}
+	return nil
+}
+
+// validateBPFlags checks every rate flag, reporting the first offender
+// by name.
+func validateBPFlags(flags []bpFlag) error {
+	for _, f := range flags {
+		if err := validateBP(f.name, f.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// The stateless load-balancer front end. "Stateless" in the service
+// sense: it holds only routing/health state, never request payloads or
+// application data, so it is trivially rebuildable — the availability
+// story rests on the per-node recovery machinery plus the retry ladder
+// here.
+
+// Outcome classifies how a request terminated. Every generated request
+// ends in exactly one of these — the zero-lost invariant.
+type Outcome uint8
+
+const (
+	// OutSuccess: a node completed the request and the reply arrived.
+	OutSuccess Outcome = iota
+	// OutDegraded: brown-out mode shed the request at admission
+	// (explicitly rejected, not dropped).
+	OutDegraded
+	// OutTimeout: the request exhausted its deadline or retry budget
+	// and was failed with an explicit ETIMEDOUT.
+	OutTimeout
+)
+
+// request is one client request's balancer-side state.
+type request struct {
+	id       int
+	client   int
+	class    int // priority: 0 lowest .. 2 highest
+	op       opKind
+	key, val string
+	arrival  sim.Cycles
+	deadline sim.Cycles
+
+	attempt  int // attempts dispatched so far
+	node     int // node serving the current attempt (-1 = parked)
+	retries  int
+	failover bool
+
+	resolved bool
+	outcome  Outcome
+	errno    kernel.Errno
+	doneAt   sim.Cycles
+}
+
+// admit runs the brown-out gate on a fresh arrival, then dispatches.
+func (c *Cluster) admit(r *request, now sim.Cycles) {
+	if r.class < c.shedBelow {
+		c.m.shedByClass[r.class]++
+		c.resolve(r, OutDegraded, kernel.OK, now)
+		return
+	}
+	c.dispatch(r, -1, now)
+}
+
+// dispatch sends request r's next attempt to a healthy node, avoiding
+// exclude (the node that just failed it) when any alternative exists,
+// and arms the attempt's backoff timer. With no healthy node at all
+// the request parks and the timer doubles as a re-dispatch probe.
+func (c *Cluster) dispatch(r *request, exclude int, now sim.Cycles) {
+	n := c.pickNode(exclude)
+	if n == nil {
+		r.node = -1
+		c.push(event{due: now + c.backoff(r.attempt+1), kind: evRetry, reqID: r.id, attempt: r.attempt})
+		return
+	}
+	r.attempt++
+	r.node = n.idx
+	if r.attempt > 1 {
+		r.retries++
+		c.m.retries++
+	}
+	c.sendRequest(n, r, now)
+	c.push(event{due: now + c.backoff(r.attempt), kind: evRetry, reqID: r.id, attempt: r.attempt})
+}
+
+// pickNode selects the next healthy node round-robin, skipping exclude
+// unless it is the only healthy node left. Routing consults only the
+// balancer's health view, never the nodes' actual liveness: a node
+// that just died keeps receiving traffic (which the network then eats)
+// until the health ladder notices — exactly like a real front end.
+func (c *Cluster) pickNode(exclude int) *node {
+	var fallback *node
+	nn := len(c.nodes)
+	for i := 0; i < nn; i++ {
+		n := c.nodes[(c.rr+i)%nn]
+		if !n.lbHealthy {
+			continue
+		}
+		if n.idx == exclude {
+			fallback = n
+			continue
+		}
+		c.rr = (n.idx + 1) % nn
+		return n
+	}
+	if fallback != nil {
+		c.rr = (fallback.idx + 1) % nn
+	}
+	return fallback
+}
+
+// backoff is the capped exponential retry delay for attempt k (1-based).
+func (c *Cluster) backoff(attempt int) sim.Cycles {
+	d := c.cfg.RetryBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= c.cfg.RetryCap {
+			return c.cfg.RetryCap
+		}
+	}
+	if d > c.cfg.RetryCap {
+		d = c.cfg.RetryCap
+	}
+	return d
+}
+
+// handleRetry fires when an attempt's backoff timer elapses with no
+// reply: the attempt is presumed lost (network drop, node death,
+// partition), charged to the serving node's breaker, and the request
+// re-dispatched elsewhere — or failed explicitly once the budget is
+// spent.
+func (c *Cluster) handleRetry(ev event) {
+	r := c.reqs[ev.reqID]
+	if r.resolved || r.attempt != ev.attempt {
+		return // answered, or a newer attempt owns the request
+	}
+	c.noteFailure(r.node, ev.due)
+	if r.attempt >= c.cfg.RetryMax {
+		c.resolve(r, OutTimeout, kernel.ETIMEDOUT, ev.due)
+		return
+	}
+	c.dispatch(r, r.node, ev.due)
+}
+
+// deliverReply lands one node reply at the balancer.
+func (c *Cluster) deliverReply(ev event) {
+	r := c.reqs[ev.reqID]
+	if r.resolved {
+		c.m.dupReplies++
+		return
+	}
+	if ev.corrupt {
+		// Fails the checksum at the balancer; the retry timer covers it.
+		c.m.corruptRejected++
+		return
+	}
+	n := c.nodes[ev.node]
+	if ev.errno == kernel.OK {
+		n.served++
+		n.consecFails = 0
+		c.resolve(r, OutSuccess, kernel.OK, ev.due)
+		return
+	}
+	// An explicit failure from the node (in-node crash/quarantine
+	// surfaced as ECRASH, a checksum reject, ...): retry immediately on
+	// a different node rather than waiting out the backoff.
+	c.noteFailure(ev.node, ev.due)
+	if r.attempt >= c.cfg.RetryMax {
+		c.resolve(r, OutTimeout, kernel.ETIMEDOUT, ev.due)
+		return
+	}
+	c.dispatch(r, ev.node, ev.due)
+}
+
+// resolve terminates a request exactly once.
+func (c *Cluster) resolve(r *request, out Outcome, errno kernel.Errno, now sim.Cycles) {
+	if r.resolved {
+		return
+	}
+	r.resolved = true
+	r.outcome = out
+	r.errno = errno
+	r.doneAt = now
+	c.unresolved--
+	c.m.record(r)
+}
+
+// noteFailure charges one failed attempt to a node's breaker.
+func (c *Cluster) noteFailure(nodeIdx int, now sim.Cycles) {
+	if nodeIdx < 0 {
+		return
+	}
+	n := c.nodes[nodeIdx]
+	n.consecFails++
+	if n.lbHealthy && n.consecFails >= c.cfg.BreakerFails {
+		c.markUnhealthy(n, now, fmt.Sprintf("breaker: %d consecutive failures", n.consecFails))
+	}
+}
+
+// pollRound probes every node's Recovery Server once: unreachable
+// nodes accumulate misses toward an unhealthy verdict, reachable ones
+// report in-node quarantines (a degraded node drains), and recovered
+// nodes are readmitted after the hold expires.
+func (c *Cluster) pollRound(now sim.Cycles) {
+	for _, n := range c.nodes {
+		c.pollNode(n, now)
+	}
+	c.recomputeBrownout(now)
+	if c.unresolved > 0 {
+		c.push(event{due: now + c.cfg.HealthEvery, kind: evPoll})
+	}
+}
+
+func (c *Cluster) pollNode(n *node, now sim.Cycles) {
+	reachable := n.up && !c.partitioned(n.idx, now)
+	if !reachable {
+		n.missPolls++
+		if n.lbHealthy && n.missPolls >= c.cfg.HealthMisses {
+			c.markUnhealthy(n, now, fmt.Sprintf("unreachable: %d missed polls", n.missPolls))
+		}
+		return
+	}
+	n.missPolls = 0
+	if h, ok := n.rsHealth(); ok && h.Quarantines > 0 {
+		// A quarantined component is gone for this incarnation: the
+		// node serves degraded at best, so route around it until the
+		// next reboot replaces the machine.
+		if n.lbHealthy {
+			c.markUnhealthy(n, now, "rs: component quarantined")
+		}
+		return
+	}
+	if !n.lbHealthy && now >= n.holdUntil {
+		c.markHealthy(n, now)
+	}
+}
+
+// markUnhealthy removes a node from rotation and fails over every
+// request currently in flight on it.
+func (c *Cluster) markUnhealthy(n *node, now sim.Cycles, why string) {
+	n.lbHealthy = false
+	n.unhealthyMarks++
+	n.holdUntil = now + c.cfg.BreakerHold
+	c.transition(now, n.idx, "unhealthy ("+why+")")
+	c.recomputeBrownout(now)
+	c.failover(n.idx, now)
+}
+
+// markHealthy readmits a node to rotation.
+func (c *Cluster) markHealthy(n *node, now sim.Cycles) {
+	n.lbHealthy = true
+	n.consecFails = 0
+	c.transition(now, n.idx, "healthy")
+	c.recomputeBrownout(now)
+}
+
+// failover re-dispatches every in-flight request whose current attempt
+// sits on the newly unhealthy node, in request order.
+func (c *Cluster) failover(nodeIdx int, now sim.Cycles) {
+	for _, r := range c.reqs {
+		if r.resolved || r.node != nodeIdx || r.attempt == 0 {
+			continue
+		}
+		c.m.failovers++
+		r.failover = true
+		if r.attempt >= c.cfg.RetryMax {
+			c.resolve(r, OutTimeout, kernel.ETIMEDOUT, now)
+			continue
+		}
+		c.dispatch(r, nodeIdx, now)
+	}
+}
+
+// recomputeBrownout rederives the shed cutoff from healthy capacity
+// versus offered demand. Class 2 (highest) is never shed: with zero
+// capacity nothing can be served anyway, and parked class-2 requests
+// keep probing until a node returns or their deadline fires.
+func (c *Cluster) recomputeBrownout(now sim.Cycles) {
+	healthy := 0
+	for _, n := range c.nodes {
+		if n.up && n.lbHealthy {
+			healthy++
+		}
+	}
+	demandPerM := int(1_000_000 / c.cfg.MeanGap) // offered requests per megacycle
+	capacity := healthy * c.cfg.NodeCapacity
+	cutoff := 0
+	if capacity < demandPerM {
+		cutoff = 1
+	}
+	if 3*capacity < 2*demandPerM {
+		cutoff = 2
+	}
+	if cutoff != c.shedBelow {
+		c.transitions = append(c.transitions,
+			fmt.Sprintf("t=%-10d brown-out: shed classes < %d (healthy=%d, capacity=%d/Mcy, demand=%d/Mcy)",
+				int64(now), cutoff, healthy, capacity, demandPerM))
+		c.shedBelow = cutoff
+	}
+}

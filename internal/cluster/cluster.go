@@ -1,0 +1,476 @@
+// Package cluster composes N independent simulated OSIRIS machines
+// into one deterministic virtual-time cluster: a seeded inter-node
+// network (reusing the kernel fault-plane fates as the loss/duplication
+// /delay/reorder/corruption model), a stateless load-balancer front end
+// that derives per-node health from each machine's Recovery Server
+// (rs.Health), and an open-loop workload generator standing in for
+// thousands of concurrent clients.
+//
+// The composition is lockstep co-simulation: every node is stepped to a
+// common virtual-time boundary (kernel.StepUntil), then cross-node
+// events — request deliveries, replies, health polls, retry and
+// deadline timers, storm transitions — are processed single-threaded in
+// deterministic (time, sequence) order. Node stepping fans out over a
+// parallel.Map worker pool; nodes share no mutable state mid-slice, so
+// the aggregate result is bit-identical for every worker count.
+// Cross-node causality skew is bounded by one quantum and is itself
+// deterministic, so it is part of the model, not noise.
+//
+// The robustness ladder implemented by the balancer, bottom to top:
+// per-request deadlines; capped-backoff retries that re-dispatch away
+// from the failing node; failover of every in-flight request when a
+// node is marked unhealthy (health-poll misses, a breaker tripping on
+// consecutive failures, or RS reporting an in-node quarantine); and
+// explicit brown-out degradation — shedding the lowest priority
+// classes — when healthy capacity drops below offered demand. Every
+// request terminates in exactly one of success, degraded (shed) or
+// explicit timeout: nothing is silently lost.
+//
+// The data plane is deliberately per-node (no replication): the cluster
+// layer targets availability and bounded latency, mirroring how the
+// paper's per-machine recovery slots under a fleet-level front end.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/parallel"
+	"repro/internal/seep"
+	"repro/internal/servers/rs"
+	"repro/internal/sim"
+	"repro/internal/usr"
+)
+
+// Config parameterizes a cluster run. Zero values select defaults.
+type Config struct {
+	// Nodes is the number of machines (default 3).
+	Nodes int
+	// Seed drives every random stream of the run (default 1).
+	Seed uint64
+	// Workers bounds the per-node stepping fan-out; results are
+	// bit-identical for any value (0 = one per CPU, 1 = serial).
+	Workers int
+	// Policy is the per-node recovery policy (0 = PolicyEnhanced).
+	Policy seep.Policy
+
+	// Requests is the total client-request count (default 2000).
+	Requests int
+	// Clients is the simulated client population the open-loop arrival
+	// process stands in for (default 1000; bookkeeping only — open-loop
+	// arrivals do not block on earlier responses).
+	Clients int
+	// MeanGap is the mean request interarrival in cycles (default 6000).
+	MeanGap sim.Cycles
+
+	// Deadline is the per-request end-to-end budget (default 4,000,000).
+	Deadline sim.Cycles
+	// RetryBase/RetryCap bound the exponential retry backoff
+	// (defaults 150,000 and 1,200,000); RetryMax caps attempts
+	// (default 5).
+	RetryBase sim.Cycles
+	RetryCap  sim.Cycles
+	RetryMax  int
+
+	// Quantum is the lockstep slice length (default 100,000).
+	Quantum sim.Cycles
+
+	// Net holds the background network fault rates in basis points per
+	// transmission (kernel fault-plane fates); zero = a perfect network.
+	Net kernel.IPCFaultConfig
+	// NetDelay/NetJitter shape one-way latency: base plus uniform
+	// jitter (defaults 4,000 and 2,000).
+	NetDelay  sim.Cycles
+	NetJitter sim.Cycles
+
+	// Storm is the node-level fault schedule (crashes, partitions,
+	// flaky-link windows, in-node component fail-stops).
+	Storm Storm
+
+	// HealthEvery is the balancer's health-poll period (default
+	// 150,000); HealthMisses consecutive unreachable polls mark a node
+	// unhealthy (default 3); BreakerFails consecutive request failures
+	// trip the per-node breaker (default 8); BreakerHold is how long an
+	// unhealthy node is held out before a successful poll may readmit
+	// it (default 2×HealthEvery).
+	HealthEvery  sim.Cycles
+	HealthMisses int
+	BreakerFails int
+	BreakerHold  sim.Cycles
+
+	// NodeCapacity estimates requests-per-megacycle one healthy node
+	// sustains; the brown-out ladder sheds priority classes when
+	// healthy capacity falls below offered demand (default 100).
+	NodeCapacity int
+
+	// RebootDowntime is how long an unscheduled node death stays down
+	// before the reboot (default 2,000,000).
+	RebootDowntime sim.Cycles
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Policy == 0 {
+		c.Policy = seep.PolicyEnhanced
+	}
+	if c.Requests == 0 {
+		c.Requests = 2000
+	}
+	if c.Clients == 0 {
+		c.Clients = 1000
+	}
+	if c.MeanGap == 0 {
+		c.MeanGap = 6000
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 4_000_000
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 150_000
+	}
+	if c.RetryCap == 0 {
+		c.RetryCap = 1_200_000
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 5
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 100_000
+	}
+	if c.NetDelay == 0 {
+		c.NetDelay = 4_000
+	}
+	if c.NetJitter == 0 {
+		c.NetJitter = 2_000
+	}
+	if c.HealthEvery == 0 {
+		c.HealthEvery = 150_000
+	}
+	if c.HealthMisses == 0 {
+		c.HealthMisses = 3
+	}
+	if c.BreakerFails == 0 {
+		c.BreakerFails = 8
+	}
+	if c.BreakerHold == 0 {
+		c.BreakerHold = 2 * c.HealthEvery
+	}
+	if c.NodeCapacity == 0 {
+		c.NodeCapacity = 100
+	}
+	if c.RebootDowntime == 0 {
+		c.RebootDowntime = 2_000_000
+	}
+	if c.Nodes < 1 {
+		return c, fmt.Errorf("cluster: Nodes must be >= 1, got %d", c.Nodes)
+	}
+	if err := c.Net.Validate(); err != nil {
+		return c, fmt.Errorf("cluster: %w", err)
+	}
+	if err := c.Storm.validate(c.Nodes); err != nil {
+		return c, err
+	}
+	// The run marks crash/fault entries as applied; work on private
+	// copies so the caller's schedule stays reusable.
+	c.Storm.Crashes = append([]NodeCrash(nil), c.Storm.Crashes...)
+	for i := range c.Storm.Crashes {
+		c.Storm.Crashes[i].applied = false
+	}
+	c.Storm.CompFaults = append([]CompFault(nil), c.Storm.CompFaults...)
+	for i := range c.Storm.CompFaults {
+		c.Storm.CompFaults[i].applied = false
+	}
+	return c, nil
+}
+
+// node is one machine plus the balancer's bookkeeping about it.
+type node struct {
+	idx     int
+	sys     *boot.System
+	aud     *audit.Auditor
+	agentEP kernel.Endpoint
+	up      bool
+
+	// completions is filled by the node agent while the machine steps
+	// and drained by the driver between slices (baton handoff gives the
+	// happens-before edge).
+	completions []completion
+
+	// Balancer view.
+	lbHealthy   bool
+	missPolls   int
+	consecFails int
+	holdUntil   sim.Cycles
+
+	// Lifetime statistics, folded across incarnations.
+	boots          int
+	crashes        int
+	served         int
+	unhealthyMarks int
+	recoveries     int64
+	quarantines    int64
+	hangKills      int64
+}
+
+// completion is one finished request attempt reported by a node agent.
+type completion struct {
+	reqID   int
+	attempt int
+	errno   kernel.Errno
+	at      sim.Cycles
+}
+
+// Cluster is the run state. Everything outside node stepping executes
+// on the driver goroutine.
+type Cluster struct {
+	cfg     Config
+	nodes   []*node
+	net     *netModel
+	events  eventHeap
+	evSeq   uint64
+	reqs    []*request
+	horizon sim.Cycles
+
+	unresolved  int
+	lastArrival sim.Cycles
+	rr          int
+	shedBelow   int
+
+	m metrics
+
+	auditChecks int
+	auditOK     bool
+	violations  []string
+	transitions []string
+}
+
+// clusterRSHealth is what the balancer needs from a node's RS; the
+// boot-time RS component satisfies it via embedding.
+type clusterRSHealth interface{ Health() rs.Health }
+
+// Run executes one full cluster simulation and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	c := &Cluster{cfg: cfg, auditOK: true, shedBelow: 0}
+	c.net = newNetModel(cfg)
+	c.genArrivals()
+	c.horizon = c.lastArrival + cfg.Deadline + 8*cfg.Quantum
+	c.push(event{due: cfg.HealthEvery, kind: evPoll})
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{idx: i, lbHealthy: true}
+		c.nodes = append(c.nodes, n)
+		c.bootNode(n, 0)
+	}
+	c.recomputeBrownout(0)
+
+	for t := sim.Cycles(0); c.unresolved > 0; {
+		t += cfg.Quantum
+		c.stormTick(t)
+		c.pumpEvents(t)
+		c.stepNodes(t)
+		if t >= c.horizon {
+			c.timeoutRemaining(t)
+			break
+		}
+	}
+	c.finalize()
+	return c.result(), nil
+}
+
+// bootNode boots (or reboots) node n with its machine clock aligned to
+// cluster time at.
+func (c *Cluster) bootNode(n *node, at sim.Cycles) {
+	n.boots++
+	seed := c.cfg.Seed ^
+		(0x9E3779B97F4A7C15 * uint64(n.idx+1)) ^
+		(0xBF58476D1CE4E5B9 * uint64(n.boots))
+	sys := boot.Boot(boot.Options{
+		Config: core.Config{
+			Policy: c.cfg.Policy,
+			Seed:   seed,
+		},
+		Registry:   usr.NewRegistry(),
+		Heartbeats: true,
+	}, c.agentProgram(n))
+	n.sys = sys
+	n.aud = audit.Attach(sys.OS)
+	n.agentEP = sys.InitEP()
+	k := sys.Kernel()
+	k.BeginSteps(c.horizon*2 + 1_000_000)
+	if at > 0 {
+		k.Clock().Advance(at)
+	}
+	n.up = true
+	n.missPolls = 0
+	n.consecFails = 0
+	if at == 0 {
+		c.transition(at, n.idx, "boot")
+	} else {
+		// A rebooted node must prove itself with a successful health
+		// poll before taking traffic again.
+		n.lbHealthy = false
+		n.holdUntil = at
+		c.transition(at, n.idx, "reboot")
+	}
+}
+
+// crashNode folds the dying incarnation's audit verdicts and RS
+// statistics, tears the machine down, and schedules the reboot.
+func (c *Cluster) crashNode(n *node, at sim.Cycles, downtime sim.Cycles, why string) {
+	c.foldNodeStats(n)
+	n.sys.Shutdown("cluster: " + why)
+	n.up = false
+	n.crashes++
+	c.transition(at, n.idx, "crash: "+why)
+	c.push(event{due: at + downtime, kind: evReboot, node: n.idx})
+}
+
+// foldNodeStats accumulates the current incarnation's RS accounting
+// and audit verdicts into the node's lifetime statistics.
+func (c *Cluster) foldNodeStats(n *node) {
+	if hp, ok := n.sys.ComponentInstance(kernel.EpRS).(clusterRSHealth); ok {
+		h := hp.Health()
+		n.recoveries += h.Recoveries
+		n.quarantines += h.Quarantines
+		n.hangKills += h.HangKills
+	}
+	c.auditChecks += len(n.aud.Reports())
+	if !n.aud.Consistent() {
+		c.auditOK = false
+		for _, v := range n.aud.Violations() {
+			c.violations = append(c.violations, fmt.Sprintf("node%d: %s", n.idx, v.String()))
+		}
+	}
+}
+
+// rsHealth reads node n's Recovery Server snapshot (between steps the
+// machine is parked, so this is a plain read).
+func (n *node) rsHealth() (rs.Health, bool) {
+	if hp, ok := n.sys.ComponentInstance(kernel.EpRS).(clusterRSHealth); ok {
+		return hp.Health(), true
+	}
+	return rs.Health{}, false
+}
+
+// stormTick applies every scheduled node-level fault transition due at
+// or before boundary t, in deterministic schedule order.
+func (c *Cluster) stormTick(t sim.Cycles) {
+	for i := range c.cfg.Storm.Crashes {
+		ev := &c.cfg.Storm.Crashes[i]
+		if ev.applied || ev.At > t {
+			continue
+		}
+		ev.applied = true
+		n := c.nodes[ev.Node]
+		if n.up {
+			c.crashNode(n, ev.At, ev.Downtime, "storm: node crash")
+		}
+	}
+	for i := range c.cfg.Storm.CompFaults {
+		ev := &c.cfg.Storm.CompFaults[i]
+		if ev.applied || ev.At > t {
+			continue
+		}
+		ev.applied = true
+		n := c.nodes[ev.Node]
+		if n.up {
+			// Between slices no process is running, so a fail-stop is
+			// legal here; the node's own recovery engine takes over.
+			n.sys.Kernel().FailStopProcess(ev.EP, "cluster storm: injected component fault")
+		}
+	}
+}
+
+// stepOut carries one node's slice results back from the worker pool.
+type stepOut struct {
+	comps []completion
+	died  bool
+}
+
+// stepNodes advances every live machine to boundary t in parallel and
+// converts their completions into reply events, in node order.
+func (c *Cluster) stepNodes(t sim.Cycles) {
+	outs := parallel.Map(c.cfg.Workers, len(c.nodes), func(i int) stepOut {
+		n := c.nodes[i]
+		if !n.up {
+			return stepOut{}
+		}
+		n.completions = n.completions[:0]
+		died := n.sys.Kernel().StepUntil(t)
+		comps := make([]completion, len(n.completions))
+		copy(comps, n.completions)
+		return stepOut{comps: comps, died: died}
+	})
+	for i, out := range outs {
+		n := c.nodes[i]
+		if out.died && n.up {
+			res := n.sys.Kernel().StepResult()
+			c.crashNode(n, t, c.cfg.RebootDowntime, "machine stopped: "+res.Reason)
+		}
+		for _, cp := range out.comps {
+			c.scheduleReply(n, cp)
+		}
+	}
+}
+
+// timeoutRemaining resolves every still-open request as an explicit
+// timeout when the horizon is reached (zero-lost backstop; deadlines
+// normally fire first).
+func (c *Cluster) timeoutRemaining(t sim.Cycles) {
+	for _, r := range c.reqs {
+		if !r.resolved {
+			c.resolve(r, OutTimeout, kernel.ETIMEDOUT, t)
+		}
+	}
+}
+
+// clusterAudit captures and checks every live node's invariants — run
+// after each node recovery (reboot), per the cluster-wide audit
+// contract.
+func (c *Cluster) clusterAudit(at sim.Cycles) {
+	for _, n := range c.nodes {
+		if !n.up {
+			continue
+		}
+		c.auditChecks++
+		viols := audit.Check(audit.Capture(n.sys.OS))
+		if len(viols) > 0 {
+			c.auditOK = false
+			for _, v := range viols {
+				c.violations = append(c.violations,
+					fmt.Sprintf("t=%d node%d: %s", int64(at), n.idx, v.String()))
+			}
+		}
+	}
+}
+
+// finalize runs each surviving node's final audit, folds statistics
+// and tears the machines down.
+func (c *Cluster) finalize() {
+	for _, n := range c.nodes {
+		if !n.up {
+			continue
+		}
+		rep := n.aud.Final()
+		_ = rep // folded below via the auditor's recorded reports
+		c.foldNodeStats(n)
+		n.sys.Shutdown("cluster: end of run")
+		n.up = false
+	}
+}
+
+// transition appends one line to the health-transition journal.
+func (c *Cluster) transition(at sim.Cycles, nodeIdx int, what string) {
+	c.transitions = append(c.transitions, fmt.Sprintf("t=%-10d node%d %s", int64(at), nodeIdx, what))
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// quickConfig is a small, fast cluster configuration for tests.
+func quickConfig() Config {
+	return Config{
+		Nodes:    3,
+		Seed:     42,
+		Workers:  1,
+		Requests: 600,
+		MeanGap:  6000,
+	}
+}
+
+// stormConfig is quickConfig under the acceptance-criteria storm: one
+// node crash plus 100 bp per class of flaky-link noise on every node.
+func stormConfig() Config {
+	cfg := quickConfig()
+	cfg.Storm = Storm{
+		Crashes: []NodeCrash{{Node: 1, At: 900_000, Downtime: 1_500_000}},
+		Flaky: []NodeWindow{
+			{Node: 0, From: 0, To: 1 << 40},
+			{Node: 1, From: 0, To: 1 << 40},
+			{Node: 2, From: 0, To: 1 << 40},
+		},
+		FlakyExtra: kernel.IPCFaultConfig{
+			DropBP: 100, DupBP: 100, DelayBP: 100, ReorderBP: 100, CorruptBP: 100,
+		},
+	}
+	return cfg
+}
+
+func TestClusterNoFaultsAllSucceed(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != res.Requests {
+		t.Errorf("fault-free cluster: %d/%d succeeded (degraded=%d timedout=%d lost=%d)",
+			res.Succeeded, res.Requests, res.Degraded, res.TimedOut, res.Lost)
+	}
+	if res.Lost != 0 {
+		t.Errorf("lost %d requests", res.Lost)
+	}
+	if !res.Consistent {
+		t.Errorf("audit violations: %v", res.Violations)
+	}
+	if res.P50 == 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Errorf("implausible percentiles: p50=%d p99=%d p999=%d", res.P50, res.P99, res.P999)
+	}
+}
+
+func TestClusterStormZeroLostAndConsistent(t *testing.T) {
+	res, err := Run(stormConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("lost %d requests under storm (succeeded=%d degraded=%d timedout=%d)",
+			res.Lost, res.Succeeded, res.Degraded, res.TimedOut)
+	}
+	if res.Succeeded == 0 {
+		t.Fatal("no request succeeded under storm")
+	}
+	if !res.Consistent {
+		t.Errorf("cluster-wide audit failed: %v", res.Violations)
+	}
+	if res.AuditChecks == 0 {
+		t.Error("no audit checks ran")
+	}
+	if res.NodeStats[1].Crashes != 1 || res.NodeStats[1].Boots != 2 {
+		t.Errorf("node1 crash/reboot not reflected: %+v", res.NodeStats[1])
+	}
+	// Goodput must stay positive throughout the run.
+	for i, g := range res.Goodput {
+		if g == 0 {
+			t.Errorf("goodput window %d/%d is zero: %v", i, len(res.Goodput), res.Goodput)
+		}
+	}
+	// The crashed node had requests in flight; they must have been
+	// failed over, not lost.
+	if res.Failovers == 0 {
+		t.Error("expected failovers when a node crashed mid-traffic")
+	}
+}
+
+func TestClusterBrownOutShedsOnlyLowPriority(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Nodes = 2
+	cfg.NodeCapacity = 40 // 2*40 < demand(166/Mcy): permanent brown-out
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded == 0 {
+		t.Fatal("undersized cluster never entered brown-out")
+	}
+	if res.ShedByClass[2] != 0 {
+		t.Errorf("brown-out shed %d highest-priority requests", res.ShedByClass[2])
+	}
+	if res.ShedByClass[0] == 0 {
+		t.Error("brown-out shed no lowest-priority requests")
+	}
+	if res.Succeeded == 0 {
+		t.Error("brown-out served nothing")
+	}
+	if res.Lost != 0 {
+		t.Errorf("lost %d requests", res.Lost)
+	}
+}
+
+func TestClusterEveryRequestExplicitlyTerminated(t *testing.T) {
+	cfg := stormConfig()
+	cfg.Storm.Partitions = []NodeWindow{{Node: 2, From: 1_200_000, To: 2_600_000}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Succeeded + res.Degraded + res.TimedOut; got != res.Requests {
+		t.Errorf("terminal outcomes %d != requests %d", got, res.Requests)
+	}
+	if res.Lost != 0 {
+		t.Errorf("lost %d requests", res.Lost)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Net = kernel.IPCFaultConfig{DropBP: 10001}
+	if _, err := Run(cfg); err == nil {
+		t.Error("out-of-range network rate accepted")
+	}
+	cfg = quickConfig()
+	cfg.Storm.Crashes = []NodeCrash{{Node: 7, At: 1, Downtime: 1}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("storm referencing nonexistent node accepted")
+	}
+	cfg = quickConfig()
+	cfg.Storm.Crashes = []NodeCrash{{Node: 0, At: 1, Downtime: 0}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("storm crash without downtime accepted")
+	}
+}
+
+func TestRandomStormDeterministic(t *testing.T) {
+	cfg := RandomStormConfig{Nodes: 3, Seed: 7, Horizon: 20_000_000, NodeCrashes: 2, PartitionBP: 300, FlakyBP: 100}
+	a, err := RandomStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Crashes) != len(b.Crashes) || len(a.Partitions) != len(b.Partitions) {
+		t.Errorf("RandomStorm not deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i].Node != b.Crashes[i].Node || a.Crashes[i].At != b.Crashes[i].At {
+			t.Errorf("crash %d differs: %+v vs %+v", i, a.Crashes[i], b.Crashes[i])
+		}
+	}
+	if _, err := RandomStorm(RandomStormConfig{Nodes: 0, Horizon: 1}); err == nil {
+		t.Error("RandomStorm accepted zero nodes")
+	}
+	if _, err := RandomStorm(RandomStormConfig{Nodes: 1, Horizon: 1, PartitionBP: 20000}); err == nil {
+		t.Error("RandomStorm accepted out-of-range PartitionBP")
+	}
+}

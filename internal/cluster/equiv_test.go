@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The cluster is a deterministic co-simulation: node stepping fans out
+// over a worker pool, but nodes share no mutable state mid-slice and
+// every cross-node interaction is serialized through the (due, seq)
+// event queue on the driver goroutine. The whole Result — latency
+// percentiles and histogram, outcome counts, audit verdicts, health
+// transitions — must therefore be bit-identical for every worker count
+// and for repeated runs with the same seed (the cluster analogue of
+// faultinject's ipc_equiv_test).
+
+func TestClusterIdenticalAcrossWorkerCounts(t *testing.T) {
+	base := stormConfig()
+	base.Workers = 1
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d: cluster run diverged from serial:\nserial: %+v\ngot:    %+v",
+				workers, serial, got)
+		}
+	}
+}
+
+func TestClusterSameSeedRepeatable(t *testing.T) {
+	cfg := stormConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different results:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+func TestClusterSeedChangesOutcome(t *testing.T) {
+	a, err := Run(stormConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stormConfig()
+	cfg.Seed = 1337
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.LatencyHist, b.LatencyHist) && a.P999 == b.P999 && a.Retries == b.Retries {
+		t.Error("different seeds produced identical latency profiles — RNG plumbing suspect")
+	}
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// metrics accumulates during the run; Result is the deterministic,
+// comparison-friendly summary (plain integers and strings throughout,
+// so worker-equivalence tests can reflect.DeepEqual whole results).
+
+// goodputWindows is how many equal time windows the goodput timeline
+// is bucketed into.
+const goodputWindows = 8
+
+type metrics struct {
+	latencies   []sim.Cycles // successful requests only
+	successAt   []sim.Cycles
+	shedByClass [3]int
+
+	retries         int
+	failovers       int
+	dupReplies      int
+	corruptRejected int
+	lateDrops       int
+
+	netSends    int
+	netDrops    int
+	netDups     int
+	netDelays   int
+	netCorrupts int
+
+	succeeded int
+	degraded  int
+	timedOut  int
+	lastDone  sim.Cycles
+}
+
+// record folds one resolved request.
+func (m *metrics) record(r *request) {
+	switch r.outcome {
+	case OutSuccess:
+		m.succeeded++
+		m.latencies = append(m.latencies, r.doneAt-r.arrival)
+		m.successAt = append(m.successAt, r.doneAt)
+	case OutDegraded:
+		m.degraded++
+	case OutTimeout:
+		m.timedOut++
+	}
+	if r.doneAt > m.lastDone {
+		m.lastDone = r.doneAt
+	}
+}
+
+// NodeStats is one node's lifetime summary across all incarnations.
+type NodeStats struct {
+	Boots          int
+	Crashes        int
+	Served         int
+	UnhealthyMarks int
+	Recoveries     int64
+	Quarantines    int64
+	HangKills      int64
+}
+
+// Result summarizes a cluster run.
+type Result struct {
+	Nodes    int
+	Requests int
+
+	Succeeded int
+	Degraded  int
+	TimedOut  int
+	// Lost is Requests minus the three terminal classes; the zero-lost
+	// invariant means it is always 0.
+	Lost int
+
+	// Latency percentiles over successful requests, in cycles.
+	P50, P99, P999, MaxLatency sim.Cycles
+	// LatencyHist buckets successful latencies by bit length (log2).
+	LatencyHist []int
+	// Goodput counts successful completions per equal-width window of
+	// the run; "goodput stayed positive throughout" means every window
+	// that starts before the last success is non-zero.
+	Goodput []int
+
+	Retries         int
+	Failovers       int
+	ShedByClass     [3]int
+	DupReplies      int
+	CorruptRejected int
+	LateDrops       int
+
+	NetSends, NetDrops, NetDups, NetDelays, NetCorrupts int
+
+	NodeStats []NodeStats
+
+	// AuditChecks counts consistency checks (per-recovery, per-reboot
+	// cluster-wide, and final); Consistent is the conjunction.
+	AuditChecks int
+	Consistent  bool
+	Violations  []string
+
+	// Transitions is the health/brown-out journal (demo output and a
+	// determinism witness).
+	Transitions []string
+
+	// EndTime is the virtual time of the last resolution.
+	EndTime sim.Cycles
+}
+
+// result assembles the final Result.
+func (c *Cluster) result() Result {
+	res := Result{
+		Nodes:           c.cfg.Nodes,
+		Requests:        c.cfg.Requests,
+		Succeeded:       c.m.succeeded,
+		Degraded:        c.m.degraded,
+		TimedOut:        c.m.timedOut,
+		Retries:         c.m.retries,
+		Failovers:       c.m.failovers,
+		ShedByClass:     c.m.shedByClass,
+		DupReplies:      c.m.dupReplies,
+		CorruptRejected: c.m.corruptRejected,
+		LateDrops:       c.m.lateDrops,
+		NetSends:        c.m.netSends,
+		NetDrops:        c.m.netDrops,
+		NetDups:         c.m.netDups,
+		NetDelays:       c.m.netDelays,
+		NetCorrupts:     c.m.netCorrupts,
+		AuditChecks:     c.auditChecks,
+		Consistent:      c.auditOK,
+		Violations:      c.violations,
+		Transitions:     c.transitions,
+		EndTime:         c.m.lastDone,
+	}
+	res.Lost = res.Requests - res.Succeeded - res.Degraded - res.TimedOut
+
+	lats := make([]sim.Cycles, len(c.m.latencies))
+	copy(lats, c.m.latencies)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.P50 = pct(lats, 50, 100)
+	res.P99 = pct(lats, 99, 100)
+	res.P999 = pct(lats, 999, 1000)
+	if len(lats) > 0 {
+		res.MaxLatency = lats[len(lats)-1]
+	}
+	res.LatencyHist = make([]int, 0)
+	for _, l := range c.m.latencies {
+		b := bits.Len64(uint64(l))
+		for len(res.LatencyHist) <= b {
+			res.LatencyHist = append(res.LatencyHist, 0)
+		}
+		res.LatencyHist[b]++
+	}
+
+	res.Goodput = make([]int, goodputWindows)
+	if c.m.lastDone > 0 {
+		for _, at := range c.m.successAt {
+			w := int(sim.Cycles(goodputWindows) * at / (c.m.lastDone + 1))
+			res.Goodput[w]++
+		}
+	}
+
+	for _, n := range c.nodes {
+		res.NodeStats = append(res.NodeStats, NodeStats{
+			Boots:          n.boots,
+			Crashes:        n.crashes,
+			Served:         n.served,
+			UnhealthyMarks: n.unhealthyMarks,
+			Recoveries:     n.recoveries,
+			Quarantines:    n.quarantines,
+			HangKills:      n.hangKills,
+		})
+	}
+	return res
+}
+
+// pct picks the num/den percentile of a sorted slice (0 when empty).
+func pct(sorted []sim.Cycles, num, den int) sim.Cycles {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[(len(sorted)-1)*num/den]
+}

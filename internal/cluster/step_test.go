@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/sim"
+	"repro/internal/usr"
+)
+
+// StepUntil must be observably identical to Run for a machine that
+// finishes on its own: same outcome, same final cycle count, same
+// counters — regardless of the slice length it is stepped with. This
+// is the foundation the whole cluster composition rests on.
+
+func stepWorkload(p *usr.Proc) int {
+	for i := 0; i < 40; i++ {
+		key := string(rune('a' + i%7))
+		if errno := p.DsPut(key, "v"); errno != kernel.OK {
+			return 1
+		}
+		if _, errno := p.DsGet(key); errno != kernel.OK {
+			return 1
+		}
+		p.Compute(1000)
+	}
+	fd, errno := p.Create("/f")
+	if errno != kernel.OK {
+		return 1
+	}
+	p.Write(fd, []byte("data"))
+	p.Close(fd)
+	return 0
+}
+
+func bootStepMachine() *boot.System {
+	return boot.Boot(boot.Options{
+		Config:     core.Config{Policy: seep.PolicyEnhanced, Seed: 99},
+		Registry:   usr.NewRegistry(),
+		Heartbeats: true,
+	}, stepWorkload)
+}
+
+func TestStepUntilEquivalentToRun(t *testing.T) {
+	const limit = 50_000_000
+
+	ref := bootStepMachine()
+	refRes := ref.Run(limit)
+
+	for _, quantum := range []sim.Cycles{1_000, 37_000, 100_000, 5_000_000} {
+		sys := bootStepMachine()
+		k := sys.Kernel()
+		k.BeginSteps(limit)
+		var target sim.Cycles
+		for !k.StepUntil(target) {
+			if target > refRes.Cycles+10*quantum {
+				t.Fatalf("quantum %d: stepped machine did not finish by t=%d (Run finished at %d)",
+					quantum, target, refRes.Cycles)
+			}
+			target += quantum
+		}
+		got := k.StepResult()
+		sys.Shutdown("test done")
+		if got.Outcome != refRes.Outcome || got.Reason != refRes.Reason || got.Cycles != refRes.Cycles {
+			t.Errorf("quantum %d: stepped result %+v != Run result %+v", quantum, got, refRes)
+		}
+		if a, b := ref.Kernel().Counters().Snapshot(), sys.Kernel().Counters().Snapshot(); !reflect.DeepEqual(a, b) {
+			t.Errorf("quantum %d: counters diverged between Run and StepUntil", quantum)
+		}
+	}
+}
+
+func TestStepUntilIdleIsNotDeadlock(t *testing.T) {
+	// A machine whose only user process blocks in Receive is idle, not
+	// dead: stepping must park at each boundary without declaring an
+	// outcome, and a posted message must wake it.
+	got := make(chan kernel.Message, 1)
+	sys := boot.Boot(boot.Options{
+		Config:   core.Config{Policy: seep.PolicyEnhanced, Seed: 7},
+		Registry: usr.NewRegistry(),
+	}, func(p *usr.Proc) int {
+		m := p.Context().Receive()
+		got <- m
+		return 0
+	})
+	k := sys.Kernel()
+	k.BeginSteps(1 << 40)
+	if done := k.StepUntil(1_000_000); done {
+		t.Fatalf("idle machine declared done: %+v", k.StepResult())
+	}
+	if now := k.Now(); now != 1_000_000 {
+		t.Fatalf("idle machine parked at t=%d, want slice boundary 1000000", now)
+	}
+	if err := k.PostMessage(kernel.EpKernel, sys.InitEP(), kernel.Message{Type: 900, A: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if done := k.StepUntil(3_000_000); !done {
+		t.Fatal("machine did not finish after its wake-up message")
+	}
+	if res := k.StepResult(); res.Outcome != kernel.OutcomeCompleted {
+		t.Fatalf("unexpected outcome: %+v", res)
+	}
+	select {
+	case m := <-got:
+		if m.A != 5 {
+			t.Errorf("delivered message A=%d, want 5", m.A)
+		}
+	default:
+		t.Error("workload never saw the posted message")
+	}
+	sys.Shutdown("test done")
+}
+
+func TestTeardownIsIdempotent(t *testing.T) {
+	sys := boot.Boot(boot.Options{
+		Config:   core.Config{Policy: seep.PolicyEnhanced, Seed: 3},
+		Registry: usr.NewRegistry(),
+	}, func(p *usr.Proc) int {
+		p.Context().Receive() // blocks forever
+		return 0
+	})
+	k := sys.Kernel()
+	k.BeginSteps(1 << 40)
+	k.StepUntil(10_000)
+	sys.Shutdown("first")
+	sys.Shutdown("second")
+	if res := k.StepResult(); res.Outcome != kernel.OutcomeShutdown || res.Reason != "first" {
+		t.Errorf("teardown result %+v, want shutdown with first reason", res)
+	}
+	if !k.StepUntil(20_000) {
+		t.Error("StepUntil on a torn-down machine must report done")
+	}
+}

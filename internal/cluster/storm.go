@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Node-level fault schedules. A Storm is data, fixed before the run
+// starts, so identical configurations replay identically; RandomStorm
+// derives one from a seed for campaigns and demos.
+
+// NodeCrash schedules a whole-machine crash: the node is torn down at
+// At and reboots (fresh machine, same cluster clock) after Downtime.
+type NodeCrash struct {
+	Node     int
+	At       sim.Cycles
+	Downtime sim.Cycles
+
+	applied bool
+}
+
+// NodeWindow is a [From, To) interval on one node's link, used for
+// both full partitions and flaky-link windows.
+type NodeWindow struct {
+	Node     int
+	From, To sim.Cycles
+}
+
+// CompFault fail-stops one in-node component at At; the node's own
+// recovery engine (and, if it escalates to quarantine, the balancer's
+// health polling) takes it from there.
+type CompFault struct {
+	Node int
+	EP   kernel.Endpoint
+	At   sim.Cycles
+
+	applied bool
+}
+
+// Storm is a complete node-level fault schedule.
+type Storm struct {
+	// Crashes are whole-node crash/reboot cycles.
+	Crashes []NodeCrash
+	// Partitions are windows during which a node's link drops
+	// everything, both directions.
+	Partitions []NodeWindow
+	// Flaky are windows during which FlakyExtra is added to the
+	// background fault rates on a node's link.
+	Flaky      []NodeWindow
+	FlakyExtra kernel.IPCFaultConfig
+	// CompFaults are scheduled in-node component fail-stops.
+	CompFaults []CompFault
+}
+
+// validate rejects schedules referencing nonexistent nodes or carrying
+// invalid extra rates.
+func (s Storm) validate(nodes int) error {
+	checkNode := func(kind string, n int) error {
+		if n < 0 || n >= nodes {
+			return fmt.Errorf("cluster: storm %s references node %d, have %d nodes", kind, n, nodes)
+		}
+		return nil
+	}
+	for _, ev := range s.Crashes {
+		if err := checkNode("crash", ev.Node); err != nil {
+			return err
+		}
+		if ev.Downtime <= 0 {
+			return fmt.Errorf("cluster: storm crash of node %d needs Downtime > 0", ev.Node)
+		}
+	}
+	for _, w := range s.Partitions {
+		if err := checkNode("partition", w.Node); err != nil {
+			return err
+		}
+	}
+	for _, w := range s.Flaky {
+		if err := checkNode("flaky window", w.Node); err != nil {
+			return err
+		}
+	}
+	for _, ev := range s.CompFaults {
+		if err := checkNode("component fault", ev.Node); err != nil {
+			return err
+		}
+	}
+	if len(s.Flaky) > 0 {
+		if err := s.FlakyExtra.Validate(); err != nil {
+			return fmt.Errorf("cluster: storm FlakyExtra: %w", err)
+		}
+	}
+	return nil
+}
+
+// RandomStormConfig parameterizes RandomStorm.
+type RandomStormConfig struct {
+	Nodes   int
+	Seed    uint64
+	Horizon sim.Cycles
+	// NodeCrashes schedules this many whole-node crash/reboot cycles,
+	// spread across nodes and the middle of the horizon.
+	NodeCrashes int
+	// PartitionBP is the per-node, per-slot chance (basis points) of a
+	// one-slot partition window; slots are 1,000,000 cycles.
+	PartitionBP int
+	// FlakyBP, when non-zero, makes every node's link flaky for the
+	// whole horizon with FlakyBP added to each fault class.
+	FlakyBP int
+}
+
+// stormSlot is the granularity of randomized partition windows.
+const stormSlot sim.Cycles = 1_000_000
+
+// RandomStorm derives a deterministic fault schedule from a seed.
+func RandomStorm(cfg RandomStormConfig) (Storm, error) {
+	if cfg.Nodes < 1 {
+		return Storm{}, fmt.Errorf("cluster: RandomStorm needs Nodes >= 1, got %d", cfg.Nodes)
+	}
+	if cfg.Horizon <= 0 {
+		return Storm{}, fmt.Errorf("cluster: RandomStorm needs Horizon > 0")
+	}
+	if cfg.PartitionBP < 0 || cfg.PartitionBP > 10000 {
+		return Storm{}, fmt.Errorf("cluster: RandomStorm PartitionBP %d out of range [0,10000]", cfg.PartitionBP)
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0x5701244D00F1E2C3)
+	var s Storm
+	for i := 0; i < cfg.NodeCrashes; i++ {
+		// Crashes land in the middle 60% of the horizon, round-robin
+		// across nodes, with seeded scatter.
+		at := cfg.Horizon/5 + sim.Cycles(rng.Intn(int(3*cfg.Horizon/5)))
+		s.Crashes = append(s.Crashes, NodeCrash{
+			Node:     i % cfg.Nodes,
+			At:       at,
+			Downtime: stormSlot + sim.Cycles(rng.Intn(int(stormSlot))),
+		})
+	}
+	if cfg.PartitionBP > 0 {
+		for n := 0; n < cfg.Nodes; n++ {
+			for t := sim.Cycles(0); t < cfg.Horizon; t += stormSlot {
+				if rng.Intn(10000) < cfg.PartitionBP {
+					s.Partitions = append(s.Partitions, NodeWindow{Node: n, From: t, To: t + stormSlot})
+				}
+			}
+		}
+	}
+	if cfg.FlakyBP > 0 {
+		for n := 0; n < cfg.Nodes; n++ {
+			s.Flaky = append(s.Flaky, NodeWindow{Node: n, From: 0, To: cfg.Horizon})
+		}
+		s.FlakyExtra = kernel.IPCFaultConfig{
+			DropBP: cfg.FlakyBP, DupBP: cfg.FlakyBP, DelayBP: cfg.FlakyBP,
+			ReorderBP: cfg.FlakyBP, CorruptBP: cfg.FlakyBP,
+		}
+	}
+	return s, nil
+}

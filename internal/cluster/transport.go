@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"container/heap"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// The inter-node transport: a seeded network model whose per-message
+// fates mirror the kernel IPC fault plane's ladder (drop → duplicate →
+// delay → reorder → corrupt, one roll in basis points over 10,000), and
+// a (due, seq)-ordered event queue that serializes every cross-node
+// interaction so the run is deterministic regardless of how node
+// stepping is scheduled onto OS threads.
+
+// evKind enumerates cluster events.
+type evKind uint8
+
+const (
+	// evArrive admits one generated client request to the balancer.
+	evArrive evKind = iota
+	// evReqDeliver delivers a dispatched request at a node.
+	evReqDeliver
+	// evReply delivers a node's reply at the balancer.
+	evReply
+	// evRetry fires a request attempt's backoff timer.
+	evRetry
+	// evDeadline fires a request's end-to-end deadline.
+	evDeadline
+	// evPoll runs one balancer health-poll round over all nodes.
+	evPoll
+	// evReboot brings a crashed node back up.
+	evReboot
+)
+
+// event is one scheduled cluster interaction.
+type event struct {
+	due     sim.Cycles
+	seq     uint64
+	kind    evKind
+	node    int
+	reqID   int
+	attempt int
+	errno   kernel.Errno
+	corrupt bool
+}
+
+// eventHeap orders events by (due, seq): virtual time first, creation
+// order as the deterministic tie-break.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// push schedules ev, stamping the tie-break sequence.
+func (c *Cluster) push(ev event) {
+	c.evSeq++
+	ev.seq = c.evSeq
+	heap.Push(&c.events, ev)
+}
+
+// pumpEvents processes every event due strictly before boundary t, in
+// (due, seq) order. Handlers may push further events; pushes that land
+// before t are processed in the same pump.
+func (c *Cluster) pumpEvents(t sim.Cycles) {
+	for c.events.Len() > 0 && c.events[0].due < t {
+		ev := heap.Pop(&c.events).(event)
+		switch ev.kind {
+		case evArrive:
+			c.admit(c.reqs[ev.reqID], ev.due)
+		case evReqDeliver:
+			c.deliverRequest(ev)
+		case evReply:
+			c.deliverReply(ev)
+		case evRetry:
+			c.handleRetry(ev)
+		case evDeadline:
+			if r := c.reqs[ev.reqID]; !r.resolved {
+				c.resolve(r, OutTimeout, kernel.ETIMEDOUT, ev.due)
+			}
+		case evPoll:
+			c.pollRound(ev.due)
+		case evReboot:
+			n := c.nodes[ev.node]
+			if !n.up {
+				c.bootNode(n, ev.due)
+				c.clusterAudit(ev.due)
+			}
+		}
+	}
+}
+
+// fate is the transport's verdict on one transmission.
+type fate struct {
+	drop    bool
+	dup     bool
+	corrupt bool
+	extra   sim.Cycles
+}
+
+// netModel rolls seeded fates and latencies for inter-node messages.
+type netModel struct {
+	rng    *sim.RNG
+	base   sim.Cycles
+	jitter sim.Cycles
+}
+
+func newNetModel(cfg Config) *netModel {
+	return &netModel{
+		rng:    sim.NewRNG(cfg.Seed ^ 0xC1D2E3F4A5B60718),
+		base:   cfg.NetDelay,
+		jitter: cfg.NetJitter,
+	}
+}
+
+// roll draws one fate under the given rates — the same ladder and the
+// same order as the kernel fault plane's per-message roll, so one
+// mental model covers both the in-machine and the inter-node network.
+func (nm *netModel) roll(rates kernel.IPCFaultConfig) fate {
+	r := nm.rng.Intn(10000)
+	if r < rates.DropBP {
+		return fate{drop: true}
+	}
+	r -= rates.DropBP
+	if r < rates.DupBP {
+		return fate{dup: true}
+	}
+	r -= rates.DupBP
+	if r < rates.DelayBP {
+		d := rates.DelayCycles
+		if d == 0 {
+			d = kernel.DefaultIPCDelayCycles
+		}
+		return fate{extra: d}
+	}
+	r -= rates.DelayBP
+	if r < rates.ReorderBP {
+		// A reordered message is one that arrives behind traffic sent
+		// after it: model it as a burst of extra latency.
+		return fate{extra: 3 * nm.jitter}
+	}
+	r -= rates.ReorderBP
+	if r < rates.CorruptBP {
+		return fate{corrupt: true}
+	}
+	return fate{}
+}
+
+// delay draws one one-way latency for a message with fate f.
+func (nm *netModel) delay(f fate) sim.Cycles {
+	d := nm.base + f.extra
+	if nm.jitter > 0 {
+		d += sim.Cycles(nm.rng.Intn(int(nm.jitter)))
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// linkRates returns the effective fault rates on node idx's link at
+// time t: the background rates plus the storm's flaky-window extra.
+func (c *Cluster) linkRates(idx int, t sim.Cycles) kernel.IPCFaultConfig {
+	rates := c.cfg.Net
+	for _, w := range c.cfg.Storm.Flaky {
+		if w.Node == idx && w.From <= t && t < w.To {
+			x := c.cfg.Storm.FlakyExtra
+			rates.DropBP += x.DropBP
+			rates.DupBP += x.DupBP
+			rates.DelayBP += x.DelayBP
+			rates.ReorderBP += x.ReorderBP
+			rates.CorruptBP += x.CorruptBP
+			if x.DelayCycles > rates.DelayCycles {
+				rates.DelayCycles = x.DelayCycles
+			}
+		}
+	}
+	return rates
+}
+
+// partitioned reports whether node idx is inside a partition window at
+// time t (both directions of its link are dead).
+func (c *Cluster) partitioned(idx int, t sim.Cycles) bool {
+	for _, w := range c.cfg.Storm.Partitions {
+		if w.Node == idx && w.From <= t && t < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+// sendRequest transmits request r's current attempt to node n: one
+// fate roll, then an evReqDeliver (twice when duplicated).
+func (c *Cluster) sendRequest(n *node, r *request, now sim.Cycles) {
+	f := c.net.roll(c.linkRates(n.idx, now))
+	c.noteFate(f)
+	if f.drop {
+		return
+	}
+	ev := event{
+		due:     now + c.net.delay(f),
+		kind:    evReqDeliver,
+		node:    n.idx,
+		reqID:   r.id,
+		attempt: r.attempt,
+		corrupt: f.corrupt,
+	}
+	c.push(ev)
+	if f.dup {
+		ev.due = now + c.net.delay(f)
+		c.push(ev)
+	}
+}
+
+// scheduleReply transmits one node completion back to the balancer.
+func (c *Cluster) scheduleReply(n *node, cp completion) {
+	f := c.net.roll(c.linkRates(n.idx, cp.at))
+	c.noteFate(f)
+	if f.drop {
+		return
+	}
+	ev := event{
+		due:     cp.at + c.net.delay(f),
+		kind:    evReply,
+		node:    n.idx,
+		reqID:   cp.reqID,
+		attempt: cp.attempt,
+		errno:   cp.errno,
+		corrupt: f.corrupt,
+	}
+	c.push(ev)
+	if f.dup {
+		ev.due = cp.at + c.net.delay(f)
+		c.push(ev)
+	}
+}
+
+// noteFate accounts one transmission's fate in the network counters.
+func (c *Cluster) noteFate(f fate) {
+	c.m.netSends++
+	switch {
+	case f.drop:
+		c.m.netDrops++
+	case f.dup:
+		c.m.netDups++
+	case f.corrupt:
+		c.m.netCorrupts++
+	case f.extra > 0:
+		c.m.netDelays++
+	}
+}
+
+// deliverRequest lands a request at its node: lost if the node is down
+// or partitioned, otherwise posted into the node agent's inbox.
+func (c *Cluster) deliverRequest(ev event) {
+	n := c.nodes[ev.node]
+	if !n.up || c.partitioned(ev.node, ev.due) {
+		c.m.lateDrops++
+		return
+	}
+	m := kernel.Message{
+		Type: msgRequest,
+		A:    int64(ev.reqID),
+		B:    int64(ev.attempt),
+		// The transport delivery time rides along so the agent can
+		// floor its completion timestamp at it: the node may execute
+		// the request while still stepping toward this boundary, and a
+		// reply must never appear to precede its own request.
+		Aux: ev.due,
+	}
+	r := c.reqs[ev.reqID]
+	if ev.corrupt {
+		m.C = 1
+	}
+	m.D = int64(r.op)
+	m.Str = r.key
+	m.Str2 = r.val
+	if err := n.sys.Kernel().PostMessage(kernel.EpKernel, n.agentEP, m); err != nil {
+		c.m.lateDrops++
+	}
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/usr"
+)
+
+// The open-loop workload: a seeded arrival process standing in for a
+// large concurrent client population (arrivals never wait for earlier
+// responses, so overload shows up as queueing and shed traffic, not as
+// a self-throttling generator), plus the node agent — the init process
+// of every machine — that executes requests against the node's own
+// servers via real syscalls.
+
+// msgRequest is the cluster request message type posted into a node
+// agent's inbox (outside the kernel-reserved and proto ranges).
+const msgRequest kernel.MsgType = 900
+
+// opKind is the request operation mix.
+type opKind int
+
+const (
+	opPut opKind = iota
+	opGet
+	opDel
+	opFile
+)
+
+// keySpace bounds the DS key universe so gets and deletes hit.
+const keySpace = 200
+
+// agentServiceCost is the per-request bookkeeping charge (parse,
+// authenticate, route) the agent pays before touching any server.
+const agentServiceCost sim.Cycles = 2500
+
+// genArrivals pre-draws the whole arrival schedule: times, priority
+// classes, operations and payloads. One RNG, drawn in request order —
+// the schedule is a pure function of the seed.
+func (c *Cluster) genArrivals() {
+	rng := sim.NewRNG(c.cfg.Seed ^ 0xA17C_64B3_9D0E_F215)
+	t := sim.Cycles(0)
+	for i := 0; i < c.cfg.Requests; i++ {
+		t += sim.Cycles(1 + rng.Intn(int(2*c.cfg.MeanGap)-1))
+		r := &request{
+			id:       i,
+			client:   rng.Intn(c.cfg.Clients),
+			arrival:  t,
+			deadline: t + c.cfg.Deadline,
+			node:     -1,
+		}
+		switch cl := rng.Intn(100); {
+		case cl < 50:
+			r.class = 0
+		case cl < 80:
+			r.class = 1
+		default:
+			r.class = 2
+		}
+		switch op := rng.Intn(100); {
+		case op < 40:
+			r.op = opPut
+		case op < 70:
+			r.op = opGet
+		case op < 85:
+			r.op = opDel
+		default:
+			r.op = opFile
+		}
+		r.key = fmt.Sprintf("k%03d", rng.Intn(keySpace))
+		r.val = fmt.Sprintf("v%d.%d", i, r.client)
+		c.reqs = append(c.reqs, r)
+		c.push(event{due: t, kind: evArrive, reqID: i})
+		c.push(event{due: r.deadline, kind: evDeadline, reqID: i})
+	}
+	c.lastArrival = t
+	c.unresolved = c.cfg.Requests
+}
+
+// agentProgram builds node n's init program: an event loop that
+// receives cluster requests, executes them against the node's servers,
+// and reports completions through the node's completion buffer (the
+// driver drains it between slices; the scheduling baton provides the
+// happens-before edge).
+func (c *Cluster) agentProgram(n *node) usr.Program {
+	return func(p *usr.Proc) int {
+		ctx := p.Context()
+		for {
+			m := ctx.Receive()
+			if m.Type != msgRequest {
+				continue
+			}
+			reqID, attempt := int(m.A), int(m.B)
+			// Completion timestamps are floored at the transport
+			// delivery time: within one lockstep slice the node may do
+			// the work at a local time slightly before the delivery's
+			// cluster time, and causality (reply after request) must
+			// hold in the cluster's time domain.
+			deliverAt, _ := m.Aux.(sim.Cycles)
+			stamp := func() sim.Cycles {
+				if now := ctx.Now(); now > deliverAt {
+					return now
+				}
+				return deliverAt
+			}
+			if m.C == 1 {
+				// Corrupted on the wire: reject at the checksum and let
+				// the balancer retry a clean copy.
+				n.completions = append(n.completions, completion{
+					reqID: reqID, attempt: attempt, errno: kernel.EINVAL, at: stamp(),
+				})
+				continue
+			}
+			p.Compute(agentServiceCost)
+			errno := runOp(p, opKind(m.D), m.Str, m.Str2, reqID, attempt)
+			n.completions = append(n.completions, completion{
+				reqID: reqID, attempt: attempt, errno: errno, at: stamp(),
+			})
+		}
+	}
+}
+
+// runOp executes one request operation via real syscalls. A key miss
+// on get/delete is a valid answer, not a failure; genuine failures
+// (ECRASH from a quarantined or recovering server, VFS errors) flow
+// back to the balancer to drive the retry ladder.
+func runOp(p *usr.Proc, op opKind, key, val string, reqID, attempt int) kernel.Errno {
+	switch op {
+	case opPut:
+		return p.DsPut(key, val)
+	case opGet:
+		if _, errno := p.DsGet(key); errno != kernel.ENOENT {
+			return errno
+		}
+		return kernel.OK
+	case opDel:
+		if errno := p.DsDelete(key); errno != kernel.ENOENT {
+			return errno
+		}
+		return kernel.OK
+	case opFile:
+		// Attempt-unique path: a duplicate delivery or cross-node retry
+		// never collides with a half-done earlier attempt.
+		path := fmt.Sprintf("/q%d.%d", reqID, attempt)
+		fd, errno := p.Create(path)
+		if errno != kernel.OK {
+			return errno
+		}
+		if _, errno = p.Write(fd, []byte(val)); errno != kernel.OK {
+			p.Close(fd)
+			return errno
+		}
+		if errno = p.Close(fd); errno != kernel.OK {
+			return errno
+		}
+		return p.Unlink(path)
+	}
+	return kernel.EINVAL
+}

@@ -324,6 +324,11 @@ type Kernel struct {
 	// cycleLimit is the Run bound, latched so the fused-dispatch fast
 	// path can honor it without a kernel round trip.
 	cycleLimit sim.Cycles
+	// stepTarget bounds one StepUntil slice when the machine is driven
+	// externally (cluster lockstep). stepNone — the max sentinel — in
+	// ordinary Run-driven machines, so the fused-dispatch fast path pays
+	// a single always-false compare.
+	stepTarget sim.Cycles
 
 	kernelCh chan struct{}
 	running  *Process
@@ -382,6 +387,7 @@ func New(cost CostModel, seed uint64) *Kernel {
 		pendingByEp:        make(map[Endpoint]int),
 		legacySched:        legacySchedDefault,
 		ipcNextDue:         ipcNone,
+		stepTarget:         stepNone,
 	}
 }
 
