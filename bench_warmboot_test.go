@@ -1,0 +1,72 @@
+// Micro-benchmarks of the warm-boot snapshot/fork plane: what one
+// cold boot to the quiescence barrier costs versus forking a runnable
+// machine from a captured image, and the end-to-end campaign
+// throughput each setup path yields:
+//
+//	go test -bench 'ColdBoot|WarmFork|CampaignThroughput' -benchmem
+package osiris
+
+import (
+	"testing"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/seep"
+	"repro/internal/testsuite"
+	"repro/internal/usr"
+)
+
+// warmBenchOptions is the boot configuration every campaign run uses:
+// the full suite registry with heartbeats on.
+func warmBenchOptions(seed uint64) boot.Options {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	return boot.Options{
+		Config:     core.Config{Policy: seep.PolicyEnhanced, Seed: seed},
+		Registry:   reg,
+		Heartbeats: true,
+	}
+}
+
+// BenchmarkColdBoot measures one cold campaign setup: build the
+// registry, boot the machine and run it to the post-install quiescence
+// barrier — the work a warm fork replaces.
+func BenchmarkColdBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var report testsuite.Report
+		sys := boot.Boot(warmBenchOptions(uint64(i+1)), testsuite.RunnerInit(&report))
+		if !sys.Kernel().RunToBarrier(faultinject.RunLimit) {
+			b.Fatal("cold boot never reached the barrier")
+		}
+		sys.Shutdown("bench: cold boot measured")
+	}
+}
+
+// BenchmarkWarmFork measures forking one runnable machine from a
+// captured warm image — the O(state size) path campaigns take per run.
+func BenchmarkWarmFork(b *testing.B) {
+	var capReport testsuite.Report
+	snap, err := boot.Capture(warmBenchOptions(42), faultinject.RunLimit, testsuite.RunnerInit(&capReport))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var report testsuite.Report
+		sys, err := snap.Fork(boot.ForkParams{Seed: uint64(i + 1)}, testsuite.RunnerResume(&report))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Shutdown("bench: fork measured")
+	}
+}
+
+// BenchmarkCampaignThroughputColdBoot is BenchmarkCampaignThroughput
+// with warm forking disabled: every run pays a full boot, the
+// historical baseline the snapshot/fork plane is measured against.
+func BenchmarkCampaignThroughputColdBoot(b *testing.B) {
+	prev := faultinject.SetColdBootDefault(true)
+	defer faultinject.SetColdBootDefault(prev)
+	benchmarkCampaignThroughput(b)
+}

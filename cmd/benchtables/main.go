@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster]
-//	            [-workers N] [-json out.json]
+//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot]
+//	            [-workers N] [-coldboot] [-json out.json]
 //	            [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Independent simulated machines fan out across -workers threads; the
 // numbers are bit-identical for every worker count (-workers 1 is the
-// historical serial path). -json writes a machine-readable report with
-// per-section wall-clock and process allocation statistics alongside
-// the table data.
+// historical serial path). Campaign runs fork from a warm boot image by
+// default; -coldboot (or OSIRIS_COLD_BOOT=1) boots every run from
+// scratch instead — same tables, historical setup cost. -json writes a
+// machine-readable report with per-section wall-clock and process
+// allocation statistics alongside the table data.
 package main
 
 import (
@@ -33,13 +35,17 @@ func main() {
 	var (
 		scaleName  = flag.String("scale", "quick", "evaluation scale: quick or full")
 		seed       = flag.Uint64("seed", 42, "simulation seed")
-		only       = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster (default all)")
+		only       = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot (default all)")
 		workers    = flag.Int("workers", 0, "concurrent simulated machines (0 = one per CPU, 1 = serial)")
+		coldBoot   = flag.Bool("coldboot", false, "boot every campaign run from scratch instead of forking a warm image")
 		jsonPath   = flag.String("json", "", "write a machine-readable report to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+	if *coldBoot {
+		faultinject.SetColdBootDefault(true)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -113,12 +119,12 @@ func run(scaleName string, seed uint64, only string, workers int, jsonPath strin
 	valid := map[string]bool{
 		"1": true, "2": true, "3": true, "4": true, "5": true, "6": true,
 		"f3": true, "mf": true, "ablation": true, "ipc": true, "ckpt": true,
-		"cluster": true,
+		"cluster": true, "warmboot": true,
 	}
 	if only != "" {
 		for _, k := range strings.Split(only, ",") {
 			if k = strings.TrimSpace(k); !valid[k] {
-				return fmt.Errorf("unknown table %q (valid: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster)", k)
+				return fmt.Errorf("unknown table %q (valid: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot)", k)
 			}
 		}
 	}
@@ -225,6 +231,14 @@ func run(scaleName string, seed uint64, only string, workers int, jsonPath strin
 			return fmt.Errorf("cluster table: %w", err)
 		}
 		emit("cluster_availability", t, time.Since(t0))
+	}
+	if want("warmboot") {
+		t0 := time.Now()
+		t, err := eval.RunWarmBoot(sc)
+		if err != nil {
+			return fmt.Errorf("warm-boot table: %w", err)
+		}
+		emit("warmboot_fork", t, time.Since(t0))
 	}
 
 	if jsonPath != "" {

@@ -11,7 +11,7 @@
 //
 //	faultcampaign [-policy all|enhanced|...] [-model failstop|edfi|ipcmix]
 //	              [-samples N] [-maxruns N] [-seed N] [-profile]
-//	              [-faults N] [-runs N] [-workers N]
+//	              [-faults N] [-runs N] [-workers N] [-coldboot]
 //	              [-ipcfaults] [-droprate BP] [-duprate BP] [-delayrate BP]
 //	              [-reorderrate BP] [-corruptrate BP] [-ipcseed N]
 //	              [-ipctimeout CYCLES] [-ipcretry N]
@@ -38,7 +38,10 @@
 //
 // Campaign boots are independent simulated machines and fan out across
 // -workers threads; results are bit-identical for every worker count
-// (-workers 1 is the historical serial path).
+// (-workers 1 is the historical serial path). Runs fork from a warm
+// boot image captured once per policy; -coldboot (or the
+// OSIRIS_COLD_BOOT environment variable) boots every run from scratch
+// instead — same results, historical setup cost.
 package main
 
 import (
@@ -64,6 +67,7 @@ func main() {
 		faults     = flag.Int("faults", 1, "faults armed per boot; >= 2 selects the multi-fault cascade campaign")
 		runs       = flag.Int("runs", 40, "boots per policy in the multi-fault campaign")
 		workers    = flag.Int("workers", 0, "concurrent boots (0 = one per CPU, 1 = serial)")
+		coldBoot   = flag.Bool("coldboot", false, "boot every run from scratch instead of forking a warm image")
 		ipcFaults  = flag.Bool("ipcfaults", false, "background transport faults at default rates (50 bp per class)")
 		dropRate   = flag.Int("droprate", 0, "background message drop rate, basis points per transmission")
 		dupRate    = flag.Int("duprate", 0, "background duplication rate, basis points")
@@ -79,6 +83,9 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+	if *coldBoot {
+		faultinject.SetColdBootDefault(true)
+	}
 
 	if err := validateBPFlags([]bpFlag{
 		{"droprate", *dropRate}, {"duprate", *dupRate}, {"delayrate", *delayRate},

@@ -63,28 +63,46 @@ func Boot(opts Options, initProg usr.Program, initArgs ...string) *System {
 	initEP := o.SpawnInit("init", reg.Body(initProg, initArgs))
 
 	heartbeats := opts.Heartbeats
-	rsCfg := rs.Config{HangMisses: opts.HangMisses}
-	if opts.HeartbeatPeriod > 0 {
-		rsCfg.Period = sim.Cycles(opts.HeartbeatPeriod)
-	}
+	rsCfg := rsConfigFrom(opts)
 	o.AddComponent(kernel.EpRS, func(st *memlog.Store) core.Component {
 		return newRS(st, heartbeats, rsCfg)
 	})
 	o.AddComponent(kernel.EpPM, func(st *memlog.Store) core.Component {
-		return pm.New(st, initEP, reg.MakeBody)
+		return pmFactory(st, initEP, reg)
 	})
 	o.AddComponent(kernel.EpVM, func(st *memlog.Store) core.Component {
-		return vm.New(st, int64(initEP))
+		return vmFactory(st, initEP)
 	})
-	o.AddComponent(kernel.EpVFS, func(st *memlog.Store) core.Component {
-		return vfs.New(st)
-	})
-	o.AddComponent(kernel.EpDS, func(st *memlog.Store) core.Component {
-		return ds.New(st)
-	})
+	o.AddComponent(kernel.EpVFS, vfsFactory)
+	o.AddComponent(kernel.EpDS, dsFactory)
 
 	return &System{OS: o, Registry: reg, Driver: drv}
 }
+
+// rsConfigFrom derives the Recovery Server configuration from boot
+// options; Boot and Snapshot.Fork must agree on it exactly.
+func rsConfigFrom(opts Options) rs.Config {
+	cfg := rs.Config{HangMisses: opts.HangMisses}
+	if opts.HeartbeatPeriod > 0 {
+		cfg.Period = sim.Cycles(opts.HeartbeatPeriod)
+	}
+	return cfg
+}
+
+// Component factories shared by Boot and Snapshot.Fork: both paths must
+// build bit-identical component instances (over a fresh store at boot,
+// over a fork-cloned store on a warm fork).
+func pmFactory(st *memlog.Store, initEP kernel.Endpoint, reg *usr.Registry) core.Component {
+	return pm.New(st, initEP, reg.MakeBody)
+}
+
+func vmFactory(st *memlog.Store, initEP kernel.Endpoint) core.Component {
+	return vm.New(st, int64(initEP))
+}
+
+func vfsFactory(st *memlog.Store) core.Component { return vfs.New(st) }
+
+func dsFactory(st *memlog.Store) core.Component { return ds.New(st) }
 
 // rsComponent adapts rs.RS to optionally disable heartbeats.
 type rsComponent struct {

@@ -1,0 +1,113 @@
+// Warm boot snapshots: boot one machine to the workload's quiescence
+// barrier, capture it, and fork independent runnable machines from the
+// image in O(state size) — no re-execution of the boot or install
+// phases. Because the kernel RNG is never drawn during a fault-free
+// boot and the IPC plane draws nothing while no faults are armed, the
+// boot trace is seed-independent: one capture serves every run seed
+// bit-identically to a cold boot with that seed.
+package boot
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/proto"
+	"repro/internal/servers/driver"
+	"repro/internal/servers/systask"
+	"repro/internal/sim"
+	"repro/internal/usr"
+)
+
+// Snapshot is a warm boot image: one booted machine frozen at the
+// quiescence barrier, plus the pieces outside the kernel image needed to
+// materialize clones (driver disk contents, the program registry). A
+// Snapshot is immutable; Fork may be called from concurrent goroutines.
+type Snapshot struct {
+	img    *core.OSImage
+	blocks [][]byte
+	reg    *usr.Registry
+	opts   Options
+}
+
+// Capture boots a machine with opts and initProg, drives it to the
+// workload's Barrier call, and captures it. The source machine is torn
+// down before returning. It fails when the workload never reaches a
+// barrier within limit cycles or the machine is not quiescent there
+// (e.g. a recovery happened during boot) — callers fall back to cold
+// boots in that case.
+func Capture(opts Options, limit sim.Cycles, initProg usr.Program, initArgs ...string) (*Snapshot, error) {
+	sys := Boot(opts, initProg, initArgs...)
+	return CaptureSystem(sys, opts, limit)
+}
+
+// CaptureSystem is Capture over a machine the caller booted (with the
+// same opts) and possibly instrumented — e.g. with a point hook counting
+// pre-barrier site executions. The machine must not have run yet.
+func CaptureSystem(sys *System, opts Options, limit sim.Cycles) (*Snapshot, error) {
+	if !sys.Kernel().RunToBarrier(limit) {
+		sys.Shutdown("warm-capture: barrier not reached")
+		return nil, fmt.Errorf("boot: workload finished without reaching a barrier")
+	}
+	img, err := sys.OS.CaptureImage()
+	if err != nil {
+		sys.Shutdown("warm-capture: not quiescent")
+		return nil, err
+	}
+	blocks := sys.Driver.CloneBlocks()
+	sys.Shutdown("warm-capture complete")
+	return &Snapshot{img: img, blocks: blocks, reg: sys.Registry, opts: opts}, nil
+}
+
+// ForkParams is the per-run identity stamped onto a forked machine. The
+// machine RNG and the IPC fault stream are re-seeded from these after
+// the fork, so forked runs are bit-identical to cold boots with the same
+// seeds.
+type ForkParams struct {
+	// Seed replaces Config.Seed for this run.
+	Seed uint64
+	// IPCFaultSeed replaces Config.IPCFaultSeed for this run.
+	IPCFaultSeed uint64
+}
+
+// Fork materializes an independent runnable machine from the snapshot:
+// every process is rebuilt through the ordinary boot sequence (pure data
+// setup — no clock, counter or RNG effects), then the captured state is
+// stamped on top. resumeProg is the post-barrier half of the workload
+// (e.g. testsuite.RunnerResume); its Report-style sinks must be fresh
+// per fork. Run the returned system exactly like a booted one.
+func (s *Snapshot) Fork(params ForkParams, resumeProg usr.Program, initArgs ...string) (*System, error) {
+	cfg := s.opts.Config
+	cfg.Seed = params.Seed
+	cfg.IPCFaultSeed = params.IPCFaultSeed
+	o := core.NewOS(cfg)
+
+	drv := driver.NewFromBlocks(s.blocks)
+	o.AddTask(kernel.EpDriver, "driver", drv.Run)
+	o.AddTask(proto.EpSys, "sys", systask.Run)
+
+	initEP := o.SpawnInit("init", s.reg.ResumeBody(resumeProg, initArgs))
+
+	heartbeats := s.opts.Heartbeats
+	rsCfg := rsConfigFrom(s.opts)
+	forked := []struct {
+		ep      kernel.Endpoint
+		factory core.Factory
+	}{
+		{kernel.EpRS, func(st *memlog.Store) core.Component { return newRS(st, heartbeats, rsCfg) }},
+		{kernel.EpPM, func(st *memlog.Store) core.Component { return pmFactory(st, initEP, s.reg) }},
+		{kernel.EpVM, func(st *memlog.Store) core.Component { return vmFactory(st, initEP) }},
+		{kernel.EpVFS, vfsFactory},
+		{kernel.EpDS, dsFactory},
+	}
+	for _, f := range forked {
+		if err := o.AddForkedComponent(f.ep, f.factory, s.img); err != nil {
+			return nil, err
+		}
+	}
+	if err := o.ApplyImage(s.img); err != nil {
+		return nil, err
+	}
+	return &System{OS: o, Registry: s.reg, Driver: drv}, nil
+}

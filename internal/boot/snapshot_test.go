@@ -1,0 +1,106 @@
+package boot
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/testsuite"
+	"repro/internal/usr"
+)
+
+// suiteOpts is the full-suite boot configuration the campaign drivers
+// use: every program registered, heartbeats on.
+func suiteOpts(seed uint64) Options {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	return Options{
+		Config:     core.Config{Policy: seep.PolicyEnhanced, Seed: seed},
+		Registry:   reg,
+		Heartbeats: true,
+	}
+}
+
+// coldSuiteRun boots a machine from scratch and runs the whole suite.
+func coldSuiteRun(t *testing.T, seed uint64) (kernel.Result, testsuite.Report) {
+	t.Helper()
+	var report testsuite.Report
+	sys := Boot(suiteOpts(seed), testsuite.RunnerInit(&report))
+	res := sys.Run(testLimit)
+	return res, report
+}
+
+// forkSuiteRun forks a machine from snap and runs the post-barrier
+// suite phase.
+func forkSuiteRun(t *testing.T, snap *Snapshot, seed uint64) (kernel.Result, testsuite.Report) {
+	t.Helper()
+	var report testsuite.Report
+	sys, err := snap.Fork(ForkParams{Seed: seed}, testsuite.RunnerResume(&report))
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	res := sys.Run(testLimit)
+	return res, report
+}
+
+// TestWarmForkMatchesColdBoot: a machine forked from a warm image and
+// run through the full suite is bit-identical — outcome, final cycle
+// count, and per-test results — to a cold boot with the same seed.
+func TestWarmForkMatchesColdBoot(t *testing.T) {
+	const seed = 7
+	coldRes, coldRep := coldSuiteRun(t, seed)
+	mustComplete(t, coldRes)
+	if !coldRep.AllPassed() {
+		t.Fatalf("cold suite: %d ran, %d failed (%v)", coldRep.Ran, coldRep.Failed, coldRep.FailedNames)
+	}
+
+	snap, err := Capture(suiteOpts(seed), testLimit, testsuite.RunnerInit(new(testsuite.Report)))
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	warmRes, warmRep := forkSuiteRun(t, snap, seed)
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Errorf("kernel result differs:\ncold %+v\nwarm %+v", coldRes, warmRes)
+	}
+	if !reflect.DeepEqual(coldRep, warmRep) {
+		t.Errorf("suite report differs:\ncold %+v\nwarm %+v", coldRep, warmRep)
+	}
+}
+
+// TestWarmForkSeedIndependence: the boot trace is seed-independent, so
+// one image captured under one seed serves a different run seed
+// bit-identically to a cold boot with that seed.
+func TestWarmForkSeedIndependence(t *testing.T) {
+	snap, err := Capture(suiteOpts(1), testLimit, testsuite.RunnerInit(new(testsuite.Report)))
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	const otherSeed = 99
+	coldRes, coldRep := coldSuiteRun(t, otherSeed)
+	warmRes, warmRep := forkSuiteRun(t, snap, otherSeed)
+	if !reflect.DeepEqual(coldRes, warmRes) || !reflect.DeepEqual(coldRep, warmRep) {
+		t.Errorf("fork under seed %d differs from cold boot:\ncold %+v %+v\nwarm %+v %+v",
+			otherSeed, coldRes, coldRep, warmRes, warmRep)
+	}
+}
+
+// TestWarmForkSnapshotImmutable: running one fork to completion — the
+// suite writes the disk, mutates every server's state, and exercises
+// shared block contents — must not disturb the snapshot: a later fork
+// yields identical results.
+func TestWarmForkSnapshotImmutable(t *testing.T) {
+	const seed = 3
+	snap, err := Capture(suiteOpts(seed), testLimit, testsuite.RunnerInit(new(testsuite.Report)))
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	firstRes, firstRep := forkSuiteRun(t, snap, seed)
+	mustComplete(t, firstRes)
+	secondRes, secondRep := forkSuiteRun(t, snap, seed)
+	if !reflect.DeepEqual(firstRes, secondRes) || !reflect.DeepEqual(firstRep, secondRep) {
+		t.Errorf("second fork differs from first:\nfirst  %+v %+v\nsecond %+v %+v",
+			firstRes, firstRep, secondRes, secondRep)
+	}
+}

@@ -453,8 +453,17 @@ func (o *OS) Shutdown(reason string) {
 // (paper Fig. 1): checkpoint at the top of the loop, window management
 // around every request.
 func (o *OS) serverBody(s *slot) kernel.Body {
+	return o.serverBodyFrom(s, false)
+}
+
+// serverBodyFrom is serverBody with an optional warm-fork resume mode:
+// a forked component skips its pre-loop initialization, because that
+// code already ran in the captured machine and its effects (store
+// contents, pending alarms) arrive through the image. Restarts after a
+// post-fork crash go through serverBody and run Init as usual.
+func (o *OS) serverBodyFrom(s *slot, resume bool) kernel.Body {
 	return func(ctx *kernel.Context) {
-		if init, ok := s.comp.(Initializer); ok {
+		if init, ok := s.comp.(Initializer); ok && !resume {
 			init.Init(ctx)
 		}
 		if looper, ok := s.comp.(Looper); ok {

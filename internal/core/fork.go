@@ -1,0 +1,126 @@
+package core
+
+// This file is the recovery-framework half of the warm-fork plane. An
+// OSImage freezes one booted machine at the kernel's quiescence barrier:
+// the kernel MachineImage plus, per component, a fork-faithful store
+// clone, the recovery-window statistics, and any transient (non-store)
+// component state. The image is immutable and may be forked from
+// concurrently; each fork deep-copies everything it mutates.
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/seep"
+)
+
+// Forkable is implemented by components carrying transient state
+// outside their memlog store that must survive a warm fork (e.g. the
+// Recovery Server's heartbeat bookkeeping). ForkSnapshot returns a deep
+// copy of that state; ApplyForkSnapshot installs a copy of it into a
+// freshly built instance. The snapshot value is shared across forks and
+// must be treated as read-only by ApplyForkSnapshot.
+type Forkable interface {
+	ForkSnapshot() any
+	ApplyForkSnapshot(snap any)
+}
+
+// slotImage is the captured per-component state.
+type slotImage struct {
+	ep            kernel.Endpoint
+	store         *memlog.Store
+	stats         seep.Stats
+	cloneResident int
+	transient     any
+}
+
+// OSImage is a deep snapshot of one booted machine at the quiescence
+// barrier, ready to be forked into independent runnable machines.
+type OSImage struct {
+	machine *kernel.MachineImage
+	slots   map[kernel.Endpoint]*slotImage
+}
+
+// CaptureImage snapshots a machine parked by RunToBarrier (via
+// Kernel().RunToBarrier). It fails when the machine is not at a clean
+// quiescent point — any recovery or quarantine happened, a window is
+// open, a component is mid-request — in which case the caller falls
+// back to cold boots. The source machine is left intact; shut it down
+// with Shutdown afterwards.
+func (o *OS) CaptureImage() (*OSImage, error) {
+	if o.Recoveries != 0 || o.Quarantines != 0 {
+		return nil, fmt.Errorf("core: capture after recoveries or quarantines")
+	}
+	machine, err := o.k.CaptureImage()
+	if err != nil {
+		return nil, err
+	}
+	img := &OSImage{machine: machine, slots: make(map[kernel.Endpoint]*slotImage, len(o.order))}
+	for _, ep := range o.order {
+		s := o.slots[ep]
+		if s.window.Open() || s.inRequest {
+			return nil, fmt.Errorf("core: component %s mid-request at the barrier", s.name)
+		}
+		if br, ok := s.comp.(busyReporter); ok && br.Busy() {
+			return nil, fmt.Errorf("core: component %s busy at the barrier", s.name)
+		}
+		si := &slotImage{
+			ep:            ep,
+			store:         s.store.ForkClone(),
+			stats:         s.window.Stats(),
+			cloneResident: s.cloneResident,
+		}
+		if f, ok := s.comp.(Forkable); ok {
+			si.transient = f.ForkSnapshot()
+		}
+		img.slots[ep] = si
+	}
+	return img, nil
+}
+
+// AddForkedComponent registers the component at ep rebuilt from the
+// image instead of from scratch: its store is fork-cloned from the
+// captured one (the factory then rediscovers the existing containers,
+// exactly as it does over a recovery clone), its window statistics are
+// restored, its transient state reapplied, and its pre-loop
+// initialization skipped — that code already ran in the captured
+// machine, and its effects (pending alarms, store contents) arrive via
+// the image.
+func (o *OS) AddForkedComponent(ep kernel.Endpoint, factory Factory, img *OSImage) error {
+	si := img.slots[ep]
+	if si == nil {
+		return fmt.Errorf("core: image has no component at endpoint %d", ep)
+	}
+	policy := o.cfg.policyFor(ep)
+	store := si.store.ForkClone()
+	store.SetCounters(o.k.Counters())
+	comp := factory(store)
+	win := seep.NewWindow(policy, store)
+	win.RestoreStats(si.stats)
+	o.bindCostSink(store, win)
+	if f, ok := comp.(Forkable); ok && si.transient != nil {
+		f.ApplyForkSnapshot(si.transient)
+	}
+	s := &slot{
+		ep:            ep,
+		name:          comp.Name(),
+		factory:       factory,
+		policy:        policy,
+		comp:          comp,
+		store:         store,
+		window:        win,
+		cloneResident: si.cloneResident,
+	}
+	o.slots[ep] = s
+	o.order = append(o.order, ep)
+	o.k.AddServer(ep, s.name, o.serverBodyFrom(s, true), kernel.ServerConfig{Window: win, Store: store})
+	return nil
+}
+
+// ApplyImage stamps the captured kernel state onto this machine. Call
+// after every process (tasks, init, components) has been registered
+// through the same boot sequence as the captured machine.
+func (o *OS) ApplyImage(img *OSImage) error {
+	return o.k.ApplyImage(img.machine)
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/boot"
 	"repro/internal/core"
@@ -371,6 +372,125 @@ func (t IPCSweepTable) Render() string {
 			p.ConsistentPercent(),
 			p.Runs)
 	}
+	return b.String()
+}
+
+// --- Warm boot: fork-from-image campaign setup (beyond the paper) ---
+
+// WarmBootTable quantifies the snapshot/fork plane of the campaign
+// drivers: per-machine setup cost of a cold boot (full boot plus suite
+// install, run to the quiescence barrier) against a warm fork from a
+// captured image, and the end-to-end throughput of a fail-stop campaign
+// both ways. Times are wall-clock, so this section is measured rather
+// than deterministic; campaign *outcomes* are bit-identical either way
+// (enforced by the warm-fork equivalence suite).
+type WarmBootTable struct {
+	// ColdBootMS and ForkMS are mean per-machine setup times.
+	ColdBootMS, ForkMS float64
+	// SetupSpeedup is ColdBootMS / ForkMS.
+	SetupSpeedup float64
+	// Campaign throughput (fail-stop, enhanced policy), runs per second.
+	Runs                           int
+	ColdRunsPerSec, WarmRunsPerSec float64
+	CampaignSpeedup                float64
+}
+
+// warmBootSetupIters is how many boots/forks the per-machine setup
+// means average over.
+const warmBootSetupIters = 8
+
+// RunWarmBoot regenerates the warm-boot table.
+func RunWarmBoot(sc Scale) (WarmBootTable, error) {
+	opts := func() boot.Options {
+		reg := usr.NewRegistry()
+		testsuite.Register(reg)
+		return boot.Options{
+			Config:     core.Config{Policy: seep.PolicyEnhanced, Seed: sc.Seed},
+			Registry:   reg,
+			Heartbeats: true,
+		}
+	}
+
+	var t WarmBootTable
+
+	// Per-machine setup: cold boots to the barrier.
+	start := time.Now()
+	for i := 0; i < warmBootSetupIters; i++ {
+		var report testsuite.Report
+		sys := boot.Boot(opts(), testsuite.RunnerInit(&report))
+		if !sys.Kernel().RunToBarrier(faultinject.RunLimit) {
+			return t, fmt.Errorf("warm-boot table: cold boot never reached the barrier")
+		}
+		sys.Shutdown("warmboot table: cold boot measured")
+	}
+	t.ColdBootMS = msPer(time.Since(start), warmBootSetupIters)
+
+	// Per-machine setup: forks from one captured image.
+	var capReport testsuite.Report
+	snap, err := boot.Capture(opts(), faultinject.RunLimit, testsuite.RunnerInit(&capReport))
+	if err != nil {
+		return t, fmt.Errorf("warm-boot table: %w", err)
+	}
+	start = time.Now()
+	for i := 0; i < warmBootSetupIters; i++ {
+		var report testsuite.Report
+		sys, err := snap.Fork(boot.ForkParams{Seed: sc.Seed + uint64(i)}, testsuite.RunnerResume(&report))
+		if err != nil {
+			return t, fmt.Errorf("warm-boot table: %w", err)
+		}
+		sys.Shutdown("warmboot table: fork measured")
+	}
+	t.ForkMS = msPer(time.Since(start), warmBootSetupIters)
+	if t.ForkMS > 0 {
+		t.SetupSpeedup = t.ColdBootMS / t.ForkMS
+	}
+
+	// End-to-end campaign throughput, cold vs warm.
+	profile, err := faultinject.Profile(sc.Seed)
+	if err != nil {
+		return t, err
+	}
+	cfg := faultinject.CampaignConfig{
+		Policy:         seep.PolicyEnhanced,
+		Model:          faultinject.FailStop,
+		Seed:           sc.Seed,
+		SamplesPerSite: sc.SamplesPerSite,
+		MaxRuns:        sc.MaxRuns,
+		Workers:        sc.Workers,
+	}
+	campaign := func(cold bool) (int, float64) {
+		prev := faultinject.SetColdBootDefault(cold)
+		defer faultinject.SetColdBootDefault(prev)
+		start := time.Now()
+		res := faultinject.RunCampaign(cfg, profile)
+		secs := time.Since(start).Seconds()
+		runs := res.Runs + res.Untriggered
+		if secs <= 0 {
+			return runs, 0
+		}
+		return runs, float64(runs) / secs
+	}
+	t.Runs, t.ColdRunsPerSec = campaign(true)
+	_, t.WarmRunsPerSec = campaign(false)
+	if t.ColdRunsPerSec > 0 {
+		t.CampaignSpeedup = t.WarmRunsPerSec / t.ColdRunsPerSec
+	}
+	return t, nil
+}
+
+func msPer(d time.Duration, n int) float64 {
+	return float64(d.Microseconds()) / 1000 / float64(n)
+}
+
+// Render formats the warm-boot table.
+func (t WarmBootTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Warm boot — Campaign setup via fork-from-image vs cold boot (wall-clock, beyond the paper)\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %10s\n", "", "Cold boot", "Warm fork", "Speedup")
+	fmt.Fprintf(&b, "%-22s %9.2f ms %9.2f ms %9.1fx\n",
+		"Per-machine setup", t.ColdBootMS, t.ForkMS, t.SetupSpeedup)
+	fmt.Fprintf(&b, "%-22s %8.1f r/s %8.1f r/s %9.1fx   (%d runs, fail-stop, enhanced)\n",
+		"Campaign throughput", t.ColdRunsPerSec, t.WarmRunsPerSec, t.CampaignSpeedup, t.Runs)
 	return b.String()
 }
 

@@ -329,13 +329,21 @@ func RunOneWith(policy seep.Policy, seed uint64, inj Injection, ipc IPCOptions) 
 		Registry:   reg,
 		Heartbeats: true,
 	}, testsuite.RunnerInit(&report))
+	return finishRunOne(sys, &report, inj, seed, inj)
+}
 
+// finishRunOne arms the injection on a prepared machine — cold-booted or
+// forked from a warm image — runs the suite and classifies the outcome.
+// armed carries the occurrence counted from the machine's current
+// position (equal to inj on cold boots; shifted past the quiescence
+// barrier on warm forks); the result always reports inj as planned.
+func finishRunOne(sys *boot.System, report *testsuite.Report, inj Injection, seed uint64, armed Injection) RunResult {
 	k := sys.Kernel()
 	rng := sim.NewRNG(seed ^ 0xFA0175EED)
 	triggered := false
-	remaining := inj.Occurrence
+	remaining := armed.Occurrence
 	k.SetPointHook(func(ep kernel.Endpoint, name, site string) {
-		if triggered || name != inj.Server || site != inj.Site {
+		if triggered || name != armed.Server || site != armed.Site {
 			return
 		}
 		remaining--
@@ -350,7 +358,7 @@ func RunOneWith(policy seep.Policy, seed uint64, inj Injection, ipc IPCOptions) 
 	res := sys.Run(RunLimit)
 	out := RunResult{
 		Injection:   inj,
-		Outcome:     classify(res, &report),
+		Outcome:     classify(res, report),
 		Triggered:   triggered,
 		TestsFailed: report.Failed,
 		Reason:      res.Reason,
@@ -526,10 +534,13 @@ func thinIndices(n, max int) []int {
 	return out
 }
 
-// RunCampaign executes the whole campaign. Runs are independent boots
-// (one fault per boot, per-run seed), so they fan out across the
-// parallel engine; the aggregate is reduced in plan order and is
-// bit-identical for any worker count.
+// RunCampaign executes the whole campaign. Runs are independent
+// machines (one fault per machine, per-run seed), so they fan out
+// across the parallel engine; the aggregate is reduced in plan order
+// and is bit-identical for any worker count. One machine is booted and
+// captured per configuration class up front; each run forks it in
+// O(state size) instead of re-booting, with outcomes bit-identical to
+// cold boots (see warmboot.go; OSIRIS_COLD_BOOT forces cold boots).
 func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
 	plan := PlanCampaign(cfg, profile)
 	result := CampaignResult{
@@ -537,8 +548,9 @@ func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
 		Model:  cfg.Model,
 		Counts: make(map[Outcome]int),
 	}
+	runner := newSingleRunner(cfg, plan)
 	results := parallel.Map(cfg.Workers, len(plan), func(i int) RunResult {
-		return RunOneWith(cfg.Policy, cfg.Seed+uint64(i)*7919, plan[i], cfg.IPC)
+		return runner.runOne(cfg.Seed+uint64(i)*7919, plan[i])
 	})
 	for _, rr := range results {
 		if !rr.Triggered {

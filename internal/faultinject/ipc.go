@@ -70,11 +70,17 @@ func RunBackground(policy seep.Policy, seed uint64, ipc IPCOptions) RunResult {
 		Registry:   reg,
 		Heartbeats: true,
 	}, testsuite.RunnerInit(&report))
+	return finishRunBackground(sys, &report, ipc, seed)
+}
 
+// finishRunBackground runs the suite on a prepared machine — cold-booted
+// or forked from a warm image — and classifies the outcome. ipc must be
+// the normalized options the machine was configured with.
+func finishRunBackground(sys *boot.System, report *testsuite.Report, ipc IPCOptions, seed uint64) RunResult {
 	aud := audit.Attach(sys.OS)
 	res := sys.Run(RunLimit)
 	out := RunResult{
-		Outcome:     classify(res, &report),
+		Outcome:     classify(res, report),
 		Triggered:   ipc.Faults.Enabled(),
 		TestsFailed: report.Failed,
 		Reason:      res.Reason,
@@ -134,6 +140,10 @@ func SweepIPC(policy seep.Policy, seed uint64, ratesBP []int, runs, workers int)
 			jobs = append(jobs, job{p, r})
 		}
 	}
+	// Zero-rate points leave the transport untouched, so their runs can
+	// fork one warm image; points with live rates draw per-run fault
+	// placements during boot and must boot cold (see warmboot.go).
+	runner := newBackgroundRunner(policy, seed, ratesBP)
 	results := parallel.Map(workers, len(jobs), func(i int) RunResult {
 		j := jobs[i]
 		bp := ratesBP[j.point]
@@ -143,7 +153,7 @@ func SweepIPC(policy seep.Policy, seed uint64, ratesBP []int, runs, workers int)
 			},
 			Seed: seed ^ 0x51EE9,
 		}
-		return RunBackground(policy, seed+uint64(i)*15485863, opts)
+		return runner.runBackground(seed+uint64(i)*15485863, opts)
 	})
 	points := make([]SweepPoint, len(ratesBP))
 	for i := range points {

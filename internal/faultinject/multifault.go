@@ -82,18 +82,27 @@ func RunMultiWith(policy seep.Policy, seed uint64, injs []MultiInjection, ipc IP
 		Registry:   reg,
 		Heartbeats: true,
 	}, testsuite.RunnerInit(&report))
+	return finishRunMulti(sys, &report, injs, seed, injs)
+}
 
+// finishRunMulti arms every injection on a prepared machine —
+// cold-booted or forked from a warm image — runs the suite and
+// classifies the outcome. armed carries occurrences counted from the
+// machine's current position (equal to injs on cold boots; plain
+// occurrences shifted past the quiescence barrier on warm forks); the
+// result always reports injs as planned.
+func finishRunMulti(sys *boot.System, report *testsuite.Report, injs []MultiInjection, seed uint64, armed []MultiInjection) MultiRunResult {
 	k := sys.Kernel()
 	rng := sim.NewRNG(seed ^ 0x3A17F0C57)
-	triggered := make([]bool, len(injs))
-	remaining := make([]int, len(injs))
-	for i, inj := range injs {
+	triggered := make([]bool, len(armed))
+	remaining := make([]int, len(armed))
+	for i, inj := range armed {
 		remaining[i] = inj.Occurrence
 	}
 
 	k.SetPointHook(func(ep kernel.Endpoint, name, site string) {
-		for i := range injs {
-			inj := &injs[i]
+		for i := range armed {
+			inj := &armed[i]
 			if inj.DuringRecovery || (triggered[i] && !inj.Persistent) {
 				continue
 			}
@@ -122,8 +131,8 @@ func RunMultiWith(policy seep.Policy, seed uint64, injs []MultiInjection, ipc IP
 	restarts := 0
 	sys.SetRestartHook(func(ep kernel.Endpoint, attempt int) {
 		restarts++
-		for i := range injs {
-			inj := &injs[i]
+		for i := range armed {
+			inj := &armed[i]
 			if triggered[i] || !inj.DuringRecovery {
 				continue
 			}
@@ -148,7 +157,7 @@ func RunMultiWith(policy seep.Policy, seed uint64, injs []MultiInjection, ipc IP
 	}
 	out := MultiRunResult{
 		Injections:  injs,
-		Outcome:     classifyMulti(res, &report, sys.Quarantines),
+		Outcome:     classifyMulti(res, report, sys.Quarantines),
 		Triggered:   nTriggered,
 		TestsFailed: report.Failed,
 		Recoveries:  sys.Recoveries,
@@ -303,7 +312,9 @@ func PlanMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) [][]Multi
 	return plans
 }
 
-// RunMultiCampaign executes the whole multi-fault campaign.
+// RunMultiCampaign executes the whole multi-fault campaign. As in
+// RunCampaign, one machine is booted and captured per configuration
+// class and every run forks it, bit-identically to cold boots.
 func RunMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) MultiCampaignResult {
 	plans := PlanMultiCampaign(cfg, profile)
 	result := MultiCampaignResult{
@@ -315,8 +326,9 @@ func RunMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) MultiCampa
 	if result.Faults < 2 {
 		result.Faults = 2
 	}
+	runner := newMultiRunner(cfg, plans)
 	results := parallel.Map(cfg.Workers, len(plans), func(i int) MultiRunResult {
-		return RunMultiWith(cfg.Policy, cfg.Seed+uint64(i)*104729, plans[i], cfg.IPC)
+		return runner.runMulti(cfg.Seed+uint64(i)*104729, plans[i])
 	})
 	for _, rr := range results {
 		if rr.Triggered == 0 {

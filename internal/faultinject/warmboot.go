@@ -1,0 +1,281 @@
+package faultinject
+
+// Warm-boot campaign runs. Booting the machine and installing the ~96
+// suite binaries dominates campaign run time, yet the boot trace of a
+// fault-free machine is seed-independent: the kernel RNG is never drawn
+// before the first fault and the IPC plane draws nothing while no rates
+// are set. Campaigns therefore boot ONE machine per (policy,
+// configuration class), capture it at the workload's quiescence barrier,
+// and fork a per-run copy in O(state size) — re-deriving the per-run
+// seeds after the fork, so outcomes are bit-identical to cold boots.
+//
+// Cold boots remain available as the equivalence oracle: set the
+// OSIRIS_COLD_BOOT environment variable, pass -coldboot to the CLIs, or
+// call SetColdBootDefault(true).
+//
+// Runs whose transport carries background fault rates are never forked:
+// their boot trace consumes the per-run fault stream, so each needs its
+// own cold boot. The reliability layer alone (timeouts/retries, zero
+// rates) is deterministic during a fault-free boot and forks fine.
+
+import (
+	"os"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/testsuite"
+	"repro/internal/usr"
+)
+
+// coldBootDefault disables warm forking when true; the OSIRIS_COLD_BOOT
+// environment variable sets it for a whole process.
+var coldBootDefault = os.Getenv("OSIRIS_COLD_BOOT") != ""
+
+// SetColdBootDefault forces every campaign run onto the cold-boot path
+// (the warm-fork equivalence oracle) and returns the previous setting.
+func SetColdBootDefault(on bool) bool {
+	prev := coldBootDefault
+	coldBootDefault = on
+	return prev
+}
+
+// ColdBootDefault reports whether campaigns are pinned to cold boots.
+func ColdBootDefault() bool { return coldBootDefault }
+
+// campaignSnapshot is one warm boot image plus the per-site pre-barrier
+// execution counts needed to translate injection occurrences (counted
+// from cold-boot start) into post-barrier occurrences.
+type campaignSnapshot struct {
+	snap *boot.Snapshot
+	// boots counts pre-barrier executions per (server, site). The
+	// barrier sits exactly where profiling stops counting SiteProfile.Boot
+	// (right after InstallOK), so boots matches the planner's Boot offsets.
+	boots map[[2]string]int
+}
+
+// occurrenceAfterBarrier translates a cold-boot occurrence into the
+// post-barrier count a forked run must wait for. The planner draws
+// occurrences strictly above the boot count, so the result is >= 1 for
+// every planned injection; anything else reports false and the run falls
+// back to a cold boot.
+func (cs *campaignSnapshot) occurrenceAfterBarrier(inj Injection) (int, bool) {
+	rem := inj.Occurrence - cs.boots[[2]string{inj.Server, inj.Site}]
+	return rem, rem >= 1
+}
+
+// captureSnapshot boots one machine with cfg (plus the suite registry
+// and heartbeats, exactly as every campaign run boots), counts
+// pre-barrier site executions, and captures the machine at the barrier.
+// Returns nil when the machine never quiesced at a barrier — callers
+// fall back to cold boots.
+func captureSnapshot(cfg core.Config) *campaignSnapshot {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	var report testsuite.Report
+	opts := boot.Options{Config: cfg, Registry: reg, Heartbeats: true}
+	sys := boot.Boot(opts, testsuite.RunnerInit(&report))
+
+	boots := make(map[[2]string]int)
+	names := sys.ComponentNames()
+	sys.Kernel().SetPointHook(func(ep kernel.Endpoint, name, site string) {
+		if _, recoverable := names[ep]; recoverable {
+			boots[[2]string{name, site}]++
+		}
+	})
+	snap, err := boot.CaptureSystem(sys, opts, RunLimit)
+	if err != nil {
+		return nil
+	}
+	return &campaignSnapshot{snap: snap, boots: boots}
+}
+
+// singleFaultConfig is the pinned configuration of single-fault runs
+// (RunOneWith); the capture machine must boot with exactly this shape.
+func singleFaultConfig(policy seep.Policy, seed uint64, ipc IPCOptions) core.Config {
+	return ipc.apply(core.Config{
+		Policy:             policy,
+		Seed:               seed,
+		DisableQuarantine:  true,
+		RestartBackoffBase: -1,
+		RecoveryDecay:      -1,
+		MaxRestartAttempts: 1,
+	}, seed)
+}
+
+// multiFaultConfig is the configuration of multi-fault and background
+// runs (RunMultiWith, RunBackground): the cascade sequencer enabled.
+func multiFaultConfig(policy seep.Policy, seed uint64, ipc IPCOptions) core.Config {
+	return ipc.apply(core.Config{Policy: policy, Seed: seed}, seed)
+}
+
+// forkable reports whether runs under these (normalized) transport
+// options may share a warm image: background fault rates consume the
+// per-run fault stream during boot, so such runs must boot cold.
+func forkable(ipc IPCOptions) bool {
+	return !coldBootDefault && !ipc.Faults.Enabled()
+}
+
+// forkParams derives the per-run seed identity, matching what
+// IPCOptions.apply stamps into a cold boot's Config.
+func forkParams(seed uint64, ipc IPCOptions) boot.ForkParams {
+	p := boot.ForkParams{Seed: seed}
+	if ipc.Enabled() {
+		p.IPCFaultSeed = ipc.Seed ^ seed
+	}
+	return p
+}
+
+// campaignRunner dispatches campaign runs onto warm forks when a
+// snapshot for the run's configuration class exists, and cold boots
+// otherwise. Build it (and its snapshots) before fanning out: Fork is
+// read-only on the snapshot, so concurrent runs are race-free.
+type campaignRunner struct {
+	policy seep.Policy
+	ipc    IPCOptions
+	// snaps is keyed by armsIPC (whether the run's injection set arms a
+	// transport fault, which forces the reliability layer on). A missing
+	// entry means cold boot for that class.
+	snaps map[bool]*campaignSnapshot
+}
+
+// newSingleRunner prepares snapshots for a single-fault campaign: one
+// per reliability class present in the plan.
+func newSingleRunner(cfg CampaignConfig, plan []Injection) *campaignRunner {
+	r := &campaignRunner{policy: cfg.Policy, ipc: cfg.IPC, snaps: make(map[bool]*campaignSnapshot)}
+	classes := make(map[bool]bool)
+	for _, inj := range plan {
+		classes[inj.Type.IPC()] = true
+	}
+	for armsIPC := range classes {
+		ipc := cfg.IPC.normalized(armsIPC)
+		if !forkable(ipc) {
+			continue
+		}
+		if cs := captureSnapshot(singleFaultConfig(cfg.Policy, cfg.Seed, ipc)); cs != nil {
+			r.snaps[armsIPC] = cs
+		}
+	}
+	return r
+}
+
+// runOne executes one single-fault run, warm when possible.
+func (r *campaignRunner) runOne(seed uint64, inj Injection) RunResult {
+	ipc := r.ipc.normalized(inj.Type.IPC())
+	cs := r.snaps[inj.Type.IPC()]
+	if cs == nil {
+		return RunOneWith(r.policy, seed, inj, r.ipc)
+	}
+	occ, ok := cs.occurrenceAfterBarrier(inj)
+	if !ok {
+		return RunOneWith(r.policy, seed, inj, r.ipc)
+	}
+	var report testsuite.Report
+	sys, err := cs.snap.Fork(forkParams(seed, ipc), testsuite.RunnerResume(&report))
+	if err != nil {
+		return RunOneWith(r.policy, seed, inj, r.ipc)
+	}
+	warm := inj
+	warm.Occurrence = occ
+	return finishRunOne(sys, &report, inj, seed, warm)
+}
+
+// newMultiRunner prepares snapshots for a multi-fault campaign.
+func newMultiRunner(cfg MultiCampaignConfig, plans [][]MultiInjection) *campaignRunner {
+	r := &campaignRunner{policy: cfg.Policy, ipc: cfg.IPC, snaps: make(map[bool]*campaignSnapshot)}
+	classes := make(map[bool]bool)
+	for _, plan := range plans {
+		classes[plansArmIPC(plan)] = true
+	}
+	for armsIPC := range classes {
+		ipc := cfg.IPC.normalized(armsIPC)
+		if !forkable(ipc) {
+			continue
+		}
+		if cs := captureSnapshot(multiFaultConfig(cfg.Policy, cfg.Seed, ipc)); cs != nil {
+			r.snaps[armsIPC] = cs
+		}
+	}
+	return r
+}
+
+func plansArmIPC(injs []MultiInjection) bool {
+	for _, inj := range injs {
+		if inj.Type.IPC() {
+			return true
+		}
+	}
+	return false
+}
+
+// runMulti executes one multi-fault run, warm when possible.
+func (r *campaignRunner) runMulti(seed uint64, injs []MultiInjection) MultiRunResult {
+	armsIPC := plansArmIPC(injs)
+	ipc := r.ipc.normalized(armsIPC)
+	cs := r.snaps[armsIPC]
+	if cs == nil {
+		return RunMultiWith(r.policy, seed, injs, r.ipc)
+	}
+	// Correlated and during-recovery faults count from the first
+	// recovery or restart — always post-barrier, no translation. Plain
+	// occurrences are shifted by the pre-barrier execution count.
+	warm := make([]MultiInjection, len(injs))
+	for i, inj := range injs {
+		warm[i] = inj
+		if inj.Correlated || inj.DuringRecovery {
+			continue
+		}
+		occ, ok := cs.occurrenceAfterBarrier(inj.Injection)
+		if !ok {
+			return RunMultiWith(r.policy, seed, injs, r.ipc)
+		}
+		warm[i].Occurrence = occ
+	}
+	var report testsuite.Report
+	sys, err := cs.snap.Fork(forkParams(seed, ipc), testsuite.RunnerResume(&report))
+	if err != nil {
+		return RunMultiWith(r.policy, seed, injs, r.ipc)
+	}
+	return finishRunMulti(sys, &report, injs, seed, warm)
+}
+
+// backgroundRunner serves IPC-sweep runs: forkable only for rate points
+// with zero basis points (the reliability-off, fault-off baseline row).
+type backgroundRunner struct {
+	policy seep.Policy
+	// snap is the plain-configuration snapshot (no transport options);
+	// nil means cold boots.
+	snap *campaignSnapshot
+}
+
+// newBackgroundRunner captures the plain-configuration snapshot only
+// when the sweep contains a zero-rate point that can use it.
+func newBackgroundRunner(policy seep.Policy, seed uint64, ratesBP []int) *backgroundRunner {
+	r := &backgroundRunner{policy: policy}
+	hasZero := false
+	for _, bp := range ratesBP {
+		if bp == 0 {
+			hasZero = true
+		}
+	}
+	if hasZero && !coldBootDefault {
+		r.snap = captureSnapshot(multiFaultConfig(policy, seed, IPCOptions{}))
+	}
+	return r
+}
+
+// runBackground executes one background-rate run, warm when the options
+// leave the transport untouched.
+func (r *backgroundRunner) runBackground(seed uint64, ipc IPCOptions) RunResult {
+	norm := ipc.normalized(false)
+	if r.snap == nil || norm.Enabled() {
+		return RunBackground(r.policy, seed, ipc)
+	}
+	var report testsuite.Report
+	sys, err := r.snap.snap.Fork(forkParams(seed, norm), testsuite.RunnerResume(&report))
+	if err != nil {
+		return RunBackground(r.policy, seed, ipc)
+	}
+	return finishRunBackground(sys, &report, norm, seed)
+}

@@ -733,8 +733,7 @@ func (ipc *ipcPlane) handleSendTimeout(p *Process) {
 			}
 			ipc.stats.DeadLetters++
 			p.sendDeadline = 0
-			m := Message{From: dst, To: p.ep, Errno: ETIMEDOUT}
-			p.reply = &m
+			p.setReply(Message{From: dst, To: p.ep, Errno: ETIMEDOUT})
 			ipc.k.markSched(p)
 			return
 		}
@@ -743,8 +742,7 @@ func (ipc *ipcPlane) handleSendTimeout(p *Process) {
 	if p.sendAttempts > ipc.rel.retryMax() {
 		ipc.stats.DeadLetters++
 		p.sendDeadline = 0
-		m := Message{From: dst, To: p.ep, Errno: ETIMEDOUT}
-		p.reply = &m
+		p.setReply(Message{From: dst, To: p.ep, Errno: ETIMEDOUT})
 		ipc.k.markSched(p)
 		return
 	}
@@ -752,8 +750,7 @@ func (ipc *ipcPlane) handleSendTimeout(p *Process) {
 	if target == nil || ipc.k.IsQuarantined(dst) ||
 		(!target.Alive() && !ipc.k.RecoveryPending(dst)) {
 		p.sendDeadline = 0
-		m := Message{From: dst, To: p.ep, Errno: EDEADSRCDST}
-		p.reply = &m
+		p.setReply(Message{From: dst, To: p.ep, Errno: EDEADSRCDST})
 		ipc.k.markSched(p)
 		return
 	}

@@ -369,6 +369,17 @@ type Kernel struct {
 	// replyErrnoOverride forces the next reply sent by the given
 	// endpoint to carry this errno (EDFI wrong-error fault model).
 	replyErrnoOverride map[Endpoint]Errno
+
+	// Warm-fork plane (snapshot.go). barrierArmed makes the next
+	// Context.Barrier call park its process and stop RunToBarrier;
+	// unarmed (every ordinary machine), Barrier is a complete no-op.
+	// barrierHit latches that the quiescence barrier was reached.
+	// forkResume names the process Run must hand the baton to first on
+	// a forked machine — resuming it exactly where the captured machine
+	// parked, without an extra dispatch count.
+	barrierArmed bool
+	barrierHit   bool
+	forkResume   *Process
 }
 
 // New creates a machine with the given cost model and seed.
@@ -467,6 +478,16 @@ func (k *Kernel) OverrideNextReplyErrno(ep Endpoint, e Errno) {
 func (k *Kernel) Run(cycleLimit sim.Cycles) Result {
 	k.cycleLimit = cycleLimit
 	defer k.killAll()
+	if p := k.forkResume; p != nil {
+		// Forked machine: hand the baton straight to the process that was
+		// parked at the quiescence barrier. No dispatch is counted — the
+		// captured machine already counted the dispatch this continues.
+		k.forkResume = nil
+		k.running = p
+		p.baton <- token{}
+		<-k.kernelCh
+		k.running = nil
+	}
 	for !k.done {
 		if k.handleDueCrash() {
 			continue

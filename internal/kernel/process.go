@@ -63,6 +63,11 @@ type Process struct {
 
 	waitFrom Endpoint
 	reply    *Message
+	// replyBuf backs reply so delivering a reply never heap-allocates:
+	// setReply stores the message here and points reply at it. The
+	// consumer (Context.sendrec) copies the value out before clearing
+	// reply, so reusing the buffer for the next reply is safe.
+	replyBuf Message
 
 	// SendRec reliability state (IPC plane enabled only): the prepared
 	// in-flight request for retransmission, the armed timeout deadline
@@ -103,6 +108,13 @@ var inboxPool = sync.Pool{New: func() any {
 	s := make([]Message, 0, inboxSlabCap)
 	return &s
 }}
+
+// setReply hands m to a process blocked in SendRec via the per-process
+// reply buffer (no allocation).
+func (p *Process) setReply(m Message) {
+	p.replyBuf = m
+	p.reply = &p.replyBuf
+}
 
 // pushMsg enqueues m, lazily attaching a pooled backing array and
 // rewinding consumed headroom once the queue drains. A message arrival
@@ -558,8 +570,7 @@ func (k *Kernel) FailPendingCallers(ep Endpoint, errno Errno) int {
 		if p == nil || p.state != stateSendRec || p.waitFrom != ep {
 			continue
 		}
-		m := Message{Type: 0, From: ep, To: p.ep, Errno: errno}
-		p.reply = &m
+		p.setReply(Message{Type: 0, From: ep, To: p.ep, Errno: errno})
 		k.markSched(p)
 		failed++
 	}
@@ -577,8 +588,7 @@ func (k *Kernel) DeliverReply(from, to Endpoint, m Message) error {
 	m.From = from
 	m.To = to
 	if p.state == stateSendRec && p.waitFrom == from {
-		mm := m
-		p.reply = &mm
+		p.setReply(m)
 		k.markSched(p)
 		k.trace("reply: %d -> %s(%d) errno=%v", from, p.name, to, m.Errno)
 		return nil

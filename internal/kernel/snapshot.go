@@ -1,0 +1,263 @@
+package kernel
+
+// This file is the kernel half of the warm-fork plane: capturing a
+// machine parked at a quiescence barrier into a MachineImage, and
+// stamping that image onto a freshly constructed machine so it resumes
+// bit-identically to the captured one.
+//
+// Goroutine stacks cannot be cloned, so forking hinges on a quiescent
+// point where every process position is reconstructible by a fresh
+// goroutine: every server parked at the top of its Receive loop, and
+// exactly one process — the root workload — parked at an armed
+// Context.Barrier. The campaign driver boots a machine with
+// RunToBarrier, captures it, tears it down, and then builds any number
+// of independent machines through the ordinary boot path, applying the
+// image to each before Run.
+//
+// The image deep-copies everything mutable (inboxes, alarms, counters,
+// transport maps); message Aux payloads are shared — they carry process
+// bodies and argv slices that receivers only read.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Barrier parks the calling process at the warm-fork quiescence point
+// when the machine was armed by RunToBarrier. On every ordinary machine
+// it is a complete no-op: no cycles, no counters, no yield — so code
+// calling it behaves identically under cold boot.
+func (c *Context) Barrier() {
+	k := c.k
+	if !k.barrierArmed {
+		return
+	}
+	k.barrierArmed = false
+	k.barrierHit = true
+	// Park through the slow path so RunToBarrier's dispatch regains
+	// control with this process still runnable; the process stays inside
+	// this dispatch, exactly like a cold machine whose root is mid-body.
+	k.kernelCh <- struct{}{}
+	tok := <-c.p.baton
+	if tok.kill {
+		panic(killedSignal{})
+	}
+}
+
+// RunToBarrier drives the machine like Run until the root process
+// reaches an armed Context.Barrier, and reports whether it did. The
+// machine is left parked — no process running, the root runnable at the
+// barrier — ready for CaptureImage. Unlike Run it does NOT tear down
+// process goroutines; call Teardown when done with the machine. A false
+// return means the run finished (or hit the limit) before any Barrier
+// call: the workload is not barrier-instrumented, so the caller must
+// fall back to cold boots.
+func (k *Kernel) RunToBarrier(cycleLimit sim.Cycles) bool {
+	k.cycleLimit = cycleLimit
+	k.barrierArmed = true
+	for !k.done && !k.barrierHit {
+		if k.handleDueCrash() {
+			continue
+		}
+		if k.clock.Now() > cycleLimit {
+			k.done = true
+			k.outcome = OutcomeHang
+			k.reason = "cycle limit exceeded"
+			break
+		}
+		k.fireDueAlarms()
+		if k.clock.Now() >= k.ipcNextDue {
+			k.fireDueIPC()
+		}
+		p := k.pickRunnable()
+		if p == nil {
+			if k.advanceToNextEvent() {
+				continue
+			}
+			k.done = true
+			k.outcome = OutcomeDeadlock
+			k.reason = "no runnable process and no pending alarm: " + k.describeBlocked()
+			break
+		}
+		k.dispatch(p)
+	}
+	k.barrierArmed = false
+	return k.barrierHit && !k.done
+}
+
+// procImage is the captured kernel-level state of one process.
+type procImage struct {
+	ep            Endpoint
+	state         procState
+	inbox         []Message
+	quantumUsed   sim.Cycles
+	curSender     Endpoint
+	curNeedsReply bool
+}
+
+// planeImage is the captured state of the IPC interposition plane. The
+// fault RNG is deliberately NOT captured: it is never drawn during a
+// fault-free boot, and each fork re-seeds its own from the per-run
+// fault seed.
+type planeImage struct {
+	stats      IPCStats
+	nextSeq    map[epPair]uint32
+	seen       map[epPair]seqWindow
+	svcSeq     map[epPair]uint32
+	replyCache map[epPair]cachedReply
+}
+
+// MachineImage is a deep snapshot of one machine's kernel state at the
+// quiescence barrier. It is immutable once captured and may be applied
+// to any number of fresh machines concurrently.
+type MachineImage struct {
+	now        sim.Cycles
+	rrNext     int
+	nextUserEp Endpoint
+	rootEp     Endpoint
+	alarms     []alarm
+	alarmSeq   uint64
+	counters   *sim.Counters
+	procs      []procImage
+	ipc        *planeImage
+	ipcNextDue sim.Cycles
+}
+
+// CaptureImage snapshots a machine parked by RunToBarrier. It returns
+// an error when the machine is not at a reconstructible quiescent point
+// — any process blocked mid-SendRec, a pending crash or quarantine, an
+// in-flight transport event — in which case the caller must fall back
+// to cold boots. The source machine is left untouched (tear it down
+// separately).
+func (k *Kernel) CaptureImage() (*MachineImage, error) {
+	if !k.barrierHit {
+		return nil, fmt.Errorf("kernel: capture without a barrier hit")
+	}
+	if k.done || k.inRecovery {
+		return nil, fmt.Errorf("kernel: capture on a finished or recovering machine")
+	}
+	if len(k.pendingCrashes) > 0 || len(k.quarantined) > 0 ||
+		len(k.recoveryPanics) > 0 || len(k.replyErrnoOverride) > 0 {
+		return nil, fmt.Errorf("kernel: capture with pending crash/quarantine state")
+	}
+	img := &MachineImage{
+		now:        k.clock.Now(),
+		rrNext:     k.rrNext,
+		nextUserEp: k.nextUserEp,
+		rootEp:     k.rootEp,
+		alarms:     append([]alarm(nil), k.alarms...),
+		alarmSeq:   k.alarmSeq,
+		counters:   k.counters.Clone(),
+		ipcNextDue: k.ipcNextDue,
+	}
+	for _, ep := range k.order {
+		p := k.procs[ep]
+		if p == nil || !p.Alive() {
+			return nil, fmt.Errorf("kernel: capture with dead process at endpoint %d", ep)
+		}
+		switch {
+		case ep == k.rootEp:
+			if p.state != stateRunnable {
+				return nil, fmt.Errorf("kernel: root process not parked runnable at the barrier")
+			}
+		case p.state != stateReceiving:
+			return nil, fmt.Errorf("kernel: process %s(%d) not parked in Receive (state %d)", p.name, ep, p.state)
+		}
+		if p.reply != nil || p.sendDeadline != 0 {
+			return nil, fmt.Errorf("kernel: process %s(%d) holds in-flight send state", p.name, ep)
+		}
+		pi := procImage{
+			ep:            ep,
+			state:         p.state,
+			quantumUsed:   p.quantumUsed,
+			curSender:     p.curSender,
+			curNeedsReply: p.curNeedsReply,
+		}
+		for i := p.inboxHead; i < len(p.inbox); i++ {
+			m := p.inbox[i]
+			if m.Bytes != nil {
+				m.Bytes = append([]byte(nil), m.Bytes...)
+			}
+			pi.inbox = append(pi.inbox, m)
+		}
+		img.procs = append(img.procs, pi)
+	}
+	if k.ipc != nil {
+		if len(k.ipc.held) > 0 || len(k.ipc.armed) > 0 {
+			return nil, fmt.Errorf("kernel: capture with in-flight transport events")
+		}
+		img.ipc = &planeImage{
+			stats:      k.ipc.stats,
+			nextSeq:    cloneMap(k.ipc.nextSeq),
+			seen:       cloneMap(k.ipc.seen),
+			svcSeq:     cloneMap(k.ipc.svcSeq),
+			replyCache: cloneMap(k.ipc.replyCache),
+		}
+	}
+	return img, nil
+}
+
+func cloneMap[K comparable, V any](src map[K]V) map[K]V {
+	out := make(map[K]V, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// ApplyImage stamps a captured image onto this machine, which must be
+// freshly constructed through the same boot path (same endpoints, same
+// process order, clock at zero). After it returns, the next Run resumes
+// the root process exactly where the captured machine parked it.
+func (k *Kernel) ApplyImage(img *MachineImage) error {
+	if k.clock.Now() != 0 {
+		return fmt.Errorf("kernel: ApplyImage on a machine that already ran")
+	}
+	if img.rootEp != k.rootEp {
+		return fmt.Errorf("kernel: image root endpoint %d != machine root %d", img.rootEp, k.rootEp)
+	}
+	if len(img.procs) != len(k.order) {
+		return fmt.Errorf("kernel: image has %d processes, machine has %d", len(img.procs), len(k.order))
+	}
+	for _, pi := range img.procs {
+		p := k.procs[pi.ep]
+		if p == nil {
+			return fmt.Errorf("kernel: image process at endpoint %d missing from machine", pi.ep)
+		}
+		p.state = pi.state
+		for _, m := range pi.inbox {
+			if m.Bytes != nil {
+				m.Bytes = append([]byte(nil), m.Bytes...)
+			}
+			p.pushMsg(m)
+		}
+		p.quantumUsed = pi.quantumUsed
+		p.curSender = pi.curSender
+		p.curNeedsReply = pi.curNeedsReply
+		k.markSched(p)
+	}
+	k.clock.Advance(img.now)
+	k.counters.CopyFrom(img.counters)
+	k.rrNext = img.rrNext
+	k.nextUserEp = img.nextUserEp
+	k.alarms = append([]alarm(nil), img.alarms...)
+	k.alarmSeq = img.alarmSeq
+	if img.ipc != nil {
+		if k.ipc == nil {
+			return fmt.Errorf("kernel: image captured with an IPC plane but machine has none")
+		}
+		// The fork keeps its own freshly seeded fault RNG; only the
+		// reliability-layer bookkeeping carries over.
+		k.ipc.stats = img.ipc.stats
+		k.ipc.nextSeq = cloneMap(img.ipc.nextSeq)
+		k.ipc.seen = cloneMap(img.ipc.seen)
+		k.ipc.svcSeq = cloneMap(img.ipc.svcSeq)
+		k.ipc.replyCache = cloneMap(img.ipc.replyCache)
+	} else if k.ipc != nil {
+		return fmt.Errorf("kernel: machine has an IPC plane but image captured without one")
+	}
+	k.ipcNextDue = img.ipcNextDue
+	k.forkResume = k.procs[img.rootEp]
+	return nil
+}

@@ -431,6 +431,53 @@ func (s *Store) Clone() *Store {
 	return dst
 }
 
+// ForkClone produces a deep copy of the store that is faithful to the
+// original's full checkpointing state, not just its data: per-container
+// dirty/size bookkeeping, the checkpoint epoch, the cached size
+// aggregate, the undo log, the high-water marks and the retained
+// snapshot image are all reproduced. A ForkClone behaves bit-identically
+// to the original from this point on — the warm-fork plane uses it so a
+// forked machine's first post-fork checkpoint copies exactly the bytes a
+// cold-booted machine's would. The cost sink and counter set are NOT
+// carried over (they reference the source machine); the caller must
+// install the fork's own via SetCostSink/SetCounters.
+func (s *Store) ForkClone() *Store {
+	dst := NewStore(s.label, s.mode)
+	dst.logging = s.logging
+	dst.generation = s.generation
+	dst.legacyCheckpoint = s.legacyCheckpoint
+	dst.maxLogLen = s.maxLogLen
+	dst.maxLogBytes = s.maxLogBytes
+	for _, name := range s.order {
+		s.containers[name].cloneInto(dst)
+	}
+	// register() stamped every new container dirty against dst's fresh
+	// epoch; overwrite that with the source's exact bookkeeping.
+	for _, name := range s.order {
+		*dst.containers[name].meta() = *s.containers[name].meta()
+	}
+	dst.chkGen = s.chkGen
+	dst.dirty = dst.dirty[:0]
+	for _, c := range s.dirty {
+		dst.dirty = append(dst.dirty, dst.containers[c.name()])
+	}
+	dst.sizeDirty = dst.sizeDirty[:0]
+	for _, c := range s.sizeDirty {
+		dst.sizeDirty = append(dst.sizeDirty, dst.containers[c.name()])
+	}
+	dst.baseBytes = s.baseBytes
+	if len(s.log) > 0 {
+		dst.grabSlab(len(s.log))
+		dst.log = append(dst.log, s.log...)
+	}
+	dst.logBytes = s.logBytes
+	if s.snapshot != nil {
+		dst.snapshot = s.snapshot.ForkClone()
+	}
+	dst.restorable = s.restorable
+	return dst
+}
+
 // TransferSnapshot hands this store's retained snapshot image to dst,
 // which must hold a deep copy of the same state (the recovery flow:
 // Rollback, then Clone). The replacement store then starts with a warm

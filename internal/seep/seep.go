@@ -312,3 +312,8 @@ func (w *Window) AccountCycles(n sim.Cycles) {
 
 // Stats returns a copy of the accumulated coverage statistics.
 func (w *Window) Stats() Stats { return w.stats }
+
+// RestoreStats overwrites the accumulated statistics, used when a
+// warm-forked component resumes from a snapshot taken at a quiescent
+// point (window closed, no request in flight).
+func (w *Window) RestoreStats(s Stats) { w.stats = s }

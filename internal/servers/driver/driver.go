@@ -31,6 +31,31 @@ func New(n int32) *Driver {
 	return &Driver{blocks: make([][]byte, n)}
 }
 
+// CloneBlocks returns a deep copy of the device contents. Unwritten
+// blocks stay nil, so the cost is proportional to data actually written.
+func (d *Driver) CloneBlocks() [][]byte {
+	out := make([][]byte, len(d.blocks))
+	for i, b := range d.blocks {
+		if b != nil {
+			out[i] = append([]byte(nil), b...)
+		}
+	}
+	return out
+}
+
+// NewFromBlocks returns a driver whose device serves blocks — a
+// warm-forked disk. Only the block table is copied; block contents are
+// shared with the source (typically a CloneBlocks master held by a boot
+// snapshot). Sharing is sound because write never mutates a block in
+// place — it installs a freshly allocated buffer into the fork's own
+// table — so a forked disk cannot disturb the master or any sibling
+// fork, and concurrent forks from one master are safe.
+func NewFromBlocks(blocks [][]byte) *Driver {
+	d := &Driver{blocks: make([][]byte, len(blocks))}
+	copy(d.blocks, blocks)
+	return d
+}
+
 // Blocks reports the device capacity.
 func (d *Driver) Blocks() int32 { return int32(len(d.blocks)) }
 

@@ -217,6 +217,45 @@ func (r *RS) quarantineNotify(ctx *kernel.Context, m kernel.Message) {
 	delete(r.outstanding, kernel.Endpoint(m.A))
 }
 
+// rsForkState is the transient prober bookkeeping carried across a warm
+// fork. Heartbeat rounds fire during boot, so a forked RS must remember
+// which pings were outstanding at the capture point or it would judge
+// the silence twice.
+type rsForkState struct {
+	outstanding map[kernel.Endpoint]int
+	quarantined map[kernel.Endpoint]bool
+}
+
+// ForkSnapshot deep-copies the transient prober state (core.Forkable).
+func (r *RS) ForkSnapshot() any {
+	s := rsForkState{
+		outstanding: make(map[kernel.Endpoint]int, len(r.outstanding)),
+		quarantined: make(map[kernel.Endpoint]bool, len(r.quarantined)),
+	}
+	for ep, n := range r.outstanding {
+		s.outstanding[ep] = n
+	}
+	for ep, q := range r.quarantined {
+		s.quarantined[ep] = q
+	}
+	return s
+}
+
+// ApplyForkSnapshot installs a copy of a captured prober state into this
+// fresh instance. The snapshot is shared across forks and is only read.
+func (r *RS) ApplyForkSnapshot(snap any) {
+	s, ok := snap.(rsForkState)
+	if !ok {
+		return
+	}
+	for ep, n := range s.outstanding {
+		r.outstanding[ep] = n
+	}
+	for ep, q := range s.quarantined {
+		r.quarantined[ep] = q
+	}
+}
+
 // TargetHealth is RS's view of one probed component.
 type TargetHealth struct {
 	// EP is the probed endpoint.

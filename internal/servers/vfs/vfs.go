@@ -736,6 +736,27 @@ func (v *VFS) pipeWrite(ctx *kernel.Context, m kernel.Message, e fdEnt) {
 	ctx.Reply(m.From, kernel.Message{A: int64(len(m.Bytes))})
 }
 
+// vfsForkState is the transient thread-routing state carried across a
+// warm fork: only the tag cursor — the pool itself is rebuilt idle,
+// which is exact because capture requires quiescence (no thread busy).
+type vfsForkState struct {
+	nextTag int64
+}
+
+// ForkSnapshot captures the tag cursor (core.Forkable). tagBase is not
+// captured: RunLoop recomputes it from the restored counters, which
+// yields the captured value bit-identically.
+func (v *VFS) ForkSnapshot() any {
+	return vfsForkState{nextTag: v.nextTag}
+}
+
+// ApplyForkSnapshot restores the tag cursor into a fresh instance.
+func (v *VFS) ApplyForkSnapshot(snap any) {
+	if s, ok := snap.(vfsForkState); ok {
+		v.nextTag = s.nextTag
+	}
+}
+
 // AuditFDOwners returns the unique endpoints owning at least one open
 // file descriptor, in first-appearance order. The consistency auditor
 // checks that every owner is a live process (or a server).

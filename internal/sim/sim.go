@@ -231,6 +231,45 @@ func (c *Counters) Names() []string {
 	return c.names
 }
 
+// Clone returns an independent deep copy of the counter set,
+// preserving slot values, touched marks, fallback-map entries and the
+// cached name list. Used when snapshotting a machine for warm forking.
+func (c *Counters) Clone() *Counters {
+	out := &Counters{
+		slots:      append([]uint64(nil), c.slots...),
+		touched:    append([]bool(nil), c.touched...),
+		namesValid: c.namesValid,
+	}
+	if c.extra != nil {
+		out.extra = make(map[string]uint64, len(c.extra))
+		for k, v := range c.extra {
+			out.extra[k] = v
+		}
+	}
+	if c.names != nil {
+		out.names = append([]string(nil), c.names...)
+	}
+	return out
+}
+
+// CopyFrom overwrites this counter set in place with a deep copy of
+// src. In-place restore keeps every pointer other subsystems hold to
+// this set (stores, kernels) valid across a warm-fork image apply.
+func (c *Counters) CopyFrom(src *Counters) {
+	c.slots = append(c.slots[:0], src.slots...)
+	c.touched = append(c.touched[:0], src.touched...)
+	if src.extra == nil {
+		c.extra = nil
+	} else {
+		c.extra = make(map[string]uint64, len(src.extra))
+		for k, v := range src.extra {
+			c.extra[k] = v
+		}
+	}
+	c.names = append(c.names[:0], src.names...)
+	c.namesValid = src.namesValid
+}
+
 // Snapshot returns a copy of all counters.
 func (c *Counters) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, len(c.extra)+len(c.slots))

@@ -79,32 +79,53 @@ func Register(reg *usr.Registry) {
 }
 
 // RunnerInit returns an init program that installs all binaries, then
-// spawns every test in order, filling in report.
+// spawns every test in order, filling in report. Between the two phases
+// it marks the warm-fork quiescence barrier: installation is identical
+// across runs of one configuration, so campaign drivers capture the
+// machine there and fork per-run copies instead of re-installing.
 func RunnerInit(report *Report) usr.Program {
 	return func(p *usr.Proc) int {
 		if errno := usr.InstallPrograms(p); errno != 0 {
 			return 1
 		}
 		report.InstallOK = true
-		p.Mkdir("/tmp")
-		for _, name := range Names() {
-			pid, errno := p.Spawn(name)
-			if errno != 0 {
-				report.Ran++
-				report.Failed++
-				report.FailedNames = append(report.FailedNames, name)
-				continue
-			}
-			_, status, werr := p.Wait()
-			report.Ran++
-			if werr != 0 || status != 0 {
-				report.Failed++
-				report.FailedNames = append(report.FailedNames, name)
-			} else {
-				report.Passed++
-			}
-			_ = pid
-		}
-		return 0
+		p.Barrier()
+		return runTests(report, p)
 	}
+}
+
+// RunnerResume returns the post-barrier half of RunnerInit: the test
+// phase alone, as the init program of a machine forked from a warm image
+// (the install phase already ran in the captured machine; its effects
+// arrive through the image).
+func RunnerResume(report *Report) usr.Program {
+	return func(p *usr.Proc) int {
+		report.InstallOK = true
+		return runTests(report, p)
+	}
+}
+
+// runTests is the test phase: spawn every suite program in order and
+// tally the outcome.
+func runTests(report *Report, p *usr.Proc) int {
+	p.Mkdir("/tmp")
+	for _, name := range Names() {
+		pid, errno := p.Spawn(name)
+		if errno != 0 {
+			report.Ran++
+			report.Failed++
+			report.FailedNames = append(report.FailedNames, name)
+			continue
+		}
+		_, status, werr := p.Wait()
+		report.Ran++
+		if werr != 0 || status != 0 {
+			report.Failed++
+			report.FailedNames = append(report.FailedNames, name)
+		} else {
+			report.Passed++
+		}
+		_ = pid
+	}
+	return 0
 }

@@ -67,6 +67,19 @@ func (r *Registry) Body(prog Program, args []string) kernel.Body {
 	}
 }
 
+// ResumeBody wraps a program like Body but without the PM
+// synchronization round trip. It is the body of the init process on a
+// warm-forked machine: the captured predecessor already performed the
+// GetPID handshake (its result is discarded in Body anyway), so the
+// resumed program continues exactly where the captured one parked.
+func (r *Registry) ResumeBody(prog Program, args []string) kernel.Body {
+	return func(ctx *kernel.Context) {
+		p := &Proc{ctx: ctx, reg: r, Args: args}
+		status := prog(p)
+		p.Exit(status)
+	}
+}
+
 // Proc is a user process's handle on the system.
 type Proc struct {
 	ctx *kernel.Context
@@ -80,6 +93,12 @@ func (p *Proc) Context() *kernel.Context { return p.ctx }
 
 // Compute burns n cycles of pure user-mode computation.
 func (p *Proc) Compute(n sim.Cycles) { p.ctx.Tick(n) }
+
+// Barrier marks the warm-fork quiescence point: the boundary between a
+// workload's deterministic setup phase and its run phase. On an ordinary
+// machine it is a complete no-op (no cycles, no yield); on a machine
+// driven by kernel.RunToBarrier it parks the process for capture.
+func (p *Proc) Barrier() { p.ctx.Barrier() }
 
 // --- Process management (PM) ---
 
