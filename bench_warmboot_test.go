@@ -70,3 +70,67 @@ func BenchmarkCampaignThroughputColdBoot(b *testing.B) {
 	defer faultinject.SetColdBootDefault(prev)
 	benchmarkCampaignThroughput(b)
 }
+
+// armedRunPlan builds the single-fault plan and warm plane the armed-run
+// benchmarks share, with the ladder fully walked and every snapshot the
+// plan needs captured before the timer starts.
+func armedRunPlan(b *testing.B) (faultinject.CampaignConfig, []faultinject.Injection, *faultinject.ArmedRunner) {
+	profile, err := faultinject.Profile(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := faultinject.CampaignConfig{
+		Policy:         seep.PolicyEnhanced,
+		Model:          faultinject.FailStop,
+		Seed:           42,
+		SamplesPerSite: 1,
+		MaxRuns:        24,
+		Workers:        1,
+	}
+	plan := faultinject.PlanCampaign(cfg, profile)
+	if len(plan) == 0 {
+		b.Fatal("empty campaign plan")
+	}
+	runner := faultinject.NewArmedRunner(cfg, plan)
+	for i, inj := range plan {
+		runner.Run(cfg.Seed+uint64(i)*7919, inj)
+	}
+	return cfg, plan, runner
+}
+
+// BenchmarkArmedRun isolates the armed-run phase of a campaign: the
+// warm plane is built and the snapshot ladder fully walked OUTSIDE the
+// timed loop, so ns/op is the residual per-run cost — fork from the
+// serving rung plus the post-trigger suite suffix. Together with
+// BenchmarkColdBoot (setup replaced per run) and
+// BenchmarkArmedRunColdBoot (setup + full suite per run) it yields the
+// Amdahl split of campaign time recorded in BENCH_baseline.json.
+func BenchmarkArmedRun(b *testing.B) {
+	cfg, plan, runner := armedRunPlan(b)
+	defer runner.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(plan)
+		runner.Run(cfg.Seed+uint64(j)*7919, plan[j])
+	}
+	b.StopTimer()
+	stats := runner.Stats()
+	if stats.ColdBoots > 0 {
+		b.Fatalf("armed runs fell back to cold boots: %+v", stats)
+	}
+}
+
+// BenchmarkArmedRunColdBoot runs the same armed plan with every run
+// booting cold — the full boot + whole-suite cost BenchmarkArmedRun's
+// ladder fork amortizes away.
+func BenchmarkArmedRunColdBoot(b *testing.B) {
+	prev := faultinject.SetColdBootDefault(true)
+	defer faultinject.SetColdBootDefault(prev)
+	cfg, plan, runner := armedRunPlan(b)
+	defer runner.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(plan)
+		runner.Run(cfg.Seed+uint64(j)*7919, plan[j])
+	}
+}

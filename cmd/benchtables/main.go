@@ -4,14 +4,17 @@
 // Usage:
 //
 //	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot]
-//	            [-workers N] [-coldboot] [-json out.json]
-//	            [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	            [-workers N] [-coldboot] [-snapcache BYTES] [-json out.json]
+//	            [-list] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Independent simulated machines fan out across -workers threads; the
 // numbers are bit-identical for every worker count (-workers 1 is the
-// historical serial path). Campaign runs fork from a warm boot image by
-// default; -coldboot (or OSIRIS_COLD_BOOT=1) boots every run from
-// scratch instead — same tables, historical setup cost. -json writes a
+// historical serial path). Campaign runs fork from the snapshot ladder
+// of a warm pathfinder machine by default; -snapcache bounds the
+// ladder's snapshot cache in bytes (negative: boot-barrier snapshot
+// only), and -coldboot (or OSIRIS_COLD_BOOT=1) boots every run from
+// scratch instead — same tables, historical setup cost. -list prints
+// the section keys accepted by -only and exits. -json writes a
 // machine-readable report with per-section wall-clock and process
 // allocation statistics alongside the table data.
 package main
@@ -38,13 +41,24 @@ func main() {
 		only       = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot (default all)")
 		workers    = flag.Int("workers", 0, "concurrent simulated machines (0 = one per CPU, 1 = serial)")
 		coldBoot   = flag.Bool("coldboot", false, "boot every campaign run from scratch instead of forking a warm image")
+		snapCache  = flag.Int64("snapcache", 0, "snapshot-ladder cache budget in bytes (0: OSIRIS_SNAPSHOT_CACHE or built-in default; negative: boot-barrier snapshot only)")
+		list       = flag.Bool("list", false, "print the section keys accepted by -only and exit")
 		jsonPath   = flag.String("json", "", "write a machine-readable report to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+	if *list {
+		for _, s := range sectionInfo {
+			fmt.Printf("%-10s %-32s %s\n", s.key, s.name, s.desc)
+		}
+		return
+	}
 	if *coldBoot {
 		faultinject.SetColdBootDefault(true)
+	}
+	if *snapCache != 0 {
+		faultinject.SetSnapshotCacheDefault(*snapCache)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -79,6 +93,26 @@ func writeHeapProfile(path string) error {
 	defer f.Close()
 	runtime.GC()
 	return pprof.WriteHeapProfile(f)
+}
+
+// sectionInfo lists the report sections in emission order: the -only
+// key, the JSON section name, and a one-line description for -list.
+var sectionInfo = []struct {
+	key, name, desc string
+}{
+	{"1", "table1_coverage", "Table I: recovery coverage per policy"},
+	{"2", "table2_survivability_failstop", "Table II: survivability under fail-stop faults"},
+	{"3", "table3_survivability_edfi", "Table III: survivability under the full EDFI fault mix"},
+	{"4", "table4_perf_vs_monolithic", "Table IV: benchmark scores vs monolithic baseline"},
+	{"5", "table5_instrumentation", "Table V: instrumentation slowdown per policy"},
+	{"6", "table6_memory", "Table VI: state and undo-log memory overhead"},
+	{"f3", "figure3_disruption", "Figure 3: service disruption during recovery"},
+	{"mf", "multifault_cascade", "Multi-fault cascade survivability (beyond the paper)"},
+	{"ablation", "ablation_checkpointing", "Checkpointing ablation: legacy vs incremental"},
+	{"ipc", "ipc_reliability", "Survivability vs background transport fault rate"},
+	{"ckpt", "checkpointing_incremental", "Incremental checkpointing micro-table"},
+	{"cluster", "cluster_availability", "Multi-node cluster availability and failover"},
+	{"warmboot", "warmboot_fork", "Warm-boot fork plane and snapshot ladder"},
 }
 
 // section is one table/figure of the JSON report.
@@ -116,15 +150,16 @@ func run(scaleName string, seed uint64, only string, workers int, jsonPath strin
 	sc.Seed = seed
 	sc.Workers = workers
 
-	valid := map[string]bool{
-		"1": true, "2": true, "3": true, "4": true, "5": true, "6": true,
-		"f3": true, "mf": true, "ablation": true, "ipc": true, "ckpt": true,
-		"cluster": true, "warmboot": true,
+	valid := make(map[string]bool, len(sectionInfo))
+	keys := make([]string, 0, len(sectionInfo))
+	for _, s := range sectionInfo {
+		valid[s.key] = true
+		keys = append(keys, s.key)
 	}
 	if only != "" {
 		for _, k := range strings.Split(only, ",") {
 			if k = strings.TrimSpace(k); !valid[k] {
-				return fmt.Errorf("unknown table %q (valid: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot)", k)
+				return fmt.Errorf("unknown table %q (valid: %s; see -list)", k, strings.Join(keys, ","))
 			}
 		}
 	}

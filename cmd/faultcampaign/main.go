@@ -11,7 +11,7 @@
 //
 //	faultcampaign [-policy all|enhanced|...] [-model failstop|edfi|ipcmix]
 //	              [-samples N] [-maxruns N] [-seed N] [-profile]
-//	              [-faults N] [-runs N] [-workers N] [-coldboot]
+//	              [-faults N] [-runs N] [-workers N] [-coldboot] [-snapcache BYTES]
 //	              [-ipcfaults] [-droprate BP] [-duprate BP] [-delayrate BP]
 //	              [-reorderrate BP] [-corruptrate BP] [-ipcseed N]
 //	              [-ipctimeout CYCLES] [-ipcretry N]
@@ -38,10 +38,15 @@
 //
 // Campaign boots are independent simulated machines and fan out across
 // -workers threads; results are bit-identical for every worker count
-// (-workers 1 is the historical serial path). Runs fork from a warm
-// boot image captured once per policy; -coldboot (or the
+// (-workers 1 is the historical serial path). Runs fork from the
+// snapshot ladder of one warm pathfinder machine per policy: each armed
+// run resumes from the deepest captured mid-suite rung before its
+// trigger. -snapcache bounds the ladder's snapshot cache in bytes
+// (negative: boot-barrier snapshot only; default from
+// OSIRIS_SNAPSHOT_CACHE or 256 MiB), and -coldboot (or the
 // OSIRIS_COLD_BOOT environment variable) boots every run from scratch
-// instead — same results, historical setup cost.
+// instead — same results, historical setup cost. Each policy row is
+// followed by a "warm plane:" line reporting how its runs were served.
 package main
 
 import (
@@ -68,6 +73,7 @@ func main() {
 		runs       = flag.Int("runs", 40, "boots per policy in the multi-fault campaign")
 		workers    = flag.Int("workers", 0, "concurrent boots (0 = one per CPU, 1 = serial)")
 		coldBoot   = flag.Bool("coldboot", false, "boot every run from scratch instead of forking a warm image")
+		snapCache  = flag.Int64("snapcache", 0, "snapshot-ladder cache budget in bytes (0: OSIRIS_SNAPSHOT_CACHE or built-in default; negative: boot-barrier snapshot only)")
 		ipcFaults  = flag.Bool("ipcfaults", false, "background transport faults at default rates (50 bp per class)")
 		dropRate   = flag.Int("droprate", 0, "background message drop rate, basis points per transmission")
 		dupRate    = flag.Int("duprate", 0, "background duplication rate, basis points")
@@ -85,6 +91,9 @@ func main() {
 	flag.Parse()
 	if *coldBoot {
 		faultinject.SetColdBootDefault(true)
+	}
+	if *snapCache != 0 {
+		faultinject.SetSnapshotCacheDefault(*snapCache)
 	}
 
 	if err := validateBPFlags([]bpFlag{
@@ -195,7 +204,7 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 		fmt.Printf("%-12s %8s %9s %8s %10s %8s %11s %8s %12s\n",
 			"Recovery", "Pass", "Degraded", "Fail", "Shutdown", "Crash", "Consistent", "Runs", "Untriggered")
 		for _, policy := range policies {
-			res := faultinject.RunMultiCampaign(faultinject.MultiCampaignConfig{
+			res, stats := faultinject.RunMultiCampaignWithStats(faultinject.MultiCampaignConfig{
 				Policy:  policy,
 				Model:   model,
 				Faults:  faults,
@@ -213,6 +222,7 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 				res.Percent(faultinject.OutcomeCrash),
 				res.ConsistentPercent(),
 				res.Runs, res.Untriggered)
+			printPlaneStats(stats)
 			printInconsistent(res.InconsistentSeeds)
 		}
 		return nil
@@ -222,7 +232,7 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 	fmt.Printf("%-12s %8s %8s %10s %8s %11s %8s %12s\n",
 		"Recovery", "Pass", "Fail", "Shutdown", "Crash", "Consistent", "Runs", "Untriggered")
 	for _, policy := range policies {
-		res := faultinject.RunCampaign(faultinject.CampaignConfig{
+		res, stats := faultinject.RunCampaignWithStats(faultinject.CampaignConfig{
 			Policy:         policy,
 			Model:          model,
 			Seed:           seed,
@@ -239,9 +249,30 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 			res.Percent(faultinject.OutcomeCrash),
 			res.ConsistentPercent(),
 			res.Runs, res.Untriggered)
+		printPlaneStats(stats)
 		printInconsistent(res.InconsistentSeeds)
 	}
 	return nil
+}
+
+// printPlaneStats reports how the warm plane served a policy's runs:
+// ladder forks resume from a mid-suite rung, boot forks from the
+// post-install barrier, and cold boots replay everything (broken down
+// by fallback reason). Outcomes are bit-identical either way.
+func printPlaneStats(s faultinject.PlaneStats) {
+	line := fmt.Sprintf("  warm plane: %d ladder forks, %d boot forks, %d cold boots",
+		s.LadderForks, s.BootForks, s.ColdBoots)
+	if len(s.Fallbacks) > 0 {
+		line += " ("
+		for i, r := range s.FallbackReasons() {
+			if i > 0 {
+				line += ", "
+			}
+			line += fmt.Sprintf("%s: %d", r, s.Fallbacks[r])
+		}
+		line += ")"
+	}
+	fmt.Println(line)
 }
 
 // printInconsistent lists the per-run seeds of audit-inconsistent runs;

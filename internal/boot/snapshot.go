@@ -50,14 +50,41 @@ func CaptureSystem(sys *System, opts Options, limit sim.Cycles) (*Snapshot, erro
 		sys.Shutdown("warm-capture: barrier not reached")
 		return nil, fmt.Errorf("boot: workload finished without reaching a barrier")
 	}
-	img, err := sys.OS.CaptureImage()
+	snap, err := CaptureParked(sys, opts)
 	if err != nil {
 		sys.Shutdown("warm-capture: not quiescent")
 		return nil, err
 	}
-	blocks := sys.Driver.CloneBlocks()
 	sys.Shutdown("warm-capture complete")
+	return snap, nil
+}
+
+// CaptureParked captures a machine the caller already parked at a
+// barrier via RunToBarrier, WITHOUT tearing it down: the machine stays
+// parked and can be driven to the next barrier with another RunToBarrier
+// call. This is how the snapshot ladder's pathfinder captures a rung at
+// every program boundary of one walk. The returned Snapshot is
+// independent of the live machine.
+func CaptureParked(sys *System, opts Options) (*Snapshot, error) {
+	img, err := sys.OS.CaptureImage()
+	if err != nil {
+		return nil, err
+	}
+	// Block contents are immutable once written (the driver installs a
+	// fresh buffer on every write), so the snapshot shares them with the
+	// still-live machine instead of deep-copying the whole disk.
+	blocks := sys.Driver.ShareBlocks()
 	return &Snapshot{img: img, blocks: blocks, reg: sys.Registry, opts: opts}, nil
+}
+
+// SizeBytes estimates the snapshot's retained memory for cache
+// accounting: disk block copies plus the machine image estimate.
+func (s *Snapshot) SizeBytes() int64 {
+	n := s.img.SizeBytes()
+	for _, b := range s.blocks {
+		n += int64(len(b)) + 24
+	}
+	return n
 }
 
 // ForkParams is the per-run identity stamped onto a forked machine. The

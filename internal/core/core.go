@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/kernel"
@@ -144,6 +146,16 @@ type Config struct {
 	// abandoned to the dead-letter counter. Zero = default (4).
 	// Requires IPCTimeoutCycles > 0.
 	IPCRetryMax int
+
+	// SnapshotCacheBytes budgets the mid-suite snapshot ladder: the
+	// byte-bounded LRU cache of per-program quiescence snapshots that
+	// fault campaigns fork armed runs from. It never changes machine
+	// behavior (NewOS ignores it — campaign outcomes are bit-identical
+	// at any budget); it only trades memory for how deep into the suite
+	// a fork can start. Zero = default (OSIRIS_SNAPSHOT_CACHE env var,
+	// else 256 MiB); negative disables the ladder, keeping only the
+	// post-install boot snapshot.
+	SnapshotCacheBytes int64
 }
 
 // DefaultIPCTimeoutCycles is the recommended base sender timeout when
@@ -151,6 +163,33 @@ type Config struct {
 // requests (fork, exec, device I/O) do not time out spuriously, short
 // enough that several retries fit into a run.
 const DefaultIPCTimeoutCycles int64 = 400_000
+
+// DefaultSnapshotCacheBytes is the snapshot-ladder budget used when
+// neither Config.SnapshotCacheBytes nor OSIRIS_SNAPSHOT_CACHE is set.
+const DefaultSnapshotCacheBytes int64 = 256 << 20
+
+// snapshotCacheEnv is the OSIRIS_SNAPSHOT_CACHE override, parsed once
+// at startup (0 when unset or unparsable).
+var snapshotCacheEnv = func() int64 {
+	v, err := strconv.ParseInt(os.Getenv("OSIRIS_SNAPSHOT_CACHE"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}()
+
+// SnapshotCacheBudget resolves SnapshotCacheBytes against the
+// OSIRIS_SNAPSHOT_CACHE environment variable and the built-in default.
+// Negative means the ladder is disabled.
+func (c Config) SnapshotCacheBudget() int64 {
+	if c.SnapshotCacheBytes != 0 {
+		return c.SnapshotCacheBytes
+	}
+	if snapshotCacheEnv != 0 {
+		return snapshotCacheEnv
+	}
+	return DefaultSnapshotCacheBytes
+}
 
 // Validate rejects nonsensical configurations. NewOS panics on invalid
 // configs, so misconfiguration surfaces at boot, not mid-run.

@@ -42,6 +42,16 @@ type OSImage struct {
 	slots   map[kernel.Endpoint]*slotImage
 }
 
+// SizeBytes estimates the retained size of the image for snapshot-cache
+// accounting: per-component store bytes plus the kernel image estimate.
+func (img *OSImage) SizeBytes() int64 {
+	n := img.machine.SizeBytes()
+	for _, si := range img.slots {
+		n += int64(si.store.BaseBytes()) + 512
+	}
+	return n
+}
+
 // CaptureImage snapshots a machine parked by RunToBarrier (via
 // Kernel().RunToBarrier). It fails when the machine is not at a clean
 // quiescent point — any recovery or quarantine happened, a window is

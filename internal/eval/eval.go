@@ -393,6 +393,18 @@ type WarmBootTable struct {
 	Runs                           int
 	ColdRunsPerSec, WarmRunsPerSec float64
 	CampaignSpeedup                float64
+	// Amdahl split of one armed run: a cold run pays setup + fault-free
+	// suite prefix + post-trigger suffix; a ladder-served run pays a
+	// fork plus the suffix. Means over the campaign plan, with the
+	// ladder fully walked before timing (its one-time cost is amortized
+	// across the campaign and reported by the throughput rows above).
+	ArmedColdMS, ArmedWarmMS float64
+	ArmedSpeedup             float64
+	// Serving split of the warm campaign: runs forked from a mid-suite
+	// ladder rung, from the boot barrier, and cold-boot fallbacks by
+	// reason.
+	LadderForks, BootForks, ColdBoots int
+	Fallbacks                         map[string]int
 }
 
 // warmBootSetupIters is how many boots/forks the per-machine setup
@@ -458,22 +470,63 @@ func RunWarmBoot(sc Scale) (WarmBootTable, error) {
 		MaxRuns:        sc.MaxRuns,
 		Workers:        sc.Workers,
 	}
-	campaign := func(cold bool) (int, float64) {
+	campaign := func(cold bool) (int, float64, faultinject.PlaneStats) {
 		prev := faultinject.SetColdBootDefault(cold)
 		defer faultinject.SetColdBootDefault(prev)
 		start := time.Now()
-		res := faultinject.RunCampaign(cfg, profile)
+		res, stats := faultinject.RunCampaignWithStats(cfg, profile)
 		secs := time.Since(start).Seconds()
 		runs := res.Runs + res.Untriggered
 		if secs <= 0 {
-			return runs, 0
+			return runs, 0, stats
 		}
-		return runs, float64(runs) / secs
+		return runs, float64(runs) / secs, stats
 	}
-	t.Runs, t.ColdRunsPerSec = campaign(true)
-	_, t.WarmRunsPerSec = campaign(false)
+	t.Runs, t.ColdRunsPerSec, _ = campaign(true)
+	var stats faultinject.PlaneStats
+	_, t.WarmRunsPerSec, stats = campaign(false)
 	if t.ColdRunsPerSec > 0 {
 		t.CampaignSpeedup = t.WarmRunsPerSec / t.ColdRunsPerSec
+	}
+	t.LadderForks, t.BootForks, t.ColdBoots = stats.LadderForks, stats.BootForks, stats.ColdBoots
+	t.Fallbacks = stats.Fallbacks
+
+	// Armed-run Amdahl split: time the armed phase alone, cold and warm.
+	plan := faultinject.PlanCampaign(cfg, profile)
+	armed := func(cold bool, prewalk bool) (float64, error) {
+		prev := faultinject.SetColdBootDefault(cold)
+		defer faultinject.SetColdBootDefault(prev)
+		runner := faultinject.NewArmedRunner(cfg, plan)
+		defer runner.Close()
+		if prewalk {
+			// Walk the ladder and capture every snapshot the plan needs
+			// outside the timed loop.
+			for i, inj := range plan {
+				runner.Run(cfg.Seed+uint64(i)*7919, inj)
+			}
+		}
+		start := time.Now()
+		for i, inj := range plan {
+			runner.Run(cfg.Seed+uint64(i)*7919, inj)
+		}
+		if cold {
+			s := runner.Stats()
+			if s.LadderForks+s.BootForks > 0 {
+				return 0, fmt.Errorf("warm-boot table: cold-pinned armed runs forked")
+			}
+		}
+		return msPer(time.Since(start), len(plan)), nil
+	}
+	if len(plan) > 0 {
+		if t.ArmedColdMS, err = armed(true, false); err != nil {
+			return t, err
+		}
+		if t.ArmedWarmMS, err = armed(false, true); err != nil {
+			return t, err
+		}
+		if t.ArmedWarmMS > 0 {
+			t.ArmedSpeedup = t.ArmedColdMS / t.ArmedWarmMS
+		}
 	}
 	return t, nil
 }
@@ -491,6 +544,32 @@ func (t WarmBootTable) Render() string {
 		"Per-machine setup", t.ColdBootMS, t.ForkMS, t.SetupSpeedup)
 	fmt.Fprintf(&b, "%-22s %8.1f r/s %8.1f r/s %9.1fx   (%d runs, fail-stop, enhanced)\n",
 		"Campaign throughput", t.ColdRunsPerSec, t.WarmRunsPerSec, t.CampaignSpeedup, t.Runs)
+	fmt.Fprintf(&b, "%-22s %9.2f ms %9.2f ms %9.1fx   (ladder pre-walked; warm = fork + suffix)\n",
+		"Armed run", t.ArmedColdMS, t.ArmedWarmMS, t.ArmedSpeedup)
+	fmt.Fprintf(&b, "Warm plane serving: %d ladder forks, %d boot forks, %d cold boots%s\n",
+		t.LadderForks, t.BootForks, t.ColdBoots, renderFallbacks(t.Fallbacks))
+	return b.String()
+}
+
+// renderFallbacks formats a fallback-reason histogram as " (reason: n, ...)".
+func renderFallbacks(fallbacks map[string]int) string {
+	if len(fallbacks) == 0 {
+		return ""
+	}
+	reasons := make([]string, 0, len(fallbacks))
+	for r := range fallbacks {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	var b strings.Builder
+	b.WriteString(" (")
+	for i, r := range reasons {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %d", r, fallbacks[r])
+	}
+	b.WriteString(")")
 	return b.String()
 }
 

@@ -542,6 +542,15 @@ func thinIndices(n, max int) []int {
 // O(state size) instead of re-booting, with outcomes bit-identical to
 // cold boots (see warmboot.go; OSIRIS_COLD_BOOT forces cold boots).
 func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
+	result, _ := RunCampaignWithStats(cfg, profile)
+	return result
+}
+
+// RunCampaignWithStats is RunCampaign plus the warm-plane serving
+// statistics: how many runs forked from a mid-suite ladder rung, from
+// the boot barrier, or fell back to cold boots (and why). The campaign
+// result is identical to RunCampaign's.
+func RunCampaignWithStats(cfg CampaignConfig, profile []SiteProfile) (CampaignResult, PlaneStats) {
 	plan := PlanCampaign(cfg, profile)
 	result := CampaignResult{
 		Policy: cfg.Policy,
@@ -549,6 +558,7 @@ func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
 		Counts: make(map[Outcome]int),
 	}
 	runner := newSingleRunner(cfg, plan)
+	defer runner.close()
 	results := parallel.Map(cfg.Workers, len(plan), func(i int) RunResult {
 		return runner.runOne(cfg.Seed+uint64(i)*7919, plan[i])
 	})
@@ -565,5 +575,31 @@ func RunCampaign(cfg CampaignConfig, profile []SiteProfile) CampaignResult {
 			result.InconsistentSeeds = append(result.InconsistentSeeds, rr.Seed)
 		}
 	}
-	return result
+	return result, runner.stats.snapshot()
 }
+
+// ArmedRunner exposes the campaign warm plane run-by-run: it serves
+// single-fault armed runs exactly as RunCampaign does (ladder fork,
+// boot-barrier fork, or cold fallback — bit-identical either way).
+// Benchmarks use it to isolate the armed-run phase from plane setup;
+// Close tears down the pathfinder machines when done.
+type ArmedRunner struct {
+	r *campaignRunner
+}
+
+// NewArmedRunner builds the warm plane for cfg over the given plan
+// (typically PlanCampaign's output).
+func NewArmedRunner(cfg CampaignConfig, plan []Injection) *ArmedRunner {
+	return &ArmedRunner{r: newSingleRunner(cfg, plan)}
+}
+
+// Run executes one armed run with the given per-run seed.
+func (a *ArmedRunner) Run(seed uint64, inj Injection) RunResult {
+	return a.r.runOne(seed, inj)
+}
+
+// Stats returns the serving statistics accumulated so far.
+func (a *ArmedRunner) Stats() PlaneStats { return a.r.stats.snapshot() }
+
+// Close tears down the plane's pathfinder machines.
+func (a *ArmedRunner) Close() { a.r.close() }

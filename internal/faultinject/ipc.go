@@ -130,6 +130,14 @@ func (p SweepPoint) ConsistentPercent() float64 {
 // points, and reports survival and audited consistency per point.
 // Results are bit-identical for any worker count.
 func SweepIPC(policy seep.Policy, seed uint64, ratesBP []int, runs, workers int) []SweepPoint {
+	points, _ := SweepIPCWithStats(policy, seed, ratesBP, runs, workers)
+	return points
+}
+
+// SweepIPCWithStats is SweepIPC plus the warm-plane serving statistics
+// (zero-rate runs fork from the ladder's deepest rung; rate points boot
+// cold). The sweep points are identical to SweepIPC's.
+func SweepIPCWithStats(policy seep.Policy, seed uint64, ratesBP []int, runs, workers int) ([]SweepPoint, PlaneStats) {
 	if runs <= 0 {
 		runs = 5
 	}
@@ -144,6 +152,7 @@ func SweepIPC(policy seep.Policy, seed uint64, ratesBP []int, runs, workers int)
 	// fork one warm image; points with live rates draw per-run fault
 	// placements during boot and must boot cold (see warmboot.go).
 	runner := newBackgroundRunner(policy, seed, ratesBP)
+	defer runner.close()
 	results := parallel.Map(workers, len(jobs), func(i int) RunResult {
 		j := jobs[i]
 		bp := ratesBP[j.point]
@@ -169,5 +178,5 @@ func SweepIPC(policy seep.Policy, seed uint64, ratesBP []int, runs, workers int)
 			p.InconsistentSeeds = append(p.InconsistentSeeds, rr.Seed)
 		}
 	}
-	return points
+	return points, runner.stats.snapshot()
 }

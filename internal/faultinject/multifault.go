@@ -316,6 +316,14 @@ func PlanMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) [][]Multi
 // RunCampaign, one machine is booted and captured per configuration
 // class and every run forks it, bit-identically to cold boots.
 func RunMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) MultiCampaignResult {
+	result, _ := RunMultiCampaignWithStats(cfg, profile)
+	return result
+}
+
+// RunMultiCampaignWithStats is RunMultiCampaign plus the warm-plane
+// serving statistics. The campaign result is identical to
+// RunMultiCampaign's.
+func RunMultiCampaignWithStats(cfg MultiCampaignConfig, profile []SiteProfile) (MultiCampaignResult, PlaneStats) {
 	plans := PlanMultiCampaign(cfg, profile)
 	result := MultiCampaignResult{
 		Policy: cfg.Policy,
@@ -327,6 +335,7 @@ func RunMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) MultiCampa
 		result.Faults = 2
 	}
 	runner := newMultiRunner(cfg, plans)
+	defer runner.close()
 	results := parallel.Map(cfg.Workers, len(plans), func(i int) MultiRunResult {
 		return runner.runMulti(cfg.Seed+uint64(i)*104729, plans[i])
 	})
@@ -343,5 +352,5 @@ func RunMultiCampaign(cfg MultiCampaignConfig, profile []SiteProfile) MultiCampa
 			result.InconsistentSeeds = append(result.InconsistentSeeds, rr.Seed)
 		}
 	}
-	return result
+	return result, runner.stats.snapshot()
 }

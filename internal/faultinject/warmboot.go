@@ -4,10 +4,11 @@ package faultinject
 // suite binaries dominates campaign run time, yet the boot trace of a
 // fault-free machine is seed-independent: the kernel RNG is never drawn
 // before the first fault and the IPC plane draws nothing while no rates
-// are set. Campaigns therefore boot ONE machine per (policy,
-// configuration class), capture it at the workload's quiescence barrier,
-// and fork a per-run copy in O(state size) — re-deriving the per-run
-// seeds after the fork, so outcomes are bit-identical to cold boots.
+// are set. Campaigns therefore boot ONE pathfinder machine per (policy,
+// configuration class) and fork per-run copies from its snapshot ladder
+// (see ladder.go): armed runs start from the deepest cached mid-suite
+// rung strictly before their trigger, skipping the shared fault-free
+// prefix entirely, with outcomes bit-identical to cold boots.
 //
 // Cold boots remain available as the equivalence oracle: set the
 // OSIRIS_COLD_BOOT environment variable, pass -coldboot to the CLIs, or
@@ -23,7 +24,6 @@ import (
 
 	"repro/internal/boot"
 	"repro/internal/core"
-	"repro/internal/kernel"
 	"repro/internal/seep"
 	"repro/internal/testsuite"
 	"repro/internal/usr"
@@ -44,55 +44,19 @@ func SetColdBootDefault(on bool) bool {
 // ColdBootDefault reports whether campaigns are pinned to cold boots.
 func ColdBootDefault() bool { return coldBootDefault }
 
-// campaignSnapshot is one warm boot image plus the per-site pre-barrier
-// execution counts needed to translate injection occurrences (counted
-// from cold-boot start) into post-barrier occurrences.
-type campaignSnapshot struct {
-	snap *boot.Snapshot
-	// boots counts pre-barrier executions per (server, site). The
-	// barrier sits exactly where profiling stops counting SiteProfile.Boot
-	// (right after InstallOK), so boots matches the planner's Boot offsets.
-	boots map[[2]string]int
-}
-
-// occurrenceAfterBarrier translates a cold-boot occurrence into the
-// post-barrier count a forked run must wait for. The planner draws
-// occurrences strictly above the boot count, so the result is >= 1 for
-// every planned injection; anything else reports false and the run falls
-// back to a cold boot.
-func (cs *campaignSnapshot) occurrenceAfterBarrier(inj Injection) (int, bool) {
-	rem := inj.Occurrence - cs.boots[[2]string{inj.Server, inj.Site}]
-	return rem, rem >= 1
-}
-
-// captureSnapshot boots one machine with cfg (plus the suite registry
-// and heartbeats, exactly as every campaign run boots), counts
-// pre-barrier site executions, and captures the machine at the barrier.
-// Returns nil when the machine never quiesced at a barrier — callers
-// fall back to cold boots.
-func captureSnapshot(cfg core.Config) *campaignSnapshot {
-	reg := usr.NewRegistry()
-	testsuite.Register(reg)
-	var report testsuite.Report
-	opts := boot.Options{Config: cfg, Registry: reg, Heartbeats: true}
-	sys := boot.Boot(opts, testsuite.RunnerInit(&report))
-
-	boots := make(map[[2]string]int)
-	names := sys.ComponentNames()
-	sys.Kernel().SetPointHook(func(ep kernel.Endpoint, name, site string) {
-		if _, recoverable := names[ep]; recoverable {
-			boots[[2]string{name, site}]++
-		}
-	})
-	snap, err := boot.CaptureSystem(sys, opts, RunLimit)
-	if err != nil {
-		return nil
+// Test hooks: the runners fork and build ladders through these
+// indirections so the fallback paths (fork failure, capture failure)
+// can be exercised deterministically.
+var (
+	forkSnapshot = func(s *boot.Snapshot, p boot.ForkParams, prog usr.Program) (*boot.System, error) {
+		return s.Fork(p, prog)
 	}
-	return &campaignSnapshot{snap: snap, boots: boots}
-}
+	buildLadder = newLadder
+)
 
 // singleFaultConfig is the pinned configuration of single-fault runs
-// (RunOneWith); the capture machine must boot with exactly this shape.
+// (RunOneWith); the pathfinder machine must boot with exactly this
+// shape.
 func singleFaultConfig(policy seep.Policy, seed uint64, ipc IPCOptions) core.Config {
 	return ipc.apply(core.Config{
 		Policy:             policy,
@@ -110,13 +74,6 @@ func multiFaultConfig(policy seep.Policy, seed uint64, ipc IPCOptions) core.Conf
 	return ipc.apply(core.Config{Policy: policy, Seed: seed}, seed)
 }
 
-// forkable reports whether runs under these (normalized) transport
-// options may share a warm image: background fault rates consume the
-// per-run fault stream during boot, so such runs must boot cold.
-func forkable(ipc IPCOptions) bool {
-	return !coldBootDefault && !ipc.Faults.Enabled()
-}
-
 // forkParams derives the per-run seed identity, matching what
 // IPCOptions.apply stamps into a cold boot's Config.
 func forkParams(seed uint64, ipc IPCOptions) boot.ForkParams {
@@ -127,35 +84,66 @@ func forkParams(seed uint64, ipc IPCOptions) boot.ForkParams {
 	return p
 }
 
-// campaignRunner dispatches campaign runs onto warm forks when a
-// snapshot for the run's configuration class exists, and cold boots
-// otherwise. Build it (and its snapshots) before fanning out: Fork is
-// read-only on the snapshot, so concurrent runs are race-free.
+// classPlane is the warm plane of one configuration class: its ladder,
+// or — when the class cannot be served warm — the fallback reason every
+// run of the class is charged with.
+type classPlane struct {
+	ladder *ladder
+	reason string
+}
+
+// newClassPlane builds the plane for one configuration class.
+func newClassPlane(cfg core.Config, ipc IPCOptions) *classPlane {
+	switch {
+	case coldBootDefault:
+		return &classPlane{reason: FallbackColdBootPinned}
+	case ipc.Faults.Enabled():
+		return &classPlane{reason: FallbackBackgroundRates}
+	}
+	if l := buildLadder(cfg); l != nil {
+		return &classPlane{ladder: l}
+	}
+	return &classPlane{reason: FallbackNoSnapshot}
+}
+
+func (pl *classPlane) close() {
+	if pl != nil && pl.ladder != nil {
+		pl.ladder.Close()
+	}
+}
+
+// campaignRunner dispatches campaign runs onto ladder forks when a
+// plane for the run's configuration class exists, and cold boots
+// otherwise. Serving is concurrency-safe: the ladder walk is locked,
+// forks are read-only on snapshots.
 type campaignRunner struct {
 	policy seep.Policy
 	ipc    IPCOptions
-	// snaps is keyed by armsIPC (whether the run's injection set arms a
-	// transport fault, which forces the reliability layer on). A missing
-	// entry means cold boot for that class.
-	snaps map[bool]*campaignSnapshot
+	// planes is keyed by armsIPC (whether the run's injection set arms a
+	// transport fault, which forces the reliability layer on).
+	planes map[bool]*classPlane
+	stats  statsCollector
 }
 
-// newSingleRunner prepares snapshots for a single-fault campaign: one
-// per reliability class present in the plan.
+// close tears down the pathfinder machines. Snapshots and recorded
+// rungs stay valid; call it when the campaign is done forking.
+func (r *campaignRunner) close() {
+	for _, pl := range r.planes {
+		pl.close()
+	}
+}
+
+// newSingleRunner prepares ladders for a single-fault campaign: one per
+// reliability class present in the plan.
 func newSingleRunner(cfg CampaignConfig, plan []Injection) *campaignRunner {
-	r := &campaignRunner{policy: cfg.Policy, ipc: cfg.IPC, snaps: make(map[bool]*campaignSnapshot)}
+	r := &campaignRunner{policy: cfg.Policy, ipc: cfg.IPC, planes: make(map[bool]*classPlane)}
 	classes := make(map[bool]bool)
 	for _, inj := range plan {
 		classes[inj.Type.IPC()] = true
 	}
 	for armsIPC := range classes {
 		ipc := cfg.IPC.normalized(armsIPC)
-		if !forkable(ipc) {
-			continue
-		}
-		if cs := captureSnapshot(singleFaultConfig(cfg.Policy, cfg.Seed, ipc)); cs != nil {
-			r.snaps[armsIPC] = cs
-		}
+		r.planes[armsIPC] = newClassPlane(singleFaultConfig(cfg.Policy, cfg.Seed, ipc), ipc)
 	}
 	return r
 }
@@ -163,39 +151,39 @@ func newSingleRunner(cfg CampaignConfig, plan []Injection) *campaignRunner {
 // runOne executes one single-fault run, warm when possible.
 func (r *campaignRunner) runOne(seed uint64, inj Injection) RunResult {
 	ipc := r.ipc.normalized(inj.Type.IPC())
-	cs := r.snaps[inj.Type.IPC()]
-	if cs == nil {
+	pl := r.planes[inj.Type.IPC()]
+	if pl.ladder == nil {
+		r.stats.cold(pl.reason)
 		return RunOneWith(r.policy, seed, inj, r.ipc)
 	}
-	occ, ok := cs.occurrenceAfterBarrier(inj)
+	key := siteKey{inj.Server, inj.Site}
+	idx, rg, snap, ok := pl.ladder.serve([]siteKey{key}, []int{inj.Occurrence})
 	if !ok {
+		r.stats.cold(FallbackPreBarrier)
 		return RunOneWith(r.policy, seed, inj, r.ipc)
 	}
 	var report testsuite.Report
-	sys, err := cs.snap.Fork(forkParams(seed, ipc), testsuite.RunnerResume(&report))
+	sys, err := forkSnapshot(snap, forkParams(seed, ipc), testsuite.RunnerResumeFrom(&report, rg.prefix))
 	if err != nil {
+		r.stats.cold(FallbackForkFailed)
 		return RunOneWith(r.policy, seed, inj, r.ipc)
 	}
+	r.stats.fork(idx)
 	warm := inj
-	warm.Occurrence = occ
+	warm.Occurrence = inj.Occurrence - rg.counts[key]
 	return finishRunOne(sys, &report, inj, seed, warm)
 }
 
-// newMultiRunner prepares snapshots for a multi-fault campaign.
+// newMultiRunner prepares ladders for a multi-fault campaign.
 func newMultiRunner(cfg MultiCampaignConfig, plans [][]MultiInjection) *campaignRunner {
-	r := &campaignRunner{policy: cfg.Policy, ipc: cfg.IPC, snaps: make(map[bool]*campaignSnapshot)}
+	r := &campaignRunner{policy: cfg.Policy, ipc: cfg.IPC, planes: make(map[bool]*classPlane)}
 	classes := make(map[bool]bool)
 	for _, plan := range plans {
 		classes[plansArmIPC(plan)] = true
 	}
 	for armsIPC := range classes {
 		ipc := cfg.IPC.normalized(armsIPC)
-		if !forkable(ipc) {
-			continue
-		}
-		if cs := captureSnapshot(multiFaultConfig(cfg.Policy, cfg.Seed, ipc)); cs != nil {
-			r.snaps[armsIPC] = cs
-		}
+		r.planes[armsIPC] = newClassPlane(multiFaultConfig(cfg.Policy, cfg.Seed, ipc), ipc)
 	}
 	return r
 }
@@ -209,48 +197,65 @@ func plansArmIPC(injs []MultiInjection) bool {
 	return false
 }
 
-// runMulti executes one multi-fault run, warm when possible.
+// runMulti executes one multi-fault run, warm when possible. The
+// serving rung must precede every plain trigger; correlated and
+// during-recovery faults count from the first recovery or restart —
+// always after any plain trigger, hence after the rung — so their
+// occurrences are never translated.
 func (r *campaignRunner) runMulti(seed uint64, injs []MultiInjection) MultiRunResult {
 	armsIPC := plansArmIPC(injs)
 	ipc := r.ipc.normalized(armsIPC)
-	cs := r.snaps[armsIPC]
-	if cs == nil {
+	pl := r.planes[armsIPC]
+	if pl.ladder == nil {
+		r.stats.cold(pl.reason)
 		return RunMultiWith(r.policy, seed, injs, r.ipc)
 	}
-	// Correlated and during-recovery faults count from the first
-	// recovery or restart — always post-barrier, no translation. Plain
-	// occurrences are shifted by the pre-barrier execution count.
+	var keys []siteKey
+	var occs []int
+	for _, inj := range injs {
+		if inj.Correlated || inj.DuringRecovery {
+			continue
+		}
+		keys = append(keys, siteKey{inj.Server, inj.Site})
+		occs = append(occs, inj.Occurrence)
+	}
+	idx, rg, snap, ok := pl.ladder.serve(keys, occs)
+	if !ok {
+		r.stats.cold(FallbackPreBarrier)
+		return RunMultiWith(r.policy, seed, injs, r.ipc)
+	}
 	warm := make([]MultiInjection, len(injs))
 	for i, inj := range injs {
 		warm[i] = inj
 		if inj.Correlated || inj.DuringRecovery {
 			continue
 		}
-		occ, ok := cs.occurrenceAfterBarrier(inj.Injection)
-		if !ok {
-			return RunMultiWith(r.policy, seed, injs, r.ipc)
-		}
-		warm[i].Occurrence = occ
+		warm[i].Occurrence = inj.Occurrence - rg.counts[siteKey{inj.Server, inj.Site}]
 	}
 	var report testsuite.Report
-	sys, err := cs.snap.Fork(forkParams(seed, ipc), testsuite.RunnerResume(&report))
+	sys, err := forkSnapshot(snap, forkParams(seed, ipc), testsuite.RunnerResumeFrom(&report, rg.prefix))
 	if err != nil {
+		r.stats.cold(FallbackForkFailed)
 		return RunMultiWith(r.policy, seed, injs, r.ipc)
 	}
+	r.stats.fork(idx)
 	return finishRunMulti(sys, &report, injs, seed, warm)
 }
 
 // backgroundRunner serves IPC-sweep runs: forkable only for rate points
 // with zero basis points (the reliability-off, fault-off baseline row).
+// Fault-free runs have no trigger to stay ahead of, so they fork from
+// the DEEPEST cached rung and replay only the suite tail.
 type backgroundRunner struct {
 	policy seep.Policy
-	// snap is the plain-configuration snapshot (no transport options);
-	// nil means cold boots.
-	snap *campaignSnapshot
+	plane  *classPlane
+	stats  statsCollector
 }
 
-// newBackgroundRunner captures the plain-configuration snapshot only
-// when the sweep contains a zero-rate point that can use it.
+func (r *backgroundRunner) close() { r.plane.close() }
+
+// newBackgroundRunner builds the plain-configuration ladder only when
+// the sweep contains a zero-rate point that can use it.
 func newBackgroundRunner(policy seep.Policy, seed uint64, ratesBP []int) *backgroundRunner {
 	r := &backgroundRunner{policy: policy}
 	hasZero := false
@@ -259,9 +264,12 @@ func newBackgroundRunner(policy seep.Policy, seed uint64, ratesBP []int) *backgr
 			hasZero = true
 		}
 	}
-	if hasZero && !coldBootDefault {
-		r.snap = captureSnapshot(multiFaultConfig(policy, seed, IPCOptions{}))
+	if !hasZero {
+		// Every point carries rates; the plane is never consulted.
+		r.plane = &classPlane{reason: FallbackBackgroundRates}
+		return r
 	}
+	r.plane = newClassPlane(multiFaultConfig(policy, seed, IPCOptions{}), IPCOptions{})
 	return r
 }
 
@@ -269,13 +277,21 @@ func newBackgroundRunner(policy seep.Policy, seed uint64, ratesBP []int) *backgr
 // leave the transport untouched.
 func (r *backgroundRunner) runBackground(seed uint64, ipc IPCOptions) RunResult {
 	norm := ipc.normalized(false)
-	if r.snap == nil || norm.Enabled() {
+	if norm.Enabled() {
+		r.stats.cold(FallbackBackgroundRates)
 		return RunBackground(r.policy, seed, ipc)
 	}
+	if r.plane.ladder == nil {
+		r.stats.cold(r.plane.reason)
+		return RunBackground(r.policy, seed, ipc)
+	}
+	idx, rg, snap := r.plane.ladder.serveDeepest()
 	var report testsuite.Report
-	sys, err := r.snap.snap.Fork(forkParams(seed, norm), testsuite.RunnerResume(&report))
+	sys, err := forkSnapshot(snap, forkParams(seed, norm), testsuite.RunnerResumeFrom(&report, rg.prefix))
 	if err != nil {
+		r.stats.cold(FallbackForkFailed)
 		return RunBackground(r.policy, seed, ipc)
 	}
+	r.stats.fork(idx)
 	return finishRunBackground(sys, &report, norm, seed)
 }

@@ -35,6 +35,11 @@ func (c *Context) Barrier() {
 	}
 	k.barrierArmed = false
 	k.barrierHit = true
+	// Remember the parked process so the next Run or RunToBarrier can
+	// hand the baton straight back without a counted dispatch — on a
+	// cold machine Barrier is a no-op, so the park/resume pair must not
+	// touch cycles, counters or the round-robin cursor.
+	k.forkResume = c.p
 	// Park through the slow path so RunToBarrier's dispatch regains
 	// control with this process still runnable; the process stays inside
 	// this dispatch, exactly like a cold machine whose root is mid-body.
@@ -53,9 +58,23 @@ func (c *Context) Barrier() {
 // return means the run finished (or hit the limit) before any Barrier
 // call: the workload is not barrier-instrumented, so the caller must
 // fall back to cold boots.
+//
+// Calling it again on a machine already parked at a barrier resumes the
+// parked process uncounted — no dispatch, no cycle, no round-robin
+// advance — and walks to the next barrier, so a pathfinder can ladder
+// through every barrier of a run while staying bit-identical to a cold
+// machine (where each Barrier is a no-op).
 func (k *Kernel) RunToBarrier(cycleLimit sim.Cycles) bool {
 	k.cycleLimit = cycleLimit
+	k.barrierHit = false
 	k.barrierArmed = true
+	if p := k.forkResume; p != nil && !k.done {
+		k.forkResume = nil
+		k.running = p
+		p.baton <- token{}
+		<-k.kernelCh
+		k.running = nil
+	}
 	for !k.done && !k.barrierHit {
 		if k.handleDueCrash() {
 			continue
@@ -86,9 +105,14 @@ func (k *Kernel) RunToBarrier(cycleLimit sim.Cycles) bool {
 	return k.barrierHit && !k.done
 }
 
-// procImage is the captured kernel-level state of one process.
+// procImage is the captured kernel-level state of one process. Dead
+// entries (exited, reaped test children that still occupy a slot in the
+// scheduling order) carry only their endpoint and name; ApplyImage
+// recreates them as goroutine-less placeholders so the fork's scheduler
+// geometry matches the captured machine exactly.
 type procImage struct {
 	ep            Endpoint
+	name          string
 	state         procState
 	inbox         []Message
 	quantumUsed   sim.Cycles
@@ -153,8 +177,19 @@ func (k *Kernel) CaptureImage() (*MachineImage, error) {
 	}
 	for _, ep := range k.order {
 		p := k.procs[ep]
-		if p == nil || !p.Alive() {
-			return nil, fmt.Errorf("kernel: capture with dead process at endpoint %d", ep)
+		if p == nil {
+			return nil, fmt.Errorf("kernel: capture with missing process at endpoint %d", ep)
+		}
+		if !p.Alive() {
+			// Exited test children stay in the scheduling order forever
+			// (endpoints are never reused). Capture them as placeholders:
+			// a mid-suite barrier is quiescent even with reaped children
+			// in the table, as long as nothing crashed.
+			if p.state != stateDead || p.isServer || ep == k.rootEp {
+				return nil, fmt.Errorf("kernel: capture with crashed or dead process %s(%d)", p.name, ep)
+			}
+			img.procs = append(img.procs, procImage{ep: ep, name: p.name, state: stateDead})
+			continue
 		}
 		switch {
 		case ep == k.rootEp:
@@ -169,6 +204,7 @@ func (k *Kernel) CaptureImage() (*MachineImage, error) {
 		}
 		pi := procImage{
 			ep:            ep,
+			name:          p.name,
 			state:         p.state,
 			quantumUsed:   p.quantumUsed,
 			curSender:     p.curSender,
@@ -217,10 +253,23 @@ func (k *Kernel) ApplyImage(img *MachineImage) error {
 	if img.rootEp != k.rootEp {
 		return fmt.Errorf("kernel: image root endpoint %d != machine root %d", img.rootEp, k.rootEp)
 	}
-	if len(img.procs) != len(k.order) {
-		return fmt.Errorf("kernel: image has %d processes, machine has %d", len(img.procs), len(k.order))
+	live := 0
+	for _, pi := range img.procs {
+		if pi.state != stateDead {
+			live++
+		}
+	}
+	if live != len(k.order) {
+		return fmt.Errorf("kernel: image has %d live processes, machine has %d", live, len(k.order))
 	}
 	for _, pi := range img.procs {
+		if pi.state == stateDead {
+			if k.procs[pi.ep] != nil {
+				return fmt.Errorf("kernel: image dead process at endpoint %d collides with a live one", pi.ep)
+			}
+			k.addDeadPlaceholder(pi.ep, pi.name)
+			continue
+		}
 		p := k.procs[pi.ep]
 		if p == nil {
 			return fmt.Errorf("kernel: image process at endpoint %d missing from machine", pi.ep)
@@ -260,4 +309,42 @@ func (k *Kernel) ApplyImage(img *MachineImage) error {
 	k.ipcNextDue = img.ipcNextDue
 	k.forkResume = k.procs[img.rootEp]
 	return nil
+}
+
+// addDeadPlaceholder installs a goroutine-less dead process so a forked
+// machine's scheduler geometry — order indices, ready-set bit positions,
+// round-robin cursor — matches the captured machine, whose process table
+// still holds every reaped test child. Placeholders have no baton or
+// gone channel; every kernel path already skips dead processes before
+// touching either.
+func (k *Kernel) addDeadPlaceholder(ep Endpoint, name string) {
+	p := &Process{k: k, ep: ep, name: name, state: stateDead}
+	p.ctx = &Context{k: k, p: p}
+	k.procs[ep] = p
+	k.insertIntoOrder(ep)
+	k.markSched(p)
+}
+
+// SizeBytes estimates the retained size of the image for snapshot-cache
+// accounting: message payloads plus fixed per-structure overheads. It is
+// a budget heuristic, not an exact accounting.
+func (img *MachineImage) SizeBytes() int64 {
+	const (
+		procOverhead  = 256
+		msgOverhead   = 96
+		alarmOverhead = 48
+	)
+	n := int64(4096)
+	n += int64(len(img.alarms)) * alarmOverhead
+	for i := range img.procs {
+		n += procOverhead
+		for _, m := range img.procs[i].inbox {
+			n += msgOverhead + int64(len(m.Bytes)) + int64(len(m.Str)) + int64(len(m.Str2))
+		}
+	}
+	if img.ipc != nil {
+		n += int64(len(img.ipc.nextSeq)+len(img.ipc.seen)+len(img.ipc.svcSeq)) * 32
+		n += int64(len(img.ipc.replyCache)) * 160
+	}
+	return n
 }

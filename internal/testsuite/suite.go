@@ -105,11 +105,42 @@ func RunnerResume(report *Report) usr.Program {
 	}
 }
 
+// RunnerResumeFrom returns the suffix of the suite starting at the
+// quiescence barrier described by prefix: the suite state of a ladder
+// rung captured after prefix.Ran tests. The report is pre-filled with a
+// deep copy of the prefix tallies, so a machine forked from that rung
+// finishes with a report identical to a full run. A zero-test prefix
+// resumes from the post-install boot barrier, like RunnerResume.
+func RunnerResumeFrom(report *Report, prefix Report) usr.Program {
+	return func(p *usr.Proc) int {
+		*report = prefix
+		report.FailedNames = append([]string(nil), prefix.FailedNames...)
+		report.InstallOK = true
+		if prefix.Ran == 0 {
+			return runTests(report, p)
+		}
+		return runTestsFrom(report, p, prefix.Ran)
+	}
+}
+
 // runTests is the test phase: spawn every suite program in order and
 // tally the outcome.
 func runTests(report *Report, p *usr.Proc) int {
 	p.Mkdir("/tmp")
-	for _, name := range Names() {
+	return runTestsFrom(report, p, 0)
+}
+
+// runTestsFrom runs the suite suffix starting at test index from. A
+// Barrier separates consecutive tests — these are the rungs of the
+// mid-suite snapshot ladder, no-ops on every machine not being walked
+// by a pathfinder — so the first iteration of a resumed suffix emits
+// the barrier its fork was captured at, exactly like a cold run passing
+// through it.
+func runTestsFrom(report *Report, p *usr.Proc, from int) int {
+	for i, name := range Names()[from:] {
+		if from+i > 0 {
+			p.Barrier()
+		}
 		pid, errno := p.Spawn(name)
 		if errno != 0 {
 			report.Ran++
