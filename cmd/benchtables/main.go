@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot]
-//	            [-workers N] [-coldboot] [-snapcache BYTES] [-json out.json]
+//	            [-workers N] [-coldboot] [-snapcache SIZE] [-json out.json]
 //	            [-list] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Independent simulated machines fan out across -workers threads; the
@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/faultinject"
 	"repro/internal/parallel"
@@ -41,7 +42,7 @@ func main() {
 		only       = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot (default all)")
 		workers    = flag.Int("workers", 0, "concurrent simulated machines (0 = one per CPU, 1 = serial)")
 		coldBoot   = flag.Bool("coldboot", false, "boot every campaign run from scratch instead of forking a warm image")
-		snapCache  = flag.Int64("snapcache", 0, "snapshot-ladder cache budget in bytes (0: OSIRIS_SNAPSHOT_CACHE or built-in default; negative: boot-barrier snapshot only)")
+		snapCache  = flag.String("snapcache", "", "snapshot-ladder cache budget in bytes, with optional KiB/MiB/GiB suffix (empty: OSIRIS_SNAPSHOT_CACHE or built-in default; negative: boot-barrier snapshot only)")
 		list       = flag.Bool("list", false, "print the section keys accepted by -only and exit")
 		jsonPath   = flag.String("json", "", "write a machine-readable report to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -54,11 +55,20 @@ func main() {
 		}
 		return
 	}
+	if err := core.SnapshotCacheEnvError(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(2)
+	}
 	if *coldBoot {
 		faultinject.SetColdBootDefault(true)
 	}
-	if *snapCache != 0 {
-		faultinject.SetSnapshotCacheDefault(*snapCache)
+	if *snapCache != "" {
+		budget, err := core.ParseByteSize(*snapCache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables: -snapcache:", err)
+			os.Exit(2)
+		}
+		faultinject.SetSnapshotCacheDefault(budget)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -11,12 +11,38 @@
 //
 //	faultcampaign [-policy all|enhanced|...] [-model failstop|edfi|ipcmix]
 //	              [-samples N] [-maxruns N] [-seed N] [-profile]
-//	              [-faults N] [-runs N] [-workers N] [-coldboot] [-snapcache BYTES]
+//	              [-faults N] [-runs N] [-workers N] [-coldboot] [-snapcache SIZE]
+//	              [-record DIR] [-resume JOURNAL] [-quiet] [-gate=false]
 //	              [-ipcfaults] [-droprate BP] [-duprate BP] [-delayrate BP]
 //	              [-reorderrate BP] [-corruptrate BP] [-ipcseed N]
 //	              [-ipctimeout CYCLES] [-ipcretry N]
 //	              [-nodes N] [-partitionrate BP]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// Campaigns are crash-tolerant and replayable:
+//
+//   - -resume JOURNAL appends every completed run to an append-only,
+//     checksummed journal file and, when the file already exists (e.g.
+//     after the process was killed), skips the journaled runs and
+//     continues where the campaign stopped — the final tables are
+//     bit-identical to an uninterrupted campaign at any -workers count.
+//     A torn or corrupt journal tail is dropped and re-executed. The
+//     journal pins the campaign's identity (policy, model, seed, plan);
+//     resuming with different flags is refused. Requires a single
+//     -policy (not "all").
+//   - -record DIR writes one self-contained JSON trace per failed,
+//     crashed, degraded or audit-inconsistent run; `rcbreport -replay`
+//     re-executes a trace bit-identically and diffs the outcome.
+//   - The exit status is 1 when any run failed, crashed, or was
+//     audit-inconsistent (2 for usage errors), so CI can gate on
+//     campaign health. -gate=false opts out (a lossy campaign is the
+//     measurement, not a tool failure); -quiet suppresses the per-run
+//     detail lines (warm-plane stats, inconsistent seeds) but keeps
+//     the tables.
+//
+// -snapcache takes a byte count with an optional KiB/MiB/GiB suffix;
+// malformed values (and malformed OSIRIS_SNAPSHOT_CACHE settings) are
+// rejected at startup.
 //
 // With -nodes N (N >= 1) the command instead runs the cluster storm
 // campaign: N machines composed behind the load balancer, -runs
@@ -53,9 +79,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/kernel"
 	"repro/internal/seep"
@@ -73,7 +101,11 @@ func main() {
 		runs       = flag.Int("runs", 40, "boots per policy in the multi-fault campaign")
 		workers    = flag.Int("workers", 0, "concurrent boots (0 = one per CPU, 1 = serial)")
 		coldBoot   = flag.Bool("coldboot", false, "boot every run from scratch instead of forking a warm image")
-		snapCache  = flag.Int64("snapcache", 0, "snapshot-ladder cache budget in bytes (0: OSIRIS_SNAPSHOT_CACHE or built-in default; negative: boot-barrier snapshot only)")
+		snapCache  = flag.String("snapcache", "", "snapshot-ladder cache budget in bytes, with optional KiB/MiB/GiB suffix (empty: OSIRIS_SNAPSHOT_CACHE or built-in default; negative: boot-barrier snapshot only)")
+		recordDir  = flag.String("record", "", "write a replayable JSON trace for every failed/degraded/inconsistent run into this directory")
+		resumePath = flag.String("resume", "", "journal completed runs to this file and resume from it after a crash (single -policy campaigns only)")
+		quiet      = flag.Bool("quiet", false, "suppress per-run detail (warm-plane stats, inconsistent seeds); tables only")
+		gate       = flag.Bool("gate", true, "exit 1 when any run failed, crashed, or was audit-inconsistent; -gate=false always exits 0 for healthy tool runs (smoke tests measuring lossy campaigns)")
 		ipcFaults  = flag.Bool("ipcfaults", false, "background transport faults at default rates (50 bp per class)")
 		dropRate   = flag.Int("droprate", 0, "background message drop rate, basis points per transmission")
 		dupRate    = flag.Int("duprate", 0, "background duplication rate, basis points")
@@ -89,11 +121,20 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+	if err := core.SnapshotCacheEnvError(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(2)
+	}
 	if *coldBoot {
 		faultinject.SetColdBootDefault(true)
 	}
-	if *snapCache != 0 {
-		faultinject.SetSnapshotCacheDefault(*snapCache)
+	if *snapCache != "" {
+		budget, err := core.ParseByteSize(*snapCache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign: -snapcache:", err)
+			os.Exit(2)
+		}
+		faultinject.SetSnapshotCacheDefault(budget)
 	}
 
 	if err := validateBPFlags([]bpFlag{
@@ -129,11 +170,35 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if (*recordDir != "" || *resumePath != "") && (*nodes > 0 || *profile) {
+		fmt.Fprintln(os.Stderr, "faultcampaign: -record/-resume apply to injection campaigns only (not -profile or -nodes)")
+		os.Exit(2)
+	}
+	if *resumePath != "" && *policyName == "all" {
+		fmt.Fprintln(os.Stderr, "faultcampaign: -resume requires a single -policy (a journal pins one campaign)")
+		os.Exit(2)
+	}
+
 	var err error
+	unhealthy := false
 	if *nodes > 0 {
 		err = runClusterCampaign(*nodes, *seed, *runs, *workers, ipc.Faults, *partRate)
 	} else {
-		err = run(*policyName, *modelName, *samples, *maxRuns, *seed, *profile, *faults, *runs, *workers, ipc)
+		unhealthy, err = run(campaignSpec{
+			policyName: *policyName,
+			modelName:  *modelName,
+			samples:    *samples,
+			maxRuns:    *maxRuns,
+			seed:       *seed,
+			profile:    *profile,
+			faults:     *faults,
+			runs:       *runs,
+			workers:    *workers,
+			ipc:        ipc,
+			recordDir:  *recordDir,
+			resumePath: *resumePath,
+			quiet:      *quiet,
+		})
 	}
 	if *memProfile != "" {
 		if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
@@ -142,6 +207,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(1)
+	}
+	if unhealthy && *gate {
+		fmt.Fprintln(os.Stderr, "faultcampaign: campaign unhealthy (failed, crashed, or audit-inconsistent runs; see tables)")
 		os.Exit(1)
 	}
 }
@@ -156,21 +225,41 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func run(policyName, modelName string, samples, maxRuns int, seed uint64, profileOnly bool, faults, runs, workers int, ipc faultinject.IPCOptions) error {
-	prof, err := faultinject.Profile(seed)
+// campaignSpec bundles the classic-campaign flags.
+type campaignSpec struct {
+	policyName string
+	modelName  string
+	samples    int
+	maxRuns    int
+	seed       uint64
+	profile    bool
+	faults     int
+	runs       int
+	workers    int
+	ipc        faultinject.IPCOptions
+	recordDir  string
+	resumePath string
+	quiet      bool
+}
+
+// run executes the classic (single-machine) campaigns. It reports
+// whether any run was unhealthy — failed, crashed, or
+// audit-inconsistent — so main can gate the exit status on it.
+func run(spec campaignSpec) (unhealthy bool, err error) {
+	prof, err := faultinject.Profile(spec.seed)
 	if err != nil {
-		return err
+		return false, err
 	}
-	if profileOnly {
+	if spec.profile {
 		fmt.Printf("%-8s %-28s %8s %8s %9s\n", "server", "site", "total", "boot", "candidate")
 		for _, sp := range prof {
 			fmt.Printf("%-8s %-28s %8d %8d %9v\n", sp.Server, sp.Site, sp.Total, sp.Boot, sp.Candidate())
 		}
-		return nil
+		return false, nil
 	}
 
 	var model faultinject.Model
-	switch modelName {
+	switch spec.modelName {
 	case "failstop":
 		model = faultinject.FailStop
 	case "edfi":
@@ -178,41 +267,78 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 	case "ipcmix":
 		model = faultinject.IPCMix
 	default:
-		return fmt.Errorf("unknown model %q", modelName)
+		return false, fmt.Errorf("unknown model %q", spec.modelName)
 	}
 
 	var policies []seep.Policy
-	switch policyName {
+	switch spec.policyName {
 	case "all":
 		policies = []seep.Policy{seep.PolicyStateless, seep.PolicyNaive, seep.PolicyPessimistic, seep.PolicyEnhanced}
-	case "enhanced":
-		policies = []seep.Policy{seep.PolicyEnhanced}
-	case "pessimistic":
-		policies = []seep.Policy{seep.PolicyPessimistic}
-	case "stateless":
-		policies = []seep.Policy{seep.PolicyStateless}
-	case "naive":
-		policies = []seep.Policy{seep.PolicyNaive}
-	case "extended":
-		policies = []seep.Policy{seep.PolicyExtended}
 	default:
-		return fmt.Errorf("unknown policy %q", policyName)
+		p, perr := seep.ParsePolicy(spec.policyName)
+		if perr != nil {
+			return false, fmt.Errorf("unknown policy %q", spec.policyName)
+		}
+		policies = []seep.Policy{p}
 	}
 
-	if faults >= 2 {
-		fmt.Printf("model: %v, %d faults per boot, %d candidate sites\n\n", model, faults, countCandidates(prof))
+	if spec.recordDir != "" {
+		if mkErr := os.MkdirAll(spec.recordDir, 0o755); mkErr != nil {
+			return false, mkErr
+		}
+	}
+	var recordErr error
+
+	if spec.faults >= 2 {
+		fmt.Printf("model: %v, %d faults per boot, %d candidate sites\n\n", model, spec.faults, countCandidates(prof))
 		fmt.Printf("%-12s %8s %9s %8s %10s %8s %11s %8s %12s\n",
 			"Recovery", "Pass", "Degraded", "Fail", "Shutdown", "Crash", "Consistent", "Runs", "Untriggered")
 		for _, policy := range policies {
-			res, stats := faultinject.RunMultiCampaignWithStats(faultinject.MultiCampaignConfig{
+			cfg := faultinject.MultiCampaignConfig{
 				Policy:  policy,
 				Model:   model,
-				Faults:  faults,
-				Runs:    runs,
-				Seed:    seed,
-				Workers: workers,
-				IPC:     ipc,
-			}, prof)
+				Faults:  spec.faults,
+				Runs:    spec.runs,
+				Seed:    spec.seed,
+				Workers: spec.workers,
+				IPC:     spec.ipc,
+			}
+			var journal *faultinject.Journal
+			if spec.resumePath != "" {
+				hdr := faultinject.JournalHeader{
+					Kind: faultinject.TraceMulti, Policy: policy, Model: model, Seed: spec.seed,
+					Faults: spec.faults, Runs: spec.runs, IPC: spec.ipc,
+					PlanFingerprint: faultinject.MultiPlanFingerprint(faultinject.PlanMultiCampaign(cfg, prof)),
+				}
+				var resumed int
+				journal, resumed, err = faultinject.OpenJournal(spec.resumePath, hdr)
+				if err != nil {
+					return false, err
+				}
+				if resumed > 0 {
+					fmt.Fprintf(os.Stderr, "faultcampaign: resuming, %d of %d runs journaled in %s\n", resumed, spec.runs, spec.resumePath)
+				}
+				cfg.Journal = journal
+			}
+			if spec.recordDir != "" {
+				cfg.OnResult = func(i int, rr faultinject.MultiRunResult) {
+					if rr.Triggered == 0 || !runUnhealthy(rr.Outcome, rr.Consistent) {
+						return
+					}
+					path := filepath.Join(spec.recordDir, faultinject.TraceFileName(policy, i))
+					if werr := faultinject.WriteTraceFile(path, faultinject.NewMultiTrace(policy, rr, spec.ipc)); werr != nil && recordErr == nil {
+						recordErr = werr
+					}
+				}
+			}
+			res, stats := faultinject.RunMultiCampaignWithStats(cfg, prof)
+			if journal != nil {
+				if cerr := journal.Close(); cerr != nil && err == nil {
+					err = fmt.Errorf("journal: %w", cerr)
+				}
+			}
+			unhealthy = unhealthy || res.Counts[faultinject.OutcomeFail]+res.Counts[faultinject.OutcomeCrash] > 0 ||
+				len(res.InconsistentSeeds) > 0
 			fmt.Printf("%-12s %7.1f%% %8.1f%% %7.1f%% %9.1f%% %7.1f%% %10.1f%% %8d %12d\n",
 				res.Policy,
 				res.Percent(faultinject.OutcomePass),
@@ -222,25 +348,69 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 				res.Percent(faultinject.OutcomeCrash),
 				res.ConsistentPercent(),
 				res.Runs, res.Untriggered)
-			printPlaneStats(stats)
-			printInconsistent(res.InconsistentSeeds)
+			if !spec.quiet {
+				printPlaneStats(stats)
+				printInconsistent(res.InconsistentSeeds)
+			}
+			if err != nil {
+				return unhealthy, err
+			}
 		}
-		return nil
+		if recordErr != nil {
+			return unhealthy, fmt.Errorf("record: %w", recordErr)
+		}
+		return unhealthy, nil
 	}
 
 	fmt.Printf("model: %v, %d candidate sites\n\n", model, countCandidates(prof))
 	fmt.Printf("%-12s %8s %8s %10s %8s %11s %8s %12s\n",
 		"Recovery", "Pass", "Fail", "Shutdown", "Crash", "Consistent", "Runs", "Untriggered")
 	for _, policy := range policies {
-		res, stats := faultinject.RunCampaignWithStats(faultinject.CampaignConfig{
+		cfg := faultinject.CampaignConfig{
 			Policy:         policy,
 			Model:          model,
-			Seed:           seed,
-			SamplesPerSite: samples,
-			MaxRuns:        maxRuns,
-			Workers:        workers,
-			IPC:            ipc,
-		}, prof)
+			Seed:           spec.seed,
+			SamplesPerSite: spec.samples,
+			MaxRuns:        spec.maxRuns,
+			Workers:        spec.workers,
+			IPC:            spec.ipc,
+		}
+		var journal *faultinject.Journal
+		if spec.resumePath != "" {
+			hdr := faultinject.JournalHeader{
+				Kind: faultinject.TraceSingle, Policy: policy, Model: model, Seed: spec.seed,
+				SamplesPerSite: spec.samples, MaxRuns: spec.maxRuns, IPC: spec.ipc,
+				PlanFingerprint: faultinject.PlanFingerprint(faultinject.PlanCampaign(cfg, prof)),
+			}
+			var resumed int
+			journal, resumed, err = faultinject.OpenJournal(spec.resumePath, hdr)
+			if err != nil {
+				return false, err
+			}
+			if resumed > 0 {
+				fmt.Fprintf(os.Stderr, "faultcampaign: resuming, %d runs journaled in %s\n", resumed, spec.resumePath)
+			}
+			cfg.Journal = journal
+		}
+		if spec.recordDir != "" {
+			cfg.OnResult = func(i int, rr faultinject.RunResult) {
+				if !rr.Triggered || !runUnhealthy(rr.Outcome, rr.Consistent) {
+					return
+				}
+				path := filepath.Join(spec.recordDir, faultinject.TraceFileName(policy, i))
+				if werr := faultinject.WriteTraceFile(path, faultinject.NewTrace(policy, rr, spec.ipc)); werr != nil && recordErr == nil {
+					recordErr = werr
+				}
+			}
+		}
+		res, stats := faultinject.RunCampaignWithStats(cfg, prof)
+		if journal != nil {
+			if cerr := journal.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("journal: %w", cerr)
+			}
+		}
+		unhealthy = unhealthy || res.Counts[faultinject.OutcomeFail]+res.Counts[faultinject.OutcomeCrash] > 0 ||
+			len(res.InconsistentSeeds) > 0
 		fmt.Printf("%-12s %7.1f%% %7.1f%% %9.1f%% %7.1f%% %10.1f%% %8d %12d\n",
 			res.Policy,
 			res.Percent(faultinject.OutcomePass),
@@ -249,10 +419,31 @@ func run(policyName, modelName string, samples, maxRuns int, seed uint64, profil
 			res.Percent(faultinject.OutcomeCrash),
 			res.ConsistentPercent(),
 			res.Runs, res.Untriggered)
-		printPlaneStats(stats)
-		printInconsistent(res.InconsistentSeeds)
+		if !spec.quiet {
+			printPlaneStats(stats)
+			printInconsistent(res.InconsistentSeeds)
+		}
+		if err != nil {
+			return unhealthy, err
+		}
 	}
-	return nil
+	if recordErr != nil {
+		return unhealthy, fmt.Errorf("record: %w", recordErr)
+	}
+	return unhealthy, nil
+}
+
+// runUnhealthy classifies one run for exit-status gating and trace
+// recording: failed, crashed, degraded, or audit-inconsistent.
+// (Degraded-pass runs are recorded as traces but do not fail the exit
+// status: surviving by quarantine is the sequencer working as
+// designed.)
+func runUnhealthy(o faultinject.Outcome, consistent bool) bool {
+	switch o {
+	case faultinject.OutcomeFail, faultinject.OutcomeCrash, faultinject.OutcomeDegradedPass:
+		return true
+	}
+	return !consistent
 }
 
 // printPlaneStats reports how the warm plane served a policy's runs:

@@ -9,6 +9,13 @@
 // Usage:
 //
 //	rcbreport [-root DIR] [-tests]
+//	rcbreport -replay TRACE.json|DIR
+//
+// With -replay, the tool instead re-executes recorded fault traces
+// (written by `faultcampaign -record`): every run is a pure function of
+// the provenance stored in its trace, so the replay must reproduce the
+// recorded outcome bit-identically. One PASS/MISMATCH line is printed
+// per trace; any mismatch (a non-reproducible build) exits 1.
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/faultinject"
 )
 
 // rcbPackages are the trusted packages (relative to the module root).
@@ -36,12 +45,52 @@ func main() {
 	var (
 		root     = flag.String("root", ".", "module root directory")
 		withTest = flag.Bool("tests", false, "include _test.go files")
+		replay   = flag.String("replay", "", "replay recorded fault traces (a trace file or a directory of *.json) and diff against the recorded outcomes")
 	)
 	flag.Parse()
+	if *replay != "" {
+		mismatches, err := runReplay(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcbreport:", err)
+			os.Exit(1)
+		}
+		if mismatches > 0 {
+			fmt.Fprintf(os.Stderr, "rcbreport: %d trace(s) did not replay bit-identically\n", mismatches)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*root, *withTest); err != nil {
 		fmt.Fprintln(os.Stderr, "rcbreport:", err)
 		os.Exit(1)
 	}
+}
+
+// runReplay re-executes every trace under path and reports how many
+// diverged from their recording.
+func runReplay(path string) (mismatches int, err error) {
+	files, err := faultinject.ListTraceFiles(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, file := range files {
+		t, err := faultinject.ReadTraceFile(file)
+		if err != nil {
+			return mismatches, err
+		}
+		replayed, err := t.Replay()
+		if err != nil {
+			return mismatches, fmt.Errorf("%s: %w", file, err)
+		}
+		if ok, diff := t.Matches(replayed); ok {
+			fmt.Printf("PASS     %s (%s %s seed %d: %v)\n", file, t.Kind, t.Policy, t.Seed, t.Outcome.Outcome)
+		} else {
+			mismatches++
+			fmt.Printf("MISMATCH %s (%s %s seed %d): %s\n", file, t.Kind, t.Policy, t.Seed, diff)
+		}
+	}
+	fmt.Printf("replayed %d trace(s), %d mismatch(es)\n", len(files), mismatches)
+	return mismatches, nil
 }
 
 type pkgCount struct {

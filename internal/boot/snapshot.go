@@ -130,10 +130,12 @@ func (s *Snapshot) Fork(params ForkParams, resumeProg usr.Program, initArgs ...s
 	}
 	for _, f := range forked {
 		if err := o.AddForkedComponent(f.ep, f.factory, s.img); err != nil {
+			o.Shutdown("fork failed: " + err.Error())
 			return nil, err
 		}
 	}
 	if err := o.ApplyImage(s.img); err != nil {
+		o.Shutdown("fork failed: " + err.Error())
 		return nil, err
 	}
 	return &System{OS: o, Registry: s.reg, Driver: drv}, nil

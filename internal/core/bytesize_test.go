@@ -1,0 +1,49 @@
+package core
+
+import "testing"
+
+func TestParseByteSize(t *testing.T) {
+	good := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"2097152", 2097152},
+		{"-1", -1}, // negative disables the snapshot cache
+		{"4KiB", 4 << 10},
+		{"256MiB", 256 << 20},
+		{"2GiB", 2 << 30},
+		{"1 KiB", 1 << 10}, // space before the suffix is tolerated
+		{"-2MiB", -(2 << 20)},
+		{"9223372036854775807", 1<<63 - 1},
+	}
+	for _, tc := range good {
+		got, err := ParseByteSize(tc.in)
+		if err != nil {
+			t.Errorf("ParseByteSize(%q): unexpected error: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+
+	bad := []string{
+		"",
+		"abc",
+		"12abc",
+		"KiB",                  // suffix with no number
+		"1.5GiB",               // fractions not supported
+		"4kib",                 // suffixes are case-sensitive
+		"4KB",                  // SI units are not accepted, only binary ones
+		"0x10",                 // no hex
+		"9223372036854775808",  // one past MaxInt64
+		"9007199254740992GiB",  // multiplies past MaxInt64
+		"-9007199254740992GiB", // multiplies past MinInt64
+	}
+	for _, in := range bad {
+		if got, err := ParseByteSize(in); err == nil {
+			t.Errorf("ParseByteSize(%q) = %d, want an error", in, got)
+		}
+	}
+}

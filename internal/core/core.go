@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -168,15 +169,54 @@ const DefaultIPCTimeoutCycles int64 = 400_000
 // neither Config.SnapshotCacheBytes nor OSIRIS_SNAPSHOT_CACHE is set.
 const DefaultSnapshotCacheBytes int64 = 256 << 20
 
-// snapshotCacheEnv is the OSIRIS_SNAPSHOT_CACHE override, parsed once
-// at startup (0 when unset or unparsable).
-var snapshotCacheEnv = func() int64 {
-	v, err := strconv.ParseInt(os.Getenv("OSIRIS_SNAPSHOT_CACHE"), 10, 64)
-	if err != nil {
-		return 0
+// ParseByteSize parses a byte-count string: a plain integer number of
+// bytes, optionally suffixed with KiB, MiB or GiB (binary multiples).
+// Negative values are allowed — the snapshot-cache convention uses them
+// to disable the ladder. The empty string is an error; callers decide
+// what "unset" means.
+func ParseByteSize(s string) (int64, error) {
+	num, mult := s, int64(1)
+	for _, sfx := range []struct {
+		tag  string
+		mult int64
+	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}} {
+		if strings.HasSuffix(s, sfx.tag) {
+			num, mult = strings.TrimSuffix(s, sfx.tag), sfx.mult
+			break
+		}
 	}
-	return v
+	v, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: bad byte size %q (want an integer with optional KiB/MiB/GiB suffix)", s)
+	}
+	if mult > 1 && (v > math.MaxInt64/mult || v < math.MinInt64/mult) {
+		return 0, fmt.Errorf("core: byte size %q overflows", s)
+	}
+	return v * mult, nil
+}
+
+// snapshotCacheEnv is the OSIRIS_SNAPSHOT_CACHE override, parsed once
+// at startup. A malformed value is recorded in snapshotCacheEnvErr and
+// otherwise ignored (the default budget applies): library callers keep
+// working, and CLIs surface the error via SnapshotCacheEnvError instead
+// of silently running with the wrong cache size.
+var snapshotCacheEnv, snapshotCacheEnvErr = func() (int64, error) {
+	raw := os.Getenv("OSIRIS_SNAPSHOT_CACHE")
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := ParseByteSize(raw)
+	if err != nil {
+		return 0, fmt.Errorf("OSIRIS_SNAPSHOT_CACHE: %w", err)
+	}
+	return v, nil
 }()
+
+// SnapshotCacheEnvError reports whether the OSIRIS_SNAPSHOT_CACHE
+// environment variable was set to something unparsable. CLIs check it
+// at startup and refuse to run; libraries fall back to the default
+// budget.
+func SnapshotCacheEnvError() error { return snapshotCacheEnvErr }
 
 // SnapshotCacheBudget resolves SnapshotCacheBytes against the
 // OSIRIS_SNAPSHOT_CACHE environment variable and the built-in default.

@@ -106,6 +106,13 @@ func (o *OS) AddForkedComponent(ep kernel.Endpoint, factory Factory, img *OSImag
 	store := si.store.ForkClone()
 	store.SetCounters(o.k.Counters())
 	comp := factory(store)
+	// A store fork-cloned from a decoded on-disk image is materialized
+	// by the factory's container registrations; surface any type
+	// mismatch or leftover payload as a fork failure (the campaign
+	// driver degrades to cold boots). No-op for in-memory images.
+	if err := store.FinishDecode(); err != nil {
+		return err
+	}
 	win := seep.NewWindow(policy, store)
 	win.RestoreStats(si.stats)
 	o.bindCostSink(store, win)

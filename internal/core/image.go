@@ -1,0 +1,61 @@
+package core
+
+// Accessors that decompose an OSImage into its independently
+// serializable parts and reassemble one from decoded parts. The actual
+// on-disk format lives in internal/image; keeping the field access here
+// lets OSImage stay opaque everywhere else.
+
+import (
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/memlog"
+	"repro/internal/seep"
+)
+
+// SlotParts is the serializable state of one captured component.
+type SlotParts struct {
+	EP            kernel.Endpoint
+	Store         *memlog.Store
+	Stats         seep.Stats
+	CloneResident int
+	// Transient is the component's Forkable snapshot (nil when the
+	// component has none). For on-disk images the concrete type must be
+	// registered with internal/wire.
+	Transient any
+}
+
+// Machine returns the kernel half of the image.
+func (img *OSImage) Machine() *kernel.MachineImage { return img.machine }
+
+// Slots returns the captured per-component state sorted by endpoint
+// (deterministic frame order for the on-disk format).
+func (img *OSImage) Slots() []SlotParts {
+	out := make([]SlotParts, 0, len(img.slots))
+	for _, si := range img.slots {
+		out = append(out, SlotParts{
+			EP:            si.ep,
+			Store:         si.store,
+			Stats:         si.stats,
+			CloneResident: si.cloneResident,
+			Transient:     si.transient,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EP < out[j].EP })
+	return out
+}
+
+// AssembleImage rebuilds an OSImage from decoded parts.
+func AssembleImage(machine *kernel.MachineImage, slots []SlotParts) *OSImage {
+	img := &OSImage{machine: machine, slots: make(map[kernel.Endpoint]*slotImage, len(slots))}
+	for _, sp := range slots {
+		img.slots[sp.EP] = &slotImage{
+			ep:            sp.EP,
+			store:         sp.Store,
+			stats:         sp.Stats,
+			cloneResident: sp.CloneResident,
+			transient:     sp.Transient,
+		}
+	}
+	return img
+}

@@ -59,6 +59,18 @@ func (m Model) String() string {
 // MarshalText renders the model by name in JSON reports.
 func (m Model) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
 
+// UnmarshalText parses the model by name (the String form), so JSON
+// trace and journal records round-trip.
+func (m *Model) UnmarshalText(text []byte) error {
+	for _, v := range []Model{FailStop, FullEDFI, IPCMix} {
+		if v.String() == string(text) {
+			*m = v
+			return nil
+		}
+	}
+	return fmt.Errorf("faultinject: unknown model %q", text)
+}
+
 // FaultType is one injectable fault behaviour.
 type FaultType int
 
@@ -134,6 +146,27 @@ func (t FaultType) String() string {
 		}
 	}
 	return fmt.Sprintf("FaultType(%d)", int(t))
+}
+
+// MarshalText renders the fault type by registry name in JSON records.
+func (t FaultType) MarshalText() ([]byte, error) {
+	for _, s := range faultRegistry {
+		if s.Type == t {
+			return []byte(s.Name), nil
+		}
+	}
+	return nil, fmt.Errorf("faultinject: unregistered fault type %d", int(t))
+}
+
+// UnmarshalText parses the fault type by registry name.
+func (t *FaultType) UnmarshalText(text []byte) error {
+	for _, s := range faultRegistry {
+		if s.Name == string(text) {
+			*t = s.Type
+			return nil
+		}
+	}
+	return fmt.Errorf("faultinject: unknown fault type %q", text)
 }
 
 // pickType draws a fault type for the model from the registry weights.
@@ -269,6 +302,18 @@ func (o Outcome) String() string {
 // MarshalText renders the outcome by name, so JSON reports key outcome
 // counts as "pass"/"crash"/... instead of raw integers.
 func (o Outcome) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
+
+// UnmarshalText parses the outcome by name, so JSON trace and journal
+// records round-trip.
+func (o *Outcome) UnmarshalText(text []byte) error {
+	for _, v := range []Outcome{OutcomePass, OutcomeFail, OutcomeShutdown, OutcomeCrash, OutcomeDegradedPass} {
+		if v.String() == string(text) {
+			*o = v
+			return nil
+		}
+	}
+	return fmt.Errorf("faultinject: unknown outcome %q", text)
+}
 
 // Injection is one planned fault: at the occurrence-th execution of the
 // site (counted from run start), trigger the fault.
@@ -445,6 +490,17 @@ type CampaignConfig struct {
 	// any worker count. Zero selects one worker per CPU; 1 reproduces
 	// the historical serial path exactly.
 	Workers int
+	// Journal, when set, makes the campaign crash-tolerant: runs whose
+	// result is already journaled are skipped (the stored result is
+	// used verbatim), and every newly completed run is appended. Since
+	// runs are pure functions of their plan index and seed, a resumed
+	// campaign aggregates bit-identically to an uninterrupted one.
+	Journal *Journal
+	// OnResult, when set, observes every run result in plan order after
+	// the campaign completes its runs — including results served from
+	// the Journal. The faultcampaign -record flag uses it to emit
+	// replayable traces.
+	OnResult func(index int, rr RunResult)
 }
 
 // CampaignResult aggregates a survivability campaign (one row of
@@ -560,9 +616,21 @@ func RunCampaignWithStats(cfg CampaignConfig, profile []SiteProfile) (CampaignRe
 	runner := newSingleRunner(cfg, plan)
 	defer runner.close()
 	results := parallel.Map(cfg.Workers, len(plan), func(i int) RunResult {
-		return runner.runOne(cfg.Seed+uint64(i)*7919, plan[i])
+		if cfg.Journal != nil {
+			if rr, ok := cfg.Journal.LookupRun(i); ok {
+				return rr
+			}
+		}
+		rr := runner.runOne(cfg.Seed+uint64(i)*7919, plan[i])
+		if cfg.Journal != nil {
+			cfg.Journal.RecordRun(i, rr)
+		}
+		return rr
 	})
-	for _, rr := range results {
+	for i, rr := range results {
+		if cfg.OnResult != nil {
+			cfg.OnResult(i, rr)
+		}
 		if !rr.Triggered {
 			result.Untriggered++
 			continue

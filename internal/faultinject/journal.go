@@ -1,0 +1,331 @@
+package faultinject
+
+// Crash-tolerant campaign journal: an append-only, checksummed log of
+// completed run results. A campaign opens a journal, replays every
+// entry already on disk (skipping those runs entirely), and appends
+// each newly completed run. Killing the campaign at any instant —
+// including mid-write — loses at most the unsynced tail: on reopen the
+// first torn or corrupt entry and everything after it is detected,
+// dropped, and simply re-executed. Because runs are pure functions of
+// their plan index and seed, a resumed campaign's aggregate is
+// bit-identical to an uninterrupted one at any worker count.
+//
+// On-disk layout: the 8-byte magic, then framed records — u32
+// little-endian payload length, u32 CRC32-C of the payload, payload —
+// where the first record is the JSON header (the campaign's identity:
+// kind, policy, model, seed, plan shape, transport options, plan
+// fingerprint) and every later record is one JSON run entry. Writes
+// are fsync-batched (every syncEvery records and on Close); each
+// record is appended with a single write call so a torn write can only
+// produce a short or corrupt tail, never reorder earlier entries.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"reflect"
+	"sync"
+
+	"repro/internal/seep"
+)
+
+// JournalMagic leads every campaign journal file.
+const JournalMagic = "OSIRISJ1"
+
+// syncEvery is the fsync batch size: an unclean kill loses at most
+// this many journaled results (they are simply re-run on resume).
+const syncEvery = 16
+
+// JournalHeader pins the campaign a journal belongs to. OpenJournal
+// refuses to resume a journal whose stored header differs — resuming a
+// different campaign would silently splice unrelated results.
+type JournalHeader struct {
+	Kind   string // TraceSingle or TraceMulti
+	Policy seep.Policy
+	Model  Model
+	Seed   uint64
+	// Plan shape (zero when not applicable to the kind).
+	SamplesPerSite int
+	MaxRuns        int
+	Faults         int
+	Runs           int
+	IPC            IPCOptions
+	// PlanFingerprint hashes the concrete injection plan, catching
+	// profile drift that the shape fields alone would miss.
+	PlanFingerprint uint64
+}
+
+// journalEntry is one completed run.
+type journalEntry struct {
+	Index  int
+	Single *RunResult      `json:",omitempty"`
+	Multi  *MultiRunResult `json:",omitempty"`
+}
+
+// Journal is an open campaign journal. Lookup and Record are safe for
+// concurrent use from campaign workers.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	entries  map[int]journalEntry
+	resumed  int
+	unsynced int
+	writeErr error
+}
+
+// PlanFingerprint hashes a single-fault plan for JournalHeader.
+func PlanFingerprint(plan []Injection) uint64 {
+	h := fnv.New64a()
+	for _, inj := range plan {
+		fmt.Fprintf(h, "%s/%s/%d/%d;", inj.Server, inj.Site, inj.Occurrence, int(inj.Type))
+	}
+	return h.Sum64()
+}
+
+// MultiPlanFingerprint hashes a multi-fault plan for JournalHeader.
+func MultiPlanFingerprint(plans [][]MultiInjection) uint64 {
+	h := fnv.New64a()
+	for _, plan := range plans {
+		for _, inj := range plan {
+			fmt.Fprintf(h, "%s/%s/%d/%d/%v/%v/%v;", inj.Server, inj.Site, inj.Occurrence, int(inj.Type),
+				inj.Correlated, inj.DuringRecovery, inj.Persistent)
+		}
+		h.Write([]byte{'|'})
+	}
+	return h.Sum64()
+}
+
+// OpenJournal opens (or creates) the journal at path for the campaign
+// identified by hdr and returns it along with the number of run
+// entries recovered from disk. A corrupt or torn tail is truncated
+// away — those runs re-execute — but a mismatched header or an
+// unreadable file is an error: that is the wrong journal, not a
+// recoverable tail.
+func OpenJournal(path string, hdr JournalHeader) (*Journal, int, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		return createJournal(path, hdr)
+	case err != nil:
+		return nil, 0, err
+	}
+
+	entries, goodLen, err := scanJournal(data, hdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	if goodLen < int64(len(data)) {
+		// Drop the torn/corrupt tail so appends continue from the last
+		// intact record.
+		if err := f.Truncate(goodLen); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+	}
+	if _, err := f.Seek(goodLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	j := &Journal{f: f, entries: entries, resumed: len(entries)}
+	return j, j.resumed, nil
+}
+
+// createJournal starts a fresh journal with the header record.
+func createJournal(path string, hdr JournalHeader) (*Journal, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	buf := append([]byte(JournalMagic), frameRecord(payload)...)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, err
+	}
+	return &Journal{f: f, entries: make(map[int]journalEntry)}, 0, nil
+}
+
+// frameRecord wraps a payload in the length+checksum frame.
+func frameRecord(payload []byte) []byte {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcJournal))
+	copy(buf[8:], payload)
+	return buf
+}
+
+var crcJournal = crc32.MakeTable(crc32.Castagnoli)
+
+// scanJournal parses a journal image: validates the magic and header,
+// then reads run entries until the end of the file or the first torn or
+// corrupt record. It returns the intact entries and the byte length of
+// the intact prefix.
+func scanJournal(data []byte, want JournalHeader) (map[int]journalEntry, int64, error) {
+	if len(data) < len(JournalMagic) || string(data[:len(JournalMagic)]) != JournalMagic {
+		return nil, 0, fmt.Errorf("faultinject: not a campaign journal (bad magic)")
+	}
+	off := len(JournalMagic)
+
+	// The header record must be intact — a journal torn inside its very
+	// first record identifies nothing.
+	hdrPayload, n := nextRecord(data[off:])
+	if n < 0 {
+		return nil, 0, fmt.Errorf("faultinject: journal header record torn or corrupt")
+	}
+	var stored JournalHeader
+	if err := json.Unmarshal(hdrPayload, &stored); err != nil {
+		return nil, 0, fmt.Errorf("faultinject: journal header: %w", err)
+	}
+	if !reflect.DeepEqual(stored, want) {
+		return nil, 0, fmt.Errorf("faultinject: journal belongs to a different campaign:\n  stored  %+v\n  current %+v", stored, want)
+	}
+	off += n
+
+	entries := make(map[int]journalEntry)
+	for off < len(data) {
+		payload, n := nextRecord(data[off:])
+		if n < 0 {
+			break // torn or corrupt tail: drop it and everything after
+		}
+		var e journalEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			break // checksummed but unparsable: treat as corrupt tail
+		}
+		if (e.Single == nil) == (e.Multi == nil) {
+			break // malformed entry: exactly one result kind expected
+		}
+		entries[e.Index] = e
+		off += n
+	}
+	return entries, int64(off), nil
+}
+
+// nextRecord parses one framed record from the front of b, returning
+// its payload and total frame length, or -1 when the record is torn or
+// fails its checksum.
+func nextRecord(b []byte) ([]byte, int) {
+	if len(b) < 8 {
+		return nil, -1
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if plen < 0 || 8+plen > len(b) {
+		return nil, -1
+	}
+	payload := b[8 : 8+plen]
+	if crc32.Checksum(payload, crcJournal) != crc {
+		return nil, -1
+	}
+	return payload, 8 + plen
+}
+
+// LookupRun returns the journaled result of single-fault run i.
+func (j *Journal) LookupRun(i int) (RunResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[i]
+	if !ok || e.Single == nil {
+		return RunResult{}, false
+	}
+	return *e.Single, true
+}
+
+// LookupMulti returns the journaled result of multi-fault run i.
+func (j *Journal) LookupMulti(i int) (MultiRunResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[i]
+	if !ok || e.Multi == nil {
+		return MultiRunResult{}, false
+	}
+	return *e.Multi, true
+}
+
+// RecordRun journals the result of single-fault run i. Journal I/O
+// errors degrade — the campaign keeps running, the error surfaces from
+// Close — because losing resumability must never lose the campaign.
+func (j *Journal) RecordRun(i int, rr RunResult) {
+	j.append(journalEntry{Index: i, Single: &rr})
+}
+
+// RecordMulti journals the result of multi-fault run i.
+func (j *Journal) RecordMulti(i int, rr MultiRunResult) {
+	j.append(journalEntry{Index: i, Multi: &rr})
+}
+
+func (j *Journal) append(e journalEntry) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		j.noteErr(err)
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries[e.Index] = e
+	if j.writeErr != nil {
+		return
+	}
+	// One write call per record: a crash mid-append leaves a short tail,
+	// never an interleaved one.
+	if _, err := j.f.Write(frameRecord(payload)); err != nil {
+		j.writeErr = err
+		return
+	}
+	j.unsynced++
+	if j.unsynced >= syncEvery {
+		if err := j.f.Sync(); err != nil {
+			j.writeErr = err
+			return
+		}
+		j.unsynced = 0
+	}
+}
+
+func (j *Journal) noteErr(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.writeErr == nil {
+		j.writeErr = err
+	}
+}
+
+// Resumed returns the number of entries recovered when the journal was
+// opened.
+func (j *Journal) Resumed() int { return j.resumed }
+
+// Close syncs and closes the journal, returning the first write error
+// encountered (the campaign result itself is unaffected by journal
+// failures).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var err error
+	if j.unsynced > 0 {
+		err = j.f.Sync()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	if j.writeErr != nil {
+		return j.writeErr
+	}
+	return err
+}

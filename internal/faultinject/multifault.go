@@ -210,6 +210,13 @@ type MultiCampaignConfig struct {
 	// campaign (zero value: off; forced on when a plan arms IPC
 	// faults).
 	IPC IPCOptions
+	// Journal, when set, makes the campaign crash-tolerant exactly as
+	// in CampaignConfig: journaled runs are skipped, new ones appended,
+	// and resumed aggregates are bit-identical to uninterrupted ones.
+	Journal *Journal
+	// OnResult observes every run result in plan order (including
+	// journal-served ones); used to emit replayable traces.
+	OnResult func(index int, rr MultiRunResult)
 }
 
 // MultiCampaignResult aggregates a multi-fault campaign: one row of the
@@ -337,9 +344,21 @@ func RunMultiCampaignWithStats(cfg MultiCampaignConfig, profile []SiteProfile) (
 	runner := newMultiRunner(cfg, plans)
 	defer runner.close()
 	results := parallel.Map(cfg.Workers, len(plans), func(i int) MultiRunResult {
-		return runner.runMulti(cfg.Seed+uint64(i)*104729, plans[i])
+		if cfg.Journal != nil {
+			if rr, ok := cfg.Journal.LookupMulti(i); ok {
+				return rr
+			}
+		}
+		rr := runner.runMulti(cfg.Seed+uint64(i)*104729, plans[i])
+		if cfg.Journal != nil {
+			cfg.Journal.RecordMulti(i, rr)
+		}
+		return rr
 	})
-	for _, rr := range results {
+	for i, rr := range results {
+		if cfg.OnResult != nil {
+			cfg.OnResult(i, rr)
+		}
 		if rr.Triggered == 0 {
 			result.Untriggered++
 			continue

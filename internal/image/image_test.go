@@ -1,0 +1,236 @@
+package image_test
+
+// Round-trip proofs for the on-disk snapshot format: a machine forked
+// from a decoded image must be indistinguishable from one forked from
+// the in-memory original, writes must be byte-deterministic at any
+// worker count, and corrupt or truncated files must fail loudly.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/seep"
+	"repro/internal/sim"
+	"repro/internal/testsuite"
+	"repro/internal/usr"
+)
+
+const testLimit sim.Cycles = 500_000_000
+
+// suiteOpts is the campaign-driver boot shape: full suite, heartbeats.
+func suiteOpts(seed uint64) boot.Options {
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	return boot.Options{
+		Config:     core.Config{Policy: seep.PolicyEnhanced, Seed: seed},
+		Registry:   reg,
+		Heartbeats: true,
+	}
+}
+
+func captureSnapshot(t testing.TB, seed uint64) *boot.Snapshot {
+	t.Helper()
+	snap, err := boot.Capture(suiteOpts(seed), testLimit, testsuite.RunnerInit(new(testsuite.Report)))
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	return snap
+}
+
+// forkAndRun forks snap under seed and runs the post-barrier suite.
+func forkAndRun(t *testing.T, snap *boot.Snapshot, seed uint64) (kernel.Result, testsuite.Report) {
+	t.Helper()
+	var report testsuite.Report
+	sys, err := snap.Fork(boot.ForkParams{Seed: seed}, testsuite.RunnerResume(&report))
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	return sys.Run(testLimit), report
+}
+
+func encode(t testing.TB, snap *boot.Snapshot, o image.WriteOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := image.WriteSnapshot(&buf, snap, o); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func decode(t testing.TB, data []byte, workers int) *boot.Snapshot {
+	t.Helper()
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	snap, err := image.ReadSnapshot(bytes.NewReader(data), reg, workers)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	return snap
+}
+
+// TestRoundTripForkEquivalence: decode(encode(S)) forks machines
+// bit-identical to S — outcome, cycle count, and per-test results —
+// under the capture seed, a different seed, and with compression on.
+func TestRoundTripForkEquivalence(t *testing.T) {
+	snap := captureSnapshot(t, 7)
+	for _, tc := range []struct {
+		name string
+		o    image.WriteOptions
+	}{
+		{"raw", image.WriteOptions{}},
+		{"compressed", image.WriteOptions{Compress: true}},
+		{"serial", image.WriteOptions{Workers: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			decoded := decode(t, encode(t, snap, tc.o), tc.o.Workers)
+			for _, seed := range []uint64{7, 99} {
+				origRes, origRep := forkAndRun(t, snap, seed)
+				decRes, decRep := forkAndRun(t, decoded, seed)
+				if !reflect.DeepEqual(origRes, decRes) {
+					t.Errorf("seed %d: kernel result differs:\norig    %+v\ndecoded %+v", seed, origRes, decRes)
+				}
+				if !reflect.DeepEqual(origRep, decRep) {
+					t.Errorf("seed %d: suite report differs:\norig    %+v\ndecoded %+v", seed, origRep, decRep)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodedSnapshotImmutable: one decoded snapshot serves many forks;
+// running one to completion must not disturb the next.
+func TestDecodedSnapshotImmutable(t *testing.T) {
+	snap := captureSnapshot(t, 3)
+	decoded := decode(t, encode(t, snap, image.WriteOptions{}), 0)
+	firstRes, firstRep := forkAndRun(t, decoded, 3)
+	secondRes, secondRep := forkAndRun(t, decoded, 3)
+	if !reflect.DeepEqual(firstRes, secondRes) || !reflect.DeepEqual(firstRep, secondRep) {
+		t.Errorf("second fork from decoded snapshot differs:\nfirst  %+v %+v\nsecond %+v %+v",
+			firstRes, firstRep, secondRes, secondRep)
+	}
+}
+
+// TestWriteDeterminism: the byte stream is identical at every worker
+// count, with and without compression.
+func TestWriteDeterminism(t *testing.T) {
+	snap := captureSnapshot(t, 11)
+	for _, compress := range []bool{false, true} {
+		base := encode(t, snap, image.WriteOptions{Compress: compress, Workers: 1})
+		for _, workers := range []int{0, 2, 8} {
+			got := encode(t, snap, image.WriteOptions{Compress: compress, Workers: workers})
+			if !bytes.Equal(base, got) {
+				t.Errorf("compress=%v: %d-worker encode differs from serial (%d vs %d bytes)",
+					compress, workers, len(got), len(base))
+			}
+		}
+	}
+	if err := image.WriteSnapshot(&bytes.Buffer{}, snap, image.WriteOptions{}); err != nil {
+		t.Fatalf("re-encode after determinism runs: %v", err)
+	}
+}
+
+// TestCorruptionRejected: flipping any byte or truncating at any point
+// must fail the read — never yield a snapshot silently.
+func TestCorruptionRejected(t *testing.T) {
+	snap := captureSnapshot(t, 5)
+	data := encode(t, snap, image.WriteOptions{})
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+
+	for off := 0; off < len(data); off += 997 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		if _, err := image.ReadSnapshot(bytes.NewReader(mut), reg, 0); err == nil {
+			t.Fatalf("byte flip at offset %d decoded successfully", off)
+		}
+	}
+	for cut := 0; cut < len(data); cut += 1009 {
+		if _, err := image.ReadSnapshot(bytes.NewReader(data[:cut]), reg, 0); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", cut, len(data))
+		}
+	}
+}
+
+// TestRegistryValidated: reading with a registry whose program set
+// differs from the captured machine's is an error, and a nil registry
+// is rejected outright.
+func TestRegistryValidated(t *testing.T) {
+	snap := captureSnapshot(t, 2)
+	data := encode(t, snap, image.WriteOptions{})
+
+	empty := usr.NewRegistry()
+	if _, err := image.ReadSnapshot(bytes.NewReader(data), empty, 0); err == nil {
+		t.Fatal("read with an empty registry succeeded")
+	}
+	extra := usr.NewRegistry()
+	testsuite.Register(extra)
+	extra.Register("zz-not-captured", func(p *usr.Proc) int { return 0 })
+	if _, err := image.ReadSnapshot(bytes.NewReader(data), extra, 0); err == nil {
+		t.Fatal("read with an extra program succeeded")
+	}
+	if _, err := image.ReadSnapshot(bytes.NewReader(data), nil, 0); err == nil {
+		t.Fatal("read with a nil registry succeeded")
+	}
+}
+
+// TestFileRoundTrip: the path-based helpers write atomically and read
+// back a forkable snapshot.
+func TestFileRoundTrip(t *testing.T) {
+	snap := captureSnapshot(t, 13)
+	path := t.TempDir() + "/snap.img"
+	if err := image.WriteSnapshotFile(path, snap, image.WriteOptions{Compress: true}); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	decoded, err := image.ReadSnapshotFile(path, reg, 0)
+	if err != nil {
+		t.Fatalf("ReadSnapshotFile: %v", err)
+	}
+	origRes, origRep := forkAndRun(t, snap, 13)
+	decRes, decRep := forkAndRun(t, decoded, 13)
+	if !reflect.DeepEqual(origRes, decRes) || !reflect.DeepEqual(origRep, decRep) {
+		t.Errorf("file round trip differs:\norig    %+v %+v\ndecoded %+v %+v",
+			origRes, origRep, decRes, decRep)
+	}
+}
+
+// Encode/decode throughput for EXPERIMENTS.md.
+func benchWrite(b *testing.B, o image.WriteOptions) {
+	snap := captureSnapshot(b, 1)
+	size := int64(len(encode(b, snap, o)))
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := image.WriteSnapshot(&buf, snap, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRead(b *testing.B, o image.WriteOptions, workers int) {
+	snap := captureSnapshot(b, 1)
+	data := encode(b, snap, o)
+	reg := usr.NewRegistry()
+	testsuite.Register(reg)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := image.ReadSnapshot(bytes.NewReader(data), reg, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteRaw(b *testing.B)        { benchWrite(b, image.WriteOptions{}) }
+func BenchmarkWriteRawSerial(b *testing.B)  { benchWrite(b, image.WriteOptions{Workers: 1}) }
+func BenchmarkWriteCompressed(b *testing.B) { benchWrite(b, image.WriteOptions{Compress: true}) }
+func BenchmarkReadRaw(b *testing.B)         { benchRead(b, image.WriteOptions{}, 0) }
+func BenchmarkReadRawSerial(b *testing.B)   { benchRead(b, image.WriteOptions{}, 1) }
+func BenchmarkReadCompressed(b *testing.B)  { benchRead(b, image.WriteOptions{Compress: true}, 0) }

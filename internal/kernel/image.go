@@ -1,0 +1,273 @@
+package kernel
+
+// On-disk serialization of MachineImage (the kernel frame of
+// internal/image's container format). The codec is hand-rolled —
+// MachineImage is all unexported fields with interior maps keyed by
+// unexported structs — and deterministic: map entries are emitted in
+// sorted key order, everything else in capture order.
+//
+// Message Aux payloads are the one open point: they are interface-typed
+// and may carry process bodies (functions), which cannot cross a
+// process boundary. Encoding goes through wire.Any, so nil and
+// registered data payloads ([]string argv and the servers' registered
+// fork-state types) serialize, and anything else fails the encode with
+// a clear error — the caller degrades to in-memory forking or cold
+// boots rather than persisting a lossy image.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// imageVersion guards the frame layout; bump on any codec change.
+const imageVersion = 1
+
+// EncodeTo appends the machine image to e.
+func (img *MachineImage) EncodeTo(e *wire.Encoder) error {
+	e.Uvarint(imageVersion)
+	e.U64(uint64(img.now))
+	e.Varint(int64(img.rrNext))
+	e.Varint(int64(img.nextUserEp))
+	e.Varint(int64(img.rootEp))
+	e.Uvarint(uint64(len(img.alarms)))
+	for _, a := range img.alarms {
+		e.U64(uint64(a.deadline))
+		e.Varint(int64(a.ep))
+		e.Uvarint(a.seq)
+	}
+	e.Uvarint(img.alarmSeq)
+	encodeCounters(e, img.counters)
+	e.Uvarint(uint64(len(img.procs)))
+	for i := range img.procs {
+		p := &img.procs[i]
+		e.Varint(int64(p.ep))
+		e.Str(p.name)
+		e.Varint(int64(p.state))
+		e.Uvarint(uint64(len(p.inbox)))
+		for j := range p.inbox {
+			if err := encodeMessage(e, &p.inbox[j]); err != nil {
+				return fmt.Errorf("kernel: process %s(%d) inbox[%d]: %w", p.name, p.ep, j, err)
+			}
+		}
+		e.U64(uint64(p.quantumUsed))
+		e.Varint(int64(p.curSender))
+		e.Bool(p.curNeedsReply)
+	}
+	e.Bool(img.ipc != nil)
+	if img.ipc != nil {
+		if err := e.Encode(img.ipc.stats); err != nil {
+			return err
+		}
+		encodeSeqMap(e, img.ipc.nextSeq)
+		encodePairs(e, img.ipc.seen, func(w seqWindow) {
+			e.U32(w.top)
+			e.U64(w.bits)
+		})
+		encodeSeqMap(e, img.ipc.svcSeq)
+		var msgErr error
+		encodePairs(e, img.ipc.replyCache, func(r cachedReply) {
+			e.U32(r.seq)
+			if err := encodeMessage(e, &r.msg); err != nil && msgErr == nil {
+				msgErr = err
+			}
+		})
+		if msgErr != nil {
+			return fmt.Errorf("kernel: reply cache: %w", msgErr)
+		}
+	}
+	e.U64(uint64(img.ipcNextDue))
+	return nil
+}
+
+// DecodeMachineImage parses one machine image from d.
+func DecodeMachineImage(d *wire.Decoder) (*MachineImage, error) {
+	if v := d.Uvarint(); v != imageVersion && d.Err() == nil {
+		return nil, fmt.Errorf("kernel: machine image version %d, want %d", v, imageVersion)
+	}
+	img := &MachineImage{
+		now:        sim.Cycles(d.U64()),
+		rrNext:     int(d.Varint()),
+		nextUserEp: Endpoint(d.Varint()),
+		rootEp:     Endpoint(d.Varint()),
+	}
+	for i, n := 0, int(d.Uvarint()); i < n && d.Err() == nil; i++ {
+		img.alarms = append(img.alarms, alarm{
+			deadline: sim.Cycles(d.U64()),
+			ep:       Endpoint(d.Varint()),
+			seq:      d.Uvarint(),
+		})
+	}
+	img.alarmSeq = d.Uvarint()
+	img.counters = decodeCounters(d)
+	for i, n := 0, int(d.Uvarint()); i < n && d.Err() == nil; i++ {
+		p := procImage{
+			ep:    Endpoint(d.Varint()),
+			name:  d.Str(),
+			state: procState(d.Varint()),
+		}
+		for j, m := 0, int(d.Uvarint()); j < m && d.Err() == nil; j++ {
+			msg, err := decodeMessage(d)
+			if err != nil {
+				return nil, err
+			}
+			p.inbox = append(p.inbox, msg)
+		}
+		p.quantumUsed = sim.Cycles(d.U64())
+		p.curSender = Endpoint(d.Varint())
+		p.curNeedsReply = d.Bool()
+		img.procs = append(img.procs, p)
+	}
+	if d.Bool() {
+		pl := &planeImage{
+			nextSeq:    map[epPair]uint32{},
+			seen:       map[epPair]seqWindow{},
+			svcSeq:     map[epPair]uint32{},
+			replyCache: map[epPair]cachedReply{},
+		}
+		if err := d.Decode(&pl.stats); err != nil {
+			return nil, err
+		}
+		decodeSeqMap(d, pl.nextSeq)
+		decodePairs(d, pl.seen, func() seqWindow {
+			return seqWindow{top: d.U32(), bits: d.U64()}
+		})
+		decodeSeqMap(d, pl.svcSeq)
+		var msgErr error
+		decodePairs(d, pl.replyCache, func() cachedReply {
+			r := cachedReply{seq: d.U32()}
+			msg, err := decodeMessage(d)
+			if err != nil && msgErr == nil {
+				msgErr = err
+			}
+			r.msg = msg
+			return r
+		})
+		if msgErr != nil {
+			return nil, msgErr
+		}
+		img.ipc = pl
+	}
+	img.ipcNextDue = sim.Cycles(d.U64())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// encodeCounters writes the counter set name-keyed in sorted order.
+// Slot IDs are per-process (registration order), so the image must not
+// reference them: a trace recorded by one binary is replayed by
+// another, and Add-by-name re-resolves to the local slots.
+func encodeCounters(e *wire.Encoder, c *sim.Counters) {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		e.Str(name)
+		e.Uvarint(snap[name])
+	}
+}
+
+func decodeCounters(d *wire.Decoder) *sim.Counters {
+	c := sim.NewCounters()
+	for i, n := 0, int(d.Uvarint()); i < n && d.Err() == nil; i++ {
+		name := d.Str()
+		c.Add(name, d.Uvarint())
+	}
+	return c
+}
+
+// encodeMessage serializes one message. Aux goes through the wire type
+// registry; unregistered payloads (process bodies) fail the encode.
+func encodeMessage(e *wire.Encoder, m *Message) error {
+	e.Varint(int64(m.Type))
+	e.Varint(int64(m.From))
+	e.Varint(int64(m.To))
+	e.Bool(m.NeedsReply)
+	e.Varint(int64(m.Errno))
+	e.Varint(m.A)
+	e.Varint(m.B)
+	e.Varint(m.C)
+	e.Varint(m.D)
+	e.Str(m.Str)
+	e.Str(m.Str2)
+	e.Blob(m.Bytes)
+	if err := e.Any(m.Aux); err != nil {
+		return err
+	}
+	e.U32(m.Seq)
+	e.U32(m.Sum)
+	return nil
+}
+
+func decodeMessage(d *wire.Decoder) (Message, error) {
+	m := Message{
+		Type:       MsgType(d.Varint()),
+		From:       Endpoint(d.Varint()),
+		To:         Endpoint(d.Varint()),
+		NeedsReply: d.Bool(),
+		Errno:      Errno(d.Varint()),
+		A:          d.Varint(),
+		B:          d.Varint(),
+		C:          d.Varint(),
+		D:          d.Varint(),
+		Str:        d.Str(),
+		Str2:       d.Str(),
+		Bytes:      d.Blob(),
+	}
+	aux, err := d.Any()
+	if err != nil {
+		return Message{}, err
+	}
+	m.Aux = aux
+	m.Seq = d.U32()
+	m.Sum = d.U32()
+	return m, d.Err()
+}
+
+// sortedPairs returns the map's keys sorted by (dst, src).
+func sortedPairs[V any](m map[epPair]V) []epPair {
+	keys := make([]epPair, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst < keys[j].dst
+		}
+		return keys[i].src < keys[j].src
+	})
+	return keys
+}
+
+func encodePairs[V any](e *wire.Encoder, m map[epPair]V, val func(V)) {
+	keys := sortedPairs(m)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.Varint(int64(k.dst))
+		e.Varint(int64(k.src))
+		val(m[k])
+	}
+}
+
+func decodePairs[V any](d *wire.Decoder, m map[epPair]V, val func() V) {
+	for i, n := 0, int(d.Uvarint()); i < n && d.Err() == nil; i++ {
+		k := epPair{dst: Endpoint(d.Varint()), src: Endpoint(d.Varint())}
+		m[k] = val()
+	}
+}
+
+func encodeSeqMap(e *wire.Encoder, m map[epPair]uint32) {
+	encodePairs(e, m, func(v uint32) { e.U32(v) })
+}
+
+func decodeSeqMap(d *wire.Decoder, m map[epPair]uint32) {
+	decodePairs(d, m, func() uint32 { return d.U32() })
+}

@@ -2,9 +2,29 @@ package memlog
 
 import (
 	"fmt"
+	"reflect"
 
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
+
+// typeSig is the container element-type fingerprint embedded in image
+// payloads, so decoding an image against changed component code reports
+// a clear type mismatch instead of silently misreading bytes.
+func typeSig[T any]() string {
+	return reflect.TypeOf((*T)(nil)).Elem().String()
+}
+
+func checkSig(d *wire.Decoder, want string) error {
+	got := d.Str()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("memlog: image element type %q, code expects %q", got, want)
+	}
+	return nil
+}
 
 // Cell is a single instrumented variable of type T. Every Set goes
 // through the store's undo-log hook, like an instrumented store
@@ -28,6 +48,11 @@ func NewCell[T any](s *Store, id string, init T) *Cell[T] {
 		return c
 	}
 	c := &Cell[T]{store: s, id: id, v: init}
+	materializePending(s, c, func(snap *Store) {
+		sc := &Cell[T]{store: snap, id: id}
+		materializePending(snap, sc, nil)
+		snap.register(sc)
+	})
 	s.register(c)
 	return c
 }
@@ -118,6 +143,11 @@ func NewMap[K comparable, V any](s *Store, id string) *Map[K, V] {
 		return m
 	}
 	m := &Map[K, V]{store: s, id: id, m: make(map[K]V)}
+	materializePending(s, m, func(snap *Store) {
+		sm := &Map[K, V]{store: snap, id: id, m: make(map[K]V)}
+		materializePending(snap, sm, nil)
+		snap.register(sm)
+	})
 	s.register(m)
 	return m
 }
@@ -316,6 +346,11 @@ func NewSlice[T any](s *Store, id string) *Slice[T] {
 		return sl
 	}
 	sl := &Slice[T]{store: s, id: id}
+	materializePending(s, sl, func(snap *Store) {
+		ss := &Slice[T]{store: snap, id: id}
+		materializePending(snap, ss, nil)
+		snap.register(ss)
+	})
 	s.register(sl)
 	return sl
 }
@@ -450,4 +485,87 @@ func (s *Slice[T]) corrupt(r *sim.RNG) bool {
 	s.v[i] = nv.(T)
 	s.store.touch(s, &s.cm)
 	return true
+}
+
+// Image payload codecs (see image.go). Each payload leads with the
+// element-type fingerprint so decoding against changed code fails with
+// a clear error.
+
+func (c *Cell[T]) encodeState(e *wire.Encoder) error {
+	e.Str(typeSig[T]())
+	return e.Value(reflect.ValueOf(&c.v).Elem())
+}
+
+func (c *Cell[T]) decodeState(d *wire.Decoder) error {
+	if err := checkSig(d, typeSig[T]()); err != nil {
+		return err
+	}
+	if err := d.Value(reflect.ValueOf(&c.v).Elem()); err != nil {
+		return err
+	}
+	if n := d.Remaining(); n != 0 {
+		return fmt.Errorf("memlog: cell %q payload has %d trailing bytes", c.id, n)
+	}
+	return nil
+}
+
+func (m *Map[K, V]) encodeState(e *wire.Encoder) error {
+	e.Str(typeSig[K]() + "→" + typeSig[V]())
+	// Entries are written in insertion order (not sorted): the order
+	// index is part of the map's observable state.
+	e.Uvarint(uint64(len(m.order)))
+	for _, k := range m.order {
+		if err := e.Value(reflect.ValueOf(&k).Elem()); err != nil {
+			return err
+		}
+		v := m.m[k]
+		if err := e.Value(reflect.ValueOf(&v).Elem()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Map[K, V]) decodeState(d *wire.Decoder) error {
+	if err := checkSig(d, typeSig[K]()+"→"+typeSig[V]()); err != nil {
+		return err
+	}
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		var k K
+		var v V
+		if err := d.Value(reflect.ValueOf(&k).Elem()); err != nil {
+			return err
+		}
+		if err := d.Value(reflect.ValueOf(&v).Elem()); err != nil {
+			return err
+		}
+		if _, dup := m.m[k]; dup {
+			return fmt.Errorf("memlog: map %q payload repeats a key", m.id)
+		}
+		m.m[k] = v
+		m.order = append(m.order, k)
+	}
+	if rem := d.Remaining(); rem != 0 {
+		return fmt.Errorf("memlog: map %q payload has %d trailing bytes", m.id, rem)
+	}
+	return nil
+}
+
+func (s *Slice[T]) encodeState(e *wire.Encoder) error {
+	e.Str(typeSig[T]())
+	return e.Value(reflect.ValueOf(&s.v).Elem())
+}
+
+func (s *Slice[T]) decodeState(d *wire.Decoder) error {
+	if err := checkSig(d, typeSig[T]()); err != nil {
+		return err
+	}
+	if err := d.Value(reflect.ValueOf(&s.v).Elem()); err != nil {
+		return err
+	}
+	if n := d.Remaining(); n != 0 {
+		return fmt.Errorf("memlog: slice %q payload has %d trailing bytes", s.id, n)
+	}
+	return nil
 }

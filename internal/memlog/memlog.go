@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Fixed counter slots: store instrumentation fires on every logged
@@ -102,6 +103,10 @@ type container interface {
 	restoreFrom(src container)
 	// meta exposes the per-container dirty/size bookkeeping.
 	meta() *contMeta
+	// encodeState/decodeState serialize the container's contents for
+	// the on-disk store image (image.go).
+	encodeState(e *wire.Encoder) error
+	decodeState(d *wire.Decoder) error
 }
 
 // contMeta is the per-container bookkeeping embedded in Cell, Map and
@@ -189,6 +194,15 @@ type Store struct {
 	// exactly once — a freshly restarted stateless component must NOT
 	// rediscover state it has genuinely lost.
 	generation int
+
+	// pending/pendingFix/pendingErr are the two-phase image-decode
+	// state (see image.go): raw container payloads awaiting typed
+	// materialization by the component factory, the recorded
+	// bookkeeping FinishDecode applies, and the first materialization
+	// failure.
+	pending    map[string]pendingCont
+	pendingFix *storeFixup
+	pendingErr error
 }
 
 // NewStore returns an empty Store for the named component, using the
@@ -417,6 +431,9 @@ func (s *Store) TransferLog(dst *Store) {
 // The clone inherits the instrumentation mode, label and checkpoint
 // implementation.
 func (s *Store) Clone() *Store {
+	if s.pending != nil {
+		panic(fmt.Sprintf("memlog: Clone on store %q before its image decode was materialized", s.label))
+	}
 	dst := NewStore(s.label, s.mode)
 	dst.charge = s.charge
 	dst.counters = s.counters
@@ -442,6 +459,9 @@ func (s *Store) Clone() *Store {
 // carried over (they reference the source machine); the caller must
 // install the fork's own via SetCostSink/SetCounters.
 func (s *Store) ForkClone() *Store {
+	if s.pending != nil {
+		return s.forkClonePending()
+	}
 	dst := NewStore(s.label, s.mode)
 	dst.logging = s.logging
 	dst.generation = s.generation

@@ -127,6 +127,28 @@ func (p Policy) String() string {
 // MarshalText renders the policy by name in JSON reports.
 func (p Policy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
 
+// ParsePolicy is the inverse of String: it maps a table name back to
+// the policy, for replayable trace records and CLI flags.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range []Policy{PolicyStateless, PolicyNaive, PolicyPessimistic, PolicyEnhanced, PolicyExtended} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("seep: unknown policy %q", name)
+}
+
+// UnmarshalText parses the policy by name, so JSON trace records
+// round-trip.
+func (p *Policy) UnmarshalText(text []byte) error {
+	v, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 // Checkpointing reports whether the policy maintains checkpoints and
 // recovery windows at all.
 func (p Policy) Checkpointing() bool {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/seep"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // HeartbeatPeriod is the default virtual-time interval between
@@ -222,21 +223,25 @@ func (r *RS) quarantineNotify(ctx *kernel.Context, m kernel.Message) {
 // which pings were outstanding at the capture point or it would judge
 // the silence twice.
 type rsForkState struct {
-	outstanding map[kernel.Endpoint]int
-	quarantined map[kernel.Endpoint]bool
+	Outstanding map[kernel.Endpoint]int
+	Quarantined map[kernel.Endpoint]bool
 }
+
+// The fork state crosses the on-disk image boundary as a registered
+// interface payload.
+func init() { wire.Register("rs.forkState", rsForkState{}) }
 
 // ForkSnapshot deep-copies the transient prober state (core.Forkable).
 func (r *RS) ForkSnapshot() any {
 	s := rsForkState{
-		outstanding: make(map[kernel.Endpoint]int, len(r.outstanding)),
-		quarantined: make(map[kernel.Endpoint]bool, len(r.quarantined)),
+		Outstanding: make(map[kernel.Endpoint]int, len(r.outstanding)),
+		Quarantined: make(map[kernel.Endpoint]bool, len(r.quarantined)),
 	}
 	for ep, n := range r.outstanding {
-		s.outstanding[ep] = n
+		s.Outstanding[ep] = n
 	}
 	for ep, q := range r.quarantined {
-		s.quarantined[ep] = q
+		s.Quarantined[ep] = q
 	}
 	return s
 }
@@ -248,10 +253,10 @@ func (r *RS) ApplyForkSnapshot(snap any) {
 	if !ok {
 		return
 	}
-	for ep, n := range s.outstanding {
+	for ep, n := range s.Outstanding {
 		r.outstanding[ep] = n
 	}
-	for ep, q := range s.quarantined {
+	for ep, q := range s.Quarantined {
 		r.quarantined[ep] = q
 	}
 }

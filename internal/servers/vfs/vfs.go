@@ -17,6 +17,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/seep"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // ctrStaleCompletions counts driver completions that arrive after their
@@ -740,20 +741,24 @@ func (v *VFS) pipeWrite(ctx *kernel.Context, m kernel.Message, e fdEnt) {
 // warm fork: only the tag cursor — the pool itself is rebuilt idle,
 // which is exact because capture requires quiescence (no thread busy).
 type vfsForkState struct {
-	nextTag int64
+	NextTag int64
 }
+
+// The fork state crosses the on-disk image boundary as a registered
+// interface payload.
+func init() { wire.Register("vfs.forkState", vfsForkState{}) }
 
 // ForkSnapshot captures the tag cursor (core.Forkable). tagBase is not
 // captured: RunLoop recomputes it from the restored counters, which
 // yields the captured value bit-identically.
 func (v *VFS) ForkSnapshot() any {
-	return vfsForkState{nextTag: v.nextTag}
+	return vfsForkState{NextTag: v.nextTag}
 }
 
 // ApplyForkSnapshot restores the tag cursor into a fresh instance.
 func (v *VFS) ApplyForkSnapshot(snap any) {
 	if s, ok := snap.(vfsForkState); ok {
-		v.nextTag = s.nextTag
+		v.nextTag = s.NextTag
 	}
 }
 

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+type tinyEnum int32
+
+type inner struct {
+	Name  string
+	Flags [3]int32
+}
+
+type outer struct {
+	A    bool
+	B    int64
+	C    uint16
+	D    float64
+	E    string
+	F    []byte
+	G    []inner
+	H    map[string]int64
+	I    map[int64]string
+	Kind tinyEnum
+}
+
+func sample() outer {
+	return outer{
+		A:    true,
+		B:    -987654321,
+		C:    65535,
+		D:    math.Pi,
+		E:    "hello\x00world",
+		F:    []byte{0, 1, 2, 255},
+		G:    []inner{{Name: "x", Flags: [3]int32{1, -2, 3}}, {Name: ""}},
+		H:    map[string]int64{"a": 1, "b": -2, "": 3},
+		I:    map[int64]string{-5: "neg", 0: "zero", 9: "nine"},
+		Kind: 7,
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	in := sample()
+	e := NewEncoder()
+	if err := e.Encode(in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out outer
+	d := NewDecoder(e.Bytes())
+	if err := d.Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("trailing bytes: %d", d.Remaining())
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	// Build the same logical map with different insertion histories.
+	m1 := map[string]int64{}
+	m2 := map[string]int64{}
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i, k := range keys {
+		m1[k] = int64(i)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		m2[keys[i]] = int64(i)
+	}
+	e1, e2 := NewEncoder(), NewEncoder()
+	if err := e1.Encode(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Encode(m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e1.Bytes(), e2.Bytes()) {
+		t.Fatal("map encoding depends on insertion order")
+	}
+}
+
+func TestNilVersusEmpty(t *testing.T) {
+	type s struct {
+		B []byte
+		S []int64
+		M map[string]int64
+	}
+	for _, in := range []s{
+		{},
+		{B: []byte{}, S: []int64{}, M: map[string]int64{}},
+	} {
+		e := NewEncoder()
+		if err := e.Encode(in); err != nil {
+			t.Fatal(err)
+		}
+		var out s
+		if err := NewDecoder(e.Bytes()).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if (in.B == nil) != (out.B == nil) || (in.S == nil) != (out.S == nil) || (in.M == nil) != (out.M == nil) {
+			t.Fatalf("nilness lost: in %+v out %+v", in, out)
+		}
+	}
+}
+
+func TestUnsupportedKinds(t *testing.T) {
+	e := NewEncoder()
+	if err := e.Encode(func() {}); err == nil {
+		t.Fatal("func encoded without error")
+	}
+	if err := e.Encode(make(chan int)); err == nil {
+		t.Fatal("chan encoded without error")
+	}
+	x := 3
+	if err := e.Encode(&x); err == nil {
+		t.Fatal("pointer encoded without error")
+	}
+	type hidden struct{ a int } //nolint:unused
+	if err := e.Encode(hidden{}); err == nil {
+		t.Fatal("unexported field encoded without error")
+	}
+	_ = hidden{a: 0}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	in := sample()
+	e := NewEncoder()
+	if err := e.Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		var out outer
+		d := NewDecoder(full[:cut])
+		if err := d.Decode(&out); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestCorruptBoolByte(t *testing.T) {
+	d := NewDecoder([]byte{7})
+	d.Bool()
+	if d.Err() == nil {
+		t.Fatal("bad bool byte accepted")
+	}
+}
+
+type regPayload struct {
+	N int64
+	S string
+}
+
+func TestAnyRegistry(t *testing.T) {
+	Register("wire-test.regPayload", regPayload{})
+
+	for _, in := range []any{
+		nil,
+		[]string{"a", "b"},
+		regPayload{N: 42, S: "hi"},
+	} {
+		e := NewEncoder()
+		if err := e.Any(in); err != nil {
+			t.Fatalf("Any(%v): %v", in, err)
+		}
+		out, err := NewDecoder(e.Bytes()).Any()
+		if err != nil {
+			t.Fatalf("decode Any(%v): %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("Any round trip: in %v out %v", in, out)
+		}
+	}
+
+	e := NewEncoder()
+	if err := e.Any(struct{ X func() }{}); err == nil {
+		t.Fatal("unregistered type encoded without error")
+	}
+}
+
+func TestHugeLengthPrefixRejected(t *testing.T) {
+	// A length prefix far beyond the remaining bytes must fail cleanly
+	// rather than allocate or loop.
+	e := NewEncoder()
+	e.Uvarint(1 << 40)
+	var out []int64
+	if err := NewDecoder(e.Bytes()).Decode(&out); err == nil {
+		t.Fatal("absurd length prefix accepted")
+	}
+}
