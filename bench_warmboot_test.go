@@ -7,11 +7,13 @@
 package osiris
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/boot"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/memlog"
 	"repro/internal/seep"
 	"repro/internal/testsuite"
 	"repro/internal/usr"
@@ -101,11 +103,15 @@ func armedRunPlan(b *testing.B) (faultinject.CampaignConfig, []faultinject.Injec
 // BenchmarkArmedRun isolates the armed-run phase of a campaign: the
 // warm plane is built and the snapshot ladder fully walked OUTSIDE the
 // timed loop, so ns/op is the residual per-run cost — fork from the
-// serving rung plus the post-trigger suite suffix. Together with
-// BenchmarkColdBoot (setup replaced per run) and
-// BenchmarkArmedRunColdBoot (setup + full suite per run) it yields the
-// Amdahl split of campaign time recorded in BENCH_baseline.json.
+// serving rung plus the post-trigger suite suffix. Tail elision is
+// pinned off so the suffix is genuinely executed; BenchmarkArmedRunElided
+// measures the spliced path. Together with BenchmarkColdBoot (setup
+// replaced per run) and BenchmarkArmedRunColdBoot (setup + full suite
+// per run) it yields the Amdahl split of campaign time recorded in
+// BENCH_baseline.json.
 func BenchmarkArmedRun(b *testing.B) {
+	prev := faultinject.SetNoElideDefault(true)
+	defer faultinject.SetNoElideDefault(prev)
 	cfg, plan, runner := armedRunPlan(b)
 	defer runner.Close()
 	b.ResetTimer()
@@ -132,5 +138,71 @@ func BenchmarkArmedRunColdBoot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		j := i % len(plan)
 		runner.Run(cfg.Seed+uint64(j)*7919, plan[j])
+	}
+}
+
+// BenchmarkArmedRunElided is BenchmarkArmedRun with tail elision on: a
+// run whose fault recovered hashes its state at each quiescence barrier
+// and, on fingerprint match against the pathfinder rung, splices the
+// recorded suffix deltas instead of executing the remaining programs.
+// ns/op is fork + pre-convergence prefix; the gap to BenchmarkArmedRun
+// is the elided tail.
+func BenchmarkArmedRunElided(b *testing.B) {
+	prev := faultinject.SetNoElideDefault(false)
+	defer faultinject.SetNoElideDefault(prev)
+	cfg, plan, runner := armedRunPlan(b)
+	defer runner.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(plan)
+		runner.Run(cfg.Seed+uint64(j)*7919, plan[j])
+	}
+	b.StopTimer()
+	if stats := runner.Stats(); stats.Elided == 0 {
+		b.Fatalf("no runs elided: %+v", stats)
+	}
+}
+
+// BenchmarkStateFingerprint measures the rolling store fingerprint an
+// armed run pays at each quiescence barrier, on a synthetic store sized
+// like the VM frame table (the largest real container set). The rolling
+// hash only re-mixes containers dirtied since the last call, so a clean
+// barrier costs O(1) regardless of state size; the dirty variants
+// re-hash 10% and 100% of the containers per call.
+func BenchmarkStateFingerprint(b *testing.B) {
+	const (
+		containers = 100
+		elems      = 1024
+	)
+	for _, tc := range []struct {
+		name  string
+		dirty int
+	}{
+		{"clean", 0},
+		{"dirty10", containers / 10},
+		{"dirty100", containers},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			st := memlog.NewStore("bench", memlog.Optimized)
+			slices := make([]*memlog.Slice[int32], containers)
+			for i := range slices {
+				slices[i] = memlog.NewSlice[int32](st, fmt.Sprintf("frames%03d", i))
+				for j := 0; j < elems; j++ {
+					slices[i].Append(int32(i + j))
+				}
+			}
+			if _, err := st.Fingerprint(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < tc.dirty; k++ {
+					slices[k].Set(0, int32(i+k))
+				}
+				if _, err := st.Fingerprint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

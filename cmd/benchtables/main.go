@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot]
-//	            [-workers N] [-coldboot] [-snapcache SIZE] [-json out.json]
+//	benchtables [-scale quick|full] [-seed N] [-only 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot,elide]
+//	            [-workers N] [-coldboot] [-noelide] [-snapcache SIZE] [-json out.json]
 //	            [-list] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Independent simulated machines fan out across -workers threads; the
@@ -13,7 +13,11 @@
 // of a warm pathfinder machine by default; -snapcache bounds the
 // ladder's snapshot cache in bytes (negative: boot-barrier snapshot
 // only), and -coldboot (or OSIRIS_COLD_BOOT=1) boots every run from
-// scratch instead — same tables, historical setup cost. -list prints
+// scratch instead — same tables, historical setup cost. Warm-served
+// runs splice the pathfinder's recorded suffix when their state
+// fingerprint matches a ladder rung; -noelide (or OSIRIS_NO_ELIDE=1)
+// pins every run to full suffix execution — same tables, the elision
+// bit-identity oracle. -list prints
 // the section keys accepted by -only and exits. -json writes a
 // machine-readable report with per-section wall-clock and process
 // allocation statistics alongside the table data.
@@ -39,9 +43,10 @@ func main() {
 	var (
 		scaleName  = flag.String("scale", "quick", "evaluation scale: quick or full")
 		seed       = flag.Uint64("seed", 42, "simulation seed")
-		only       = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot (default all)")
+		only       = flag.String("only", "", "comma-separated subset: 1,2,3,4,5,6,f3,mf,ablation,ipc,ckpt,cluster,warmboot,elide (default all)")
 		workers    = flag.Int("workers", 0, "concurrent simulated machines (0 = one per CPU, 1 = serial)")
 		coldBoot   = flag.Bool("coldboot", false, "boot every campaign run from scratch instead of forking a warm image")
+		noElide    = flag.Bool("noelide", false, "execute every run's suffix in full instead of splicing the pathfinder tail on fingerprint match (the elision bit-identity oracle)")
 		snapCache  = flag.String("snapcache", "", "snapshot-ladder cache budget in bytes, with optional KiB/MiB/GiB suffix (empty: OSIRIS_SNAPSHOT_CACHE or built-in default; negative: boot-barrier snapshot only)")
 		list       = flag.Bool("list", false, "print the section keys accepted by -only and exit")
 		jsonPath   = flag.String("json", "", "write a machine-readable report to this file")
@@ -61,6 +66,9 @@ func main() {
 	}
 	if *coldBoot {
 		faultinject.SetColdBootDefault(true)
+	}
+	if *noElide {
+		faultinject.SetNoElideDefault(true)
 	}
 	if *snapCache != "" {
 		budget, err := core.ParseByteSize(*snapCache)
@@ -123,6 +131,7 @@ var sectionInfo = []struct {
 	{"ckpt", "checkpointing_incremental", "Incremental checkpointing micro-table"},
 	{"cluster", "cluster_availability", "Multi-node cluster availability and failover"},
 	{"warmboot", "warmboot_fork", "Warm-boot fork plane and snapshot ladder"},
+	{"elide", "tail_elision", "Tail elision: campaign throughput with the suffix spliced vs executed"},
 }
 
 // section is one table/figure of the JSON report.
@@ -284,6 +293,14 @@ func run(scaleName string, seed uint64, only string, workers int, jsonPath strin
 			return fmt.Errorf("warm-boot table: %w", err)
 		}
 		emit("warmboot_fork", t, time.Since(t0))
+	}
+	if want("elide") {
+		t0 := time.Now()
+		t, err := eval.RunTailElision(sc)
+		if err != nil {
+			return fmt.Errorf("tail-elision table: %w", err)
+		}
+		emit("tail_elision", t, time.Since(t0))
 	}
 
 	if jsonPath != "" {

@@ -11,7 +11,8 @@
 //
 //	faultcampaign [-policy all|enhanced|...] [-model failstop|edfi|ipcmix]
 //	              [-samples N] [-maxruns N] [-seed N] [-profile]
-//	              [-faults N] [-runs N] [-workers N] [-coldboot] [-snapcache SIZE]
+//	              [-faults N] [-runs N] [-workers N] [-coldboot] [-noelide]
+//	              [-snapcache SIZE]
 //	              [-record DIR] [-resume JOURNAL] [-quiet] [-gate=false]
 //	              [-ipcfaults] [-droprate BP] [-duprate BP] [-delayrate BP]
 //	              [-reorderrate BP] [-corruptrate BP] [-ipcseed N]
@@ -71,8 +72,14 @@
 // (negative: boot-barrier snapshot only; default from
 // OSIRIS_SNAPSHOT_CACHE or 256 MiB), and -coldboot (or the
 // OSIRIS_COLD_BOOT environment variable) boots every run from scratch
-// instead — same results, historical setup cost. Each policy row is
-// followed by a "warm plane:" line reporting how its runs were served.
+// instead — same results, historical setup cost. Once a warm run's
+// fault has fully recovered and its state fingerprint matches the
+// pathfinder's rung record, the remaining suite suffix is elided: the
+// recorded tail deltas are spliced in place of re-execution, with
+// results bit-identical either way. -noelide (or OSIRIS_NO_ELIDE)
+// pins full suffix execution — the elision bit-identity oracle. Each
+// policy row is followed by "warm plane:" and "elision:" lines
+// reporting how its runs were served.
 package main
 
 import (
@@ -101,6 +108,7 @@ func main() {
 		runs       = flag.Int("runs", 40, "boots per policy in the multi-fault campaign")
 		workers    = flag.Int("workers", 0, "concurrent boots (0 = one per CPU, 1 = serial)")
 		coldBoot   = flag.Bool("coldboot", false, "boot every run from scratch instead of forking a warm image")
+		noElide    = flag.Bool("noelide", false, "execute every warm run's suite suffix in full instead of splicing the recorded pathfinder tail at fingerprinted convergence")
 		snapCache  = flag.String("snapcache", "", "snapshot-ladder cache budget in bytes, with optional KiB/MiB/GiB suffix (empty: OSIRIS_SNAPSHOT_CACHE or built-in default; negative: boot-barrier snapshot only)")
 		recordDir  = flag.String("record", "", "write a replayable JSON trace for every failed/degraded/inconsistent run into this directory")
 		resumePath = flag.String("resume", "", "journal completed runs to this file and resume from it after a crash (single -policy campaigns only)")
@@ -127,6 +135,9 @@ func main() {
 	}
 	if *coldBoot {
 		faultinject.SetColdBootDefault(true)
+	}
+	if *noElide {
+		faultinject.SetNoElideDefault(true)
 	}
 	if *snapCache != "" {
 		budget, err := core.ParseByteSize(*snapCache)
@@ -321,12 +332,16 @@ func run(spec campaignSpec) (unhealthy bool, err error) {
 				cfg.Journal = journal
 			}
 			if spec.recordDir != "" {
+				servings := make(map[int]string)
+				cfg.OnServe = func(i int, decision string) { servings[i] = decision }
 				cfg.OnResult = func(i int, rr faultinject.MultiRunResult) {
 					if rr.Triggered == 0 || !runUnhealthy(rr.Outcome, rr.Consistent) {
 						return
 					}
+					tr := faultinject.NewMultiTrace(policy, rr, spec.ipc)
+					tr.Serving = servings[i]
 					path := filepath.Join(spec.recordDir, faultinject.TraceFileName(policy, i))
-					if werr := faultinject.WriteTraceFile(path, faultinject.NewMultiTrace(policy, rr, spec.ipc)); werr != nil && recordErr == nil {
+					if werr := faultinject.WriteTraceFile(path, tr); werr != nil && recordErr == nil {
 						recordErr = werr
 					}
 				}
@@ -393,12 +408,16 @@ func run(spec campaignSpec) (unhealthy bool, err error) {
 			cfg.Journal = journal
 		}
 		if spec.recordDir != "" {
+			servings := make(map[int]string)
+			cfg.OnServe = func(i int, decision string) { servings[i] = decision }
 			cfg.OnResult = func(i int, rr faultinject.RunResult) {
 				if !rr.Triggered || !runUnhealthy(rr.Outcome, rr.Consistent) {
 					return
 				}
+				tr := faultinject.NewTrace(policy, rr, spec.ipc)
+				tr.Serving = servings[i]
 				path := filepath.Join(spec.recordDir, faultinject.TraceFileName(policy, i))
-				if werr := faultinject.WriteTraceFile(path, faultinject.NewTrace(policy, rr, spec.ipc)); werr != nil && recordErr == nil {
+				if werr := faultinject.WriteTraceFile(path, tr); werr != nil && recordErr == nil {
 					recordErr = werr
 				}
 			}
@@ -460,6 +479,21 @@ func printPlaneStats(s faultinject.PlaneStats) {
 				line += ", "
 			}
 			line += fmt.Sprintf("%s: %d", r, s.Fallbacks[r])
+		}
+		line += ")"
+	}
+	fmt.Println(line)
+	if s.Elided == 0 && len(s.ElisionFallbacks) == 0 {
+		return
+	}
+	line = fmt.Sprintf("  elision: %d tails elided", s.Elided)
+	if len(s.ElisionFallbacks) > 0 {
+		line += " ("
+		for i, r := range s.ElisionFallbackReasons() {
+			if i > 0 {
+				line += ", "
+			}
+			line += fmt.Sprintf("%s: %d", r, s.ElisionFallbacks[r])
 		}
 		line += ")"
 	}

@@ -82,11 +82,19 @@ func runReplay(path string) (mismatches int, err error) {
 		if err != nil {
 			return mismatches, fmt.Errorf("%s: %w", file, err)
 		}
+		// Serving is provenance (how the campaign served the recorded
+		// run: ladder rung plus elision decision or fallback); replay
+		// always cold-boots the same result, so it is reported, not
+		// compared.
+		serving := ""
+		if t.Serving != "" {
+			serving = ", served " + t.Serving
+		}
 		if ok, diff := t.Matches(replayed); ok {
-			fmt.Printf("PASS     %s (%s %s seed %d: %v)\n", file, t.Kind, t.Policy, t.Seed, t.Outcome.Outcome)
+			fmt.Printf("PASS     %s (%s %s seed %d: %v%s)\n", file, t.Kind, t.Policy, t.Seed, t.Outcome.Outcome, serving)
 		} else {
 			mismatches++
-			fmt.Printf("MISMATCH %s (%s %s seed %d): %s\n", file, t.Kind, t.Policy, t.Seed, diff)
+			fmt.Printf("MISMATCH %s (%s %s seed %d%s): %s\n", file, t.Kind, t.Policy, t.Seed, serving, diff)
 		}
 	}
 	fmt.Printf("replayed %d trace(s), %d mismatch(es)\n", len(files), mismatches)

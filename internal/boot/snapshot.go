@@ -29,6 +29,13 @@ type Snapshot struct {
 	blocks [][]byte
 	reg    *usr.Registry
 	opts   Options
+
+	// diskMixes/diskFP carry the driver's rolling fingerprint state so a
+	// fork's first barrier fingerprint is O(dirty blocks), not O(disk).
+	// Nil diskMixes (e.g. a snapshot decoded from an on-disk image) just
+	// means the fork re-hashes written blocks on first use.
+	diskMixes []uint64
+	diskFP    uint64
 }
 
 // Capture boots a machine with opts and initProg, drives it to the
@@ -74,7 +81,9 @@ func CaptureParked(sys *System, opts Options) (*Snapshot, error) {
 	// fresh buffer on every write), so the snapshot shares them with the
 	// still-live machine instead of deep-copying the whole disk.
 	blocks := sys.Driver.ShareBlocks()
-	return &Snapshot{img: img, blocks: blocks, reg: sys.Registry, opts: opts}, nil
+	mixes, fp := sys.Driver.ShareFingerprint()
+	return &Snapshot{img: img, blocks: blocks, reg: sys.Registry, opts: opts,
+		diskMixes: mixes, diskFP: fp}, nil
 }
 
 // SizeBytes estimates the snapshot's retained memory for cache
@@ -85,6 +94,37 @@ func (s *Snapshot) SizeBytes() int64 {
 		n += int64(len(b)) + 24
 	}
 	return n
+}
+
+// fingerprintSkip excludes heartbeat-phase traffic from server inboxes
+// when hashing machine state: RS ping probes and kernel alarm ticks are
+// schedule artifacts — the heartbeat re-arms relative to its last round,
+// so after a recovery their arrival phase is skewed by the recovery cost
+// while the behavior they drive is unchanged. User inboxes are hashed in
+// full (server is false there).
+func fingerprintSkip(m kernel.Message, server bool) bool {
+	return server && (m.Type == proto.RSPing || m.Type == kernel.MsgAlarm)
+}
+
+// StateFingerprint hashes the whole machine's semantic state for the
+// elision plane: kernel process table and queues, component stores (RS
+// excluded — statistics), and the disk. Statistics, the absolute clock,
+// counters and heartbeat phase are excluded; see OS.StateFingerprint
+// and fingerprintSkip for the full exclusion argument.
+func (sys *System) StateFingerprint() (uint64, error) {
+	h, err := sys.OS.StateFingerprint(fingerprintSkip)
+	if err != nil {
+		return 0, err
+	}
+	// Fold the disk hash in with a final avalanche so the combined value
+	// does not cancel against the OS-level hash.
+	x := h ^ (sys.Driver.Fingerprint() + 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x, nil
 }
 
 // ForkParams is the per-run identity stamped onto a forked machine. The
@@ -110,7 +150,7 @@ func (s *Snapshot) Fork(params ForkParams, resumeProg usr.Program, initArgs ...s
 	cfg.IPCFaultSeed = params.IPCFaultSeed
 	o := core.NewOS(cfg)
 
-	drv := driver.NewFromBlocks(s.blocks)
+	drv := driver.NewFromBlocksFingerprint(s.blocks, s.diskMixes, s.diskFP)
 	o.AddTask(kernel.EpDriver, "driver", drv.Run)
 	o.AddTask(proto.EpSys, "sys", systask.Run)
 

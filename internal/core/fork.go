@@ -141,3 +141,65 @@ func (o *OS) AddForkedComponent(ep kernel.Endpoint, factory Factory, img *OSImag
 func (o *OS) ApplyImage(img *OSImage) error {
 	return o.k.ApplyImage(img.machine)
 }
+
+// StateFingerprint hashes the machine's semantic state for the elision
+// plane: the kernel fingerprint plus every component store except the
+// Recovery Server's. RS state is statistics by construction — crash
+// and recovery tallies, ping bookkeeping — which necessarily differ
+// between a recovered machine and the fault-free pathfinder while
+// changing no future behavior of the workload, so it is excluded the
+// same way counters are. Window statistics and checkpoint bookkeeping
+// are likewise out: only container contents are hashed.
+func (o *OS) StateFingerprint(skip kernel.MsgSkip) (uint64, error) {
+	h := o.k.StateFingerprint(skip)
+	for _, ep := range o.order {
+		if ep == kernel.EpRS {
+			continue
+		}
+		fp, err := o.slots[ep].store.Fingerprint()
+		if err != nil {
+			return 0, err
+		}
+		h = fpFold(h, uint64(ep), fp)
+	}
+	return h, nil
+}
+
+// fpFold chains one component's store hash into the machine hash.
+func fpFold(h, ep, fp uint64) uint64 {
+	x := h ^ (fp + ep*0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ElideQuiescent reports whether the machine, parked at a quiescence
+// barrier, is clean enough for its fingerprint to decide elision: the
+// kernel is at an elision-grade quiescent point (completed recoveries
+// are fine — a recovered machine is exactly what elision fingerprints;
+// CaptureImage's Recoveries refusal does NOT apply here) and no
+// component is mid-request or busy. residue reports that the refusal
+// is permanent fault residue — an active quarantine — rather than
+// transient in-flight work that a later barrier may have drained.
+func (o *OS) ElideQuiescent() (ok, residue bool) {
+	ok, residue = o.k.BarrierQuiescent()
+	if !ok {
+		return ok, residue
+	}
+	if o.Quarantines != 0 {
+		return false, true
+	}
+	for _, ep := range o.order {
+		s := o.slots[ep]
+		if s.window.Open() || s.inRequest {
+			return false, false
+		}
+		if br, isBusy := s.comp.(busyReporter); isBusy && br.Busy() {
+			return false, false
+		}
+	}
+	return true, false
+}

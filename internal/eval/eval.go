@@ -573,6 +573,109 @@ func renderFallbacks(fallbacks map[string]int) string {
 	return b.String()
 }
 
+// --- Tail elision: fingerprinted convergence (beyond the paper) ---
+
+// TailElisionTable measures what suffix elision buys on top of the
+// warm fork plane: campaign throughput with elision pinned off versus
+// on, the serving split of the elided campaign, and the armed-run mean
+// with the suffix executed versus spliced.
+type TailElisionTable struct {
+	// Campaign throughput over the warm plane (fail-stop, enhanced),
+	// runs per second, with the suffix executed in full (-noelide)
+	// versus spliced on fingerprint match.
+	Runs                               int
+	NoElideRunsPerSec, ElideRunsPerSec float64
+	ElisionSpeedup                     float64
+	// Serving split of the elided campaign: tails spliced, and full
+	// executions by fallback reason.
+	Elided           int
+	ElisionFallbacks map[string]int
+	// Three-term Amdahl split of one armed run, ladder pre-walked: a
+	// full run pays fork + entire post-trigger suffix; an elided run
+	// pays fork + pre-convergence prefix only. ElidedTailMS is the
+	// difference — the tail the fingerprint match spliced away.
+	ArmedFullMS, ArmedElidedMS, ElidedTailMS float64
+}
+
+// RunTailElision measures the tail-elision table. Both campaigns run
+// over the warm plane; outcomes are bit-identical by the elision
+// equivalence, so only the clock and the serving split differ.
+func RunTailElision(sc Scale) (TailElisionTable, error) {
+	var t TailElisionTable
+	profile, err := faultinject.Profile(sc.Seed)
+	if err != nil {
+		return t, err
+	}
+	cfg := faultinject.CampaignConfig{
+		Policy:         seep.PolicyEnhanced,
+		Model:          faultinject.FailStop,
+		Seed:           sc.Seed,
+		SamplesPerSite: sc.SamplesPerSite,
+		MaxRuns:        sc.MaxRuns,
+		Workers:        sc.Workers,
+	}
+	prevCold := faultinject.SetColdBootDefault(false)
+	defer faultinject.SetColdBootDefault(prevCold)
+	campaign := func(noElide bool) (int, float64, faultinject.PlaneStats) {
+		prev := faultinject.SetNoElideDefault(noElide)
+		defer faultinject.SetNoElideDefault(prev)
+		start := time.Now()
+		res, stats := faultinject.RunCampaignWithStats(cfg, profile)
+		secs := time.Since(start).Seconds()
+		runs := res.Runs + res.Untriggered
+		if secs <= 0 {
+			return runs, 0, stats
+		}
+		return runs, float64(runs) / secs, stats
+	}
+	t.Runs, t.NoElideRunsPerSec, _ = campaign(true)
+	var stats faultinject.PlaneStats
+	_, t.ElideRunsPerSec, stats = campaign(false)
+	if t.NoElideRunsPerSec > 0 {
+		t.ElisionSpeedup = t.ElideRunsPerSec / t.NoElideRunsPerSec
+	}
+	t.Elided = stats.Elided
+	t.ElisionFallbacks = stats.ElisionFallbacks
+
+	// Armed-run split: walk the ladder and capture every snapshot the
+	// plan needs outside the timed loop, then time the armed phase with
+	// the suffix executed versus spliced.
+	plan := faultinject.PlanCampaign(cfg, profile)
+	armed := func(noElide bool) float64 {
+		prev := faultinject.SetNoElideDefault(noElide)
+		defer faultinject.SetNoElideDefault(prev)
+		runner := faultinject.NewArmedRunner(cfg, plan)
+		defer runner.Close()
+		for i, inj := range plan {
+			runner.Run(cfg.Seed+uint64(i)*7919, inj)
+		}
+		start := time.Now()
+		for i, inj := range plan {
+			runner.Run(cfg.Seed+uint64(i)*7919, inj)
+		}
+		return msPer(time.Since(start), len(plan))
+	}
+	if len(plan) > 0 {
+		t.ArmedFullMS = armed(true)
+		t.ArmedElidedMS = armed(false)
+		t.ElidedTailMS = t.ArmedFullMS - t.ArmedElidedMS
+	}
+	return t, nil
+}
+
+// Render formats the tail-elision table.
+func (t TailElisionTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tail elision — fingerprinted convergence splices the pathfinder's recorded suffix (beyond the paper)\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %10s\n", "", "Full suffix", "Elided", "Speedup")
+	fmt.Fprintf(&b, "%-22s %8.1f r/s %8.1f r/s %9.1fx   (%d runs, fail-stop, enhanced)\n",
+		"Campaign throughput", t.NoElideRunsPerSec, t.ElideRunsPerSec, t.ElisionSpeedup, t.Runs)
+	fmt.Fprintf(&b, "%-22s %9.2f ms %9.2f ms %9.2f ms spliced away\n",
+		"Armed run", t.ArmedFullMS, t.ArmedElidedMS, t.ElidedTailMS)
+	fmt.Fprintf(&b, "Elision serving: %d tails elided%s\n", t.Elided, renderFallbacks(t.ElisionFallbacks))
+	return b.String()
+}
+
 // --- Table IV: baseline vs monolithic ---
 
 // PerfRow pairs scores of one benchmark under two configurations.

@@ -374,15 +374,18 @@ func RunOneWith(policy seep.Policy, seed uint64, inj Injection, ipc IPCOptions) 
 		Registry:   reg,
 		Heartbeats: true,
 	}, testsuite.RunnerInit(&report))
-	return finishRunOne(sys, &report, inj, seed, inj)
+	return finishRunOne(sys, &report, inj, seed, inj, nil)
 }
 
 // finishRunOne arms the injection on a prepared machine — cold-booted or
 // forked from a warm image — runs the suite and classifies the outcome.
 // armed carries the occurrence counted from the machine's current
 // position (equal to inj on cold boots; shifted past the quiescence
-// barrier on warm forks); the result always reports inj as planned.
-func finishRunOne(sys *boot.System, report *testsuite.Report, inj Injection, seed uint64, armed Injection) RunResult {
+// barrier on warm forks); the result always reports inj as planned. A
+// non-nil elider lets a warm fork splice the pathfinder's recorded tail
+// at a post-recovery quiescence barrier instead of re-executing it (see
+// elide.go); cold boots pass nil.
+func finishRunOne(sys *boot.System, report *testsuite.Report, inj Injection, seed uint64, armed Injection, el *elider) RunResult {
 	k := sys.Kernel()
 	rng := sim.NewRNG(seed ^ 0xFA0175EED)
 	triggered := false
@@ -400,7 +403,13 @@ func finishRunOne(sys *boot.System, report *testsuite.Report, inj Injection, see
 	})
 
 	aud := audit.Attach(sys.OS)
-	res := sys.Run(RunLimit)
+	if el != nil {
+		// The single armed fault is one-shot: once the point hook fired,
+		// nothing can fire in the suffix (armed-but-unfired transport
+		// faults and reply overrides are blocked by the quiescence gate).
+		el.ready = func() bool { return triggered }
+	}
+	res, elided := runElidable(sys, report, aud, el)
 	out := RunResult{
 		Injection:   inj,
 		Outcome:     classify(res, report),
@@ -409,7 +418,11 @@ func finishRunOne(sys *boot.System, report *testsuite.Report, inj Injection, see
 		Reason:      res.Reason,
 		Seed:        seed,
 	}
-	if res.Outcome == kernel.OutcomeCompleted {
+	if !elided && res.Outcome == kernel.OutcomeCompleted {
+		// An elided run skips the final audit pass: its elision gates
+		// already required every prior pass plus a barrier-time pass to
+		// be clean, and the spliced suffix is the pathfinder's audited
+		// fault-free tail.
 		aud.Final()
 	}
 	out.Consistent = aud.Consistent()
@@ -501,6 +514,12 @@ type CampaignConfig struct {
 	// the Journal. The faultcampaign -record flag uses it to emit
 	// replayable traces.
 	OnResult func(index int, rr RunResult)
+	// OnServe, when set, observes every run's serving decision in plan
+	// order alongside OnResult: how the run was served (cold boot, warm
+	// rung fork, tail elision or journal — see ServingCold and friends).
+	// The faultcampaign -record flag stores it in the trace for
+	// provenance.
+	OnServe func(index int, decision string)
 }
 
 // CampaignResult aggregates a survivability campaign (one row of
@@ -615,19 +634,25 @@ func RunCampaignWithStats(cfg CampaignConfig, profile []SiteProfile) (CampaignRe
 	}
 	runner := newSingleRunner(cfg, plan)
 	defer runner.close()
+	decisions := make([]string, len(plan))
 	results := parallel.Map(cfg.Workers, len(plan), func(i int) RunResult {
 		if cfg.Journal != nil {
 			if rr, ok := cfg.Journal.LookupRun(i); ok {
+				decisions[i] = ServingJournal
 				return rr
 			}
 		}
-		rr := runner.runOne(cfg.Seed+uint64(i)*7919, plan[i])
+		rr, decision := runner.runOne(cfg.Seed+uint64(i)*7919, plan[i])
+		decisions[i] = decision
 		if cfg.Journal != nil {
 			cfg.Journal.RecordRun(i, rr)
 		}
 		return rr
 	})
 	for i, rr := range results {
+		if cfg.OnServe != nil {
+			cfg.OnServe(i, decisions[i])
+		}
 		if cfg.OnResult != nil {
 			cfg.OnResult(i, rr)
 		}
@@ -663,7 +688,8 @@ func NewArmedRunner(cfg CampaignConfig, plan []Injection) *ArmedRunner {
 
 // Run executes one armed run with the given per-run seed.
 func (a *ArmedRunner) Run(seed uint64, inj Injection) RunResult {
-	return a.r.runOne(seed, inj)
+	rr, _ := a.r.runOne(seed, inj)
+	return rr
 }
 
 // Stats returns the serving statistics accumulated so far.

@@ -70,15 +70,20 @@ func RunBackground(policy seep.Policy, seed uint64, ipc IPCOptions) RunResult {
 		Registry:   reg,
 		Heartbeats: true,
 	}, testsuite.RunnerInit(&report))
-	return finishRunBackground(sys, &report, ipc, seed)
+	return finishRunBackground(sys, &report, ipc, seed, nil)
 }
 
 // finishRunBackground runs the suite on a prepared machine — cold-booted
 // or forked from a warm image — and classifies the outcome. ipc must be
-// the normalized options the machine was configured with.
-func finishRunBackground(sys *boot.System, report *testsuite.Report, ipc IPCOptions, seed uint64) RunResult {
+// the normalized options the machine was configured with. A non-nil
+// elider (zero-rate warm forks only — no fault ever arms) lets the run
+// splice the pathfinder's tail at its first quiescence barrier.
+func finishRunBackground(sys *boot.System, report *testsuite.Report, ipc IPCOptions, seed uint64, el *elider) RunResult {
 	aud := audit.Attach(sys.OS)
-	res := sys.Run(RunLimit)
+	if el != nil {
+		el.ready = func() bool { return true }
+	}
+	res, elided := runElidable(sys, report, aud, el)
 	out := RunResult{
 		Outcome:     classify(res, report),
 		Triggered:   ipc.Faults.Enabled(),
@@ -86,7 +91,8 @@ func finishRunBackground(sys *boot.System, report *testsuite.Report, ipc IPCOpti
 		Reason:      res.Reason,
 		Seed:        seed,
 	}
-	if res.Outcome == kernel.OutcomeCompleted {
+	if !elided && res.Outcome == kernel.OutcomeCompleted {
+		// See finishRunOne: the elision gates subsume the final pass.
 		aud.Final()
 	}
 	out.Consistent = aud.Consistent()

@@ -31,9 +31,11 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/audit"
 	"repro/internal/boot"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/sim"
 	"repro/internal/testsuite"
 	"repro/internal/usr"
 )
@@ -86,6 +88,16 @@ type PlaneStats struct {
 	ColdBoots int
 	// Fallbacks breaks ColdBoots down by reason.
 	Fallbacks map[string]int
+	// Elided counts warm-served runs that ended at a quiescence barrier
+	// by splicing the recorded pathfinder tail instead of re-executing
+	// the remaining suite suffix (see elide.go).
+	Elided int
+	// ElisionFallbacks breaks warm-served, fully-executed runs down by
+	// the elision fallback reason charged to each (the last blocker
+	// standing when the run completed). Elided plus the sum over
+	// ElisionFallbacks equals LadderForks plus BootForks: every warm run
+	// either elided its tail or is charged exactly one reason.
+	ElisionFallbacks map[string]int
 }
 
 // Total returns the number of runs the plane served.
@@ -95,6 +107,17 @@ func (s PlaneStats) Total() int { return s.LadderForks + s.BootForks + s.ColdBoo
 func (s PlaneStats) FallbackReasons() []string {
 	out := make([]string, 0, len(s.Fallbacks))
 	for r := range s.Fallbacks {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ElisionFallbackReasons returns the elision fallback reasons in sorted
+// order.
+func (s PlaneStats) ElisionFallbackReasons() []string {
+	out := make([]string, 0, len(s.ElisionFallbacks))
+	for r := range s.ElisionFallbacks {
 		out = append(out, r)
 	}
 	sort.Strings(out)
@@ -127,6 +150,21 @@ func (c *statsCollector) cold(reason string) {
 	c.mu.Unlock()
 }
 
+func (c *statsCollector) elided() {
+	c.mu.Lock()
+	c.s.Elided++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) elisionFallback(reason string) {
+	c.mu.Lock()
+	if c.s.ElisionFallbacks == nil {
+		c.s.ElisionFallbacks = make(map[string]int)
+	}
+	c.s.ElisionFallbacks[reason]++
+	c.mu.Unlock()
+}
+
 func (c *statsCollector) snapshot() PlaneStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -135,6 +173,12 @@ func (c *statsCollector) snapshot() PlaneStats {
 		out.Fallbacks = make(map[string]int, len(c.s.Fallbacks))
 		for k, v := range c.s.Fallbacks {
 			out.Fallbacks[k] = v
+		}
+	}
+	if c.s.ElisionFallbacks != nil {
+		out.ElisionFallbacks = make(map[string]int, len(c.s.ElisionFallbacks))
+		for k, v := range c.s.ElisionFallbacks {
+			out.ElisionFallbacks[k] = v
 		}
 	}
 	return out
@@ -156,6 +200,41 @@ type rung struct {
 	// prefix is the suite tally at this rung: prefix.Ran tests
 	// completed, barrier parked before test prefix.Ran.
 	prefix testsuite.Report
+
+	// fp is the pathfinder's state fingerprint at this rung (valid when
+	// fpOK); an armed run whose barrier state hashes equal has converged
+	// onto the fault-free trace and may splice the recorded tail.
+	fp   uint64
+	fpOK bool
+	// rng / ipcRNG are the machine and fault-plane RNG cursors at the
+	// rung; equality with the tail cursors proves the pathfinder suffix
+	// consumed no randomness (see sim.RNG.State).
+	rng    uint64
+	ipcRNG uint64
+	ipcHas bool
+	// clock and counters anchor the cycle and counter deltas an elided
+	// run splices: delta = tail value minus rung value.
+	clock    sim.Cycles
+	counters map[string]uint64
+}
+
+// ladderTail is the recorded end of a completed pathfinder walk: the
+// final suite tally, run result, counter snapshot and RNG cursors, plus
+// the end-of-walk audit verdict. Together with a rung record it yields
+// the exact deltas an elided run splices in place of re-executing the
+// suffix. Immutable once recorded.
+type ladderTail struct {
+	report   testsuite.Report
+	result   kernel.Result
+	counters map[string]uint64
+	rng      uint64
+	ipcRNG   uint64
+	ipcHas   bool
+	// auditClean records whether the end-of-walk audit pass over the
+	// pathfinder found every cross-server invariant intact. An elided
+	// run's final audit pass is replaced by this verdict (plus its own
+	// barrier-time pass), so an unclean tail disables elision entirely.
+	auditClean bool
 }
 
 // ladder is the snapshot ladder of one (policy, configuration class):
@@ -172,6 +251,7 @@ type ladder struct {
 	counts map[siteKey]int   // pathfinder's live cumulative site counts
 	rungs  []rung
 	cache  *snapCache
+	tail   *ladderTail // recorded walk end; nil until the suite completes
 }
 
 // newLadder boots the pathfinder for cfg (plus the suite registry and
@@ -208,11 +288,92 @@ func newLadder(cfg core.Config) *ladder {
 		return nil
 	}
 	l.cache = newSnapCache(cfg.SnapshotCacheBudget(), snap)
-	l.rungs = append(l.rungs, rung{counts: cloneCounts(l.counts), prefix: cloneReport(*l.report)})
+	l.recordRung()
 	if cfg.SnapshotCacheBudget() < 0 {
 		l.finish("ladder: disabled by cache budget")
 	}
 	return l
+}
+
+// recordRung appends the parked pathfinder's rung record: cumulative
+// site counts, suite tally, state fingerprint, RNG cursors, clock and
+// counter snapshot. The record's retained bytes are charged against the
+// snapshot cache budget (records are never evicted — they anchor
+// occurrence translation and elision — so their cost comes out of the
+// snapshot side of the budget). Caller holds l.mu with the pathfinder
+// parked at a barrier.
+func (l *ladder) recordRung() {
+	k := l.sys.Kernel()
+	rg := rung{counts: cloneCounts(l.counts), prefix: cloneReport(*l.report)}
+	// With elision pinned off no armed run will ever compare against the
+	// rung, so the walk skips the per-rung hashing and counter snapshots
+	// entirely — the oracle pays none of the elision plane's cost.
+	if !noElideDefault {
+		if fp, err := l.sys.StateFingerprint(); err == nil {
+			rg.fp, rg.fpOK = fp, true
+		}
+		rg.rng = k.RNGState()
+		rg.ipcRNG, rg.ipcHas = k.IPCRNGState()
+		rg.clock = k.Now()
+		rg.counters = k.Counters().Snapshot()
+	}
+	l.rungs = append(l.rungs, rg)
+	l.cache.charge(rungRecordBytes(rg))
+}
+
+// recordTail captures the end of a completed walk — final tally, run
+// result, counters, RNG cursors and the end-of-walk audit verdict — so
+// armed runs can splice it. A pathfinder that hit the cycle limit or
+// deadlocked leaves no tail and elision falls back to full execution.
+// Caller holds l.mu; the machine is done but not yet torn down.
+func (l *ladder) recordTail() {
+	if noElideDefault {
+		return
+	}
+	k := l.sys.Kernel()
+	res := k.StepResult()
+	if res.Outcome != kernel.OutcomeCompleted {
+		return
+	}
+	t := &ladderTail{
+		report:   cloneReport(*l.report),
+		result:   res,
+		counters: k.Counters().Snapshot(),
+		rng:      k.RNGState(),
+	}
+	t.ipcRNG, t.ipcHas = k.IPCRNGState()
+	t.auditClean = len(audit.Check(audit.Capture(l.sys.OS))) == 0
+	l.tail = t
+	l.cache.charge(tailRecordBytes(t))
+}
+
+// rungRecordBytes estimates the retained size of one rung record for
+// cache accounting: map headers and entries, key strings, and the
+// fixed fingerprint/cursor fields.
+func rungRecordBytes(rg rung) int64 {
+	n := int64(256)
+	for key := range rg.counts {
+		n += 64 + int64(len(key[0])+len(key[1]))
+	}
+	for name := range rg.counters {
+		n += 48 + int64(len(name))
+	}
+	for _, s := range rg.prefix.FailedNames {
+		n += 16 + int64(len(s))
+	}
+	return n
+}
+
+// tailRecordBytes estimates the retained size of the walk tail record.
+func tailRecordBytes(t *ladderTail) int64 {
+	n := int64(256) + int64(len(t.result.Reason))
+	for name := range t.counters {
+		n += 48 + int64(len(name))
+	}
+	for _, s := range t.report.FailedNames {
+		n += 16 + int64(len(s))
+	}
+	return n
 }
 
 // finish tears the pathfinder down; no further rungs will be recorded.
@@ -249,11 +410,13 @@ const captureStride = 4
 func (l *ladder) advance() {
 	if !l.sys.Kernel().RunToBarrier(RunLimit) {
 		// The fault-free suite ran to completion (or hit the limit):
-		// the last recorded rung is the deepest one.
+		// the last recorded rung is the deepest one. A completed suite
+		// additionally yields the elision tail.
+		l.recordTail()
 		l.finish("ladder: suite complete")
 		return
 	}
-	l.rungs = append(l.rungs, rung{counts: cloneCounts(l.counts), prefix: cloneReport(*l.report)})
+	l.recordRung()
 	idx := len(l.rungs) - 1
 	if idx%captureStride != 0 {
 		return
@@ -312,6 +475,39 @@ func (l *ladder) serveDeepest() (int, rung, *boot.Snapshot) {
 	return idx, l.rungs[idx], snap
 }
 
+// elisionServe returns the rung record matching an armed run parked at
+// the barrier before test ran, plus the recorded walk tail, walking the
+// pathfinder to completion first (the walk is amortized across the
+// campaign; serve's lazy depth bound does not apply once any run is
+// ready to elide). ok is false when no usable tail exists: the walk
+// never completed, its end-of-walk audit found violations, the suffix
+// from the rung consumed machine randomness, the rung was recorded
+// without a fingerprint, or ran lies beyond the recorded ladder.
+func (l *ladder) elisionServe(ran int) (rung, *ladderTail, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.sys != nil {
+		l.advance()
+	}
+	t := l.tail
+	if t == nil || !t.auditClean {
+		return rung{}, nil, false
+	}
+	// Rung index equals tests completed: rung i is the barrier parked
+	// before test i.
+	if ran < 0 || ran >= len(l.rungs) {
+		return rung{}, nil, false
+	}
+	rg := l.rungs[ran]
+	if !rg.fpOK || rg.prefix.Ran != ran {
+		return rung{}, nil, false
+	}
+	if rg.rng != t.rng || rg.ipcHas != t.ipcHas || rg.ipcRNG != t.ipcRNG {
+		return rung{}, nil, false
+	}
+	return rg, t, true
+}
+
 func cloneCounts(src map[siteKey]int) map[siteKey]int {
 	out := make(map[siteKey]int, len(src))
 	for k, v := range src {
@@ -363,6 +559,25 @@ func (c *snapCache) add(idx int, snap *boot.Snapshot) {
 	c.sizes[idx] = size
 	c.used += size
 	c.lru = append(c.lru, idx)
+	c.evict()
+}
+
+// charge permanently accounts n bytes of un-evictable ladder records
+// (rung fingerprint/delta records, the walk tail) against the budget,
+// evicting cached snapshots to make room. Records themselves are never
+// evicted — they anchor occurrence translation and elision — so their
+// cost comes out of the snapshot side of the budget.
+func (c *snapCache) charge(n int64) {
+	if c.budget < 0 {
+		return
+	}
+	c.used += n
+	c.evict()
+}
+
+// evict drops least-recently-served snapshots until the budget holds
+// (or no evictable snapshot remains).
+func (c *snapCache) evict() {
 	for c.used > c.budget && len(c.lru) > 0 {
 		victim := c.lru[0]
 		c.lru = c.lru[1:]

@@ -202,7 +202,7 @@ func TestLadderFallbackOccurrenceWithinBoot(t *testing.T) {
 	cfg := CampaignConfig{Policy: seep.PolicyEnhanced, Model: FailStop, Seed: 42}
 	runner := newSingleRunner(cfg, []Injection{inj})
 	defer runner.close()
-	warmRR := runner.runOne(99, inj)
+	warmRR, _ := runner.runOne(99, inj)
 	coldRR := RunOne(seep.PolicyEnhanced, 99, inj)
 	if !reflect.DeepEqual(coldRR, warmRR) {
 		t.Errorf("pre-barrier run diverged:\ncold: %+v\nwarm: %+v", coldRR, warmRR)

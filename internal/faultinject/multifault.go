@@ -82,7 +82,7 @@ func RunMultiWith(policy seep.Policy, seed uint64, injs []MultiInjection, ipc IP
 		Registry:   reg,
 		Heartbeats: true,
 	}, testsuite.RunnerInit(&report))
-	return finishRunMulti(sys, &report, injs, seed, injs)
+	return finishRunMulti(sys, &report, injs, seed, injs, nil)
 }
 
 // finishRunMulti arms every injection on a prepared machine —
@@ -90,8 +90,10 @@ func RunMultiWith(policy seep.Policy, seed uint64, injs []MultiInjection, ipc IP
 // classifies the outcome. armed carries occurrences counted from the
 // machine's current position (equal to injs on cold boots; plain
 // occurrences shifted past the quiescence barrier on warm forks); the
-// result always reports injs as planned.
-func finishRunMulti(sys *boot.System, report *testsuite.Report, injs []MultiInjection, seed uint64, armed []MultiInjection) MultiRunResult {
+// result always reports injs as planned. A non-nil elider lets a warm
+// fork splice the pathfinder's recorded tail once every armed fault has
+// resolved (see elide.go); cold boots pass nil.
+func finishRunMulti(sys *boot.System, report *testsuite.Report, injs []MultiInjection, seed uint64, armed []MultiInjection, el *elider) MultiRunResult {
 	k := sys.Kernel()
 	rng := sim.NewRNG(seed ^ 0x3A17F0C57)
 	triggered := make([]bool, len(armed))
@@ -148,7 +150,33 @@ func finishRunMulti(sys *boot.System, report *testsuite.Report, injs []MultiInje
 	})
 
 	aud := audit.Attach(sys.OS)
-	res := sys.Run(RunLimit)
+	if el != nil {
+		// The suffix is provably fault-free only when every fault that
+		// could still fire has resolved: persistent faults re-fire on
+		// every site execution, so they never elide; an untriggered
+		// correlated fault arms after the first recovery and could fire
+		// in the suffix, so it must have triggered too. During-recovery
+		// faults need a restart to fire, and with everything else
+		// triggered and quiesced no further restart can happen.
+		hasPersistent := false
+		for _, inj := range armed {
+			if inj.Persistent {
+				hasPersistent = true
+			}
+		}
+		el.ready = func() bool {
+			if hasPersistent {
+				return false
+			}
+			for i := range armed {
+				if !armed[i].DuringRecovery && !triggered[i] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	res, elided := runElidable(sys, report, aud, el)
 	nTriggered := 0
 	for _, tr := range triggered {
 		if tr {
@@ -165,7 +193,8 @@ func finishRunMulti(sys *boot.System, report *testsuite.Report, injs []MultiInje
 		Reason:      res.Reason,
 		Seed:        seed,
 	}
-	if res.Outcome == kernel.OutcomeCompleted {
+	if !elided && res.Outcome == kernel.OutcomeCompleted {
+		// See finishRunOne: the elision gates subsume the final pass.
 		aud.Final()
 	}
 	out.Consistent = aud.Consistent()
@@ -217,6 +246,9 @@ type MultiCampaignConfig struct {
 	// OnResult observes every run result in plan order (including
 	// journal-served ones); used to emit replayable traces.
 	OnResult func(index int, rr MultiRunResult)
+	// OnServe observes every run's serving decision in plan order
+	// alongside OnResult, exactly as in CampaignConfig.
+	OnServe func(index int, decision string)
 }
 
 // MultiCampaignResult aggregates a multi-fault campaign: one row of the
@@ -343,19 +375,25 @@ func RunMultiCampaignWithStats(cfg MultiCampaignConfig, profile []SiteProfile) (
 	}
 	runner := newMultiRunner(cfg, plans)
 	defer runner.close()
+	decisions := make([]string, len(plans))
 	results := parallel.Map(cfg.Workers, len(plans), func(i int) MultiRunResult {
 		if cfg.Journal != nil {
 			if rr, ok := cfg.Journal.LookupMulti(i); ok {
+				decisions[i] = ServingJournal
 				return rr
 			}
 		}
-		rr := runner.runMulti(cfg.Seed+uint64(i)*104729, plans[i])
+		rr, decision := runner.runMulti(cfg.Seed+uint64(i)*104729, plans[i])
+		decisions[i] = decision
 		if cfg.Journal != nil {
 			cfg.Journal.RecordMulti(i, rr)
 		}
 		return rr
 	})
 	for i, rr := range results {
+		if cfg.OnServe != nil {
+			cfg.OnServe(i, decisions[i])
+		}
 		if cfg.OnResult != nil {
 			cfg.OnResult(i, rr)
 		}

@@ -61,7 +61,15 @@ type Trace struct {
 	// IPC is the campaign's transport options as configured (before
 	// per-run normalization — Replay re-normalizes exactly like the
 	// campaign did).
-	IPC     IPCOptions
+	IPC IPCOptions
+	// Serving optionally records how the campaign served this run: the
+	// ladder rung it forked from plus the elision decision ("rung:17
+	// elided:33", "rung:4 full:fingerprint-mismatch"), or a cold-boot
+	// fallback ("cold:occurrence-within-boot"). Replay always cold-boots
+	// — bit-identical by the warm-fork and elision equivalences — so
+	// Serving is provenance for the report, not a replay input, and
+	// Matches ignores it.
+	Serving string `json:",omitempty"`
 	Outcome TraceOutcome
 }
 

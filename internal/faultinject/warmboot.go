@@ -148,30 +148,34 @@ func newSingleRunner(cfg CampaignConfig, plan []Injection) *campaignRunner {
 	return r
 }
 
-// runOne executes one single-fault run, warm when possible.
-func (r *campaignRunner) runOne(seed uint64, inj Injection) RunResult {
+// runOne executes one single-fault run, warm when possible, and
+// returns the result plus the serving decision (see ServingCold and
+// friends in elide.go).
+func (r *campaignRunner) runOne(seed uint64, inj Injection) (RunResult, string) {
 	ipc := r.ipc.normalized(inj.Type.IPC())
 	pl := r.planes[inj.Type.IPC()]
 	if pl.ladder == nil {
 		r.stats.cold(pl.reason)
-		return RunOneWith(r.policy, seed, inj, r.ipc)
+		return RunOneWith(r.policy, seed, inj, r.ipc), ServingCold(pl.reason)
 	}
 	key := siteKey{inj.Server, inj.Site}
 	idx, rg, snap, ok := pl.ladder.serve([]siteKey{key}, []int{inj.Occurrence})
 	if !ok {
 		r.stats.cold(FallbackPreBarrier)
-		return RunOneWith(r.policy, seed, inj, r.ipc)
+		return RunOneWith(r.policy, seed, inj, r.ipc), ServingCold(FallbackPreBarrier)
 	}
 	var report testsuite.Report
 	sys, err := forkSnapshot(snap, forkParams(seed, ipc), testsuite.RunnerResumeFrom(&report, rg.prefix))
 	if err != nil {
 		r.stats.cold(FallbackForkFailed)
-		return RunOneWith(r.policy, seed, inj, r.ipc)
+		return RunOneWith(r.policy, seed, inj, r.ipc), ServingCold(FallbackForkFailed)
 	}
 	r.stats.fork(idx)
 	warm := inj
 	warm.Occurrence = inj.Occurrence - rg.counts[key]
-	return finishRunOne(sys, &report, inj, seed, warm)
+	el := newElider(pl.ladder, &r.stats)
+	rr := finishRunOne(sys, &report, inj, seed, warm, el)
+	return rr, ServingRung(idx, el.decision)
 }
 
 // newMultiRunner prepares ladders for a multi-fault campaign.
@@ -202,13 +206,13 @@ func plansArmIPC(injs []MultiInjection) bool {
 // during-recovery faults count from the first recovery or restart —
 // always after any plain trigger, hence after the rung — so their
 // occurrences are never translated.
-func (r *campaignRunner) runMulti(seed uint64, injs []MultiInjection) MultiRunResult {
+func (r *campaignRunner) runMulti(seed uint64, injs []MultiInjection) (MultiRunResult, string) {
 	armsIPC := plansArmIPC(injs)
 	ipc := r.ipc.normalized(armsIPC)
 	pl := r.planes[armsIPC]
 	if pl.ladder == nil {
 		r.stats.cold(pl.reason)
-		return RunMultiWith(r.policy, seed, injs, r.ipc)
+		return RunMultiWith(r.policy, seed, injs, r.ipc), ServingCold(pl.reason)
 	}
 	var keys []siteKey
 	var occs []int
@@ -222,7 +226,7 @@ func (r *campaignRunner) runMulti(seed uint64, injs []MultiInjection) MultiRunRe
 	idx, rg, snap, ok := pl.ladder.serve(keys, occs)
 	if !ok {
 		r.stats.cold(FallbackPreBarrier)
-		return RunMultiWith(r.policy, seed, injs, r.ipc)
+		return RunMultiWith(r.policy, seed, injs, r.ipc), ServingCold(FallbackPreBarrier)
 	}
 	warm := make([]MultiInjection, len(injs))
 	for i, inj := range injs {
@@ -236,10 +240,12 @@ func (r *campaignRunner) runMulti(seed uint64, injs []MultiInjection) MultiRunRe
 	sys, err := forkSnapshot(snap, forkParams(seed, ipc), testsuite.RunnerResumeFrom(&report, rg.prefix))
 	if err != nil {
 		r.stats.cold(FallbackForkFailed)
-		return RunMultiWith(r.policy, seed, injs, r.ipc)
+		return RunMultiWith(r.policy, seed, injs, r.ipc), ServingCold(FallbackForkFailed)
 	}
 	r.stats.fork(idx)
-	return finishRunMulti(sys, &report, injs, seed, warm)
+	el := newElider(pl.ladder, &r.stats)
+	rr := finishRunMulti(sys, &report, injs, seed, warm, el)
+	return rr, ServingRung(idx, el.decision)
 }
 
 // backgroundRunner serves IPC-sweep runs: forkable only for rate points
@@ -293,5 +299,6 @@ func (r *backgroundRunner) runBackground(seed uint64, ipc IPCOptions) RunResult 
 		return RunBackground(r.policy, seed, ipc)
 	}
 	r.stats.fork(idx)
-	return finishRunBackground(sys, &report, norm, seed)
+	el := newElider(r.plane.ladder, &r.stats)
+	return finishRunBackground(sys, &report, norm, seed, el)
 }

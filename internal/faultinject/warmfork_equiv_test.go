@@ -131,7 +131,7 @@ func TestWarmForkEquivalenceRunDetail(t *testing.T) {
 	for i, inj := range plan {
 		seed := 42 + uint64(i)*7919
 		coldRR := RunOne(seep.PolicyEnhanced, seed, inj)
-		warmRR := runner.runOne(seed, inj)
+		warmRR, _ := runner.runOne(seed, inj)
 		if !reflect.DeepEqual(coldRR, warmRR) {
 			t.Errorf("run %d (%+v): diverged:\ncold: %+v\nwarm: %+v", i, inj, coldRR, warmRR)
 		}

@@ -1,0 +1,309 @@
+package kernel
+
+// This file is the kernel half of the elision plane: hashing a machine
+// parked at a quiescence barrier into a state fingerprint that can be
+// compared against a pathfinder rung, and deciding whether the parked
+// machine is at an elision-grade quiescent point at all.
+//
+// The fingerprint covers semantic state only — the process table, the
+// queued messages, the alarm set, the scheduler geometry and the IPC
+// reliability maps. It deliberately excludes everything that differs
+// between a recovered machine and the fault-free pathfinder without
+// affecting future behavior: the absolute clock (recovery costs cycles),
+// counters and transport statistics, the alarm heap's internal sequence
+// numbers, and scheduling *phase* — the position within the preemption
+// quantum (quantumUsed) and the phase of the Recovery Server's
+// heartbeat. Both re-arm relative to their last event, so after a
+// recovery their absolute schedule is skewed by the recovery cost
+// forever, while what they produce (a cost-free preemption yield per
+// quantum of work, a ping round every period) leaves every run-visible
+// result unchanged. Server alarms are therefore hashed structurally
+// (owner and count only), heartbeat-phase messages in server inboxes
+// are skipped via the caller-supplied predicate, and quantumUsed is
+// not hashed. The -noelide oracle covers the residual risk of these
+// exclusions.
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// MsgSkip reports whether a queued inbox message must be excluded from
+// the state fingerprint. server says whose inbox it is: heartbeat-phase
+// traffic (RS pings, alarm ticks) is only ever skipped at servers; user
+// inboxes are always hashed in full. The predicate is supplied by the
+// boot layer — the kernel does not know the server protocols.
+type MsgSkip func(m Message, server bool) bool
+
+// fpState is an incremental FNV-1a hasher with a splitmix64 finisher.
+type fpState struct{ h uint64 }
+
+const (
+	fpOffset = 14695981039346656037
+	fpPrime  = 1099511628211
+)
+
+func newFPState() fpState { return fpState{h: fpOffset} }
+
+func (f *fpState) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.h = (f.h ^ (v & 0xff)) * fpPrime
+		v >>= 8
+	}
+}
+
+func (f *fpState) i64(v int64) { f.u64(uint64(v)) }
+
+func (f *fpState) bool(v bool) {
+	if v {
+		f.u64(1)
+	} else {
+		f.u64(0)
+	}
+}
+
+func (f *fpState) str(s string) {
+	f.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		f.h = (f.h ^ uint64(s[i])) * fpPrime
+	}
+}
+
+func (f *fpState) blob(b []byte) {
+	f.u64(uint64(len(b)))
+	for _, c := range b {
+		f.h = (f.h ^ uint64(c)) * fpPrime
+	}
+}
+
+func (f *fpState) msg(m Message) {
+	f.i64(int64(m.Type))
+	f.i64(int64(m.From))
+	f.i64(int64(m.To))
+	f.bool(m.NeedsReply)
+	f.i64(int64(m.Errno))
+	f.i64(m.A)
+	f.i64(m.B)
+	f.i64(m.C)
+	f.i64(m.D)
+	f.u64(uint64(m.Seq))
+	f.u64(uint64(m.Sum))
+	f.str(m.Str)
+	f.str(m.Str2)
+	f.blob(m.Bytes)
+	// Aux carries read-only process bodies and argv slices that cannot
+	// be hashed structurally; presence alone is folded in. A message
+	// queued at a quiescence barrier with a differing Aux payload but an
+	// otherwise identical envelope is out of the fingerprint's reach —
+	// the -noelide oracle covers that residual risk.
+	f.bool(m.Aux != nil)
+}
+
+func (f *fpState) sum() uint64 {
+	h := f.h
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// StateFingerprint hashes the machine's semantic kernel state. Two
+// machines that fingerprint equal (and whose stores and disks hash
+// equal) will, barring hash collisions, produce identical executions
+// from this point given identical inputs and RNG states.
+func (k *Kernel) StateFingerprint(skip MsgSkip) uint64 {
+	f := newFPState()
+	f.u64(uint64(k.rrNext))
+	f.i64(int64(k.nextUserEp))
+	f.i64(int64(k.rootEp))
+	for _, ep := range k.order {
+		p := k.procs[ep]
+		if p == nil {
+			continue
+		}
+		if !p.Alive() {
+			// Dead processes are inert placeholders: they can never run
+			// again, and their residual register-like fields differ
+			// between a machine that executed to this point and a fork
+			// rebuilt from an image. Only their existence is hashed.
+			f.i64(int64(ep))
+			f.u64(0xDEAD)
+			continue
+		}
+		f.i64(int64(ep))
+		f.u64(uint64(p.state))
+		f.i64(int64(p.curSender))
+		f.bool(p.curNeedsReply)
+		f.i64(int64(p.waitFrom))
+		f.u64(uint64(p.sendAttempts))
+		f.u64(uint64(p.sendRearms))
+		f.bool(p.reply != nil)
+		f.bool(p.sendDeadline != 0)
+		for i := p.inboxHead; i < len(p.inbox); i++ {
+			m := p.inbox[i]
+			if skip != nil && skip(m, p.isServer) {
+				continue
+			}
+			f.msg(m)
+		}
+		// Per-process terminator so inbox contents cannot bleed into the
+		// next process's fields.
+		f.u64(0x50C1A1)
+	}
+	k.fingerprintAlarms(&f)
+	if k.ipc != nil {
+		f.u64(1)
+		k.ipc.fingerprint(&f)
+	} else {
+		f.u64(0)
+	}
+	return f.sum()
+}
+
+// fingerprintAlarms folds the pending alarm set in canonical form:
+// structural (owner, count) for server alarms, (owner, relative
+// deadline) sorted for user alarms. Stale alarms of dead processes are
+// skipped — the delivery path prunes them without effect.
+func (k *Kernel) fingerprintAlarms(f *fpState) {
+	now := k.clock.Now()
+	var serverCounts map[Endpoint]int
+	type userAlarm struct {
+		ep  Endpoint
+		rel sim.Cycles
+	}
+	var users []userAlarm
+	for _, a := range k.alarms {
+		p := k.procs[a.ep]
+		if p == nil || !p.Alive() {
+			continue
+		}
+		if a.ep < EpUserBase {
+			if serverCounts == nil {
+				serverCounts = make(map[Endpoint]int, 4)
+			}
+			serverCounts[a.ep]++
+			continue
+		}
+		rel := sim.Cycles(0)
+		if a.deadline > now {
+			rel = a.deadline - now
+		}
+		users = append(users, userAlarm{ep: a.ep, rel: rel})
+	}
+	for _, ep := range k.order {
+		if n := serverCounts[ep]; n > 0 {
+			f.i64(int64(ep))
+			f.u64(uint64(n))
+		}
+	}
+	f.u64(0xA1A2)
+	sort.Slice(users, func(i, j int) bool {
+		if users[i].ep != users[j].ep {
+			return users[i].ep < users[j].ep
+		}
+		return users[i].rel < users[j].rel
+	})
+	for _, a := range users {
+		f.i64(int64(a.ep))
+		f.u64(uint64(a.rel))
+	}
+	f.u64(0xA1A3)
+}
+
+// fingerprint folds the reliability-layer bookkeeping — sequence
+// cursors, anti-replay windows, in-service sequences and cached replies
+// — in sorted pair order. Transport statistics are excluded.
+func (ipc *ipcPlane) fingerprint(f *fpState) {
+	hashU32 := func(m map[epPair]uint32) {
+		for _, p := range sortedPairs(m) {
+			f.i64(int64(p.dst))
+			f.i64(int64(p.src))
+			f.u64(uint64(m[p]))
+		}
+		f.u64(0xB1B1)
+	}
+	hashU32(ipc.nextSeq)
+	for _, p := range sortedPairs(ipc.seen) {
+		w := ipc.seen[p]
+		f.i64(int64(p.dst))
+		f.i64(int64(p.src))
+		f.u64(uint64(w.top))
+		f.u64(w.bits)
+	}
+	f.u64(0xB1B2)
+	hashU32(ipc.svcSeq)
+	for _, p := range sortedPairs(ipc.replyCache) {
+		rc := ipc.replyCache[p]
+		f.i64(int64(p.dst))
+		f.i64(int64(p.src))
+		f.u64(uint64(rc.seq))
+		f.msg(rc.msg)
+	}
+	f.u64(0xB1B3)
+	f.u64(uint64(len(ipc.held)))
+	f.u64(uint64(len(ipc.armed)))
+}
+
+// BarrierQuiescent reports whether the machine, parked at a barrier by
+// RunToBarrier, is at an elision-grade quiescent point: no recovery in
+// flight, no pending crashes, every server parked in Receive, no
+// in-flight send state, no held transport events. Unlike CaptureImage
+// it tolerates completed recoveries — a recovered machine is exactly
+// the one elision wants to fingerprint. residue reports that the
+// refusal is permanent fault residue (an active quarantine) rather
+// than transient in-flight work.
+func (k *Kernel) BarrierQuiescent() (ok, residue bool) {
+	if !k.barrierHit || k.done || k.inRecovery {
+		return false, false
+	}
+	if len(k.quarantined) > 0 {
+		return false, true
+	}
+	if len(k.pendingCrashes) > 0 || len(k.recoveryPanics) > 0 || len(k.replyErrnoOverride) > 0 {
+		return false, false
+	}
+	for _, ep := range k.order {
+		p := k.procs[ep]
+		if p == nil {
+			return false, false
+		}
+		if !p.Alive() {
+			if p.state != stateDead || p.isServer || ep == k.rootEp {
+				return false, false
+			}
+			continue
+		}
+		switch {
+		case ep == k.rootEp:
+			if p.state != stateRunnable {
+				return false, false
+			}
+		case p.state != stateReceiving:
+			return false, false
+		}
+		if p.reply != nil || p.sendDeadline != 0 {
+			return false, false
+		}
+	}
+	if k.ipc != nil && (len(k.ipc.held) > 0 || len(k.ipc.armed) > 0) {
+		return false, false
+	}
+	return true, false
+}
+
+// RNGState returns the machine root RNG's state word (see
+// sim.RNG.State): equality across two points of one seeded run proves
+// zero draws were taken between them.
+func (k *Kernel) RNGState() uint64 { return k.rng.State() }
+
+// IPCRNGState returns the IPC fault plane's RNG state, and false when
+// the machine has no plane.
+func (k *Kernel) IPCRNGState() (uint64, bool) {
+	if k.ipc == nil {
+		return 0, false
+	}
+	return k.ipc.rng.State(), true
+}

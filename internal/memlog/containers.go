@@ -569,3 +569,132 @@ func (s *Slice[T]) decodeState(d *wire.Decoder) error {
 	}
 	return nil
 }
+
+// Fingerprint fast paths (see Store.Fingerprint): containers over
+// fixed-width primitive element types feed their contents straight
+// into the fingerprint stream, skipping the reflective wire encoding
+// that otherwise dominates quiescence-barrier hashing of large
+// containers (the VM frame table is one Slice[int32] of every frame).
+// A false return falls back to the encodeState route; the choice
+// depends only on the element type, never on the contents.
+
+// fpScalar hashes one primitive value into the stream; ok=false means
+// the type has no fast path.
+func fpScalar(f *fpStream, v any) bool {
+	switch v := v.(type) {
+	case int:
+		f.u64(uint64(v))
+	case int8:
+		f.u64(uint64(uint8(v)))
+	case int16:
+		f.u64(uint64(uint16(v)))
+	case int32:
+		f.u64(uint64(uint32(v)))
+	case int64:
+		f.u64(uint64(v))
+	case uint:
+		f.u64(uint64(v))
+	case uint8:
+		f.u64(uint64(v))
+	case uint16:
+		f.u64(uint64(v))
+	case uint32:
+		f.u64(uint64(v))
+	case uint64:
+		f.u64(v)
+	case bool:
+		if v {
+			f.u64(1)
+		} else {
+			f.u64(0)
+		}
+	case string:
+		f.str(v)
+	default:
+		return false
+	}
+	return true
+}
+
+// fpElems hashes a whole primitive-element slice into the stream with
+// a monomorphic inner loop per element type.
+func fpElems(f *fpStream, v any) bool {
+	switch v := v.(type) {
+	case []int:
+		f.u64(uint64(len(v)))
+		for _, e := range v {
+			f.u64(uint64(e))
+		}
+	case []int32:
+		f.u64(uint64(len(v)))
+		for _, e := range v {
+			f.u64(uint64(uint32(e)))
+		}
+	case []int64:
+		f.u64(uint64(len(v)))
+		for _, e := range v {
+			f.u64(uint64(e))
+		}
+	case []uint32:
+		f.u64(uint64(len(v)))
+		for _, e := range v {
+			f.u64(uint64(e))
+		}
+	case []uint64:
+		f.u64(uint64(len(v)))
+		for _, e := range v {
+			f.u64(e)
+		}
+	case []byte:
+		f.u64(uint64(len(v)))
+		for _, e := range v {
+			f.u64(uint64(e))
+		}
+	case []string:
+		f.u64(uint64(len(v)))
+		for _, e := range v {
+			f.str(e)
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+func (c *Cell[T]) fingerprintFast() (uint64, bool) {
+	f := newFPStream(c.id)
+	f.str(typeSig[T]())
+	if !fpScalar(&f, any(c.v)) {
+		return 0, false
+	}
+	return f.finish(), true
+}
+
+func (m *Map[K, V]) fingerprintFast() (uint64, bool) {
+	// Keys and values must BOTH be primitives; probing the zero values
+	// (not the contents) keeps the route content-independent, so an
+	// empty map takes the same route as a populated one.
+	var zk K
+	var zv V
+	f := newFPStream(m.id)
+	if !fpScalar(&f, any(zk)) || !fpScalar(&f, any(zv)) {
+		return 0, false
+	}
+	f = newFPStream(m.id)
+	f.str(typeSig[K]() + "→" + typeSig[V]())
+	f.u64(uint64(len(m.order)))
+	for _, k := range m.order {
+		fpScalar(&f, any(k))
+		fpScalar(&f, any(m.m[k]))
+	}
+	return f.finish(), true
+}
+
+func (s *Slice[T]) fingerprintFast() (uint64, bool) {
+	f := newFPStream(s.id)
+	f.str(typeSig[T]())
+	if !fpElems(&f, any(s.v)) {
+		return 0, false
+	}
+	return f.finish(), true
+}

@@ -107,6 +107,12 @@ type container interface {
 	// the on-disk store image (image.go).
 	encodeState(e *wire.Encoder) error
 	decodeState(d *wire.Decoder) error
+	// fingerprintFast hashes the container's contents directly when its
+	// element types are fixed-width primitives, skipping the reflective
+	// wire encoding; ok=false falls back to the encodeState path
+	// (Fingerprint). Selection depends only on the container's type, so
+	// equal contents always produce equal mixes across stores.
+	fingerprintFast() (mix uint64, ok bool)
 }
 
 // contMeta is the per-container bookkeeping embedded in Cell, Map and
@@ -121,6 +127,12 @@ type contMeta struct {
 	// invalid (the container is then listed in Store.sizeDirty).
 	size      int
 	sizeStale bool
+	// fpMix is this container's contribution to the store's rolling
+	// fingerprint; fpValid marks it current (and included in fpAgg),
+	// fpQueued marks the container listed in Store.fpDirty.
+	fpMix    uint64
+	fpValid  bool
+	fpQueued bool
 }
 
 // Incremental (dirty-set) full-copy checkpointing is the default; the
@@ -187,6 +199,15 @@ type Store struct {
 	// baseBytes aggregates the cached sizes of all containers whose
 	// cache is fresh; BaseBytes() returns it after draining sizeDirty.
 	baseBytes int
+
+	// fpAgg is the rolling state fingerprint: the wrapping sum of every
+	// fp-valid container's fpMix. fpDirty lists the containers whose
+	// contribution is stale; Fingerprint() re-hashes only those, so a
+	// quiescence barrier on a mostly-clean store is O(dirty). fpEnc is
+	// the reusable encoder backing those re-hashes.
+	fpAgg   uint64
+	fpDirty []container
+	fpEnc   *wire.Encoder
 
 	// generation counts how many times the owning component has been
 	// restarted: 0 for the boot-time store. Component constructors use
@@ -486,6 +507,14 @@ func (s *Store) ForkClone() *Store {
 		dst.sizeDirty = append(dst.sizeDirty, dst.containers[c.name()])
 	}
 	dst.baseBytes = s.baseBytes
+	// The meta copy above carried fpMix/fpValid/fpQueued; rebuild the
+	// invalidation queue and aggregate to match, so a fork's first
+	// barrier fingerprint stays O(dirty) instead of re-hashing the world.
+	dst.fpDirty = dst.fpDirty[:0]
+	for _, c := range s.fpDirty {
+		dst.fpDirty = append(dst.fpDirty, dst.containers[c.name()])
+	}
+	dst.fpAgg = s.fpAgg
 	if len(s.log) > 0 {
 		dst.grabSlab(len(s.log))
 		dst.log = append(dst.log, s.log...)
@@ -530,6 +559,14 @@ func (s *Store) touch(c container, m *contMeta) {
 		m.sizeStale = true
 		s.sizeDirty = append(s.sizeDirty, c)
 	}
+	if m.fpValid {
+		s.fpAgg -= m.fpMix
+		m.fpValid = false
+	}
+	if !m.fpQueued {
+		m.fpQueued = true
+		s.fpDirty = append(s.fpDirty, c)
+	}
 }
 
 // resetDirty empties the dirty set and advances the checkpoint epoch,
@@ -542,6 +579,119 @@ func (s *Store) resetDirty() {
 // CloneBytes reports the approximate memory cost of keeping a clone of
 // this store (Table VI's "+clone" column): the full data section.
 func (s *Store) CloneBytes() int { return s.BaseBytes() }
+
+// Fingerprint returns a content hash of every container's current
+// state. Two stores holding the same containers with the same contents
+// fingerprint identically regardless of history: each container's
+// contribution is derived from its name and encoded payload alone, and
+// contributions combine by wrapping addition, so registration order
+// does not matter. The value is maintained as a rolling aggregate —
+// only containers written since the previous call are re-hashed — which
+// keeps quiescence-barrier fingerprinting O(dirty set).
+func (s *Store) Fingerprint() (uint64, error) {
+	if len(s.fpDirty) > 0 {
+		for _, c := range s.fpDirty {
+			m := c.meta()
+			m.fpQueued = false
+			if m.fpValid {
+				continue
+			}
+			// Containers over fixed-width primitives hash their contents
+			// directly (fingerprintFast), skipping the reflective wire
+			// encoding — the drain's dominant cost on large slices. The
+			// path is chosen by element type, so two stores holding the
+			// same contents always mix identically.
+			if mix, ok := c.fingerprintFast(); ok {
+				m.fpMix = mix
+				m.fpValid = true
+				s.fpAgg += mix
+				continue
+			}
+			if s.fpEnc == nil {
+				s.fpEnc = wire.NewEncoder()
+			}
+			s.fpEnc.Reset()
+			if err := c.encodeState(s.fpEnc); err != nil {
+				return 0, fmt.Errorf("memlog: fingerprint container %q: %w", c.name(), err)
+			}
+			m.fpMix = fingerprintMix(c.name(), s.fpEnc.Bytes())
+			m.fpValid = true
+			s.fpAgg += m.fpMix
+		}
+		s.fpDirty = s.fpDirty[:0]
+	}
+	return s.fpAgg, nil
+}
+
+// fingerprintMix hashes one container's name and payload into its
+// fingerprint contribution: FNV-1a over both, finished with a
+// splitmix64-style avalanche so wrapping-add combination of many
+// contributions does not cancel structured differences.
+func fingerprintMix(name string, payload []byte) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime
+	}
+	h = (h ^ 0xff) * fnvPrime // separator between name and payload
+	for _, b := range payload {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return fpFinish(h)
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fpFinish is the splitmix64-style avalanche closing both fingerprint
+// routes (fingerprintMix and fpStream).
+func fpFinish(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// fpStream is the streaming half of the container fast path
+// (fingerprintFast): FNV-1a over the name like fingerprintMix, then a
+// murmur3-style word-at-a-time absorb for values — one multiply-rotate
+// round per 64-bit word instead of eight byte multiplies, since large
+// primitive slices are exactly what the fast path exists for. The two
+// routes produce different mixes for the same contents, which is fine —
+// a container's route depends only on its type, so every store hashes
+// it the same way.
+type fpStream struct{ h uint64 }
+
+func newFPStream(name string) fpStream {
+	h := fnvOffset
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime
+	}
+	return fpStream{h: (h ^ 0xff) * fnvPrime}
+}
+
+func (f *fpStream) u64(v uint64) {
+	v *= 0x87c37b91114253d5
+	v = v<<31 | v>>33
+	v *= 0x4cf5ad432745937f
+	h := f.h ^ v
+	h = h<<27 | h>>37
+	f.h = h*5 + 0x52dce729
+}
+
+func (f *fpStream) str(s string) {
+	f.u64(uint64(len(s)))
+	h := f.h
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	f.h = h
+}
+
+func (f *fpStream) finish() uint64 { return fpFinish(f.h) }
 
 // ContainerNames returns the registered container names in registration
 // order (deterministic).

@@ -24,11 +24,25 @@ const (
 // Driver is the block-device driver.
 type Driver struct {
 	blocks [][]byte
+
+	// fp is the rolling device fingerprint: the wrapping sum of every
+	// block's content hash (nil, never-written blocks contribute zero).
+	// mixes caches the per-block contributions; stale lists blocks
+	// written since fp last covered them (staleIn dedups membership), so
+	// Fingerprint is O(blocks written since last call), not O(device).
+	fp      uint64
+	mixes   []uint64
+	stale   []int32
+	staleIn []bool
 }
 
 // New returns a driver with n blocks of fs.BlockSize bytes.
 func New(n int32) *Driver {
-	return &Driver{blocks: make([][]byte, n)}
+	return &Driver{
+		blocks:  make([][]byte, n),
+		mixes:   make([]uint64, n),
+		staleIn: make([]bool, n),
+	}
 }
 
 // CloneBlocks returns a deep copy of the device contents. Unwritten
@@ -63,9 +77,82 @@ func (d *Driver) ShareBlocks() [][]byte {
 // table — so a forked disk cannot disturb the master or any sibling
 // fork, and concurrent forks from one master are safe.
 func NewFromBlocks(blocks [][]byte) *Driver {
-	d := &Driver{blocks: make([][]byte, len(blocks))}
+	return NewFromBlocksFingerprint(blocks, nil, 0)
+}
+
+// NewFromBlocksFingerprint is NewFromBlocks with the source device's
+// fingerprint state (from ShareFingerprint) carried over, so the fork's
+// first Fingerprint call stays O(dirty) instead of re-hashing every
+// written block. A nil mixes slice marks every written block stale — the
+// fork is still correct, its first Fingerprint just pays O(data).
+func NewFromBlocksFingerprint(blocks [][]byte, mixes []uint64, fp uint64) *Driver {
+	d := &Driver{
+		blocks:  make([][]byte, len(blocks)),
+		mixes:   make([]uint64, len(blocks)),
+		staleIn: make([]bool, len(blocks)),
+	}
 	copy(d.blocks, blocks)
+	if mixes != nil {
+		copy(d.mixes, mixes)
+		d.fp = fp
+		return d
+	}
+	for i, b := range d.blocks {
+		if b != nil {
+			d.staleIn[i] = true
+			d.stale = append(d.stale, int32(i))
+		}
+	}
 	return d
+}
+
+// Fingerprint returns the device content hash, re-hashing only blocks
+// written since the previous call.
+func (d *Driver) Fingerprint() uint64 {
+	for _, b := range d.stale {
+		d.staleIn[b] = false
+		d.fp -= d.mixes[b]
+		d.mixes[b] = blockMix(b, d.blocks[b])
+		d.fp += d.mixes[b]
+	}
+	d.stale = d.stale[:0]
+	return d.fp
+}
+
+// ShareFingerprint returns a copy of the per-block fingerprint
+// contributions plus the device fingerprint, for carrying through a
+// snapshot into NewFromBlocksFingerprint. The copy is O(table size),
+// like ShareBlocks; later writes on this driver cannot disturb it.
+func (d *Driver) ShareFingerprint() ([]uint64, uint64) {
+	fp := d.Fingerprint()
+	mixes := make([]uint64, len(d.mixes))
+	copy(mixes, d.mixes)
+	return mixes, fp
+}
+
+// blockMix hashes one block's index and contents into its fingerprint
+// contribution (FNV-1a finished with a splitmix64-style avalanche, so
+// wrapping-add combination keeps differences from cancelling). A nil,
+// never-written block contributes zero.
+func blockMix(idx int32, data []byte) uint64 {
+	if data == nil {
+		return 0
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	h = (h ^ uint64(uint32(idx))) * fnvPrime
+	for _, b := range data {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // Blocks reports the device capacity.
@@ -129,5 +216,9 @@ func (d *Driver) write(b int32, data []byte) kernel.Errno {
 	buf := make([]byte, fs.BlockSize)
 	copy(buf, data)
 	d.blocks[b] = buf
+	if !d.staleIn[b] {
+		d.staleIn[b] = true
+		d.stale = append(d.stale, b)
+	}
 	return kernel.OK
 }

@@ -56,6 +56,12 @@ func (r *RNG) Uint64() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
+// State returns the generator's internal state word. For a fixed seed
+// the state is a bijection of the number of draws taken, so comparing
+// two states is an exact "same draw count" test — the elision plane
+// uses it to prove a run's suffix consumed no machine randomness.
+func (r *RNG) State() uint64 { return r.state }
+
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0,
 // matching math/rand semantics.
 func (r *RNG) Intn(n int) int {

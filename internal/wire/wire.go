@@ -37,6 +37,9 @@ type Encoder struct {
 // NewEncoder returns an empty encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
 
+// Reset truncates the buffer for reuse, keeping the backing array.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
 // Bytes returns the encoded stream. The slice aliases the encoder's
 // buffer; it is valid until the next write.
 func (e *Encoder) Bytes() []byte { return e.buf }
